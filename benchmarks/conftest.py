@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at full
+published scale, prints the paper-style result table, and asserts the
+qualitative shape the paper reports. Timings recorded by
+pytest-benchmark measure the full experiment (workload generation +
+replay + adversary evaluation) on simulated time — no real sleeping
+happens anywhere.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

@@ -1,0 +1,35 @@
+"""Ablation benchmark: fixed vs adaptive decay (§2.3).
+
+On a workload whose hot set jumps every phase, no-decay remembers dead
+hot sets forever; a well-chosen fixed decay does well; the adaptive
+multi-decay tracker should land near the best fixed rate without being
+told the dynamics.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_adaptive_ablation
+
+
+def test_ablation_adaptive_decay(benchmark):
+    result = benchmark.pedantic(
+        run_adaptive_ablation, rounds=1, iterations=1
+    )
+    result.to_table().show()
+
+    no_decay = result.row("fixed decay 1.0")
+    fixed_rows = [
+        row for row in result.rows if row.tracker.startswith("fixed")
+    ]
+    best_fixed = min(fixed_rows, key=lambda row: row.median_user_delay)
+    adaptive = result.row("adaptive")
+
+    # Forgetting must beat remembering on a shifting workload.
+    assert best_fixed.median_user_delay < no_decay.median_user_delay
+
+    # The adaptive tracker selects a forgetting rate...
+    assert result.selected_rate > 1.0
+    # ...and lands within 2x of the best fixed configuration, far
+    # below the no-decay cost.
+    assert adaptive.median_user_delay <= 2 * best_fixed.median_user_delay
+    assert adaptive.median_user_delay < no_decay.median_user_delay

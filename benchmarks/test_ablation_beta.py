@@ -1,0 +1,35 @@
+"""Ablation benchmark: the penalty exponent β of equation (1).
+
+β multiplies each tuple's delay by rank^β. Uncapped, the adversary's
+total grows super-linearly with β (eq. 2); with a cap, it saturates at
+N·d_max while β pushes more of the tail onto the cap.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_beta_ablation
+
+
+def test_ablation_beta(benchmark):
+    result = benchmark.pedantic(run_beta_ablation, rounds=1, iterations=1)
+    result.to_table().show()
+
+    betas = [row.beta for row in result.rows]
+    assert betas == sorted(betas)
+
+    # Uncapped adversary delay grows strictly (and fast) with beta.
+    uncapped = [row.uncapped_adversary_delay for row in result.rows]
+    assert uncapped == sorted(uncapped)
+    assert uncapped[-1] > 10 * uncapped[0]
+
+    # Capped adversary delay grows monotonically but saturates at the
+    # N*d_max bound.
+    capped = [row.adversary_delay for row in result.rows]
+    assert capped == sorted(capped)
+    bound = result.population * 10.0
+    assert capped[-1] <= bound + 1e-6
+    assert capped[-1] > 0.9 * bound
+
+    # The popularity-weighted median stays below the cap even at the
+    # largest beta: the penalty lands on the tail, not on typical users.
+    assert result.rows[0].median_user_delay < 10.0

@@ -1,0 +1,39 @@
+"""Ablation benchmark: count-store backends (§4.4).
+
+Compares exact in-memory counts, the write-behind cache, and the
+bounded Space-Saving synopsis on one Zipf workload: replay cost, delay
+accuracy, and memory (counter) footprint.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_store_ablation
+
+
+def test_ablation_count_stores(benchmark):
+    result = benchmark.pedantic(run_store_ablation, rounds=1, iterations=1)
+    result.to_table().show()
+
+    by_name = {row.store: row for row in result.rows}
+    exact = by_name["memory"]
+    cached = by_name["write_behind"]
+    sampled = by_name["space_saving"]
+
+    # The write-behind cache is exact: same delays, bounded cache, but
+    # it pays backing I/O for cold counters.
+    assert cached.adversary_error == pytest.approx(0.0, abs=1e-9)
+    assert cached.median_user_delay == pytest.approx(
+        exact.median_user_delay, rel=1e-6
+    )
+    assert cached.backing_io is not None and cached.backing_io > 0
+
+    # Space-Saving bounds memory hard...
+    assert sampled.tracked_keys <= result.population // 10
+    assert exact.tracked_keys > sampled.tracked_keys
+    # ...at a bounded cost in adversary-delay accuracy. Its errors are
+    # one-sided (overestimated counts => underestimated delays).
+    assert sampled.adversary_error <= 0.0
+    assert abs(sampled.adversary_error) < 0.25
+
+    # All backends keep the median user delay in the same regime.
+    assert sampled.median_user_delay <= 2 * exact.median_user_delay + 1e-6

@@ -1,0 +1,46 @@
+"""Ablation benchmark: delay policies vs the naive baseline.
+
+One mixed workload (Zipf queries + Zipf updates), five policies. The
+"fixed" baseline is calibrated to charge the adversary exactly what the
+popularity scheme does — making visible what §1 claims: a uniform
+restriction either fails to slow the adversary or crushes the median
+user.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_policy_ablation
+
+
+def test_ablation_policies(benchmark):
+    result = benchmark.pedantic(run_policy_ablation, rounds=1, iterations=1)
+    result.to_table().show()
+
+    popularity = result.row("popularity")
+    fixed = result.row("fixed (calibrated)")
+    update = result.row("update-rate")
+    both = result.row("both (max)")
+    none = result.row("none")
+
+    # The unprotected baseline: free for everyone.
+    assert none.median_user_delay == 0.0
+    assert none.adversary_delay == 0.0
+
+    # Calibration check: fixed charges the adversary the same total.
+    assert fixed.adversary_delay == pytest.approx(
+        popularity.adversary_delay, rel=0.01
+    )
+    # ...but its median user pays orders of magnitude more.
+    assert fixed.median_user_delay > 50 * popularity.median_user_delay
+
+    # Popularity's separation (ratio) dwarfs the naive scheme's, which
+    # is exactly N by construction.
+    assert popularity.ratio > 20 * fixed.ratio
+
+    # The max-combination dominates both single signals against the
+    # adversary, at a median cost no worse than their sum.
+    assert both.adversary_delay >= popularity.adversary_delay - 1e-9
+    assert both.adversary_delay >= update.adversary_delay - 1e-9
+    assert both.median_user_delay <= (
+        popularity.median_user_delay + update.median_user_delay + 1e-9
+    )

@@ -1,0 +1,87 @@
+"""Engine microbenchmarks: the substrate's raw operation costs.
+
+These are conventional pytest-benchmark timings (many rounds) for the
+hot paths the guarded workloads exercise: point lookups through the
+primary key, index range scans, full scans, inserts, and SQL parsing.
+They make the Table 5 overhead number interpretable — the guard's cost
+is relative to *these* baselines.
+"""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.parser import parse
+
+POPULATION = 10_000
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, score FLOAT)"
+    )
+    database.execute("CREATE INDEX igrp ON t (grp)")
+    database.execute("CREATE INDEX iscore ON t (score)")
+    database.insert_rows(
+        "t",
+        [(i, i % 100, float(i % 1000)) for i in range(1, POPULATION + 1)],
+    )
+    return database
+
+
+def test_pk_lookup(benchmark, db):
+    result = benchmark(db.query, "SELECT * FROM t WHERE id = 5000")
+    assert len(result) == 1
+
+
+def test_hash_index_lookup(benchmark, db):
+    result = benchmark(db.query, "SELECT id FROM t WHERE grp = 42")
+    assert len(result) == POPULATION // 100
+
+
+def test_index_range_scan(benchmark, db):
+    result = benchmark(
+        db.query, "SELECT id FROM t WHERE score BETWEEN 100 AND 110"
+    )
+    assert len(result) > 0
+
+
+def test_full_scan_with_predicate(benchmark, db):
+    result = benchmark(
+        db.query, "SELECT id FROM t WHERE score * 2 > 1990"
+    )
+    assert len(result) > 0
+
+
+def test_aggregate_full_table(benchmark, db):
+    result = benchmark(db.query, "SELECT COUNT(*), AVG(score) FROM t")
+    assert result[0][0] == POPULATION
+
+
+def test_group_by(benchmark, db):
+    result = benchmark(
+        db.query, "SELECT grp, COUNT(*) FROM t GROUP BY grp"
+    )
+    assert len(result) == 100
+
+
+def test_sql_parse_only(benchmark):
+    statement = benchmark(
+        parse,
+        "SELECT a, b FROM t WHERE x = 1 AND y BETWEEN 2 AND 3 "
+        "ORDER BY a DESC LIMIT 10",
+    )
+    assert statement.table == "t"
+
+
+def test_insert_throughput(benchmark):
+    database = Database()
+    database.execute("CREATE TABLE w (id INTEGER PRIMARY KEY, v TEXT)")
+    counter = iter(range(1, 10_000_000))
+
+    def insert_one():
+        database.table("w").insert([next(counter), "payload"])
+
+    benchmark(insert_one)
+    assert database.row_count("w") > 0

@@ -1,0 +1,24 @@
+"""Figure 1 benchmark: Calgary-like request distribution, full scale."""
+
+import pytest
+
+from repro.experiments import run_fig1
+from repro.workloads.calgary import CALGARY_OBJECTS, CALGARY_REQUESTS
+
+
+def test_fig1_request_distribution(benchmark):
+    result = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    result.to_table().show()
+
+    # Full published scale.
+    assert result.total_requests == CALGARY_REQUESTS
+    assert result.distinct_objects <= CALGARY_OBJECTS
+
+    # Figure 1 shape: a steep, monotone head.
+    counts = [count for _, count in result.top10]
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] > 4 * counts[9]
+
+    # Paper: "loosely follows an exponential popularity distribution
+    # with alpha ~ 1.5".
+    assert result.fitted_alpha == pytest.approx(1.5, abs=0.15)

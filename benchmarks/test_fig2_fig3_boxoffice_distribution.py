@@ -1,0 +1,30 @@
+"""Figures 2 & 3 benchmark: box-office sales distributions, full scale.
+
+Figure 2 (annual top-10): mild skew — the paper's 2002 data runs from
+~$400M down to ~$160M (a ~2.5x spread). Figure 3 (single week top-10):
+sharp skew. The weekly/annual contrast is the point.
+"""
+
+import pytest
+
+from repro.experiments import run_fig23
+
+
+def test_fig2_fig3_boxoffice_distribution(benchmark):
+    result = benchmark.pedantic(run_fig23, rounds=1, iterations=1)
+    result.to_table().show()
+
+    # Figure 2: top film ≈ $400M, mild monotone decline over top 10.
+    annual = [sales for _, sales in result.annual_top10]
+    assert annual == sorted(annual, reverse=True)
+    assert annual[0] == pytest.approx(400e6, rel=0.05)
+    assert 1.5 < result.annual_skew < 5.0  # paper: ~2.5x
+
+    # Figure 3: the weekly distribution is much sharper.
+    weekly = [sales for _, sales in result.week1_top10]
+    assert weekly == sorted(weekly, reverse=True)
+    assert result.weekly_skew > 2 * result.annual_skew
+
+    # Paper generates ~1 request per $100k; 2002 grossed ~$9B, so the
+    # request count should be in the tens of thousands.
+    assert 50_000 < result.total_requests < 200_000

@@ -1,0 +1,53 @@
+"""Figures 4-6 benchmark: update-rate delays at 100,000 tuples.
+
+Paper setup: uniform queries, Zipf updates with α swept 0.25..2.5,
+delays assigned inversely to update rate. Shapes:
+
+* Fig 4 — median user delay rises with skew to the 10 s cap (log y).
+* Fig 5 — total adversary delay rises to ~N·d_max (log y, 10^5-10^6 s).
+* Fig 6 — staleness ~100% at modest skew, falling once updates focus on
+  few tuples (while the adversary pays the maximum delay anyway).
+"""
+
+import pytest
+
+from repro.experiments import run_fig456
+from repro.experiments.fig456_update_skew import PAPER_SKEWS
+
+
+def test_fig456_update_skew(benchmark):
+    result = benchmark.pedantic(run_fig456, rounds=1, iterations=1)
+    result.to_table().show()
+
+    assert result.population == 100_000
+    assert [point.alpha for point in result.points] == list(PAPER_SKEWS)
+
+    # Figure 4: monotone median, reaching the cap at high skew.
+    medians = [point.median_user_delay for point in result.points]
+    assert medians == sorted(medians)
+    assert medians[0] < 0.01  # sub-10ms at alpha=0.25
+    assert medians[-1] == pytest.approx(result.cap)
+
+    # Figure 5: monotone adversary delay approaching the bound, with a
+    # dynamic range of several orders of magnitude (the log-y figure).
+    adversaries = [point.adversary_delay for point in result.points]
+    assert adversaries == sorted(adversaries)
+    assert adversaries[-1] > 1e4 * 0.9  # hundreds of thousands of sec
+    assert adversaries[-1] > 0.9 * result.max_extraction_delay
+    assert adversaries[-1] / adversaries[0] > 1e3
+
+    # Figure 6: full staleness through modest skew, collapsing at high
+    # skew (where the cap truncates the extraction time).
+    stale = [point.stale_fraction for point in result.points]
+    assert all(value > 0.95 for value in stale[:4])  # alpha <= 1.0
+    assert stale[-1] < 0.2
+    # Monotone non-increasing past the knee.
+    knee = stale.index(max(stale))
+    tail = stale[knee:]
+    assert all(a >= b - 1e-9 for a, b in zip(tail, tail[1:]))
+
+    # Equation (12) agreement in the uncapped regime.
+    for point in result.points[:4]:
+        assert point.stale_fraction == pytest.approx(
+            min(1.0, point.predicted_staleness), abs=0.05
+        )

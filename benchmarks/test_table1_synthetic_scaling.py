@@ -1,0 +1,35 @@
+"""Table 1 benchmark: synthetic trace scaling at published sizes.
+
+Paper rows: 100k tuples → 2 weeks, 500k → 8 weeks, 1M → 17 weeks of
+adversary delay, with 0.0 ms median user delay throughout (cap 10 s).
+"""
+
+import pytest
+
+from repro.experiments import run_table1
+from repro.experiments.table1_synthetic_scaling import (
+    PAPER_ADVERSARY_WEEKS,
+    PAPER_SIZES,
+    WEEK_SECONDS,
+)
+
+
+def test_table1_synthetic_scaling(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    result.to_table().show()
+
+    assert [row.size for row in result.rows] == list(PAPER_SIZES)
+
+    for row, paper_weeks in zip(result.rows, PAPER_ADVERSARY_WEEKS):
+        # Median user delay ≈ 0 ms (paper reports 0.0 for all sizes).
+        assert row.median_user_delay < 0.010
+        # Adversary delay lands in the paper's weeks band (within 2x):
+        # with nearly every tuple cold, total ≈ N * cap ≈ paper value.
+        assert row.adversary_weeks == pytest.approx(paper_weeks, rel=0.5)
+
+    # Linear scaling in N: 10x tuples => ~10x adversary delay.
+    first, last = result.rows[0], result.rows[-1]
+    scale = (last.size / first.size)
+    assert last.adversary_delay / first.adversary_delay == pytest.approx(
+        scale, rel=0.25
+    )

@@ -1,0 +1,37 @@
+"""Table 2 benchmark: delay-cap sweep on the full Calgary-like trace.
+
+Paper rows (12,179 objects): cap 0.1 s → 0.33 h, 1 s → 3.16 h,
+10 s → 30.17 h, 100 s → 282.70 h of adversary delay. Adversary delay
+scales near-linearly with the cap; the median user delay does not move.
+"""
+
+import pytest
+
+from repro.experiments import run_table2
+from repro.experiments.table2_cap_scaling import (
+    PAPER_ADVERSARY_HOURS,
+    PAPER_CAPS,
+)
+
+
+def test_table2_cap_scaling(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    result.to_table().show()
+
+    assert result.population == 12_179
+    assert [row.cap for row in result.rows] == list(PAPER_CAPS)
+
+    # Adversary delay within 2x of every paper row.
+    for row, paper_hours in zip(result.rows, PAPER_ADVERSARY_HOURS):
+        assert row.adversary_hours == pytest.approx(paper_hours, rel=1.0)
+
+    # Near-linear growth: each 10x cap multiplies adversary delay ~9-10x
+    # (the paper's 0.33/3.16/30.17/282.7 gives ratios 9.6, 9.5, 9.4).
+    for previous, current in zip(result.rows, result.rows[1:]):
+        ratio = current.adversary_delay / previous.adversary_delay
+        assert 5.0 < ratio <= 10.5
+
+    # Raising the cap never moves the median (paper: cap "has no impact
+    # on the median delay").
+    medians = [row.median_user_delay for row in result.rows]
+    assert max(medians) == pytest.approx(min(medians), abs=1e-9)

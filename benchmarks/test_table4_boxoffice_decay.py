@@ -1,0 +1,36 @@
+"""Table 4 benchmark: weekly-decay sweep on the full box-office year.
+
+Paper rows: decay 1.00 → median 0.03 ms / adversary 1.33 h, up to decay
+5.00 → median 1.26 ms / adversary 1.76 h (= 100% of the N·d_max bound).
+Shape: medians rise gently with decay and stay tiny; every decay rate
+pushes the adversary to a large fraction of the bound, approaching 100%
+as decay grows.
+"""
+
+import pytest
+
+from repro.experiments import run_table4
+from repro.experiments.table4_boxoffice_decay import PAPER_DECAYS
+
+
+def test_table4_boxoffice_decay(benchmark):
+    result = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    result.to_table().show()
+
+    assert [row.decay for row in result.rows] == list(PAPER_DECAYS)
+
+    # Median user delay grows monotonically but stays small relative to
+    # the 10s cap (the box-office head is always hot).
+    medians = [row.median_user_delay for row in result.rows]
+    assert medians == sorted(medians)
+    assert medians[-1] < 2.0
+
+    # The paper's bound for 634 films at 10s is 1.76 h.
+    assert result.max_hours == pytest.approx(1.76, abs=0.02)
+
+    # Adversary delay is a large fraction of the bound everywhere and
+    # approaches 100% at high decay (paper: 1.33h -> 1.76h).
+    adversaries = [row.adversary_delay for row in result.rows]
+    assert adversaries[-1] >= adversaries[0]
+    assert adversaries[0] > 0.5 * result.max_extraction_delay
+    assert adversaries[-1] > 0.9 * result.max_extraction_delay

@@ -1,0 +1,30 @@
+"""Table 5 benchmark: count-maintenance + delay-computation overhead.
+
+Paper: 100 random single-tuple selections; base 55.17 ms vs guarded
+66.20 ms on a 2004 commercial DBMS — ~20% relative overhead with counts
+in a small write-behind cache. Our engine's absolute times are in the
+tens of microseconds; the claim reproduced is the *relative* overhead.
+"""
+
+import pytest
+
+from repro.experiments import run_table5
+
+
+def test_table5_overhead(benchmark):
+    result = benchmark.pedantic(
+        run_table5,
+        kwargs={"queries": 100, "repeats": 50, "population": 10_000},
+        rounds=1,
+        iterations=1,
+    )
+    result.to_table().show()
+
+    assert result.queries == 100
+    # Guarded queries must cost more than bare ones...
+    assert result.total_mean > result.base_mean
+    # ...but the machinery stays modest: the paper reports 20%; our
+    # pure-Python engine has a much cheaper base query than a 2004
+    # commercial DBMS, so allow up to 60% before calling it a
+    # regression.
+    assert result.overhead_fraction < 0.60

@@ -1,0 +1,99 @@
+"""Table 5 companion: proxy overhead over a *real* DBMS (SQLite).
+
+The paper measured its overhead on a commercial RDBMS; the closest
+equivalent here is the SQLite proxy: 100 random single-tuple selections
+against bare ``sqlite3`` vs through :class:`SQLiteDelayProxy`
+(authorization + rowid attribution + count maintenance + delay
+computation; intentional delay excluded via the virtual clock).
+
+The proxy necessarily pays more than the in-engine guard — attribution
+costs one extra companion query per statement — so the bound asserted
+here is looser than Table 5's 20%, and the printed number is what a
+deployment over a real database should expect.
+"""
+
+import sqlite3
+import statistics
+import time
+
+import numpy as np
+import pytest
+
+from repro.adapters import SQLiteDelayProxy
+from repro.core import GuardConfig, VirtualClock
+from repro.sim.experiment import ResultTable
+
+POPULATION = 10_000
+QUERIES = 100
+REPEATS = 30
+
+
+def run_sqlite_overhead():
+    connection = sqlite3.connect(":memory:")
+    connection.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT, n REAL)"
+    )
+    connection.executemany(
+        "INSERT INTO t VALUES (?, ?, ?)",
+        [(i, f"v{i}", float(i)) for i in range(1, POPULATION + 1)],
+    )
+    connection.commit()
+    proxy = SQLiteDelayProxy(
+        connection, config=GuardConfig(cap=10.0), clock=VirtualClock()
+    )
+
+    rng = np.random.default_rng(55)
+
+    def fresh_batch():
+        items = rng.choice(POPULATION, size=QUERIES, replace=False) + 1
+        return [
+            f"SELECT * FROM t WHERE id = {int(item)}" for item in items
+        ]
+
+    for sql in fresh_batch()[:10]:  # warm both paths
+        connection.execute(sql).fetchall()
+        proxy.execute(sql)
+
+    base, total = [], []
+    for _round in range(REPEATS):
+        batch = fresh_batch()
+        started = time.perf_counter()
+        for sql in batch:
+            connection.execute(sql).fetchall()
+        base.append((time.perf_counter() - started) / QUERIES)
+
+        batch = fresh_batch()
+        started = time.perf_counter()
+        for sql in batch:
+            proxy.execute(sql)
+        total.append((time.perf_counter() - started) / QUERIES)
+    connection.close()
+    return statistics.mean(base), statistics.mean(total)
+
+
+def test_table5_sqlite_overhead(benchmark):
+    base_mean, total_mean = benchmark.pedantic(
+        run_sqlite_overhead, rounds=1, iterations=1
+    )
+    overhead = (total_mean - base_mean) / base_mean
+
+    table = ResultTable(
+        title="Table 5 companion — Proxy Overhead over SQLite",
+        columns=("base avg (ms)", "proxied avg (ms)", "overhead"),
+        note=(
+            "parse + companion rowid query + counts + delay computation; "
+            "paper: 20% on a 2004 commercial DBMS (in-engine counts)"
+        ),
+    )
+    table.add_row(
+        f"{base_mean * 1000:.4f}",
+        f"{total_mean * 1000:.4f}",
+        f"{overhead:.1%}",
+    )
+    table.show()
+
+    assert total_mean > base_mean
+    # Proxy attribution costs a second query plus parsing, so allow a
+    # few x of SQLite's (very fast) point lookup; anything beyond that
+    # is a regression.
+    assert overhead < 30.0

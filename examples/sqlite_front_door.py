@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""The defense over a real database, served over a real socket.
+
+Combines the two deployment adapters:
+
+* :class:`repro.adapters.SQLiteDelayProxy` — the delay scheme guarding
+  an actual ``sqlite3`` database file, with no schema changes;
+* :class:`repro.server.DelayServer` — the TCP front door (JSON-lines
+  protocol) through which clients must pass.
+
+The walkthrough protects a small SQLite product catalog, lets a
+legitimate client browse popular items cheaply, and shows what a
+key-space-walking robot would pay.
+
+Run: ``python examples/sqlite_front_door.py``
+"""
+
+import sqlite3
+import tempfile
+from pathlib import Path
+
+from repro.adapters import SQLiteDelayProxy
+from repro.core import AccountPolicy, GuardConfig
+from repro.server import DelayClient, DelayServer
+from repro.service import DataProviderService
+from repro.sim.metrics import format_seconds
+
+
+def sqlite_part(db_path: Path) -> None:
+    print("--- part 1: the delay proxy over a SQLite file ---")
+    connection = sqlite3.connect(db_path)
+    connection.execute(
+        "CREATE TABLE catalog (id INTEGER PRIMARY KEY, sku TEXT, "
+        "price REAL)"
+    )
+    connection.executemany(
+        "INSERT INTO catalog VALUES (?, ?, ?)",
+        [(i, f"SKU-{i:05d}", round(3 + (i % 70) * 1.5, 2))
+         for i in range(1, 5001)],
+    )
+    connection.commit()
+
+    proxy = SQLiteDelayProxy(connection, config=GuardConfig(cap=10.0))
+
+    # Shoppers hammer the bestsellers...
+    for _ in range(300):
+        proxy.execute("SELECT * FROM catalog WHERE id = 17")
+    hot = proxy.execute("SELECT * FROM catalog WHERE id = 17")
+    cold = proxy.execute("SELECT * FROM catalog WHERE id = 4444")
+    print(f"bestseller lookup : {format_seconds(hot.delay)}")
+    print(f"long-tail lookup  : {format_seconds(cold.delay)}")
+
+    # ...while a robot walking all 5,000 SKUs would wait:
+    print(
+        "full catalog theft: "
+        f"{format_seconds(proxy.extraction_cost('catalog'))}"
+    )
+    connection.close()
+
+
+def server_part() -> None:
+    print("\n--- part 2: the TCP front door ---")
+    service = DataProviderService(
+        guard_config=GuardConfig(cap=10.0),
+        account_policy=AccountPolicy(daily_query_quota=1000),
+    )
+    service.database.execute(
+        "CREATE TABLE catalog (id INTEGER PRIMARY KEY, sku TEXT)"
+    )
+    service.database.insert_rows(
+        "catalog", [(i, f"SKU-{i:05d}") for i in range(1, 501)]
+    )
+
+    with DelayServer(service) as server:
+        host, port = server.address
+        print(f"provider listening on {host}:{port}")
+        with DelayClient(host, port) as client:
+            client.register("shopper-1")
+            first = client.query(
+                "SELECT * FROM catalog WHERE id = 1", identity="shopper-1"
+            )
+            print(
+                f"first lookup over the wire: rows={first['rows']}, "
+                f"delay={format_seconds(first['delay'])}"
+            )
+            for _ in range(100):
+                client.query(
+                    "SELECT * FROM catalog WHERE id = 1",
+                    identity="shopper-1",
+                )
+            warm = client.query(
+                "SELECT * FROM catalog WHERE id = 1", identity="shopper-1"
+            )
+            print(
+                "same lookup after 100 repeats: "
+                f"delay={format_seconds(warm['delay'])}"
+            )
+            report = client.report()
+            print(
+                f"operator report: {report['queries']} queries, "
+                "extraction would cost "
+                f"{format_seconds(report['extraction_cost'])}"
+            )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as scratch:
+        sqlite_part(Path(scratch) / "catalog.db")
+    server_part()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — reproduction of "Using Delay to Defend Against Database
+Extraction" (Jayapandian, Noble, Mickens, Jagadish; SDM@VLDB 2004).
+
+Subpackages:
+
+* :mod:`repro.engine` — a pure-Python relational database (the
+  substrate the guard protects).
+* :mod:`repro.core` — the paper's contribution: the delay guard,
+  popularity/update-rate trackers, delay policies, analysis, and the
+  §2.4 account-level defenses.
+* :mod:`repro.workloads` — seeded synthetic workloads, including
+  stand-ins for the Calgary web trace and 2002 box-office data.
+* :mod:`repro.attacks` — extraction adversaries (sequential, parallel,
+  storefront) and defense sizing.
+* :mod:`repro.sim` — trace replay and metrics.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.engine import Database
+    from repro.core import DelayGuard, GuardConfig
+
+    db = Database()
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    db.execute("INSERT INTO t VALUES (1, 'hello')")
+    guard = DelayGuard(db, config=GuardConfig(cap=10.0))
+    result = guard.execute("SELECT * FROM t WHERE id = 1")
+    print(result.rows, result.delay)
+"""
+
+from .core import DelayGuard, GuardConfig
+from .engine import Database
+from .service import DataProviderService
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataProviderService",
+    "Database",
+    "DelayGuard",
+    "GuardConfig",
+    "__version__",
+]

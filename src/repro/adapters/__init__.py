@@ -1,0 +1,12 @@
+"""Adapters: the delay defense over external database engines.
+
+The reproduction's own engine (:mod:`repro.engine`) is the default
+substrate, but the scheme is a *proxy layer*: anything that can report
+which rows a query returned can be guarded. :mod:`repro.adapters.sqlite_proxy`
+wraps Python's built-in ``sqlite3`` so the defense runs over a real,
+persistent database file.
+"""
+
+from .sqlite_proxy import ProxyResult, SQLiteDelayProxy
+
+__all__ = ["ProxyResult", "SQLiteDelayProxy"]

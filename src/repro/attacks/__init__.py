@@ -1,0 +1,31 @@
+"""Adversary models and defense analysis (§2.4).
+
+Sequential extraction robots, parallel (Sybil) adversaries, storefront
+relays, and the cost models for sizing registration gates and fees
+against them.
+"""
+
+from .adversary import ExtractionAdversary, ExtractionResult
+from .defense import (
+    best_parallel_attack_time,
+    fee_for_parity,
+    optimal_parallelism,
+    parallel_attack_time,
+    registration_interval_for_target,
+)
+from .parallel import ParallelAdversary, ParallelAttackResult
+from .storefront import StorefrontAttack, StorefrontResult
+
+__all__ = [
+    "ExtractionAdversary",
+    "ExtractionResult",
+    "ParallelAdversary",
+    "ParallelAttackResult",
+    "StorefrontAttack",
+    "StorefrontResult",
+    "best_parallel_attack_time",
+    "fee_for_parity",
+    "optimal_parallelism",
+    "parallel_attack_time",
+    "registration_interval_for_target",
+]

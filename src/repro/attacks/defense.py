@@ -1,0 +1,89 @@
+"""Defense-side cost analysis for parallel attacks (§2.4).
+
+A k-identity adversary facing total (single-identity) extraction delay
+``D`` and a registration gate of one account per ``t`` seconds finishes
+in roughly ``k·t + D/k`` — identities cost time, parallelism saves it.
+These helpers find the adversary's best k, and size ``t`` (or the
+registration fee) so that parallelism buys nothing.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.errors import ConfigError
+
+
+def parallel_attack_time(
+    extraction_delay: float, identities: int, registration_interval: float
+) -> float:
+    """End-to-end time for a k-identity attack: ``k·t + D/k``."""
+    if identities < 1:
+        raise ConfigError(f"identities must be >= 1, got {identities}")
+    if extraction_delay < 0 or registration_interval < 0:
+        raise ConfigError("delay and interval must be non-negative")
+    return identities * registration_interval + extraction_delay / identities
+
+
+def optimal_parallelism(
+    extraction_delay: float, registration_interval: float
+) -> int:
+    """The k minimising ``k·t + D/k``: ``k* = sqrt(D/t)`` (at least 1)."""
+    if extraction_delay < 0:
+        raise ConfigError("extraction_delay must be non-negative")
+    if registration_interval <= 0:
+        # Free identities: unbounded parallelism; report a sentinel of
+        # one identity per tuple being the practical maximum.
+        raise ConfigError(
+            "optimal_parallelism is undefined without a registration gate"
+        )
+    k = math.sqrt(extraction_delay / registration_interval)
+    if k <= 1:
+        return 1
+    floor_k, ceil_k = int(math.floor(k)), int(math.ceil(k))
+    best = min(
+        (floor_k, ceil_k),
+        key=lambda candidate: parallel_attack_time(
+            extraction_delay, candidate, registration_interval
+        ),
+    )
+    return max(1, best)
+
+
+def best_parallel_attack_time(
+    extraction_delay: float, registration_interval: float
+) -> float:
+    """The attack time at the adversary's best k: about ``2·sqrt(D·t)``."""
+    k = optimal_parallelism(extraction_delay, registration_interval)
+    return parallel_attack_time(extraction_delay, k, registration_interval)
+
+
+def registration_interval_for_target(
+    extraction_delay: float, target_attack_time: float
+) -> float:
+    """Size the gate so even the best parallel attack takes the target.
+
+    Solves ``2·sqrt(D·t) >= target`` for t: ``t = target² / (4·D)``.
+    A target equal to D itself means parallelism gains nothing — the
+    paper's criterion ("comparable to the delay imposed on an adversary
+    with a single identity").
+    """
+    if extraction_delay <= 0:
+        raise ConfigError("extraction_delay must be positive")
+    if target_attack_time <= 0:
+        raise ConfigError("target_attack_time must be positive")
+    return (target_attack_time ** 2) / (4.0 * extraction_delay)
+
+
+def fee_for_parity(data_value: float, identities: int) -> float:
+    """Per-account fee making k-way registration cost the data's value.
+
+    The paper's alternative gate: "charge a small fee for registration,
+    computed so that a parallel adversary would have to spend as much in
+    registration fees as to collect the data separately."
+    """
+    if data_value < 0:
+        raise ConfigError("data_value must be non-negative")
+    if identities < 1:
+        raise ConfigError(f"identities must be >= 1, got {identities}")
+    return data_value / identities

@@ -1,0 +1,125 @@
+"""Parallel (Sybil) extraction and its cost model (§2.4).
+
+An adversary who controls ``k`` identities partitions the key space and
+queries the shards concurrently. Because the guard cannot attribute the
+shards to one principal, each shard pays only its own delays; the attack
+completes in (roughly) the *maximum* shard delay instead of the sum —
+a k-fold speed-up — unless the §2.4 defenses make identities expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.accounts import AccountManager
+from ..core.errors import AccessDenied, ConfigError
+from ..core.guard import DelayGuard
+
+
+@dataclass
+class ParallelAttackResult:
+    """Outcome of a simulated k-identity extraction.
+
+    Attributes:
+        identities: number of identities the adversary deployed.
+        registration_wait: seconds spent acquiring the identities
+            through the registration gate (0 without a gate).
+        fees_paid: total registration fees.
+        shard_delays: per-identity total query delay.
+        wall_time: registration wait plus the slowest shard — the
+            adversary's end-to-end time.
+        total_work: sum of all shard delays (what a single identity
+            would have paid).
+    """
+
+    identities: int
+    registration_wait: float
+    fees_paid: float
+    shard_delays: List[float] = field(default_factory=list)
+
+    @property
+    def wall_time(self) -> float:
+        """End-to-end attack time."""
+        return self.registration_wait + max(self.shard_delays, default=0.0)
+
+    @property
+    def total_work(self) -> float:
+        """Aggregate delay paid across identities."""
+        return sum(self.shard_delays)
+
+    @property
+    def speedup(self) -> float:
+        """total_work / wall_time — the benefit parallelism bought."""
+        if self.wall_time == 0:
+            return 1.0
+        return self.total_work / self.wall_time
+
+
+class ParallelAdversary:
+    """Simulates a k-identity extraction against a guarded table.
+
+    Shards are interleaved round-robin over the key space so each shard
+    sees a representative mix of popular and unpopular tuples. Shard
+    delays are computed from the guard's current counts (the §4.1
+    estimation method); registration costs come from the guard's
+    :class:`~repro.core.accounts.AccountManager` when present.
+    """
+
+    def __init__(
+        self,
+        guard: DelayGuard,
+        table: str,
+        identities: int,
+        subnet: str = "203.0.113.0/24",
+    ):
+        if identities < 1:
+            raise ConfigError(f"identities must be >= 1, got {identities}")
+        self.guard = guard
+        self.table = table
+        self.identities = identities
+        self.subnet = subnet
+
+    def simulate(self) -> ParallelAttackResult:
+        """Compute the attack's cost under the current guard state."""
+        registration_wait = 0.0
+        fees = 0.0
+        accounts: Optional[AccountManager] = self.guard.accounts
+        if accounts is not None:
+            registration_wait = accounts.time_to_register(self.identities)
+            fees = accounts.cost_to_register(self.identities)
+
+        heap = self.guard.database.catalog.table(self.table)
+        key_prefix = heap.name.lower()
+        shard_delays = [0.0] * self.identities
+        for position, rowid in enumerate(sorted(heap.rowids())):
+            delay = self.guard.policy.delay_for((key_prefix, rowid))
+            shard_delays[position % self.identities] += delay
+        return ParallelAttackResult(
+            identities=self.identities,
+            registration_wait=registration_wait,
+            fees_paid=fees,
+            shard_delays=shard_delays,
+        )
+
+    def register_identities(self, prefix: str = "sybil") -> List[str]:
+        """Actually push identities through the registration gate.
+
+        Sleeps on the guard's clock whenever the gate refuses, so the
+        clock advances by the §2.4 lower bound. Returns the identity
+        names. Requires the guard to have an account manager.
+        """
+        accounts = self.guard.accounts
+        if accounts is None:
+            raise ConfigError("guard has no account manager to register with")
+        names: List[str] = []
+        for index in range(self.identities):
+            name = f"{prefix}-{index}"
+            while True:
+                try:
+                    accounts.register(name, subnet=self.subnet)
+                    break
+                except AccessDenied as denied:
+                    self.guard.clock.sleep(max(denied.retry_after, 1e-9))
+            names.append(name)
+        return names

@@ -1,0 +1,101 @@
+"""Storefront attacks (§2.4): reselling the provider's data live.
+
+A storefront adversary does not crawl; it registers an ordinary account
+and *relays* its own customers' queries to the source provider. Its
+query mix therefore looks exactly like a legitimate workload — delays
+barely hurt it. What does hurt it is the per-identity query quota (all
+of its customers funnel through one account) and the economics: serving
+a customer costs the storefront at least what the source charges.
+
+This module simulates a storefront relaying a legitimate trace and
+reports how far it gets before quotas throttle it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..core.errors import AccessDenied, ConfigError
+from ..core.guard import DelayGuard
+from ..workloads.generators import select_sql
+from ..workloads.traces import Trace
+
+
+@dataclass
+class StorefrontResult:
+    """Outcome of a storefront relay session.
+
+    Attributes:
+        relayed: customer queries successfully relayed.
+        denied: queries refused by the provider's limits.
+        coverage: fraction of the population the storefront has cached.
+        total_delay: delay the storefront's customers absorbed.
+        wait_events: times the storefront had to back off (seconds).
+    """
+
+    relayed: int = 0
+    denied: int = 0
+    coverage: float = 0.0
+    total_delay: float = 0.0
+    wait_events: List[float] = field(default_factory=list)
+
+
+class StorefrontAttack:
+    """Relays a legitimate query trace through a single identity.
+
+    Args:
+        guard: the defended provider.
+        table: relation being resold.
+        identity: the storefront's registered account.
+        cache: if True, repeated customer queries for an item the
+            storefront already fetched are served from its cache and
+            not relayed (the "cached storefront" variant) — raising
+            coverage per relayed query but still bounded by quotas.
+        give_up_after: stop after this many consecutive denials
+            (storefront customers will not wait a day).
+    """
+
+    def __init__(
+        self,
+        guard: DelayGuard,
+        table: str,
+        identity: str,
+        cache: bool = False,
+        give_up_after: int = 3,
+    ):
+        if give_up_after < 1:
+            raise ConfigError(f"give_up_after must be >= 1, got {give_up_after}")
+        self.guard = guard
+        self.table = table
+        self.identity = identity
+        self.cache = cache
+        self.give_up_after = give_up_after
+
+    def relay(self, customer_trace: Trace) -> StorefrontResult:
+        """Relay a customer trace until it ends or quotas end it."""
+        result = StorefrontResult()
+        cached: Set[int] = set()
+        consecutive_denials = 0
+        for event in customer_trace:
+            if event.kind != "query":
+                continue
+            if self.cache and event.item in cached:
+                continue
+            try:
+                guarded = self.guard.execute(
+                    select_sql(self.table, event.item), identity=self.identity
+                )
+            except AccessDenied as denied:
+                result.denied += 1
+                result.wait_events.append(denied.retry_after)
+                consecutive_denials += 1
+                if consecutive_denials >= self.give_up_after:
+                    break
+                continue
+            consecutive_denials = 0
+            result.relayed += 1
+            result.total_delay += guarded.delay
+            cached.add(event.item)
+        result.coverage = len(cached) / customer_trace.population
+        return result

@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro sql        # run SQL against a (persisted) database
+    python -m repro csv        # import/export CSV
+    python -m repro analyze    # closed-form predictions (eqs. 1-12)
+    python -m repro experiments  # regenerate the paper's tables/figures
+
+Examples::
+
+    python -m repro sql --db shop.json \
+        -e "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)" \
+        -e "INSERT INTO t VALUES (1, 'x')" --save
+    python -m repro sql --db shop.json -e "SELECT * FROM t"
+    python -m repro analyze --tuples 100000 --alpha 1.5 --cap 10
+    python -m repro experiments table3 --scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .core import analysis
+from .engine import (
+    Database,
+    EngineError,
+    export_csv,
+    import_csv,
+    open_database,
+    save_database,
+)
+from .engine.persistence import PersistenceError
+from .sim.metrics import format_ratio, format_seconds
+
+
+def _load_or_create(path: Optional[str]) -> Database:
+    if path and Path(path).exists():
+        return open_database(path)
+    return Database()
+
+
+def _render_result(result) -> str:
+    if result.statement_kind != "select":
+        return f"ok ({result.rowcount} row(s) affected)"
+    lines = []
+    if result.columns:
+        lines.append(" | ".join(result.columns))
+    for row in result.rows:
+        lines.append(
+            " | ".join("NULL" if value is None else str(value) for value in row)
+        )
+    lines.append(f"({len(result.rows)} row(s))")
+    return "\n".join(lines)
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    """Execute SQL statements against a database file."""
+    database = _load_or_create(args.db)
+    statements: List[str] = list(args.execute or [])
+    if not statements and not sys.stdin.isatty():
+        text = sys.stdin.read()
+        statements = [
+            chunk.strip() for chunk in text.split(";") if chunk.strip()
+        ]
+    if not statements:
+        print("no SQL given (use -e or pipe statements on stdin)")
+        return 2
+    status = 0
+    for sql in statements:
+        try:
+            print(_render_result(database.execute(sql)))
+        except EngineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            status = 1
+    if args.save:
+        if not args.db:
+            print("error: --save requires --db", file=sys.stderr)
+            return 2
+        save_database(database, args.db)
+        print(f"saved to {args.db}")
+    return status
+
+
+def cmd_csv(args: argparse.Namespace) -> int:
+    """Import or export a table as CSV."""
+    database = _load_or_create(args.db)
+    try:
+        if args.direction == "export":
+            count = export_csv(database, args.table, args.file)
+            print(f"exported {count} row(s) from {args.table} to {args.file}")
+        else:
+            count = import_csv(
+                database, args.table, args.file, create=args.create
+            )
+            print(f"imported {count} row(s) into {args.table}")
+            if args.db:
+                save_database(database, args.db)
+                print(f"saved to {args.db}")
+    except (EngineError, PersistenceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Print the paper's closed-form predictions for a configuration."""
+    n, alpha, beta, cap = args.tuples, args.alpha, args.beta, args.cap
+    fmax = args.fmax
+    if fmax is None:
+        fmax = float(analysis.zipf_weights(n, alpha)[0])
+    median = analysis.median_delay(n, fmax, alpha, beta, cap)
+    total = analysis.total_extraction_delay(n, fmax, alpha, beta, cap)
+    ratio = analysis.adversary_to_user_ratio(n, fmax, alpha, beta, cap)
+    print(f"tuples (N)            : {n:,}")
+    print(f"zipf alpha            : {alpha}")
+    print(f"beta                  : {beta}")
+    print(f"fmax                  : {fmax:.6g}")
+    print(f"cap (d_max)           : "
+          f"{'none' if cap is None else format_seconds(cap)}")
+    print(f"median rank           : {analysis.median_rank(n, alpha)}")
+    print(f"median user delay     : {format_seconds(median)}")
+    print(f"adversary delay       : {format_seconds(total)}")
+    print(f"adversary/user ratio  : {format_ratio(ratio)}")
+    if cap is not None:
+        m = analysis.cap_rank(n, fmax, alpha, beta, cap)
+        print(f"cap rank (M)          : {m:,} "
+              f"({m / n:.1%} of tuples below the cap)")
+        print(f"N*d_max bound         : {format_seconds(n * cap)}")
+    if args.staleness_c is not None:
+        s = analysis.staleness_fraction(args.staleness_c, alpha)
+        print(f"eq.12 staleness (c={args.staleness_c:g}): {s:.1%}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Delegate to the experiments runner."""
+    from .experiments.runner import main as run_experiments
+
+    argv = list(args.names)
+    argv += ["--scale", str(args.scale)]
+    return run_experiments(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Delay-based defense against database extraction "
+            "(SDM@VLDB 2004 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sql = commands.add_parser("sql", help="run SQL against a database file")
+    sql.add_argument("--db", help="database file (created if missing)")
+    sql.add_argument(
+        "-e", "--execute", action="append", help="SQL statement (repeatable)"
+    )
+    sql.add_argument(
+        "--save", action="store_true", help="persist the database after"
+    )
+    sql.set_defaults(handler=cmd_sql)
+
+    csv_cmd = commands.add_parser("csv", help="import/export CSV")
+    csv_cmd.add_argument("direction", choices=("import", "export"))
+    csv_cmd.add_argument("table")
+    csv_cmd.add_argument("file")
+    csv_cmd.add_argument("--db", help="database file")
+    csv_cmd.add_argument(
+        "--create", action="store_true",
+        help="create the table from the CSV header (import only)",
+    )
+    csv_cmd.set_defaults(handler=cmd_csv)
+
+    analyze = commands.add_parser(
+        "analyze", help="closed-form predictions for a configuration"
+    )
+    analyze.add_argument("--tuples", type=int, required=True)
+    analyze.add_argument("--alpha", type=float, default=1.0)
+    analyze.add_argument("--beta", type=float, default=0.0)
+    analyze.add_argument("--cap", type=float, default=10.0)
+    analyze.add_argument(
+        "--no-cap", dest="cap", action="store_const", const=None
+    )
+    analyze.add_argument(
+        "--fmax", type=float, default=None,
+        help="top-item frequency (default: exact Zipf head weight)",
+    )
+    analyze.add_argument(
+        "--staleness-c", type=float, default=None,
+        help="also print eq.12 staleness for this c",
+    )
+    analyze.set_defaults(handler=cmd_analyze)
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate the paper's tables/figures"
+    )
+    experiments.add_argument("names", nargs="*")
+    experiments.add_argument("--scale", type=float, default=1.0)
+    experiments.set_defaults(handler=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

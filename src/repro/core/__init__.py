@@ -1,0 +1,93 @@
+"""The delay-defense core: the paper's contribution.
+
+Public surface:
+
+* :class:`DelayGuard` — wrap a database so every retrieval pays a
+  popularity- or update-rate-based delay (§2, §3).
+* :class:`GuardConfig` — declarative guard configuration.
+* Policies — :class:`PopularityDelayPolicy`, :class:`UpdateRateDelayPolicy`,
+  baselines, and composition.
+* Trackers — :class:`PopularityTracker` (decayed counts, §2.3),
+  :class:`AdaptiveTracker` (multi-decay), :class:`UpdateRateTracker` (§3).
+* Count stores — exact, write-behind, and sampled synopses (§4.4).
+* :mod:`repro.core.analysis` — closed forms of equations (1)-(12).
+* Defenses — :class:`AccountManager` and rate limiters (§2.4).
+* Staleness — snapshot evaluation for the data-change defense (§3).
+"""
+
+from . import analysis
+from .accounts import Account, AccountManager, AccountPolicy
+from .clock import Clock, RealClock, VirtualClock
+from .config import GuardConfig
+from .counts import (
+    CountingSampleStore,
+    CountStore,
+    InMemoryCountStore,
+    SpaceSavingStore,
+    WriteBehindCountStore,
+)
+from .detection import CoverageMonitor, IdentityProfile, Suspect, attach_monitor
+from .delay_policy import (
+    CompositeDelayPolicy,
+    DelayPolicy,
+    FixedDelayPolicy,
+    NoDelayPolicy,
+    PopularityDelayPolicy,
+    UpdateRateDelayPolicy,
+)
+from .errors import AccessDenied, ConfigError, DelayDefenseError, UnknownAccount
+from .guard import DelayGuard, GuardedResult, GuardStats, TupleKey
+from .popularity import AdaptiveTracker, PopularityTracker
+from .ratelimit import FixedIntervalGate, TokenBucket
+from .staleness import (
+    ExtractedTuple,
+    Snapshot,
+    StalenessReport,
+    stale_fraction,
+    stale_fraction_from_history,
+)
+from .update_tracker import UpdateRateTracker
+
+__all__ = [
+    "AccessDenied",
+    "Account",
+    "AccountManager",
+    "AccountPolicy",
+    "AdaptiveTracker",
+    "Clock",
+    "CompositeDelayPolicy",
+    "ConfigError",
+    "CountStore",
+    "CountingSampleStore",
+    "CoverageMonitor",
+    "DelayDefenseError",
+    "DelayGuard",
+    "DelayPolicy",
+    "ExtractedTuple",
+    "FixedDelayPolicy",
+    "FixedIntervalGate",
+    "GuardConfig",
+    "GuardStats",
+    "GuardedResult",
+    "IdentityProfile",
+    "InMemoryCountStore",
+    "NoDelayPolicy",
+    "PopularityDelayPolicy",
+    "PopularityTracker",
+    "RealClock",
+    "Snapshot",
+    "SpaceSavingStore",
+    "StalenessReport",
+    "Suspect",
+    "TokenBucket",
+    "TupleKey",
+    "UnknownAccount",
+    "UpdateRateDelayPolicy",
+    "UpdateRateTracker",
+    "VirtualClock",
+    "WriteBehindCountStore",
+    "analysis",
+    "attach_monitor",
+    "stale_fraction",
+    "stale_fraction_from_history",
+]

@@ -1,0 +1,197 @@
+"""Identity management and the §2.4 anti-parallelism defenses.
+
+The paper's delay scheme charges delay per *query stream*; an adversary
+who manufactures many identities (a Sybil attack) pays only the maximum
+of the streams rather than the sum. §2.4 proposes three countermeasures,
+all implemented here:
+
+* **Registration throttling** — at most one new account per ``t``
+  seconds, so amassing ``k`` identities takes at least ``k·t`` seconds.
+* **Registration fees** — a per-account fee priced so a parallel
+  adversary spends as much on registration as the data is worth.
+* **Subnet aggregation** — identities from one subnet share one rate
+  limit, since forging many *routable* addresses outside one's own
+  subnet is hard (responses must be routed back).
+
+Per-identity query quotas (the storefront defense) are enforced here as
+well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .clock import Clock, VirtualClock
+from .errors import AccessDenied, ConfigError, UnknownAccount
+from .ratelimit import FixedIntervalGate, TokenBucket
+
+
+@dataclass
+class Account:
+    """A registered identity."""
+
+    identity: str
+    subnet: str
+    registered_at: float
+    fee_paid: float = 0.0
+    queries_issued: int = 0
+    tuples_retrieved: int = 0
+
+
+@dataclass
+class AccountPolicy:
+    """Configuration for the account-level defenses.
+
+    Attributes:
+        registration_interval: minimum seconds between new accounts
+            (None disables throttling).
+        registration_fee: fee charged per account (0 disables).
+        user_query_rate / user_query_burst: per-identity token bucket
+            (None disables).
+        subnet_query_rate / subnet_query_burst: per-subnet aggregate
+            token bucket (None disables) — the Sybil defense.
+        daily_query_quota: hard cap on queries per identity per day
+            (None disables) — the storefront defense. A "day" is 86400
+            clock seconds from first use.
+    """
+
+    registration_interval: Optional[float] = None
+    registration_fee: float = 0.0
+    user_query_rate: Optional[float] = None
+    user_query_burst: float = 10.0
+    subnet_query_rate: Optional[float] = None
+    subnet_query_burst: float = 20.0
+    daily_query_quota: Optional[int] = None
+
+
+class AccountManager:
+    """Registers identities and authorizes their queries."""
+
+    DAY_SECONDS = 86400.0
+
+    def __init__(
+        self,
+        policy: Optional[AccountPolicy] = None,
+        clock: Optional[Clock] = None,
+    ):
+        self.policy = policy if policy is not None else AccountPolicy()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.accounts: Dict[str, Account] = {}
+        self.fees_collected = 0.0
+        self._registration_gate = (
+            FixedIntervalGate(self.policy.registration_interval, self.clock)
+            if self.policy.registration_interval
+            else None
+        )
+        self._user_buckets: Dict[str, TokenBucket] = {}
+        self._subnet_buckets: Dict[str, TokenBucket] = {}
+        self._quota_windows: Dict[str, tuple] = {}  # identity -> (start, used)
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, identity: str, subnet: str = "0.0.0.0/0") -> Account:
+        """Register a new identity, enforcing the registration throttle.
+
+        Raises :class:`AccessDenied` (reason ``registration_rate``) if
+        the gate is closed, with ``retry_after`` set.
+        """
+        if identity in self.accounts:
+            raise ConfigError(f"identity {identity!r} already registered")
+        if self._registration_gate is not None:
+            wait = self._registration_gate.try_admit()
+            if wait > 0:
+                raise AccessDenied("registration_rate", retry_after=wait)
+        account = Account(
+            identity=identity,
+            subnet=subnet,
+            registered_at=self.clock.now(),
+            fee_paid=self.policy.registration_fee,
+        )
+        self.fees_collected += self.policy.registration_fee
+        self.accounts[identity] = account
+        return account
+
+    def time_to_register(self, count: int) -> float:
+        """Lower bound on seconds for ``count`` further registrations."""
+        if self._registration_gate is None:
+            return 0.0
+        return self._registration_gate.time_to_accumulate(count)
+
+    def cost_to_register(self, count: int) -> float:
+        """Total fees for ``count`` further registrations."""
+        return count * self.policy.registration_fee
+
+    # -- authorization -------------------------------------------------------
+
+    def account(self, identity: str) -> Account:
+        """Look up a registered identity or raise UnknownAccount."""
+        try:
+            return self.accounts[identity]
+        except KeyError:
+            raise UnknownAccount(f"identity {identity!r} is not registered") from None
+
+    def authorize_query(self, identity: str) -> None:
+        """Check every per-query limit for ``identity`` or raise.
+
+        Enforcement order: daily quota, per-identity rate, subnet rate.
+        On success the query is charged against all applicable limits.
+        """
+        account = self.account(identity)
+        self._check_quota(account)
+        self._check_bucket(
+            self._user_buckets,
+            account.identity,
+            self.policy.user_query_rate,
+            self.policy.user_query_burst,
+            "user_rate",
+        )
+        self._check_bucket(
+            self._subnet_buckets,
+            account.subnet,
+            self.policy.subnet_query_rate,
+            self.policy.subnet_query_burst,
+            "subnet_rate",
+        )
+        account.queries_issued += 1
+
+    def record_retrieval(self, identity: str, tuples: int) -> None:
+        """Account for tuples returned to ``identity`` (bookkeeping)."""
+        self.account(identity).tuples_retrieved += tuples
+
+    def _check_quota(self, account: Account) -> None:
+        quota = self.policy.daily_query_quota
+        if quota is None:
+            return
+        now = self.clock.now()
+        start, used = self._quota_windows.get(account.identity, (now, 0))
+        if now - start >= self.DAY_SECONDS:
+            start, used = now, 0
+        if used >= quota:
+            retry = start + self.DAY_SECONDS - now
+            raise AccessDenied("query_quota", retry_after=max(retry, 0.0))
+        self._quota_windows[account.identity] = (start, used + 1)
+
+    def _check_bucket(
+        self,
+        buckets: Dict[str, TokenBucket],
+        key: str,
+        rate: Optional[float],
+        burst: float,
+        reason: str,
+    ) -> None:
+        if rate is None:
+            return
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = TokenBucket(rate, burst, self.clock)
+            buckets[key] = bucket
+        wait = bucket.try_acquire()
+        if wait > 0:
+            raise AccessDenied(reason, retry_after=wait)
+
+    # -- reporting --------------------------------------------------------------
+
+    def subnet_accounts(self, subnet: str) -> int:
+        """How many identities are registered from ``subnet``."""
+        return sum(1 for a in self.accounts.values() if a.subnet == subnet)

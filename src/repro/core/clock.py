@@ -1,0 +1,69 @@
+"""Clock abstraction: real wall-clock time or simulated time.
+
+The paper's adversary delays run to weeks; experiments therefore run on a
+:class:`VirtualClock`, where ``sleep`` advances simulated time instantly.
+:class:`RealClock` actually blocks, and is what a production deployment
+of the guard would use.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+
+class Clock:
+    """Interface: monotonically non-decreasing time plus sleep."""
+
+    def now(self) -> float:
+        """Current time in seconds (arbitrary epoch, monotonic)."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block (or simulate blocking) for ``seconds`` (>= 0)."""
+        raise NotImplementedError
+
+
+class RealClock(Clock):
+    """Wall-clock implementation backed by ``time.monotonic``/``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep for {seconds!r} seconds")
+        if seconds:
+            time.sleep(seconds)
+
+
+class VirtualClock(Clock):
+    """Simulated clock: ``sleep`` advances time without blocking.
+
+    Also records every sleep for test introspection.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        #: every sleep duration requested, in order.
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep for {seconds!r} seconds")
+        self._now += seconds
+        self.sleeps.append(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Advance time without recording a sleep (e.g. think time)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds!r} seconds")
+        self._now += seconds
+
+    @property
+    def total_slept(self) -> float:
+        """Sum of all sleeps so far."""
+        return sum(self.sleeps)

@@ -1,0 +1,98 @@
+"""Configuration for building a :class:`~repro.core.guard.DelayGuard`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import ConfigError
+
+
+@dataclass
+class GuardConfig:
+    """Declarative guard configuration.
+
+    Attributes:
+        policy: which delay policy to build — "popularity" (§2),
+            "update" (§3), "both" (max of the two), "fixed" (naive
+            baseline), or "none" (unprotected baseline).
+        cap: maximum per-tuple delay d_max in seconds; None disables
+            the cap (§2.2 strongly recommends keeping one).
+        beta: extra penalty exponent for the popularity policy (eq. 1).
+        unit: proportionality constant in seconds for the popularity
+            policy.
+        decay_rate: per-request popularity decay γ >= 1 (§2.3); 1.0
+            keeps full history.
+        popularity_mode: "raw" (paper normalisation) or "decayed".
+        fixed_delay: per-tuple delay for the "fixed" baseline policy.
+        update_c: the constant c of equation (9) for the update policy.
+        update_time_constant: seconds for update-rate decay (None =
+            stationary estimation over the full history).
+        count_store: "memory", "write_behind", "space_saving", or
+            "counting_sample" (§4.4 storage strategies).
+        count_cache_size: cache size for the write-behind store.
+        count_capacity: counter budget for the sampled stores.
+        charge_returned_tuples: charge delay for each tuple returned by
+            a SELECT (the paper's model: a multi-tuple result is the
+            aggregate of single-tuple queries). If False, only the
+            maximum per-tuple delay is charged (an ablation).
+        record_accesses: update popularity counts on reads.
+        record_updates: track update rates / last-update times on DML.
+        max_result_rows: §1.1's strawman defense — refuse SELECTs whose
+            result exceeds this many rows ("users must ask very
+            selective queries"). None disables. Kept as a baseline: the
+            paper's point is that a robot trivially defeats it with
+            many selective queries, which the tests demonstrate.
+    """
+
+    policy: str = "popularity"
+    cap: Optional[float] = 10.0
+    beta: float = 0.0
+    unit: float = 1.0
+    decay_rate: float = 1.0
+    popularity_mode: str = "raw"
+    fixed_delay: float = 0.0
+    update_c: float = 1.0
+    update_time_constant: Optional[float] = None
+    count_store: str = "memory"
+    count_cache_size: int = 1024
+    count_capacity: int = 4096
+    charge_returned_tuples: bool = True
+    record_accesses: bool = True
+    record_updates: bool = True
+    max_result_rows: Optional[int] = None
+
+    _POLICIES = ("popularity", "update", "both", "fixed", "none")
+    _STORES = ("memory", "write_behind", "space_saving", "counting_sample")
+
+    def validate(self) -> "GuardConfig":
+        """Check cross-field consistency; returns self for chaining."""
+        if self.policy not in self._POLICIES:
+            raise ConfigError(
+                f"policy must be one of {self._POLICIES}, got {self.policy!r}"
+            )
+        if self.count_store not in self._STORES:
+            raise ConfigError(
+                f"count_store must be one of {self._STORES}, "
+                f"got {self.count_store!r}"
+            )
+        if self.cap is not None and self.cap <= 0:
+            raise ConfigError(f"cap must be positive, got {self.cap}")
+        if self.decay_rate < 1.0:
+            raise ConfigError(
+                f"decay_rate must be >= 1.0, got {self.decay_rate}"
+            )
+        if self.count_store == "counting_sample" and self.decay_rate != 1.0:
+            raise ConfigError(
+                "counting_sample store does not support decayed tracking; "
+                "use space_saving instead"
+            )
+        if self.fixed_delay < 0:
+            raise ConfigError(
+                f"fixed_delay must be >= 0, got {self.fixed_delay}"
+            )
+        if self.max_result_rows is not None and self.max_result_rows < 1:
+            raise ConfigError(
+                f"max_result_rows must be >= 1, got {self.max_result_rows}"
+            )
+        return self

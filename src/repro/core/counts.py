@@ -1,0 +1,310 @@
+"""Count stores: the storage backends for per-tuple access counts.
+
+The paper (§2.3, §4.4) tracks a count per tuple but warns that a naive
+count attribute turns every read into a read-modify-write. It proposes a
+small *write-behind cache* of tuple counts and cites Gibbons' sampling
+for synopsis as a way to shrink the overhead further. This module
+provides all three storage strategies behind one interface:
+
+* :class:`InMemoryCountStore` — exact counts in a dict (the default).
+* :class:`WriteBehindCountStore` — exact counts with a bounded dirty
+  cache in front of a backing store, counting simulated I/O so the
+  overhead experiments (Table 5) can report cache behaviour.
+* :class:`CountingSampleStore` — Gibbons & Matias counting samples:
+  bounded-memory approximate counts for unit increments.
+* :class:`SpaceSavingStore` — bounded-memory approximate counts that
+  also accept weighted (decayed) increments, with the classic
+  Space-Saving error bound ``error <= total_weight / capacity``.
+
+All stores hold float weights: the popularity tracker layers exponential
+decay on top by inflating increments (see :mod:`repro.core.popularity`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from .errors import ConfigError
+
+Key = int  # tuple identifier (engine rowid, or any hashable id)
+
+
+class CountStore:
+    """Interface for count storage backends."""
+
+    #: True if get() returns exact accumulated weights.
+    exact = True
+
+    def add(self, key: Key, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` of weight onto ``key``."""
+        raise NotImplementedError
+
+    def get(self, key: Key) -> float:
+        """Return the (possibly estimated) weight of ``key``; 0 if unseen."""
+        raise NotImplementedError
+
+    def items(self) -> Iterator[Tuple[Key, float]]:
+        """Iterate over (key, weight) for every tracked key."""
+        raise NotImplementedError
+
+    def scale(self, factor: float) -> None:
+        """Multiply every stored weight by ``factor`` (renormalisation)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop all counts."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class InMemoryCountStore(CountStore):
+    """Exact counts in a plain dict."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[Key, float] = {}
+
+    def add(self, key: Key, amount: float = 1.0) -> None:
+        self._counts[key] = self._counts.get(key, 0.0) + amount
+
+    def get(self, key: Key) -> float:
+        return self._counts.get(key, 0.0)
+
+    def items(self) -> Iterator[Tuple[Key, float]]:
+        return iter(self._counts.items())
+
+    def scale(self, factor: float) -> None:
+        for key in self._counts:
+            self._counts[key] *= factor
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class WriteBehindCountStore(CountStore):
+    """Exact counts with a bounded write-behind cache (§4.4).
+
+    Mutations land in an LRU cache of at most ``cache_size`` entries;
+    when the cache overflows, the least-recently-used dirty entry is
+    flushed to the backing store. The backing store here is a dict
+    standing in for disk; ``backing_reads``/``backing_writes`` count the
+    simulated I/O so experiments can report the cache's effectiveness.
+    """
+
+    def __init__(self, cache_size: int = 1024):
+        if cache_size < 1:
+            raise ConfigError(f"cache_size must be >= 1, got {cache_size}")
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[Key, float]" = OrderedDict()
+        self._dirty: Dict[Key, bool] = {}
+        self._backing: Dict[Key, float] = {}
+        #: simulated I/O counters
+        self.backing_reads = 0
+        self.backing_writes = 0
+
+    def _load(self, key: Key) -> float:
+        """Bring ``key`` into the cache, evicting if necessary."""
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        self.backing_reads += 1
+        value = self._backing.get(key, 0.0)
+        self._cache[key] = value
+        self._dirty[key] = False
+        self._cache.move_to_end(key)
+        self._evict_if_needed()
+        return value
+
+    def _evict_if_needed(self) -> None:
+        while len(self._cache) > self.cache_size:
+            victim, value = self._cache.popitem(last=False)
+            if self._dirty.pop(victim, False):
+                self._backing[victim] = value
+                self.backing_writes += 1
+
+    def add(self, key: Key, amount: float = 1.0) -> None:
+        value = self._load(key)
+        self._cache[key] = value + amount
+        self._dirty[key] = True
+
+    def get(self, key: Key) -> float:
+        return self._load(key)
+
+    def flush(self) -> None:
+        """Write every dirty cached entry through to the backing store."""
+        for key, value in self._cache.items():
+            if self._dirty.get(key):
+                self._backing[key] = value
+                self.backing_writes += 1
+                self._dirty[key] = False
+
+    def items(self) -> Iterator[Tuple[Key, float]]:
+        self.flush()
+        return iter(self._backing.items()) if not self._cache else iter(
+            {**self._backing, **dict(self._cache)}.items()
+        )
+
+    def scale(self, factor: float) -> None:
+        self.flush()
+        for key in self._backing:
+            self._backing[key] *= factor
+        for key in self._cache:
+            self._cache[key] *= factor
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._dirty.clear()
+        self._backing.clear()
+
+    def __len__(self) -> int:
+        keys = set(self._backing)
+        keys.update(self._cache)
+        return len(keys)
+
+
+class CountingSampleStore(CountStore):
+    """Gibbons & Matias counting samples (SIGMOD 1998), cited in §4.4.
+
+    Keeps at most ``capacity`` counters. A key not in the sample enters
+    with probability ``1/tau``; once present, every subsequent hit is
+    counted exactly. When the sample overflows, the threshold ``tau`` is
+    raised and existing entries are probabilistically decimated, which
+    preserves the invariant that each tracked count is distributed as if
+    the higher threshold had been in force all along.
+
+    Only unit increments are supported (``amount`` must be 1); weighted
+    decay does not compose with the entry-coin semantics. Use
+    :class:`SpaceSavingStore` for decayed tracking under a memory bound.
+
+    ``get`` returns the standard frequency estimate ``count + tau - 1``
+    for tracked keys (the expected number of hits missed before entry).
+    """
+
+    exact = False
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        growth: float = 1.5,
+        seed: Optional[int] = None,
+    ):
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if growth <= 1.0:
+            raise ConfigError(f"growth must exceed 1.0, got {growth}")
+        self.capacity = capacity
+        self.growth = growth
+        self.tau = 1.0
+        self._counts: Dict[Key, float] = {}
+        self._rng = random.Random(seed)
+
+    def add(self, key: Key, amount: float = 1.0) -> None:
+        if amount != 1.0:
+            raise ConfigError(
+                "CountingSampleStore only supports unit increments; "
+                "use SpaceSavingStore for weighted counts"
+            )
+        if key in self._counts:
+            self._counts[key] += 1.0
+            return
+        if self._rng.random() < 1.0 / self.tau:
+            self._counts[key] = 1.0
+            if len(self._counts) > self.capacity:
+                self._raise_threshold()
+
+    def _raise_threshold(self) -> None:
+        """Decimate the sample until it fits, raising ``tau`` each round."""
+        while len(self._counts) > self.capacity:
+            old_tau, new_tau = self.tau, self.tau * self.growth
+            keep_probability = old_tau / new_tau
+            for key in list(self._counts):
+                count = self._counts[key]
+                # Retest the entry coin: with probability old/new the
+                # entry survives intact; otherwise strip hits one at a
+                # time, each surviving re-entry with probability 1/new.
+                if self._rng.random() < keep_probability:
+                    continue
+                count -= 1.0
+                while count > 0 and self._rng.random() >= 1.0 / new_tau:
+                    count -= 1.0
+                if count > 0:
+                    self._counts[key] = count
+                else:
+                    del self._counts[key]
+            self.tau = new_tau
+
+    def get(self, key: Key) -> float:
+        count = self._counts.get(key)
+        if count is None:
+            return 0.0
+        return count + self.tau - 1.0
+
+    def items(self) -> Iterator[Tuple[Key, float]]:
+        adjustment = self.tau - 1.0
+        return ((key, count + adjustment) for key, count in self._counts.items())
+
+    def scale(self, factor: float) -> None:
+        raise ConfigError(
+            "CountingSampleStore cannot be rescaled; it is incompatible "
+            "with decayed tracking"
+        )
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self.tau = 1.0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+class SpaceSavingStore(CountStore):
+    """Space-Saving synopsis (Metwally et al.): bounded weighted counts.
+
+    Tracks at most ``capacity`` keys. A new key evicts the current
+    minimum, inheriting its weight as overestimation error. Guarantees
+    ``true_weight <= get(key) <= true_weight + total_weight/capacity``
+    for tracked keys, which preserves popularity *ranking* well for the
+    skewed workloads this library targets. Supports weighted increments,
+    so it composes with exponential decay.
+    """
+
+    exact = False
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._counts: Dict[Key, float] = {}
+
+    def add(self, key: Key, amount: float = 1.0) -> None:
+        if key in self._counts:
+            self._counts[key] += amount
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[key] = amount
+            return
+        victim = min(self._counts, key=self._counts.get)  # type: ignore[arg-type]
+        inherited = self._counts.pop(victim)
+        self._counts[key] = inherited + amount
+
+    def get(self, key: Key) -> float:
+        return self._counts.get(key, 0.0)
+
+    def items(self) -> Iterator[Tuple[Key, float]]:
+        return iter(self._counts.items())
+
+    def scale(self, factor: float) -> None:
+        for key in self._counts:
+            self._counts[key] *= factor
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._counts)

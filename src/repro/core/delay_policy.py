@@ -1,0 +1,217 @@
+"""Delay policies: mapping a tuple to the seconds it must be delayed.
+
+The paper's core proposal (§2) charges each retrieved tuple a delay
+inversely proportional to its popularity; §3 swaps popularity for update
+rate. Both are provided here, plus trivial and composite policies used
+as baselines and for ablation benchmarks.
+
+All policies implement :meth:`DelayPolicy.delay_for` over opaque tuple
+keys; the :class:`~repro.core.guard.DelayGuard` supplies engine rowids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+from .counts import Key
+from .errors import ConfigError
+from .popularity import AdaptiveTracker, PopularityTracker
+from .update_tracker import UpdateRateTracker
+
+#: Table-size provider: a constant or a zero-argument callable.
+Population = Union[int, Callable[[], int]]
+
+
+def _resolve_population(population: Population) -> int:
+    size = population() if callable(population) else population
+    if size < 1:
+        return 1
+    return int(size)
+
+
+class DelayPolicy:
+    """Interface: per-tuple delay assignment."""
+
+    def delay_for(self, key: Key) -> float:
+        """Seconds of delay to charge for retrieving ``key``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return type(self).__name__
+
+
+class NoDelayPolicy(DelayPolicy):
+    """Baseline: never delay (an unprotected database)."""
+
+    def delay_for(self, key: Key) -> float:
+        return 0.0
+
+    def describe(self) -> str:
+        return "no delay"
+
+
+class FixedDelayPolicy(DelayPolicy):
+    """Baseline: the naive scheme — every tuple costs the same delay.
+
+    This is the strawman the paper improves on: it either hurts
+    legitimate users (large delay) or fails to slow the adversary
+    (small delay).
+    """
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ConfigError(f"delay must be >= 0, got {delay}")
+        self.delay = float(delay)
+
+    def delay_for(self, key: Key) -> float:
+        return self.delay
+
+    def describe(self) -> str:
+        return f"fixed {self.delay:g}s"
+
+
+class PopularityDelayPolicy(DelayPolicy):
+    """The paper's core scheme (§2.1-§2.2): delay ∝ 1/popularity, capped.
+
+    For a tuple with measured popularity ``p`` and rank ``i`` this
+    charges ``unit · i^β / (N · p)`` seconds, clamped to ``cap``. When
+    the workload follows Zipf(α) — so ``p = fmax · i^-α`` — the charge
+    is exactly equation (1): ``i^(α+β) / (N · fmax)``.
+
+    Tuples with no recorded popularity (including everything during the
+    cold-start transient, §2.3) get the cap: early queries are served in
+    bounded time while the distribution is being learned, and the delay
+    of popular items falls rapidly thereafter.
+
+    Args:
+        tracker: popularity source (plain or adaptive).
+        population: table size N (int or callable).
+        cap: maximum per-tuple delay d_max in seconds (§2.2). ``None``
+            disables the cap — then unseen tuples get ``uncapped_cold``
+            seconds instead.
+        beta: extra penalty exponent β >= 0 (needs tuple ranks, which
+            cost a periodic sort; leave at 0 for rank-free operation).
+        unit: scale factor in seconds (the proportionality constant).
+        mode: popularity normalisation, "raw" (paper) or "decayed".
+    """
+
+    def __init__(
+        self,
+        tracker: Union[PopularityTracker, AdaptiveTracker],
+        population: Population,
+        cap: Optional[float] = 10.0,
+        beta: float = 0.0,
+        unit: float = 1.0,
+        mode: str = "raw",
+        uncapped_cold: float = 3600.0,
+    ):
+        if cap is not None and cap <= 0:
+            raise ConfigError(f"cap must be positive, got {cap}")
+        if beta < 0:
+            raise ConfigError(f"beta must be >= 0, got {beta}")
+        if unit <= 0:
+            raise ConfigError(f"unit must be positive, got {unit}")
+        if mode not in ("raw", "decayed"):
+            raise ConfigError(f"unknown popularity mode {mode!r}")
+        self.tracker = tracker
+        self.population = population
+        self.cap = cap
+        self.beta = beta
+        self.unit = unit
+        self.mode = mode
+        self.uncapped_cold = uncapped_cold
+
+    def delay_for(self, key: Key) -> float:
+        popularity = self.tracker.popularity(key, self.mode)
+        if popularity <= 0.0:
+            return self.cap if self.cap is not None else self.uncapped_cold
+        n = _resolve_population(self.population)
+        delay = self.unit / (n * popularity)
+        if self.beta:
+            delay *= self.tracker.rank(key) ** self.beta
+        if self.cap is not None:
+            delay = min(delay, self.cap)
+        return delay
+
+    def describe(self) -> str:
+        cap = f"{self.cap:g}s" if self.cap is not None else "none"
+        return (
+            f"popularity (beta={self.beta:g}, cap={cap}, unit={self.unit:g}, "
+            f"mode={self.mode})"
+        )
+
+
+class UpdateRateDelayPolicy(DelayPolicy):
+    """The data-change scheme (§3): delay ∝ 1/update-rate, capped.
+
+    Charges ``c / (N · r)`` seconds for a tuple with estimated update
+    rate ``r`` updates/second. When update rates follow Zipf(α) — so
+    ``r = rmax · i^-α`` — this is exactly equation (9):
+    ``(c/N) · i^α / rmax``. Choosing ``c`` via
+    :func:`repro.core.analysis.required_c_for_staleness` guarantees a
+    target fraction of any extracted snapshot is stale (eq. 12).
+
+    Never-updated tuples are charged the cap.
+    """
+
+    def __init__(
+        self,
+        tracker: UpdateRateTracker,
+        population: Population,
+        c: float = 1.0,
+        cap: Optional[float] = 10.0,
+    ):
+        if c <= 0:
+            raise ConfigError(f"c must be positive, got {c}")
+        if cap is not None and cap <= 0:
+            raise ConfigError(f"cap must be positive, got {cap}")
+        self.tracker = tracker
+        self.population = population
+        self.c = float(c)
+        self.cap = cap
+
+    def delay_for(self, key: Key) -> float:
+        rate = self.tracker.rate(key)
+        if rate <= 0.0:
+            return self.cap if self.cap is not None else math.inf
+        n = _resolve_population(self.population)
+        delay = self.c / (n * rate)
+        if self.cap is not None:
+            delay = min(delay, self.cap)
+        return delay
+
+    def describe(self) -> str:
+        cap = f"{self.cap:g}s" if self.cap is not None else "none"
+        return f"update-rate (c={self.c:g}, cap={cap})"
+
+
+class CompositeDelayPolicy(DelayPolicy):
+    """Combine several policies by max or sum.
+
+    ``max`` is the natural combination when both access *and* update
+    skew exist: a tuple cheap under one signal may still be penalised by
+    the other, so the defense degrades gracefully when either skew
+    disappears (a §3 extension the paper hints at).
+    """
+
+    def __init__(self, policies: Sequence[DelayPolicy], combine: str = "max"):
+        if not policies:
+            raise ConfigError("need at least one policy to combine")
+        if combine not in ("max", "sum", "min"):
+            raise ConfigError(f"unknown combine mode {combine!r}")
+        self.policies = list(policies)
+        self.combine = combine
+
+    def delay_for(self, key: Key) -> float:
+        delays = [policy.delay_for(key) for policy in self.policies]
+        if self.combine == "max":
+            return max(delays)
+        if self.combine == "sum":
+            return sum(delays)
+        return min(delays)
+
+    def describe(self) -> str:
+        inner = ", ".join(policy.describe() for policy in self.policies)
+        return f"{self.combine}({inner})"

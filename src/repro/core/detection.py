@@ -1,0 +1,216 @@
+"""Extraction detection: noticing the robot in the traffic (§2.4).
+
+The paper's storefront discussion observes that a large-scale relay or
+extraction shows up as anomalous traffic — "If the adversary is of
+significant size, we will notice the increased traffic, and a simple
+imposition of a limit on queries from a single user will suffice".
+This module makes "notice" concrete with two per-identity signals that
+cleanly separate extraction from legitimate browsing:
+
+* **coverage** — the fraction of the protected population the identity
+  has ever retrieved. Legitimate Zipf-skewed users revisit the same hot
+  tuples and plateau at small coverage; an extraction robot's coverage
+  grows linearly toward 1.
+* **novelty** — over the identity's recent requests, the fraction that
+  retrieved a tuple the identity had never seen before. Browsers are
+  dominated by repeats (low novelty); a key-space walker is ~100% novel
+  by construction.
+
+:class:`CoverageMonitor` tracks both online (O(1) per retrieval) and
+flags identities exceeding thresholds, so an operator can feed suspects
+into the §2.4 quota/limit machinery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from .counts import Key
+from .errors import ConfigError
+
+
+@dataclass
+class IdentityProfile:
+    """Online per-identity retrieval statistics."""
+
+    identity: str
+    retrieved: Set[Key] = field(default_factory=set)
+    requests: int = 0
+    #: sliding window of "was this retrieval novel?" flags
+    recent_novelty: Deque[bool] = field(default_factory=deque)
+
+    def coverage(self, population: int) -> float:
+        """Fraction of the population this identity has retrieved."""
+        if population <= 0:
+            return 0.0
+        return len(self.retrieved) / population
+
+    def novelty_rate(self) -> float:
+        """Fraction of recent retrievals that were first-time tuples."""
+        if not self.recent_novelty:
+            return 0.0
+        return sum(self.recent_novelty) / len(self.recent_novelty)
+
+
+@dataclass(frozen=True)
+class Suspect:
+    """One flagged identity with the signals that tripped."""
+
+    identity: str
+    coverage: float
+    novelty_rate: float
+    requests: int
+    reasons: Tuple[str, ...]
+
+
+class CoverageMonitor:
+    """Flags identities whose retrieval pattern looks like extraction.
+
+    Args:
+        population: size provider — int or callable returning the
+            current protected-tuple count (N).
+        coverage_threshold: flag identities that have retrieved at
+            least this fraction of the population.
+        novelty_threshold: flag identities whose recent-window novelty
+            rate is at least this value *and* that have issued at least
+            ``min_requests`` requests (young accounts are all-novel).
+        window: size of the recent-novelty sliding window.
+        min_requests: grace period before novelty can flag anyone.
+    """
+
+    def __init__(
+        self,
+        population,
+        coverage_threshold: float = 0.5,
+        novelty_threshold: float = 0.9,
+        window: int = 200,
+        min_requests: int = 100,
+    ):
+        if not 0 < coverage_threshold <= 1:
+            raise ConfigError(
+                f"coverage_threshold must be in (0, 1], got "
+                f"{coverage_threshold}"
+            )
+        if not 0 < novelty_threshold <= 1:
+            raise ConfigError(
+                f"novelty_threshold must be in (0, 1], got "
+                f"{novelty_threshold}"
+            )
+        if window < 1:
+            raise ConfigError(f"window must be >= 1, got {window}")
+        if min_requests < 1:
+            raise ConfigError(
+                f"min_requests must be >= 1, got {min_requests}"
+            )
+        self._population = population
+        self.coverage_threshold = coverage_threshold
+        self.novelty_threshold = novelty_threshold
+        self.window = window
+        self.min_requests = min_requests
+        self.profiles: Dict[str, IdentityProfile] = {}
+
+    @property
+    def population(self) -> int:
+        """Current protected-tuple count."""
+        value = (
+            self._population()
+            if callable(self._population)
+            else self._population
+        )
+        return max(int(value), 1)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, identity: str, keys: Iterable[Key]) -> None:
+        """Record the tuples one query returned to ``identity``."""
+        profile = self.profiles.get(identity)
+        if profile is None:
+            profile = IdentityProfile(identity=identity)
+            self.profiles[identity] = profile
+        profile.requests += 1
+        for key in keys:
+            novel = key not in profile.retrieved
+            if novel:
+                profile.retrieved.add(key)
+            profile.recent_novelty.append(novel)
+            while len(profile.recent_novelty) > self.window:
+                profile.recent_novelty.popleft()
+
+    # -- queries ------------------------------------------------------------
+
+    def profile(self, identity: str) -> IdentityProfile:
+        """The profile for ``identity`` (empty if never seen)."""
+        return self.profiles.get(
+            identity, IdentityProfile(identity=identity)
+        )
+
+    def coverage(self, identity: str) -> float:
+        """Coverage of one identity."""
+        return self.profile(identity).coverage(self.population)
+
+    def novelty_rate(self, identity: str) -> float:
+        """Recent novelty rate of one identity."""
+        return self.profile(identity).novelty_rate()
+
+    def evaluate(self, identity: str) -> Optional[Suspect]:
+        """Evaluate one identity against the thresholds."""
+        profile = self.profiles.get(identity)
+        if profile is None:
+            return None
+        population = self.population
+        reasons: List[str] = []
+        coverage = profile.coverage(population)
+        if coverage >= self.coverage_threshold:
+            reasons.append("coverage")
+        novelty = profile.novelty_rate()
+        if (
+            profile.requests >= self.min_requests
+            and novelty >= self.novelty_threshold
+        ):
+            reasons.append("novelty")
+        if not reasons:
+            return None
+        return Suspect(
+            identity=identity,
+            coverage=coverage,
+            novelty_rate=novelty,
+            requests=profile.requests,
+            reasons=tuple(reasons),
+        )
+
+    def suspects(self) -> List[Suspect]:
+        """Every currently flagged identity, highest coverage first."""
+        flagged = [
+            suspect
+            for identity in self.profiles
+            if (suspect := self.evaluate(identity)) is not None
+        ]
+        flagged.sort(key=lambda suspect: suspect.coverage, reverse=True)
+        return flagged
+
+
+def attach_monitor(guard, monitor: CoverageMonitor) -> Callable:
+    """Wire a monitor into a guard: every identified SELECT feeds it.
+
+    Returns the wrapped ``execute`` (also installed on the guard), so
+    existing callers keep working. Queries without an identity are not
+    profiled.
+    """
+    original = guard.execute
+
+    def monitored_execute(sql, identity=None, record=True, sleep=True):
+        result = original(
+            sql, identity=identity, record=record, sleep=sleep
+        )
+        if identity is not None and result.result.statement_kind == "select":
+            keys = result.result.touched or [
+                (result.result.table.lower(), rowid)
+                for rowid in result.result.rowids
+            ]
+            monitor.record(identity, keys)
+        return result
+
+    guard.execute = monitored_execute
+    return monitored_execute

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the delay-defense layer."""
+
+from __future__ import annotations
+
+
+class DelayDefenseError(Exception):
+    """Base class for all delay-layer errors."""
+
+
+class ConfigError(DelayDefenseError):
+    """Raised for invalid guard or policy configuration."""
+
+
+class AccessDenied(DelayDefenseError):
+    """Raised when a request is refused outright (quota or rate limit).
+
+    Attributes:
+        reason: machine-readable cause, e.g. "query_quota",
+            "registration_rate", "subnet_rate".
+        retry_after: seconds until the caller may retry, when known.
+    """
+
+    def __init__(self, reason: str, retry_after: float = 0.0):
+        super().__init__(f"access denied: {reason}")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class UnknownAccount(DelayDefenseError):
+    """Raised when a session references an unregistered identity."""

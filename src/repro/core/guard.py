@@ -1,0 +1,417 @@
+"""The delay guard: the paper's defense as a query front door.
+
+:class:`DelayGuard` wraps a :class:`repro.engine.Database` without
+modifying it. Every query passes through the guard, which
+
+1. authorizes the caller (registration, quotas, subnet limits — §2.4),
+2. executes the statement on the engine,
+3. charges a delay for each returned tuple per the configured policy
+   (§2 popularity / §3 update rate), sleeping on the configured clock,
+4. records the accesses and updates into the trackers that future
+   delays are computed from (§2.3 learning).
+
+Delays are computed from the counts *as they were before the query*, so
+a tuple's first-ever retrieval is always charged the cold-start cap.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..engine.database import Database
+from ..engine.executor import ResultSet
+from .accounts import AccountManager
+from .clock import Clock, VirtualClock
+from .config import GuardConfig
+from .counts import (
+    CountingSampleStore,
+    CountStore,
+    InMemoryCountStore,
+    SpaceSavingStore,
+    WriteBehindCountStore,
+)
+from .delay_policy import (
+    CompositeDelayPolicy,
+    DelayPolicy,
+    FixedDelayPolicy,
+    NoDelayPolicy,
+    PopularityDelayPolicy,
+    UpdateRateDelayPolicy,
+)
+from .errors import AccessDenied, ConfigError
+from .popularity import PopularityTracker
+from .update_tracker import UpdateRateTracker
+
+#: Guard-level tuple key: (lower-cased table name, rowid).
+TupleKey = Tuple[str, int]
+
+
+@dataclass
+class GuardedResult:
+    """A query result annotated with the delay that was charged."""
+
+    result: ResultSet
+    delay: float
+    per_tuple_delays: List[float] = field(default_factory=list)
+    identity: Optional[str] = None
+
+    @property
+    def rows(self):
+        """The underlying result rows."""
+        return self.result.rows
+
+
+@dataclass
+class GuardStats:
+    """Aggregate guard behaviour, used by the evaluation harness."""
+
+    queries: int = 0
+    selects: int = 0
+    tuples_charged: int = 0
+    total_delay: float = 0.0
+    denied: int = 0
+    select_delays: List[float] = field(default_factory=list)
+    engine_seconds: float = 0.0
+    accounting_seconds: float = 0.0
+
+    def median_delay(self) -> float:
+        """Median per-SELECT delay (the paper's headline user metric)."""
+        if not self.select_delays:
+            return 0.0
+        return statistics.median(self.select_delays)
+
+    def quantile_delay(self, q: float) -> float:
+        """Delay at quantile ``q`` in [0, 1] over SELECT queries."""
+        if not self.select_delays:
+            return 0.0
+        if not 0 <= q <= 1:
+            raise ConfigError(f"quantile must be in [0,1], got {q}")
+        ordered = sorted(self.select_delays)
+        position = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[position]
+
+    def overhead_fraction(self) -> float:
+        """Accounting cost relative to raw engine cost (Table 5 metric)."""
+        if self.engine_seconds == 0:
+            return 0.0
+        return self.accounting_seconds / self.engine_seconds
+
+
+class DelayGuard:
+    """Wraps a database so every retrieval pays its popularity price.
+
+    Args:
+        database: the engine to protect.
+        config: declarative configuration (see :class:`GuardConfig`).
+        clock: time source; defaults to a fresh :class:`VirtualClock`
+            so tests and benchmarks never actually block.
+        policy: a pre-built policy, overriding ``config.policy``.
+        accounts: an :class:`AccountManager` enforcing §2.4 defenses;
+            when provided, ``execute`` requires a registered identity.
+
+    >>> from repro.engine import Database
+    >>> db = Database()
+    >>> _ = db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    >>> _ = db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    >>> guard = DelayGuard(db, config=GuardConfig(cap=5.0))
+    >>> first = guard.execute("SELECT * FROM t WHERE id = 1")
+    >>> first.delay  # cold start: the cap
+    5.0
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        config: Optional[GuardConfig] = None,
+        clock: Optional[Clock] = None,
+        policy: Optional[DelayPolicy] = None,
+        accounts: Optional[AccountManager] = None,
+    ):
+        self.database = database
+        self.config = (config if config is not None else GuardConfig()).validate()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.accounts = accounts
+        self.stats = GuardStats()
+        self.popularity = PopularityTracker(
+            store=self._build_store(), decay_rate=self.config.decay_rate
+        )
+        self.update_rates = UpdateRateTracker(
+            clock=self.clock, time_constant=self.config.update_time_constant
+        )
+        #: key -> clock time of last update (for staleness evaluation).
+        self.last_update_times: Dict[TupleKey, float] = {}
+        self.policy = policy if policy is not None else self._build_policy()
+
+    # -- construction helpers ----------------------------------------------
+
+    def _build_store(self) -> CountStore:
+        kind = self.config.count_store
+        if kind == "memory":
+            return InMemoryCountStore()
+        if kind == "write_behind":
+            return WriteBehindCountStore(cache_size=self.config.count_cache_size)
+        if kind == "space_saving":
+            return SpaceSavingStore(capacity=self.config.count_capacity)
+        if kind == "counting_sample":
+            return CountingSampleStore(capacity=self.config.count_capacity)
+        raise ConfigError(f"unknown count store {kind!r}")  # pragma: no cover
+
+    def _build_policy(self) -> DelayPolicy:
+        config = self.config
+        if config.policy == "none":
+            return NoDelayPolicy()
+        if config.policy == "fixed":
+            return FixedDelayPolicy(config.fixed_delay)
+        popularity = PopularityDelayPolicy(
+            tracker=self.popularity,
+            population=self.population,
+            cap=config.cap,
+            beta=config.beta,
+            unit=config.unit,
+            mode=config.popularity_mode,
+        )
+        if config.policy == "popularity":
+            return popularity
+        update = UpdateRateDelayPolicy(
+            tracker=self.update_rates,
+            population=self.population,
+            c=config.update_c,
+            cap=config.cap,
+        )
+        if config.policy == "update":
+            return update
+        return CompositeDelayPolicy([popularity, update], combine="max")
+
+    # -- sizing ----------------------------------------------------------------
+
+    def population(self) -> int:
+        """Total protected tuples (N in the paper's formulas)."""
+        total = 0
+        for name in self.database.catalog.table_names():
+            total += len(self.database.catalog.table(name))
+        return max(total, 1)
+
+    # -- the front door -----------------------------------------------------
+
+    def execute(
+        self,
+        sql_or_statement: Union[str, object],
+        identity: Optional[str] = None,
+        record: bool = True,
+        sleep: bool = True,
+    ) -> GuardedResult:
+        """Execute a statement, charging and applying its delay.
+
+        Args:
+            sql_or_statement: SQL text or a pre-parsed statement.
+            identity: registered identity, required when the guard has
+                an :class:`AccountManager` attached.
+            record: whether this query's accesses feed the popularity
+                counts (experiments replaying an adversary against a
+                frozen distribution pass False).
+            sleep: whether to apply the delay on the guard's clock. The
+                concurrent simulator passes False and schedules each
+                session's own completion instead — with a single shared
+                clock, sleeping inline would serialise the sessions.
+
+        Raises:
+            AccessDenied: if an account-level limit refuses the query.
+        """
+        accounting_start = time.perf_counter()
+        if self.accounts is not None:
+            if identity is None:
+                raise ConfigError(
+                    "this guard requires an identity for every query"
+                )
+            try:
+                self.accounts.authorize_query(identity)
+            except Exception:
+                self.stats.denied += 1
+                raise
+        accounting = time.perf_counter() - accounting_start
+
+        engine_start = time.perf_counter()
+        result = self.database.execute(sql_or_statement)
+        engine_elapsed = time.perf_counter() - engine_start
+
+        accounting_start = time.perf_counter()
+        delay = 0.0
+        per_tuple: List[float] = []
+        if result.statement_kind == "select" and result.table is not None:
+            # §1.1's strawman result-size limit, kept as a baseline.
+            # Enforced post-execution (the engine has already read the
+            # rows) but pre-recording/charging: the caller gets nothing.
+            limit = self.config.max_result_rows
+            if limit is not None and len(result.rows) > limit:
+                self.stats.queries += 1
+                self.stats.denied += 1
+                raise AccessDenied("result_limit")
+            # `touched` covers every contributing base tuple, across
+            # joined tables; fall back to the driving table's rowids for
+            # result sets produced without it.
+            if result.touched:
+                keys = list(result.touched)
+            else:
+                keys = [
+                    (result.table.lower(), rowid) for rowid in result.rowids
+                ]
+            per_tuple = [self.policy.delay_for(key) for key in keys]
+            if self.config.charge_returned_tuples:
+                delay = sum(per_tuple)
+            else:
+                delay = max(per_tuple, default=0.0)
+            if record and self.config.record_accesses:
+                for key in keys:
+                    self.popularity.record(key)
+            if self.accounts is not None and identity is not None:
+                self.accounts.record_retrieval(identity, len(keys))
+            self.stats.selects += 1
+            self.stats.select_delays.append(delay)
+            self.stats.tuples_charged += len(keys)
+        elif result.statement_kind in ("insert", "update", "delete"):
+            if self.config.record_updates and result.table is not None:
+                now = self.clock.now()
+                table_key = result.table.lower()
+                for rowid in result.rowids:
+                    key = (table_key, rowid)
+                    self.update_rates.record_update(key)
+                    self.last_update_times[key] = now
+        accounting += time.perf_counter() - accounting_start
+
+        self.stats.queries += 1
+        self.stats.total_delay += delay
+        self.stats.engine_seconds += engine_elapsed
+        self.stats.accounting_seconds += accounting
+
+        if delay > 0 and sleep:
+            self.clock.sleep(delay)
+        return GuardedResult(
+            result=result,
+            delay=delay,
+            per_tuple_delays=per_tuple,
+            identity=identity,
+        )
+
+    # -- analysis hooks ----------------------------------------------------------
+
+    def delay_for(self, table: str, rowid: int) -> float:
+        """The delay the policy would charge for one tuple right now."""
+        return self.policy.delay_for((table.lower(), rowid))
+
+    def last_update_times_for(self, table: str) -> Dict:
+        """Last-update times for one table, keyed by primary key value.
+
+        Translates the guard's internal (table, rowid) keys into the
+        table's primary-key domain so they can be matched against an
+        adversary's extracted snapshot. Tables without a primary key
+        are keyed by rowid.
+        """
+        heap = self.database.catalog.table(table)
+        prefix = heap.name.lower()
+        pk = heap.schema.primary_key
+        pk_position = heap.schema.position(pk) if pk else None
+        translated: Dict = {}
+        for (name, rowid), when in self.last_update_times.items():
+            if name != prefix:
+                continue
+            if pk_position is None:
+                translated[rowid] = when
+                continue
+            row = heap.get(rowid)
+            if row is not None:
+                translated[row[pk_position]] = when
+        return translated
+
+    def extraction_cost(self, table: Optional[str] = None) -> float:
+        """Total delay an adversary would pay to extract everything now.
+
+        Computed statically from the current counts (the paper computes
+        adversary delay this way in §4.1: "by examining the access
+        counts after the trace was replayed"). Does not mutate state.
+        """
+        names = (
+            [table]
+            if table is not None
+            else self.database.catalog.table_names()
+        )
+        total = 0.0
+        for name in names:
+            heap = self.database.catalog.table(name)
+            key_prefix = heap.name.lower()
+            for rowid in heap.rowids():
+                total += self.policy.delay_for((key_prefix, rowid))
+        return total
+
+    def max_extraction_cost(self, table: Optional[str] = None) -> float:
+        """The N·d_max bound: every tuple at the cap (needs a cap)."""
+        if self.config.cap is None:
+            raise ConfigError("max_extraction_cost requires a delay cap")
+        if table is not None:
+            n = len(self.database.catalog.table(table))
+        else:
+            n = self.population()
+        return n * self.config.cap
+
+    # -- state persistence ---------------------------------------------------
+
+    def dump_state(self) -> Dict:
+        """Serialise learned state to a JSON-compatible dictionary.
+
+        Covers popularity counts (with their decay bookkeeping), the raw
+        request totals, and last-update times — everything needed for a
+        restarted guard to keep charging the same delays. Account state
+        and statistics are not included.
+        """
+        counts = [
+            [f"{table}:{rowid}", weight]
+            for (table, rowid), weight in self.popularity.store.items()
+        ]
+        updates = [
+            [f"{table}:{rowid}", when]
+            for (table, rowid), when in self.last_update_times.items()
+        ]
+        return {
+            "format": "repro-guard-v1",
+            "decay_rate": self.popularity.decay_rate,
+            "increment": self.popularity._increment,
+            "raw_total": self.popularity._raw_total,
+            "decayed_total": self.popularity._decayed_total,
+            "counts": counts,
+            "last_update_times": updates,
+        }
+
+    def load_state(self, payload: Dict) -> None:
+        """Restore state produced by :meth:`dump_state`.
+
+        The guard's configured decay rate must match the saved one
+        (delays would silently change otherwise).
+        """
+        if payload.get("format") != "repro-guard-v1":
+            raise ConfigError(
+                f"unsupported guard state format {payload.get('format')!r}"
+            )
+        if payload["decay_rate"] != self.popularity.decay_rate:
+            raise ConfigError(
+                f"saved decay rate {payload['decay_rate']} does not match "
+                f"configured {self.popularity.decay_rate}"
+            )
+        self.popularity.reset()
+        self.popularity._increment = payload["increment"]
+        self.popularity._raw_total = payload["raw_total"]
+        self.popularity._decayed_total = payload["decayed_total"]
+        for key_text, weight in payload["counts"]:
+            table, _, rowid = key_text.partition(":")
+            self.popularity.store.add((table, int(rowid)), weight)
+        self.last_update_times.clear()
+        for key_text, when in payload["last_update_times"]:
+            table, _, rowid = key_text.partition(":")
+            self.last_update_times[(table, int(rowid))] = when
+
+    def __repr__(self) -> str:
+        return (
+            f"DelayGuard(policy={self.policy.describe()}, "
+            f"queries={self.stats.queries})"
+        )

@@ -1,0 +1,294 @@
+"""Popularity tracking with exponential age decay (§2.3).
+
+The paper tracks a per-tuple count of requests, normalised by a global
+request count. To track *changing* distributions it weights each request
+by a factor that decays exponentially with age. Discounting every count
+at every access would cost O(N); instead — exactly as §2.3 prescribes —
+we inflate the value by which counts increase on each access and keep a
+matching normalisation, rescaling everything when the inflated increment
+approaches overflow (at a small, bounded precision loss).
+
+Two popularity normalisations are offered:
+
+* ``"raw"`` (paper reading of §2.3: "normalized by a global count of all
+  requests"): decayed count divided by the *undecayed* total. Stronger
+  decay then shrinks every popularity estimate, inflating delays — this
+  is what produces the decay sweeps of Tables 3 and 4.
+* ``"decayed"``: decayed count divided by the decayed total — a proper
+  probability estimate over the effective window, useful as an ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .counts import CountStore, InMemoryCountStore, Key
+from .errors import ConfigError
+
+
+class PopularityTracker:
+    """Decayed per-tuple request counts with popularity and rank queries.
+
+    Args:
+        store: count storage backend (defaults to exact in-memory).
+        decay_rate: per-request inflation factor γ >= 1. 1.0 means no
+            decay (full history); larger values forget faster. A request
+            ``k`` requests old carries relative weight ``γ**-k``.
+        rescale_threshold: when the internal increment exceeds this, all
+            counts are rescaled to keep floats in range.
+        rank_refresh: recompute cached ranks after this many records
+            (ranks are only needed by policies with β > 0; the cache
+            bounds the cost of repeated sorting).
+    """
+
+    def __init__(
+        self,
+        store: Optional[CountStore] = None,
+        decay_rate: float = 1.0,
+        rescale_threshold: float = 1e100,
+        rank_refresh: int = 1000,
+    ):
+        if decay_rate < 1.0:
+            raise ConfigError(
+                f"decay_rate must be >= 1.0 (got {decay_rate}); values "
+                "above 1 forget faster"
+            )
+        if rescale_threshold <= 1.0:
+            raise ConfigError("rescale_threshold must exceed 1.0")
+        if rank_refresh < 1:
+            raise ConfigError("rank_refresh must be >= 1")
+        self.store = store if store is not None else InMemoryCountStore()
+        self.decay_rate = float(decay_rate)
+        self.rescale_threshold = float(rescale_threshold)
+        self.rank_refresh = rank_refresh
+        self._increment = 1.0  # weight assigned to the NEXT request
+        self._raw_total = 0.0
+        self._decayed_total = 0.0
+        self._rescales = 0
+        self._rank_cache: Optional[Dict[Key, int]] = None
+        self._records_since_rank = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, key: Key, weight: float = 1.0) -> None:
+        """Record one access to ``key`` (``weight`` allows batched hits)."""
+        if weight <= 0:
+            raise ConfigError(f"weight must be positive, got {weight}")
+        amount = self._increment * weight
+        self.store.add(key, amount)
+        self._decayed_total += amount
+        self._raw_total += weight
+        self._increment *= self.decay_rate
+        self._records_since_rank += 1
+        if self._records_since_rank >= self.rank_refresh:
+            self._rank_cache = None
+        if self._increment > self.rescale_threshold:
+            self._rescale()
+
+    def record_many(self, keys: Iterable[Key]) -> None:
+        """Record a sequence of accesses in order."""
+        for key in keys:
+            self.record(key)
+
+    def _rescale(self) -> None:
+        """Divide all state by the current increment (overflow guard)."""
+        factor = 1.0 / self._increment
+        self.store.scale(factor)
+        self._decayed_total *= factor
+        self._increment = 1.0
+        self._rescales += 1
+
+    def apply_decay(self, factor: float) -> None:
+        """Explicitly decay all accumulated history by ``factor``.
+
+        Used for period-boundary decay: the box-office experiment (§4.2)
+        applies its decay factor at weekly boundaries rather than per
+        request. Equivalent to dividing every stored count by ``factor``
+        but implemented, like per-request decay, by inflating the weight
+        of future requests.
+        """
+        if factor < 1.0:
+            raise ConfigError(f"decay factor must be >= 1.0, got {factor}")
+        self._increment *= factor
+        if self._increment > self.rescale_threshold:
+            self._rescale()
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def total_requests(self) -> float:
+        """Undecayed number of recorded requests."""
+        return self._raw_total
+
+    @property
+    def rescales(self) -> int:
+        """How many overflow rescales have occurred (diagnostic)."""
+        return self._rescales
+
+    def present_count(self, key: Key) -> float:
+        """Decayed count of ``key`` on the latest-request weight scale.
+
+        With no decay this is exactly the raw hit count; with decay it is
+        the equivalent number of 'current' requests.
+        """
+        return self.store.get(key) / self._increment
+
+    def popularity(self, key: Key, mode: str = "raw") -> float:
+        """Normalised popularity estimate of ``key`` in [0, ~1].
+
+        ``mode="raw"`` divides the decayed count by the raw request
+        total (the paper's normalisation); ``mode="decayed"`` divides by
+        the decayed total (a true frequency over the effective window).
+        Returns 0 for unseen keys or before any requests.
+        """
+        count = self.store.get(key)
+        if count <= 0:
+            return 0.0
+        if mode == "raw":
+            if self._raw_total <= 0:
+                return 0.0
+            return (count / self._increment) / self._raw_total
+        if mode == "decayed":
+            if self._decayed_total <= 0:
+                return 0.0
+            return count / self._decayed_total
+        raise ConfigError(f"unknown popularity mode {mode!r}")
+
+    def max_popularity(self, mode: str = "raw") -> float:
+        """Popularity of the most popular tracked key (0 if none)."""
+        best = 0.0
+        for key, _count in self.store.items():
+            best = max(best, self.popularity(key, mode))
+        return best
+
+    def rank(self, key: Key) -> int:
+        """1-based popularity rank of ``key`` (1 = most popular).
+
+        Unseen keys rank after every tracked key. Ranks come from a
+        cache refreshed every ``rank_refresh`` records, so they may lag
+        the counts slightly — acceptable for delay assignment, where the
+        ranking moves slowly.
+        """
+        if self._rank_cache is None:
+            ordered = sorted(
+                self.store.items(), key=lambda item: item[1], reverse=True
+            )
+            self._rank_cache = {
+                key_: position + 1 for position, (key_, _) in enumerate(ordered)
+            }
+            self._records_since_rank = 0
+        return self._rank_cache.get(key, len(self._rank_cache) + 1)
+
+    def snapshot(self) -> List[Tuple[Key, float]]:
+        """All (key, present_count) pairs, most popular first."""
+        pairs = [
+            (key, count / self._increment)
+            for key, count in self.store.items()
+        ]
+        pairs.sort(key=lambda item: item[1], reverse=True)
+        return pairs
+
+    def tracked_keys(self) -> int:
+        """Number of keys with a stored count."""
+        return len(self.store)
+
+    def reset(self) -> None:
+        """Forget all history."""
+        self.store.clear()
+        self._increment = 1.0
+        self._raw_total = 0.0
+        self._decayed_total = 0.0
+        self._rank_cache = None
+        self._records_since_rank = 0
+
+
+class AdaptiveTracker:
+    """Several trackers with different decay terms, auto-selected (§2.3).
+
+    The paper notes that when the right decay term is unknown, one can
+    "simultaneously track counts with more than one decay term,
+    switching to the appropriate set as the request pattern warrants" —
+    the agile/stable estimator trick from wireless networking and energy
+    management. Each candidate tracker scores its one-step-ahead
+    predictive log-loss for the observed key (before updating); an EWMA
+    of that loss selects the active tracker.
+
+    Args:
+        decay_rates: candidate γ values (must be unique, each >= 1).
+        score_smoothing: EWMA factor in (0, 1]; smaller = slower switch.
+        store_factory: builds a fresh count store per candidate.
+    """
+
+    _EPSILON = 1e-12
+
+    def __init__(
+        self,
+        decay_rates: Sequence[float],
+        score_smoothing: float = 0.02,
+        store_factory=InMemoryCountStore,
+    ):
+        if not decay_rates:
+            raise ConfigError("need at least one decay rate")
+        if len(set(decay_rates)) != len(decay_rates):
+            raise ConfigError("decay rates must be unique")
+        if not 0 < score_smoothing <= 1:
+            raise ConfigError("score_smoothing must be in (0, 1]")
+        self.trackers: Dict[float, PopularityTracker] = {
+            rate: PopularityTracker(store=store_factory(), decay_rate=rate)
+            for rate in decay_rates
+        }
+        self.score_smoothing = score_smoothing
+        self._scores: Dict[float, float] = {rate: 0.0 for rate in decay_rates}
+        self._seen_any = False
+
+    def record(self, key: Key, weight: float = 1.0) -> None:
+        """Score each candidate's prediction for ``key``, then update all."""
+        for rate, tracker in self.trackers.items():
+            predicted = max(tracker.popularity(key, "decayed"), self._EPSILON)
+            loss = -math.log(predicted)
+            previous = self._scores[rate]
+            if self._seen_any:
+                self._scores[rate] = (
+                    (1 - self.score_smoothing) * previous
+                    + self.score_smoothing * loss
+                )
+            else:
+                self._scores[rate] = loss
+        self._seen_any = True
+        for tracker in self.trackers.values():
+            tracker.record(key, weight)
+
+    @property
+    def active_rate(self) -> float:
+        """The decay rate whose tracker currently predicts best."""
+        return min(self._scores, key=self._scores.get)  # type: ignore[arg-type]
+
+    @property
+    def active(self) -> PopularityTracker:
+        """The currently selected tracker."""
+        return self.trackers[self.active_rate]
+
+    def scores(self) -> Dict[float, float]:
+        """Current EWMA predictive losses per decay rate (lower = better)."""
+        return dict(self._scores)
+
+    # Delegate the query interface to the active tracker so an
+    # AdaptiveTracker can stand in wherever a PopularityTracker is used.
+
+    def popularity(self, key: Key, mode: str = "raw") -> float:
+        """Popularity under the currently best decay rate."""
+        return self.active.popularity(key, mode)
+
+    def rank(self, key: Key) -> int:
+        """Rank under the currently best decay rate."""
+        return self.active.rank(key)
+
+    def snapshot(self) -> List[Tuple[Key, float]]:
+        """Snapshot under the currently best decay rate."""
+        return self.active.snapshot()
+
+    @property
+    def total_requests(self) -> float:
+        """Undecayed request total (same across candidates)."""
+        return self.active.total_requests

@@ -1,0 +1,120 @@
+"""Rate-limiting primitives for the §2.4 defenses.
+
+Token buckets drive three distinct limits in this library: per-identity
+query rates, per-subnet aggregate rates (the Sybil defense), and the
+global registration rate (one new account per ``t`` seconds).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .clock import Clock, VirtualClock
+from .errors import ConfigError
+
+
+class TokenBucket:
+    """Classic token bucket: sustained ``rate`` with ``burst`` capacity.
+
+    ``try_acquire(cost)`` consumes tokens if available and reports the
+    wait time otherwise; callers choose whether to retry, sleep, or deny.
+    """
+
+    def __init__(self, rate: float, burst: float, clock: Optional[Clock] = None):
+        if rate <= 0:
+            raise ConfigError(f"rate must be positive, got {rate}")
+        if burst <= 0:
+            raise ConfigError(f"burst must be positive, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock if clock is not None else VirtualClock()
+        self._tokens = self.burst
+        self._updated = self.clock.now()
+
+    def _refill(self) -> None:
+        now = self.clock.now()
+        elapsed = now - self._updated
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._updated = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Attempt to consume ``cost`` tokens.
+
+        Returns 0.0 on success, otherwise the seconds until enough
+        tokens will have accumulated (the bucket is left untouched).
+        """
+        if cost <= 0:
+            raise ConfigError(f"cost must be positive, got {cost}")
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        deficit = cost - self._tokens
+        return deficit / self.rate
+
+    def acquire(self, cost: float = 1.0) -> float:
+        """Consume ``cost`` tokens, sleeping on the clock if needed.
+
+        Returns the seconds actually waited. ``cost`` may exceed the
+        burst size; the caller then waits for multiple refill periods.
+        """
+        if cost <= 0:
+            raise ConfigError(f"cost must be positive, got {cost}")
+        waited = 0.0
+        while True:
+            wait = self.try_acquire(cost if cost <= self.burst else self.burst)
+            if wait == 0.0:
+                if cost > self.burst:
+                    cost -= self.burst
+                    if cost <= 0:
+                        return waited
+                    continue
+                return waited
+            self.clock.sleep(wait)
+            waited += wait
+
+
+class FixedIntervalGate:
+    """Admit at most one event per ``interval`` seconds.
+
+    This is the paper's registration throttle: "if only one new user
+    every t seconds is given an account", an adversary needs ``k·t``
+    seconds to amass ``k`` identities.
+    """
+
+    def __init__(self, interval: float, clock: Optional[Clock] = None):
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive, got {interval}")
+        self.interval = float(interval)
+        self.clock = clock if clock is not None else VirtualClock()
+        self._last: Optional[float] = None
+        self.admitted = 0
+
+    def try_admit(self) -> float:
+        """Admit if the interval has elapsed; else return seconds to wait."""
+        now = self.clock.now()
+        if self._last is not None and now - self._last < self.interval:
+            return self.interval - (now - self._last)
+        self._last = now
+        self.admitted += 1
+        return 0.0
+
+    def time_to_accumulate(self, count: int) -> float:
+        """Lower bound on seconds needed to admit ``count`` more events."""
+        if count < 0:
+            raise ConfigError(f"count must be >= 0, got {count}")
+        if count == 0:
+            return 0.0
+        now = self.clock.now()
+        first_wait = 0.0
+        if self._last is not None:
+            remaining = self.interval - (now - self._last)
+            first_wait = max(0.0, remaining)
+        return first_wait + (count - 1) * self.interval

@@ -1,0 +1,121 @@
+"""Snapshot staleness evaluation for the data-change defense (§3).
+
+The paper's §3 claim is not that extraction becomes impossible but that
+it becomes *worthless*: by the time an adversary has pulled every tuple,
+a guaranteed fraction of what it pulled no longer matches the live
+database. This module represents an adversary's extracted snapshot and
+measures exactly that fraction.
+
+A tuple is **stale** when its value changed at least once after the
+moment the adversary retrieved it (paper's definition above eq. 10) —
+evaluated either at extraction completion or at any later time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .counts import Key
+from .errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ExtractedTuple:
+    """One tuple captured by the adversary.
+
+    Attributes:
+        key: tuple identifier.
+        value: the value observed at extraction time.
+        extracted_at: clock time the tuple was retrieved.
+    """
+
+    key: Key
+    value: object
+    extracted_at: float
+
+
+@dataclass
+class Snapshot:
+    """An adversary's extracted copy of the dataset."""
+
+    tuples: Dict[Key, ExtractedTuple] = field(default_factory=dict)
+    started_at: float = 0.0
+    completed_at: float = 0.0
+
+    def add(self, key: Key, value: object, extracted_at: float) -> None:
+        """Record the retrieval of one tuple."""
+        self.tuples[key] = ExtractedTuple(key, value, extracted_at)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def duration(self) -> float:
+        """Wall time of the extraction (completed - started)."""
+        return self.completed_at - self.started_at
+
+
+@dataclass(frozen=True)
+class StalenessReport:
+    """Result of evaluating a snapshot against the live update history."""
+
+    total: int
+    stale: int
+    evaluated_at: float
+
+    @property
+    def fraction(self) -> float:
+        """Stale fraction in [0, 1]; 0 for an empty snapshot."""
+        if self.total == 0:
+            return 0.0
+        return self.stale / self.total
+
+
+def stale_fraction(
+    snapshot: Snapshot,
+    last_update_times: Mapping[Key, float],
+    as_of: Optional[float] = None,
+) -> StalenessReport:
+    """Evaluate how much of ``snapshot`` is stale.
+
+    Args:
+        snapshot: the adversary's extracted copy.
+        last_update_times: key → time of the most recent update (the
+            guard maintains this map as DML flows through it).
+        as_of: evaluation time; defaults to the snapshot's completion.
+            A tuple counts as stale if it was updated after its own
+            extraction moment and at or before ``as_of``.
+    """
+    when = snapshot.completed_at if as_of is None else as_of
+    if when < snapshot.started_at:
+        raise ConfigError("evaluation time precedes extraction start")
+    stale = 0
+    for key, extracted in snapshot.tuples.items():
+        updated = last_update_times.get(key)
+        if updated is not None and extracted.extracted_at < updated <= when:
+            stale += 1
+    return StalenessReport(
+        total=len(snapshot.tuples), stale=stale, evaluated_at=when
+    )
+
+
+def stale_fraction_from_history(
+    snapshot: Snapshot,
+    update_history: Mapping[Key, List[float]],
+    as_of: Optional[float] = None,
+) -> StalenessReport:
+    """Like :func:`stale_fraction`, but from full per-key update histories.
+
+    Useful when updates may have happened both before and after each
+    retrieval and only the full event list is kept.
+    """
+    when = snapshot.completed_at if as_of is None else as_of
+    stale = 0
+    for key, extracted in snapshot.tuples.items():
+        times = update_history.get(key, ())
+        if any(extracted.extracted_at < t <= when for t in times):
+            stale += 1
+    return StalenessReport(
+        total=len(snapshot.tuples), stale=stale, evaluated_at=when
+    )

@@ -1,0 +1,149 @@
+"""Update-rate tracking for the data-change defense (§3).
+
+Where access patterns are uniform, the paper assigns delays inversely
+proportional to each tuple's *update* rate. This tracker estimates
+per-tuple update rates from the observed update stream, with optional
+exponential decay in time so shifting update behaviour is tracked.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .clock import Clock, VirtualClock
+from .counts import Key
+from .errors import ConfigError
+
+
+class UpdateRateTracker:
+    """Estimates updates-per-second for each tuple.
+
+    With ``time_constant`` τ (seconds), an update that happened ``a``
+    seconds ago carries weight ``exp(-a/τ)``; the decayed count of a
+    tuple updated at steady rate ``r`` converges to ``r·τ``, so the rate
+    estimate is ``decayed_count/τ``. With ``time_constant=None`` the
+    tracker keeps plain counts and estimates ``count/elapsed`` — right
+    for stationary update processes.
+
+    Counts are decayed lazily (only when touched), so cost per update is
+    O(1) regardless of table size.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        time_constant: Optional[float] = None,
+    ):
+        if time_constant is not None and time_constant <= 0:
+            raise ConfigError(
+                f"time_constant must be positive, got {time_constant}"
+            )
+        self.clock = clock if clock is not None else VirtualClock()
+        self.time_constant = time_constant
+        self._counts: Dict[Key, float] = {}
+        self._last_seen: Dict[Key, float] = {}
+        self._started = self.clock.now()
+        self._total_updates = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_update(self, key: Key) -> None:
+        """Record one update to ``key`` at the current clock time."""
+        now = self.clock.now()
+        current = self._decayed_count(key, now)
+        self._counts[key] = current + 1.0
+        self._last_seen[key] = now
+        self._total_updates += 1
+
+    def _decayed_count(self, key: Key, now: float) -> float:
+        count = self._counts.get(key, 0.0)
+        if count == 0.0 or self.time_constant is None:
+            return count
+        age = now - self._last_seen.get(key, now)
+        if age <= 0:
+            return count
+        return count * math.exp(-age / self.time_constant)
+
+    def prime(self, rates: Dict[Key, float], window: float = 1e6) -> None:
+        """Initialise counters to their steady-state expectation.
+
+        A burn-in shortcut for experiments: instead of replaying
+        ``window`` seconds of update traffic, set each key's count to
+        what a Poisson process at its given rate would have accumulated
+        in expectation. With a decay time-constant τ the steady state is
+        ``r·τ``; without one, the tracker is back-dated so that
+        ``count/elapsed`` equals the rate. Tests verify primed and
+        replayed trackers agree.
+        """
+        if window <= 0:
+            raise ConfigError(f"window must be positive, got {window}")
+        now = self.clock.now()
+        for key, rate in rates.items():
+            if rate < 0:
+                raise ConfigError(f"rate for {key!r} must be >= 0, got {rate}")
+            if rate == 0:
+                continue
+            if self.time_constant is not None:
+                self._counts[key] = rate * self.time_constant
+            else:
+                self._counts[key] = rate * window
+            self._last_seen[key] = now
+        if self.time_constant is None:
+            self._started = min(self._started, now - window)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def total_updates(self) -> int:
+        """Number of updates recorded (undecayed)."""
+        return self._total_updates
+
+    def count(self, key: Key) -> float:
+        """Decayed update count of ``key`` as of now."""
+        return self._decayed_count(key, self.clock.now())
+
+    def rate(self, key: Key) -> float:
+        """Estimated updates/second for ``key`` (0 for never-updated)."""
+        now = self.clock.now()
+        count = self._decayed_count(key, now)
+        if count <= 0:
+            return 0.0
+        if self.time_constant is not None:
+            return count / self.time_constant
+        elapsed = now - self._started
+        if elapsed <= 0:
+            # All updates happened "now"; report a large finite rate.
+            return count
+        return count / elapsed
+
+    def max_rate(self) -> float:
+        """Largest estimated rate across tracked keys (0 if none)."""
+        now = self.clock.now()
+        best = 0.0
+        for key in self._counts:
+            count = self._decayed_count(key, now)
+            if self.time_constant is not None:
+                rate = count / self.time_constant
+            else:
+                elapsed = now - self._started
+                rate = count / elapsed if elapsed > 0 else count
+            best = max(best, rate)
+        return best
+
+    def snapshot(self) -> List[Tuple[Key, float]]:
+        """All (key, rate) pairs, fastest-updated first."""
+        pairs = [(key, self.rate(key)) for key in self._counts]
+        pairs.sort(key=lambda item: item[1], reverse=True)
+        return pairs
+
+    def tracked_keys(self) -> int:
+        """Number of keys ever updated."""
+        return len(self._counts)
+
+    def reset(self) -> None:
+        """Forget all update history."""
+        self._counts.clear()
+        self._last_seen.clear()
+        self._started = self.clock.now()
+        self._total_updates = 0

@@ -1,0 +1,72 @@
+"""A pure-Python relational database engine.
+
+This subpackage is the *substrate* for the delay-defense reproduction:
+the paper deployed its scheme on a commercial RDBMS, so we provide our
+own — typed schemas, heap tables with stable rowids, hash/ordered
+secondary indexes, an SQL subset, a rule-based planner, and a statement
+executor. The delay layer (:mod:`repro.core`) wraps :class:`Database`
+without modifying it.
+"""
+
+from .catalog import Catalog
+from .database import Database, EngineStats
+from .errors import (
+    CatalogError,
+    ConstraintError,
+    EngineError,
+    ExecutionError,
+    ParseError,
+    TypeMismatchError,
+)
+from .executor import Executor, ResultSet
+from .index import HashIndex, Index, OrderedIndex, create_index
+from .persistence import (
+    PersistenceError,
+    dump_database,
+    export_csv,
+    import_csv,
+    load_database,
+    open_database,
+    save_database,
+)
+from .planner import AccessPath, candidate_rowids, choose_access_path
+from .schema import Column, TableSchema, schema
+from .table import HeapTable
+from .transactions import TransactionError, UndoLog
+from .types import DataType, SQLValue
+
+__all__ = [
+    "AccessPath",
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "ConstraintError",
+    "DataType",
+    "Database",
+    "EngineError",
+    "EngineStats",
+    "ExecutionError",
+    "Executor",
+    "HashIndex",
+    "HeapTable",
+    "Index",
+    "OrderedIndex",
+    "ParseError",
+    "PersistenceError",
+    "ResultSet",
+    "SQLValue",
+    "TableSchema",
+    "TransactionError",
+    "TypeMismatchError",
+    "UndoLog",
+    "candidate_rowids",
+    "choose_access_path",
+    "create_index",
+    "dump_database",
+    "export_csv",
+    "import_csv",
+    "load_database",
+    "open_database",
+    "save_database",
+    "schema",
+]

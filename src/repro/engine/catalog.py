@@ -1,0 +1,111 @@
+"""Catalog: the collection of tables and indexes forming a database."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .errors import CatalogError
+from .index import Index, create_index
+from .schema import TableSchema
+from .table import HeapTable
+
+
+class Catalog:
+    """Named tables plus their secondary indexes.
+
+    Table and index names are case-insensitive. The catalog owns index
+    lifecycle: dropping a table detaches and removes its indexes.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, HeapTable] = {}
+        self._indexes: Dict[str, Index] = {}
+        self._indexes_by_table: Dict[str, List[Index]] = {}
+
+    # -- tables ------------------------------------------------------------
+
+    def create_table(
+        self, schema: TableSchema, if_not_exists: bool = False
+    ) -> HeapTable:
+        """Create and return a new heap table for ``schema``."""
+        key = schema.name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = HeapTable(schema)
+        self._tables[key] = table
+        self._indexes_by_table[key] = []
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> bool:
+        """Drop a table and all of its indexes.
+
+        Returns True if a table was dropped. With ``if_exists`` a missing
+        table is a no-op returning False; otherwise it raises.
+        """
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return False
+            raise CatalogError(f"no table named {name!r}")
+        for index in self._indexes_by_table.pop(key, []):
+            index.detach()
+            del self._indexes[index.name.lower()]
+        del self._tables[key]
+        return True
+
+    def table(self, name: str) -> HeapTable:
+        """Look up a table by name or raise CatalogError."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """True if a table with this name exists."""
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        """Names of all tables, in creation order."""
+        return [table.name for table in self._tables.values()]
+
+    # -- indexes ------------------------------------------------------------
+
+    def create_index(
+        self, name: str, table_name: str, column: str, kind: str = "ordered"
+    ) -> Index:
+        """Create a secondary index; it is kept in sync automatically."""
+        key = name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.table(table_name)
+        index = create_index(name, table, column, kind)
+        self._indexes[key] = index
+        self._indexes_by_table[table_name.lower()].append(index)
+        return index
+
+    def drop_index(self, name: str) -> None:
+        """Drop an index by name."""
+        key = name.lower()
+        if key not in self._indexes:
+            raise CatalogError(f"no index named {name!r}")
+        index = self._indexes.pop(key)
+        index.detach()
+        self._indexes_by_table[index.table.name.lower()].remove(index)
+
+    def indexes_for(self, table_name: str) -> List[Index]:
+        """All indexes on the given table (empty list if none)."""
+        return list(self._indexes_by_table.get(table_name.lower(), []))
+
+    def index_on(
+        self, table_name: str, column: str, kind: Optional[str] = None
+    ) -> Optional[Index]:
+        """Find an index on ``table.column``, optionally of a given kind."""
+        target = column.lower()
+        for index in self.indexes_for(table_name):
+            if index.column.lower() != target:
+                continue
+            if kind is None or index.kind == kind:
+                return index
+        return None

@@ -1,0 +1,261 @@
+"""The `Database` facade: parse + plan + execute in one call.
+
+This is the layer the delay guard wraps. It accepts SQL text or
+pre-parsed statements, collects simple execution statistics, and offers
+convenience helpers (``insert_rows``, ``explain``) used throughout the
+workload generators and benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .catalog import Catalog
+from .executor import Executor, ResultSet
+from .parser.ast import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    ExplainStatement,
+    InsertStatement,
+    SelectStatement,
+    TransactionStatement,
+    UpdateStatement,
+)
+from .expr import ColumnRef, Comparison
+from .parser.parser import parse, parse_cached
+from .planner import choose_access_path
+from .schema import TableSchema
+from .table import HeapTable
+from .transactions import TransactionError, UndoLog
+from .types import SQLValue
+
+
+@dataclass
+class EngineStats:
+    """Aggregate execution statistics, by statement kind."""
+
+    statements: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    rows_returned: int = 0
+    rows_written: int = 0
+    total_execution_seconds: float = 0.0
+
+    def record(self, result: ResultSet, elapsed: float) -> None:
+        """Fold one statement's outcome into the totals."""
+        self.statements += 1
+        self.by_kind[result.statement_kind] = (
+            self.by_kind.get(result.statement_kind, 0) + 1
+        )
+        if result.statement_kind == "select":
+            self.rows_returned += len(result.rows)
+        else:
+            self.rows_written += result.rowcount
+        self.total_execution_seconds += elapsed
+
+
+class Database:
+    """An in-process relational database.
+
+    >>> db = Database()
+    >>> _ = db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    >>> _ = db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+    >>> db.execute("SELECT v FROM t WHERE id = 2").scalar()
+    'two'
+    """
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.executor = Executor(self.catalog)
+        self.stats = EngineStats()
+        self._transaction: Optional[UndoLog] = None
+
+    # -- transactions -------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while an explicit transaction is open."""
+        return self._transaction is not None
+
+    def begin(self) -> None:
+        """Open an explicit transaction (no nesting)."""
+        if self._transaction is not None:
+            raise TransactionError("a transaction is already open")
+        self._transaction = UndoLog()
+
+    def commit(self) -> int:
+        """Commit the open transaction; returns mutations kept."""
+        if self._transaction is None:
+            raise TransactionError("no transaction to commit")
+        count = self._transaction.commit()
+        self._transaction = None
+        return count
+
+    def rollback(self) -> int:
+        """Roll back the open transaction; returns mutations undone."""
+        if self._transaction is None:
+            raise TransactionError("no transaction to roll back")
+        count = self._transaction.rollback()
+        self._transaction = None
+        return count
+
+    # -- statement execution ---------------------------------------------
+
+    def execute(self, sql_or_statement: Union[str, object]) -> ResultSet:
+        """Execute one SQL string or pre-parsed statement.
+
+        DML statements are atomic: a statement that fails part-way
+        (e.g. a multi-row INSERT hitting a duplicate key) leaves no
+        effects. Inside an explicit transaction its effects are instead
+        queued for COMMIT/ROLLBACK. DDL is rejected inside transactions.
+        """
+        statement = (
+            parse_cached(sql_or_statement)
+            if isinstance(sql_or_statement, str)
+            else sql_or_statement
+        )
+        if isinstance(statement, TransactionStatement):
+            return self._execute_transaction_control(statement)
+        if isinstance(statement, ExplainStatement):
+            return self._execute_explain(statement)
+        if self._transaction is not None and isinstance(
+            statement,
+            (CreateTableStatement, CreateIndexStatement, DropTableStatement),
+        ):
+            raise TransactionError(
+                "DDL is not transactional; COMMIT or ROLLBACK first"
+            )
+
+        scope = self._statement_scope(statement)
+        started = time.perf_counter()
+        try:
+            result = self.executor.execute(statement)
+        except Exception:
+            if scope is not None:
+                scope.rollback()
+            raise
+        if scope is not None:
+            if self._transaction is not None:
+                scope.merge_into(self._transaction)
+            else:
+                scope.commit()
+        self.stats.record(result, time.perf_counter() - started)
+        return result
+
+    def _statement_scope(self, statement) -> Optional[UndoLog]:
+        """An undo scope covering the statement's target table, if DML."""
+        if not isinstance(
+            statement, (InsertStatement, UpdateStatement, DeleteStatement)
+        ):
+            return None
+        if not self.catalog.has_table(statement.table):
+            return None  # the executor will raise CatalogError
+        scope = UndoLog()
+        scope.attach(self.catalog.table(statement.table))
+        return scope
+
+    def _execute_explain(self, statement: ExplainStatement) -> ResultSet:
+        """Describe the plan for the wrapped statement."""
+        inner = statement.statement
+        lines = []
+        table_name = getattr(inner, "table", None)
+        if table_name is None or not self.catalog.has_table(table_name):
+            lines.append("NO PLAN (not a table statement)")
+        else:
+            table = self.catalog.table(table_name)
+            where = getattr(inner, "where", None)
+            joins = getattr(inner, "joins", ())
+            if joins:
+                lines.append(f"FULL SCAN {table.name}")
+                for join in joins:
+                    condition = join.condition
+                    hash_joinable = (
+                        isinstance(condition, Comparison)
+                        and condition.op == "="
+                        and isinstance(condition.left, ColumnRef)
+                        and isinstance(condition.right, ColumnRef)
+                    )
+                    strategy = "HASH JOIN" if hash_joinable else "NESTED LOOP"
+                    outer = "LEFT " if join.outer else ""
+                    lines.append(
+                        f"{outer}{strategy} {join.table} ON {condition}"
+                    )
+                if where is not None:
+                    lines.append(f"FILTER {where}")
+            else:
+                path = choose_access_path(self.catalog, table, where)
+                lines.append(path.describe())
+            if getattr(inner, "group_by", ()):
+                keys = ", ".join(str(key) for key in inner.group_by)
+                lines.append(f"GROUP BY {keys}")
+            if getattr(inner, "order_by", ()):
+                lines.append("SORT")
+        return ResultSet(
+            columns=["plan"],
+            rows=[(line,) for line in lines],
+            statement_kind="ddl",
+        )
+
+    def _execute_transaction_control(
+        self, statement: TransactionStatement
+    ) -> ResultSet:
+        if statement.action == "begin":
+            self.begin()
+        elif statement.action == "commit":
+            self.commit()
+        else:
+            self.rollback()
+        return ResultSet(statement_kind="ddl")
+
+    def execute_many(self, sql_statements: Iterable[str]) -> List[ResultSet]:
+        """Execute several statements, returning all result sets."""
+        return [self.execute(sql) for sql in sql_statements]
+
+    def query(self, sql: str) -> List[Tuple[SQLValue, ...]]:
+        """Execute a SELECT and return just its rows."""
+        return self.execute(sql).rows
+
+    # -- schema helpers ------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> HeapTable:
+        """Create a table from a pre-built schema object."""
+        return self.catalog.create_table(schema)
+
+    def table(self, name: str) -> HeapTable:
+        """Direct access to a heap table (bypasses SQL)."""
+        return self.catalog.table(name)
+
+    def insert_rows(
+        self, table_name: str, rows: Iterable[Sequence[SQLValue]]
+    ) -> List[int]:
+        """Bulk-insert positional rows without SQL parsing overhead.
+
+        This is the fast path used when loading large synthetic datasets
+        for benchmarks; it performs the same validation as INSERT.
+        """
+        table = self.catalog.table(table_name)
+        return [table.insert(row) for row in rows]
+
+    # -- introspection --------------------------------------------------------
+
+    def explain(self, sql: str) -> str:
+        """Return the access path a SELECT/UPDATE/DELETE would use."""
+        statement = parse(sql)
+        where = getattr(statement, "where", None)
+        table_name = getattr(statement, "table", None)
+        if table_name is None or not self.catalog.has_table(table_name):
+            return "NO PLAN (not a table statement)"
+        table = self.catalog.table(table_name)
+        path = choose_access_path(self.catalog, table, where)
+        return path.describe()
+
+    def row_count(self, table_name: str) -> int:
+        """Number of rows currently in a table."""
+        return len(self.catalog.table(table_name))
+
+    def __repr__(self) -> str:
+        tables = ", ".join(self.catalog.table_names()) or "<empty>"
+        return f"Database(tables=[{tables}])"

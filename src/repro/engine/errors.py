@@ -1,0 +1,47 @@
+"""Exception hierarchy for the relational engine.
+
+Every error raised by :mod:`repro.engine` derives from :class:`EngineError`
+so callers can catch engine failures with a single ``except`` clause while
+still distinguishing parse errors from execution errors when needed.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for all engine errors."""
+
+
+class ParseError(EngineError):
+    """Raised when SQL text cannot be tokenized or parsed.
+
+    Attributes:
+        message: human-readable description of the failure.
+        position: character offset into the SQL text, when known.
+    """
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.message = message
+        self.position = position
+
+    def __str__(self) -> str:
+        if self.position >= 0:
+            return f"{self.message} (at offset {self.position})"
+        return self.message
+
+
+class CatalogError(EngineError):
+    """Raised for schema-level problems: unknown tables, duplicate columns."""
+
+
+class TypeMismatchError(EngineError):
+    """Raised when a value does not conform to its declared column type."""
+
+
+class ConstraintError(EngineError):
+    """Raised on constraint violations (primary key duplicates, NOT NULL)."""
+
+
+class ExecutionError(EngineError):
+    """Raised when a plan fails during execution (bad expression, etc.)."""

@@ -1,0 +1,37 @@
+"""SQL parsing: lexer, statement AST, and recursive-descent parser."""
+
+from .ast import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    ExplainStatement,
+    InsertStatement,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from .lexer import Token, tokenize
+from .parser import Parser, parse
+
+__all__ = [
+    "CreateIndexStatement",
+    "CreateTableStatement",
+    "DeleteStatement",
+    "DropTableStatement",
+    "ExplainStatement",
+    "InsertStatement",
+    "OrderItem",
+    "Parser",
+    "SelectItem",
+    "SelectStatement",
+    "Statement",
+    "Token",
+    "JoinClause",
+    "UpdateStatement",
+    "parse",
+    "tokenize",
+]

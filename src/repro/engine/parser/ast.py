@@ -1,0 +1,144 @@
+"""Statement-level AST produced by the SQL parser.
+
+Expression nodes live in :mod:`repro.engine.expr`; this module defines the
+statement shells (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP) the planner
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..expr import Expression
+from ..schema import Column
+from ..types import SQLValue
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection item: an expression with an optional alias.
+
+    A ``SELECT *`` is represented by a single item whose ``star`` flag is
+    set and whose expression is None.
+    """
+
+    expression: Optional[Expression]
+    alias: Optional[str] = None
+    star: bool = False
+    aggregate: Optional[str] = None  # COUNT/SUM/AVG/MIN/MAX or None
+    distinct: bool = False  # COUNT(DISTINCT x)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """One JOIN in a SELECT's FROM clause.
+
+    Attributes:
+        table: the joined table's name.
+        alias: optional alias (qualified column refs use it).
+        condition: the ON expression.
+        outer: True for LEFT [OUTER] JOIN — unmatched left rows are
+            kept, with the joined table's columns NULL.
+    """
+
+    table: str
+    condition: Expression
+    alias: Optional[str] = None
+    outer: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT over one table plus zero or more joins."""
+
+    table: str
+    items: Tuple[SelectItem, ...]
+    where: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+    table_alias: Optional[str] = None
+    joins: Tuple[JoinClause, ...] = ()
+    group_by: Tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    """A parsed INSERT with one or more VALUES rows."""
+
+    table: str
+    columns: Tuple[str, ...]  # empty tuple means "all, in schema order"
+    rows: Tuple[Tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    """A parsed UPDATE."""
+
+    table: str
+    assignments: Tuple[Tuple[str, Expression], ...]
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """A parsed DELETE."""
+
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class CreateTableStatement:
+    """A parsed CREATE TABLE."""
+
+    table: str
+    columns: Tuple[Column, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndexStatement:
+    """A parsed CREATE INDEX ... ON table (column) [USING kind]."""
+
+    name: str
+    table: str
+    column: str
+    kind: str = "ordered"
+
+
+@dataclass(frozen=True)
+class DropTableStatement:
+    """A parsed DROP TABLE."""
+
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class TransactionStatement:
+    """BEGIN / COMMIT / ROLLBACK."""
+
+    action: str  # "begin" | "commit" | "rollback"
+
+
+@dataclass(frozen=True)
+class ExplainStatement:
+    """EXPLAIN <statement>: describe the plan instead of executing."""
+
+    statement: object
+
+
+#: Union of all statement types (for type annotations).
+Statement = object

@@ -1,0 +1,141 @@
+"""Tokenizer for the engine's SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ParseError
+
+#: Keywords recognised by the parser (upper-case canonical form).
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "CREATE", "TABLE", "INDEX", "DROP", "ON", "AND", "OR", "NOT",
+    "NULL", "IS", "IN", "BETWEEN", "LIKE", "ORDER", "BY", "ASC", "DESC",
+    "LIMIT", "OFFSET", "PRIMARY", "KEY", "TRUE", "FALSE", "AS", "DISTINCT",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "USING", "UNIQUE", "IF", "EXISTS",
+    "JOIN", "INNER", "LEFT", "OUTER", "GROUP", "HAVING",
+    "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK", "EXPLAIN",
+}
+
+#: Multi- and single-character operators, longest first.
+OPERATORS = ["<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%",
+             "(", ")", ",", ".", ";"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    Attributes:
+        kind: one of "keyword", "identifier", "number", "string",
+            "operator", "eof".
+        value: canonical text (keywords upper-cased, strings unquoted).
+        position: character offset of the token start in the source.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """True if this token is one of the given keywords."""
+        return self.kind == "keyword" and self.value in names
+
+    def is_operator(self, *symbols: str) -> bool:
+        """True if this token is one of the given operator symbols."""
+        return self.kind == "operator" and self.value in symbols
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql`` into a list ending with an EOF token.
+
+    Raises :class:`~repro.engine.errors.ParseError` on illegal characters
+    or unterminated string literals.
+    """
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        char = sql[i]
+        if char.isspace():
+            i += 1
+            continue
+        # -- comments ----------------------------------------------------
+        if char == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        # -- string literal ------------------------------------------------
+        if char == "'":
+            start = i
+            i += 1
+            parts: List[str] = []
+            while True:
+                if i >= n:
+                    raise ParseError("unterminated string literal", start)
+                if sql[i] == "'":
+                    if i + 1 < n and sql[i + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(sql[i])
+                i += 1
+            tokens.append(Token("string", "".join(parts), start))
+            continue
+        # -- number ---------------------------------------------------------
+        if char.isdigit() or (
+            char == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            start = i
+            while i < n and (sql[i].isdigit() or sql[i] == "."):
+                i += 1
+            if i < n and sql[i] in "eE":
+                j = i + 1
+                if j < n and sql[j] in "+-":
+                    j += 1
+                if j < n and sql[j].isdigit():
+                    i = j
+                    while i < n and sql[i].isdigit():
+                        i += 1
+            text = sql[start:i]
+            if text.count(".") > 1:
+                raise ParseError(f"malformed number {text!r}", start)
+            tokens.append(Token("number", text, start))
+            continue
+        # -- identifier / keyword -------------------------------------------
+        if char.isalpha() or char == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            text = sql[start:i]
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, start))
+            else:
+                tokens.append(Token("identifier", text, start))
+            continue
+        # -- quoted identifier ------------------------------------------------
+        if char == '"':
+            start = i
+            i += 1
+            ident_start = i
+            while i < n and sql[i] != '"':
+                i += 1
+            if i >= n:
+                raise ParseError("unterminated quoted identifier", start)
+            tokens.append(Token("identifier", sql[ident_start:i], start))
+            i += 1
+            continue
+        # -- operator --------------------------------------------------------
+        for symbol in OPERATORS:
+            if sql.startswith(symbol, i):
+                tokens.append(Token("operator", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise ParseError(f"illegal character {char!r}", i)
+    tokens.append(Token("eof", "", n))
+    return tokens

@@ -1,0 +1,596 @@
+"""Recursive-descent parser for the engine's SQL subset.
+
+Supported grammar (case-insensitive keywords)::
+
+    statement   := select | insert | update | delete
+                 | create_table | create_index | drop_table
+    select      := SELECT [DISTINCT] items FROM ident [WHERE expr]
+                   [ORDER BY order_items] [LIMIT n [OFFSET m]]
+    items       := '*' | item (',' item)*
+    item        := agg '(' ['DISTINCT'] (expr|'*') ')' [AS ident]
+                 | expr [AS ident]
+    insert      := INSERT INTO ident ['(' idents ')'] VALUES tuple (',' tuple)*
+    update      := UPDATE ident SET ident '=' expr (',' ...)* [WHERE expr]
+    delete      := DELETE FROM ident [WHERE expr]
+    create_table:= CREATE TABLE [IF NOT EXISTS] ident '(' coldefs ')'
+    create_index:= CREATE INDEX ident ON ident '(' ident ')' [USING ident]
+    drop_table  := DROP TABLE [IF EXISTS] ident
+
+Expression precedence (low to high): OR, AND, NOT, comparison /
+IN / BETWEEN / LIKE / IS NULL, additive, multiplicative, unary minus.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from ..expr import (
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    Logical,
+    Negate,
+    Not,
+    ScalarSubquery,
+)
+from ..schema import Column
+from ..types import DataType
+from .ast import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    ExplainStatement,
+    InsertStatement,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    TransactionStatement,
+    UpdateStatement,
+)
+from .lexer import Token, tokenize
+
+AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+class Parser:
+    """Single-statement SQL parser. Use :func:`parse` instead of this
+    class directly unless you need token-level control."""
+
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.position = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def _expect_keyword(self, *names: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(*names):
+            raise ParseError(
+                f"expected {' or '.join(names)}, found {token.value or 'end of input'!r}",
+                token.position,
+            )
+        return self._advance()
+
+    def _expect_operator(self, symbol: str) -> Token:
+        token = self._peek()
+        if not token.is_operator(symbol):
+            raise ParseError(
+                f"expected {symbol!r}, found {token.value or 'end of input'!r}",
+                token.position,
+            )
+        return self._advance()
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.kind != "identifier":
+            raise ParseError(
+                f"expected identifier, found {token.value or 'end of input'!r}",
+                token.position,
+            )
+        self._advance()
+        return token.value
+
+    def _accept_keyword(self, *names: str) -> bool:
+        if self._peek().is_keyword(*names):
+            self._advance()
+            return True
+        return False
+
+    def _accept_operator(self, symbol: str) -> bool:
+        if self._peek().is_operator(symbol):
+            self._advance()
+            return True
+        return False
+
+    # -- entry point -----------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        """Parse exactly one statement, allowing a trailing semicolon."""
+        if self._accept_keyword("EXPLAIN"):
+            inner = self.parse_statement()
+            return ExplainStatement(statement=inner)
+        token = self._peek()
+        if token.is_keyword("SELECT"):
+            statement = self._parse_select()
+        elif token.is_keyword("INSERT"):
+            statement = self._parse_insert()
+        elif token.is_keyword("UPDATE"):
+            statement = self._parse_update()
+        elif token.is_keyword("DELETE"):
+            statement = self._parse_delete()
+        elif token.is_keyword("CREATE"):
+            statement = self._parse_create()
+        elif token.is_keyword("DROP"):
+            statement = self._parse_drop()
+        elif token.is_keyword("BEGIN", "COMMIT", "ROLLBACK"):
+            statement = self._parse_transaction()
+        else:
+            raise ParseError(
+                f"expected a statement, found {token.value or 'end of input'!r}",
+                token.position,
+            )
+        self._accept_operator(";")
+        trailing = self._peek()
+        if trailing.kind != "eof":
+            raise ParseError(
+                f"unexpected trailing input {trailing.value!r}", trailing.position
+            )
+        return statement
+
+    # -- statements ------------------------------------------------------
+
+    def _parse_select(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        items = self._parse_select_items()
+        self._expect_keyword("FROM")
+        table, table_alias = self._parse_table_ref()
+        joins = []
+        while True:
+            join = self._parse_join()
+            if join is None:
+                break
+            joins.append(join)
+        where = self._parse_where()
+        group_by: Tuple[Expression, ...] = ()
+        having: Optional[Expression] = None
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            keys = [self._parse_expression()]
+            while self._accept_operator(","):
+                keys.append(self._parse_expression())
+            group_by = tuple(keys)
+            if self._accept_keyword("HAVING"):
+                having = self._parse_expression()
+        order_by: Tuple[OrderItem, ...] = ()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = self._parse_order_items()
+        limit = offset = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_nonnegative_int("LIMIT")
+            if self._accept_keyword("OFFSET"):
+                offset = self._parse_nonnegative_int("OFFSET")
+        return SelectStatement(
+            table=table,
+            items=items,
+            where=where,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+            table_alias=table_alias,
+            joins=tuple(joins),
+            group_by=group_by,
+            having=having,
+        )
+
+    def _parse_table_ref(self) -> Tuple[str, Optional[str]]:
+        """Parse ``table [AS alias | alias]``."""
+        table = self._expect_identifier()
+        if self._accept_keyword("AS"):
+            return table, self._expect_identifier()
+        if self._peek().kind == "identifier":
+            return table, self._advance().value
+        return table, None
+
+    def _parse_join(self) -> Optional[JoinClause]:
+        outer = False
+        if self._peek().is_keyword("LEFT"):
+            self._advance()
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            outer = True
+        elif self._peek().is_keyword("INNER"):
+            self._advance()
+            self._expect_keyword("JOIN")
+        elif self._peek().is_keyword("JOIN"):
+            self._advance()
+        else:
+            return None
+        table, alias = self._parse_table_ref()
+        self._expect_keyword("ON")
+        condition = self._parse_expression()
+        return JoinClause(
+            table=table, condition=condition, alias=alias, outer=outer
+        )
+
+    def _parse_select_items(self) -> Tuple[SelectItem, ...]:
+        if self._accept_operator("*"):
+            return (SelectItem(expression=None, star=True),)
+        items = [self._parse_select_item()]
+        while self._accept_operator(","):
+            items.append(self._parse_select_item())
+        return tuple(items)
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.is_keyword(*AGGREGATES):
+            func = self._advance().value
+            self._expect_operator("(")
+            distinct = self._accept_keyword("DISTINCT")
+            if self._accept_operator("*"):
+                if func != "COUNT":
+                    raise ParseError(
+                        f"{func}(*) is not valid; only COUNT(*)", token.position
+                    )
+                inner: Optional[Expression] = None
+            else:
+                inner = self._parse_expression()
+            self._expect_operator(")")
+            alias = self._parse_alias()
+            return SelectItem(
+                expression=inner,
+                alias=alias,
+                aggregate=func,
+                distinct=distinct,
+            )
+        expression = self._parse_expression()
+        alias = self._parse_alias()
+        return SelectItem(expression=expression, alias=alias)
+
+    def _parse_alias(self) -> Optional[str]:
+        if self._accept_keyword("AS"):
+            return self._expect_identifier()
+        if self._peek().kind == "identifier":
+            return self._advance().value
+        return None
+
+    def _parse_order_items(self) -> Tuple[OrderItem, ...]:
+        items = []
+        while True:
+            expression = self._parse_expression()
+            descending = False
+            if self._accept_keyword("DESC"):
+                descending = True
+            else:
+                self._accept_keyword("ASC")
+            items.append(OrderItem(expression=expression, descending=descending))
+            if not self._accept_operator(","):
+                break
+        return tuple(items)
+
+    def _parse_nonnegative_int(self, clause: str) -> int:
+        token = self._peek()
+        if token.kind != "number" or "." in token.value:
+            raise ParseError(
+                f"{clause} expects a non-negative integer", token.position
+            )
+        self._advance()
+        return int(token.value)
+
+    def _parse_where(self) -> Optional[Expression]:
+        if self._accept_keyword("WHERE"):
+            return self._parse_expression()
+        return None
+
+    def _parse_insert(self) -> InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier()
+        columns: Tuple[str, ...] = ()
+        if self._accept_operator("("):
+            names = [self._expect_identifier()]
+            while self._accept_operator(","):
+                names.append(self._expect_identifier())
+            self._expect_operator(")")
+            columns = tuple(names)
+        self._expect_keyword("VALUES")
+        rows = [self._parse_value_tuple()]
+        while self._accept_operator(","):
+            rows.append(self._parse_value_tuple())
+        return InsertStatement(table=table, columns=columns, rows=tuple(rows))
+
+    def _parse_value_tuple(self) -> Tuple[Expression, ...]:
+        self._expect_operator("(")
+        values = [self._parse_expression()]
+        while self._accept_operator(","):
+            values.append(self._parse_expression())
+        self._expect_operator(")")
+        return tuple(values)
+
+    def _parse_update(self) -> UpdateStatement:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier()
+        self._expect_keyword("SET")
+        assignments = []
+        while True:
+            column = self._expect_identifier()
+            self._expect_operator("=")
+            assignments.append((column, self._parse_expression()))
+            if not self._accept_operator(","):
+                break
+        where = self._parse_where()
+        return UpdateStatement(
+            table=table, assignments=tuple(assignments), where=where
+        )
+
+    def _parse_delete(self) -> DeleteStatement:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier()
+        where = self._parse_where()
+        return DeleteStatement(table=table, where=where)
+
+    def _parse_create(self) -> Statement:
+        self._expect_keyword("CREATE")
+        if self._accept_keyword("TABLE"):
+            if_not_exists = False
+            if self._accept_keyword("IF"):
+                self._expect_keyword("NOT")
+                self._expect_keyword("EXISTS")
+                if_not_exists = True
+            table = self._expect_identifier()
+            self._expect_operator("(")
+            columns = [self._parse_column_def()]
+            while self._accept_operator(","):
+                columns.append(self._parse_column_def())
+            self._expect_operator(")")
+            return CreateTableStatement(
+                table=table, columns=tuple(columns), if_not_exists=if_not_exists
+            )
+        if self._accept_keyword("INDEX"):
+            name = self._expect_identifier()
+            self._expect_keyword("ON")
+            table = self._expect_identifier()
+            self._expect_operator("(")
+            column = self._expect_identifier()
+            self._expect_operator(")")
+            kind = "ordered"
+            if self._accept_keyword("USING"):
+                kind = self._expect_identifier().lower()
+            return CreateIndexStatement(
+                name=name, table=table, column=column, kind=kind
+            )
+        token = self._peek()
+        raise ParseError(
+            f"expected TABLE or INDEX after CREATE, found {token.value!r}",
+            token.position,
+        )
+
+    def _parse_column_def(self) -> Column:
+        name = self._expect_identifier()
+        type_token = self._peek()
+        if type_token.kind not in ("identifier", "keyword"):
+            raise ParseError(
+                f"expected a type for column {name!r}", type_token.position
+            )
+        self._advance()
+        dtype = DataType.from_name(type_token.value)
+        # optional length suffix like VARCHAR(40) — parsed and ignored
+        if self._accept_operator("("):
+            self._parse_nonnegative_int("type length")
+            self._expect_operator(")")
+        primary_key = False
+        nullable = True
+        while True:
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                primary_key = True
+                nullable = False
+            elif self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                nullable = False
+            elif self._accept_keyword("NULL"):
+                nullable = True
+            else:
+                break
+        return Column(
+            name=name, dtype=dtype, nullable=nullable, primary_key=primary_key
+        )
+
+    def _parse_drop(self) -> DropTableStatement:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        table = self._expect_identifier()
+        return DropTableStatement(table=table, if_exists=if_exists)
+
+    def _parse_transaction(self) -> TransactionStatement:
+        token = self._advance()
+        if token.value == "BEGIN":
+            self._accept_keyword("TRANSACTION") or self._accept_keyword("WORK")
+            return TransactionStatement("begin")
+        if token.value == "COMMIT":
+            self._accept_keyword("TRANSACTION") or self._accept_keyword("WORK")
+            return TransactionStatement("commit")
+        self._accept_keyword("TRANSACTION") or self._accept_keyword("WORK")
+        return TransactionStatement("rollback")
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = Logical("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = Logical("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._accept_keyword("NOT"):
+            return Not(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.is_operator("=", "!=", "<>", "<", "<=", ">", ">="):
+            op = self._advance().value
+            if op == "<>":
+                op = "!="
+            return Comparison(op, left, self._parse_additive())
+        negated = False
+        if token.is_keyword("NOT"):
+            follower = self.tokens[self.position + 1]
+            if follower.is_keyword("IN", "BETWEEN", "LIKE"):
+                self._advance()
+                negated = True
+                token = self._peek()
+        if token.is_keyword("IS"):
+            self._advance()
+            is_negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNull(left, negated=is_negated)
+        if token.is_keyword("IN"):
+            self._advance()
+            self._expect_operator("(")
+            if self._peek().is_keyword("SELECT"):
+                subquery = self._parse_select()
+                self._expect_operator(")")
+                return InSubquery(left, subquery, negated=negated)
+            items = [self._parse_expression()]
+            while self._accept_operator(","):
+                items.append(self._parse_expression())
+            self._expect_operator(")")
+            return InList(left, tuple(items), negated=negated)
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return Between(left, low, high, negated=negated)
+        if token.is_keyword("LIKE"):
+            self._advance()
+            return Like(left, self._parse_additive(), negated=negated)
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.is_operator("+", "-"):
+                op = self._advance().value
+                left = Arithmetic(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.is_operator("*", "/", "%"):
+                op = self._advance().value
+                left = Arithmetic(op, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_operator("-"):
+            return Negate(self._parse_unary())
+        if self._accept_operator("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if token.is_operator("("):
+            self._advance()
+            if self._peek().is_keyword("SELECT"):
+                subquery = self._parse_select()
+                self._expect_operator(")")
+                return ScalarSubquery(subquery)
+            inner = self._parse_expression()
+            self._expect_operator(")")
+            return inner
+        if token.kind == "number":
+            self._advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return Literal(float(text))
+            return Literal(int(text))
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.value)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return Literal(None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.kind == "identifier":
+            self._advance()
+            name = token.value
+            if self._accept_operator("."):
+                name = f"{name}.{self._expect_identifier()}"
+            return ColumnRef(name)
+        raise ParseError(
+            f"expected an expression, found {token.value or 'end of input'!r}",
+            token.position,
+        )
+
+
+def parse(sql: str) -> Statement:
+    """Parse a single SQL statement into its AST node.
+
+    >>> stmt = parse("SELECT name FROM users WHERE id = 3")
+    >>> stmt.table
+    'users'
+    """
+    return Parser(sql).parse_statement()
+
+
+@lru_cache(maxsize=4096)
+def parse_cached(sql: str) -> Statement:
+    """Like :func:`parse`, with an LRU statement cache.
+
+    Statement nodes are immutable (frozen dataclasses), so callers may
+    share them freely. Use for hot paths that re-issue the same SQL
+    text (the guard, the SQLite proxy); parse errors are not cached.
+    """
+    return parse(sql)

@@ -1,0 +1,275 @@
+"""Rule-based access-path selection.
+
+The planner inspects the conjuncts of a WHERE clause and chooses the
+cheapest available access path for the ``FROM`` table:
+
+1. primary-key equality → direct PK lookup (O(1));
+2. equality on an indexed column → index lookup;
+3. range / BETWEEN on an ordered-indexed column → index range scan;
+4. otherwise → full scan.
+
+The chosen path yields *candidate* rowids; the executor always re-applies
+the full predicate, so an over-approximate path is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .catalog import Catalog
+from .expr import (
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    conjuncts,
+)
+from .table import HeapTable
+from .types import SQLValue
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """A resolved way of producing candidate rowids for a table.
+
+    Attributes:
+        kind: "full_scan" | "pk_lookup" | "index_lookup" | "index_range"
+            | "index_in".
+        column: the column driving the path (None for full scans).
+        index_name: name of the index used, if any.
+        key: equality key for pk/index lookups.
+        keys: key list for IN-driven lookups.
+        low/high (+ inclusivity): bounds for range scans.
+    """
+
+    kind: str
+    column: Optional[str] = None
+    index_name: Optional[str] = None
+    key: SQLValue = None
+    keys: Tuple[SQLValue, ...] = ()
+    low: SQLValue = None
+    high: SQLValue = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (used by EXPLAIN)."""
+        if self.kind == "full_scan":
+            return "FULL SCAN"
+        if self.kind == "pk_lookup":
+            return f"PK LOOKUP {self.column}={self.key!r}"
+        if self.kind == "index_lookup":
+            return f"INDEX LOOKUP {self.index_name}({self.column}={self.key!r})"
+        if self.kind == "index_in":
+            return (
+                f"INDEX IN-LOOKUP {self.index_name}"
+                f"({self.column} IN {list(self.keys)!r})"
+            )
+        low_bracket = "[" if self.low_inclusive else "("
+        high_bracket = "]" if self.high_inclusive else ")"
+        return (
+            f"INDEX RANGE {self.index_name}({self.column} in "
+            f"{low_bracket}{self.low!r}, {self.high!r}{high_bracket})"
+        )
+
+
+def _literal_value(expression: Expression) -> Tuple[bool, SQLValue]:
+    """If the expression is a literal constant, return (True, value)."""
+    if isinstance(expression, Literal):
+        return True, expression.value
+    return False, None
+
+
+def _column_equals_literal(
+    predicate: Expression,
+) -> Optional[Tuple[str, SQLValue]]:
+    """Match ``col = literal`` or ``literal = col``; return (col, value)."""
+    if not isinstance(predicate, Comparison) or predicate.op != "=":
+        return None
+    left, right = predicate.left, predicate.right
+    if isinstance(left, ColumnRef):
+        ok, value = _literal_value(right)
+        if ok and value is not None:
+            return left.name, value
+    if isinstance(right, ColumnRef):
+        ok, value = _literal_value(left)
+        if ok and value is not None:
+            return right.name, value
+    return None
+
+
+def _column_range(
+    predicate: Expression,
+) -> Optional[Tuple[str, SQLValue, SQLValue, bool, bool]]:
+    """Match a single range conjunct on a column.
+
+    Returns (column, low, high, low_inclusive, high_inclusive) with None
+    for an unbounded side.
+    """
+    if isinstance(predicate, Between) and not predicate.negated:
+        if isinstance(predicate.operand, ColumnRef):
+            low_ok, low = _literal_value(predicate.low)
+            high_ok, high = _literal_value(predicate.high)
+            if low_ok and high_ok and low is not None and high is not None:
+                return predicate.operand.name, low, high, True, True
+        return None
+    if not isinstance(predicate, Comparison):
+        return None
+    op, left, right = predicate.op, predicate.left, predicate.right
+    if op not in ("<", "<=", ">", ">="):
+        return None
+    if isinstance(left, ColumnRef):
+        ok, value = _literal_value(right)
+        if not ok or value is None:
+            return None
+        column = left.name
+    elif isinstance(right, ColumnRef):
+        ok, value = _literal_value(left)
+        if not ok or value is None:
+            return None
+        column = right.name
+        # flip: literal OP column  ==  column FLIPPED(OP) literal
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+    else:
+        return None
+    if op == "<":
+        return column, None, value, True, False
+    if op == "<=":
+        return column, None, value, True, True
+    if op == ">":
+        return column, value, None, False, True
+    return column, value, None, True, True
+
+
+def _column_in_literals(
+    predicate: Expression,
+) -> Optional[Tuple[str, Tuple[SQLValue, ...]]]:
+    """Match ``col IN (lit, lit, ...)``."""
+    if not isinstance(predicate, InList) or predicate.negated:
+        return None
+    if not isinstance(predicate.operand, ColumnRef):
+        return None
+    values = []
+    for item in predicate.items:
+        ok, value = _literal_value(item)
+        if not ok or value is None:
+            return None
+        values.append(value)
+    return predicate.operand.name, tuple(values)
+
+
+def choose_access_path(
+    catalog: Catalog, table: HeapTable, where: Optional[Expression]
+) -> AccessPath:
+    """Pick the best access path for ``table`` under predicate ``where``."""
+    predicates = conjuncts(where)
+    schema = table.schema
+    # 1. primary-key equality
+    for predicate in predicates:
+        match = _column_equals_literal(predicate)
+        if match and schema.primary_key and (
+            match[0].lower() == schema.primary_key.lower()
+        ):
+            return AccessPath(
+                kind="pk_lookup", column=schema.primary_key, key=match[1]
+            )
+    # 2. equality on any indexed column
+    for predicate in predicates:
+        match = _column_equals_literal(predicate)
+        if match is None or match[0] not in schema:
+            continue
+        index = catalog.index_on(table.name, match[0])
+        if index is not None:
+            return AccessPath(
+                kind="index_lookup",
+                column=index.column,
+                index_name=index.name,
+                key=match[1],
+            )
+    # 3. IN-list on an indexed column
+    for predicate in predicates:
+        match_in = _column_in_literals(predicate)
+        if match_in is None or match_in[0] not in schema:
+            continue
+        index = catalog.index_on(table.name, match_in[0])
+        if index is not None:
+            return AccessPath(
+                kind="index_in",
+                column=index.column,
+                index_name=index.name,
+                keys=match_in[1],
+            )
+    # 4. range on an ordered-indexed column: merge all range conjuncts
+    #    for the same column to tighten both bounds.
+    ranges: dict = {}
+    for predicate in predicates:
+        match_range = _column_range(predicate)
+        if match_range is None or match_range[0] not in schema:
+            continue
+        column, low, high, low_inc, high_inc = match_range
+        index = catalog.index_on(table.name, column, kind="ordered")
+        if index is None:
+            continue
+        entry = ranges.setdefault(
+            index.column,
+            {"index": index, "low": None, "high": None,
+             "low_inc": True, "high_inc": True},
+        )
+        if low is not None and (
+            entry["low"] is None or low > entry["low"]
+            or (low == entry["low"] and not low_inc)
+        ):
+            entry["low"], entry["low_inc"] = low, low_inc
+        if high is not None and (
+            entry["high"] is None or high < entry["high"]
+            or (high == entry["high"] and not high_inc)
+        ):
+            entry["high"], entry["high_inc"] = high, high_inc
+    if ranges:
+        column, entry = next(iter(ranges.items()))
+        return AccessPath(
+            kind="index_range",
+            column=column,
+            index_name=entry["index"].name,
+            low=entry["low"],
+            high=entry["high"],
+            low_inclusive=entry["low_inc"],
+            high_inclusive=entry["high_inc"],
+        )
+    return AccessPath(kind="full_scan")
+
+
+def candidate_rowids(
+    catalog: Catalog, table: HeapTable, path: AccessPath
+) -> List[int]:
+    """Materialize the candidate rowid list for an access path."""
+    if path.kind == "full_scan":
+        return table.rowids()
+    if path.kind == "pk_lookup":
+        rowid = table.lookup_pk(path.key)
+        return [rowid] if rowid is not None else []
+    index = None
+    for candidate in catalog.indexes_for(table.name):
+        if candidate.name == path.index_name:
+            index = candidate
+            break
+    if index is None:  # index dropped between plan and execute
+        return table.rowids()
+    if path.kind == "index_lookup":
+        return index.lookup(path.key)
+    if path.kind == "index_in":
+        rowids: List[int] = []
+        for key in path.keys:
+            rowids.extend(index.lookup(key))
+        return sorted(set(rowids))
+    if path.kind == "index_range":
+        return index.range(  # type: ignore[union-attr]
+            low=path.low,
+            high=path.high,
+            low_inclusive=path.low_inclusive,
+            high_inclusive=path.high_inclusive,
+        )
+    raise ValueError(f"unknown access path kind {path.kind!r}")

@@ -1,0 +1,147 @@
+"""Table schemas: named, typed columns with lightweight constraints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import CatalogError, ConstraintError
+from .types import DataType, SQLValue
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition.
+
+    Attributes:
+        name: column name (case-insensitive for lookup, case-preserving
+            for display).
+        dtype: the declared :class:`~repro.engine.types.DataType`.
+        nullable: whether NULL is permitted.
+        primary_key: whether this column is (part of) the primary key.
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    primary_key: bool = False
+
+    def validate(self, value: SQLValue) -> SQLValue:
+        """Check ``value`` against this column's type and nullability."""
+        if value is None:
+            if not self.nullable or self.primary_key:
+                raise ConstraintError(f"column {self.name!r} may not be NULL")
+            return None
+        return self.dtype.validate(value, self.name)
+
+
+class TableSchema:
+    """An ordered collection of :class:`Column` objects.
+
+    Provides positional and by-name access. Column-name lookup is
+    case-insensitive, matching common SQL behaviour.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise CatalogError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._index: Dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            key = column.name.lower()
+            if key in self._index:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table {name!r}"
+                )
+            self._index[key] = position
+        pk = [c.name for c in self.columns if c.primary_key]
+        if len(pk) > 1:
+            raise CatalogError(
+                f"table {name!r} declares multiple primary keys: {pk}"
+            )
+        self.primary_key: Optional[str] = pk[0] if pk else None
+
+    # -- lookups ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def position(self, name: str) -> int:
+        """Return the 0-based position of ``name`` or raise CatalogError."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` named ``name``."""
+        return self.columns[self.position(name)]
+
+    def column_names(self) -> List[str]:
+        """Return column names in declaration order."""
+        return [c.name for c in self.columns]
+
+    # -- validation ------------------------------------------------------
+
+    def validate_row(self, values: Sequence[SQLValue]) -> Tuple[SQLValue, ...]:
+        """Validate a full positional row, returning the coerced tuple."""
+        if len(values) != len(self.columns):
+            raise ConstraintError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        return tuple(
+            column.validate(value)
+            for column, value in zip(self.columns, values)
+        )
+
+    def row_from_mapping(self, mapping: Dict[str, SQLValue]) -> Tuple[SQLValue, ...]:
+        """Build a positional row from a column→value mapping.
+
+        Missing columns default to NULL (validated against nullability);
+        unknown keys raise :class:`~repro.engine.errors.CatalogError`.
+        """
+        for key in mapping:
+            if key not in self:
+                raise CatalogError(
+                    f"no column {key!r} in table {self.name!r}"
+                )
+        lowered = {key.lower(): value for key, value in mapping.items()}
+        return self.validate_row(
+            [lowered.get(c.name.lower()) for c in self.columns]
+        )
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.dtype.value}" for c in self.columns)
+        return f"TableSchema({self.name!r}: {cols})"
+
+
+def schema(name: str, *specs: Tuple) -> TableSchema:
+    """Convenience constructor for a :class:`TableSchema`.
+
+    Each spec is ``(name, dtype)`` or ``(name, dtype, options...)`` where
+    options are the strings ``"pk"`` and/or ``"not null"``.
+
+    >>> s = schema("t", ("id", DataType.INTEGER, "pk"), ("v", DataType.TEXT))
+    >>> s.primary_key
+    'id'
+    """
+    columns = []
+    for spec in specs:
+        col_name, dtype = spec[0], spec[1]
+        options = {str(opt).lower() for opt in spec[2:]}
+        columns.append(
+            Column(
+                name=col_name,
+                dtype=dtype,
+                nullable="not null" not in options and "pk" not in options,
+                primary_key="pk" in options,
+            )
+        )
+    return TableSchema(name, columns)

@@ -1,0 +1,171 @@
+"""Heap tables with stable row identifiers.
+
+A :class:`HeapTable` stores validated row tuples keyed by a monotonically
+increasing row id. Row ids are stable across updates (an UPDATE keeps the
+row id), which is what lets the delay layer track per-tuple popularity
+and update counts without caring about value churn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .errors import ConstraintError
+from .schema import TableSchema
+from .types import SQLValue
+
+Row = Tuple[SQLValue, ...]
+
+
+class HeapTable:
+    """An insert-ordered collection of rows with stable integer row ids."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: Dict[int, Row] = {}
+        self._next_rowid = 1
+        self._pk_index: Optional[Dict[SQLValue, int]] = (
+            {} if schema.primary_key else None
+        )
+        self._pk_position = (
+            schema.position(schema.primary_key) if schema.primary_key else -1
+        )
+        #: observers notified as (event, rowid, row, old_row) on every
+        #: mutation; events are "insert", "update", "delete". ``row`` is
+        #: the new row ("delete" passes the removed row); ``old_row`` is
+        #: the prior row for "update", else None. Indexes and the
+        #: transaction undo log both subscribe here.
+        self._observers: List[
+            Callable[[str, int, Row, Optional[Row]], None]
+        ] = []
+
+    # -- observer plumbing -------------------------------------------------
+
+    def subscribe(
+        self, observer: Callable[[str, int, Row, Optional[Row]], None]
+    ) -> None:
+        """Register a mutation observer (called after each change)."""
+        self._observers.append(observer)
+
+    def unsubscribe(
+        self, observer: Callable[[str, int, Row, Optional[Row]], None]
+    ) -> None:
+        """Remove a previously registered observer."""
+        self._observers.remove(observer)
+
+    def _notify(
+        self, event: str, rowid: int, row: Row, old: Optional[Row] = None
+    ) -> None:
+        for observer in self._observers:
+            observer(event, rowid, row, old)
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The table name from the schema."""
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, rowid: int) -> bool:
+        return rowid in self._rows
+
+    def get(self, rowid: int) -> Optional[Row]:
+        """Return the row stored at ``rowid`` or None."""
+        return self._rows.get(rowid)
+
+    def scan(self) -> Iterator[Tuple[int, Row]]:
+        """Yield ``(rowid, row)`` pairs in insertion order.
+
+        Mutating the table during a scan is not supported; materialize
+        first if the caller needs to mutate (the executor does this for
+        UPDATE/DELETE).
+        """
+        return iter(self._rows.items())
+
+    def rowids(self) -> List[int]:
+        """Return a snapshot list of all current row ids."""
+        return list(self._rows.keys())
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, values: Sequence[SQLValue]) -> int:
+        """Validate and insert a positional row; return its new rowid."""
+        row = self.schema.validate_row(values)
+        if self._pk_index is not None:
+            key = row[self._pk_position]
+            if key in self._pk_index:
+                raise ConstraintError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        if self._pk_index is not None:
+            self._pk_index[row[self._pk_position]] = rowid
+        self._notify("insert", rowid, row)
+        return rowid
+
+    def update(self, rowid: int, values: Sequence[SQLValue]) -> Row:
+        """Replace the row at ``rowid`` with a validated new row."""
+        if rowid not in self._rows:
+            raise ConstraintError(f"no row {rowid} in table {self.name!r}")
+        row = self.schema.validate_row(values)
+        old_row = self._rows[rowid]
+        if self._pk_index is not None:
+            old_key = old_row[self._pk_position]
+            new_key = row[self._pk_position]
+            if new_key != old_key and new_key in self._pk_index:
+                raise ConstraintError(
+                    f"duplicate primary key {new_key!r} in table {self.name!r}"
+                )
+            del self._pk_index[old_key]
+            self._pk_index[new_key] = rowid
+        self._rows[rowid] = row
+        self._notify("update", rowid, row, old_row)
+        return row
+
+    def delete(self, rowid: int) -> Row:
+        """Remove and return the row at ``rowid``."""
+        if rowid not in self._rows:
+            raise ConstraintError(f"no row {rowid} in table {self.name!r}")
+        row = self._rows.pop(rowid)
+        if self._pk_index is not None:
+            del self._pk_index[row[self._pk_position]]
+        self._notify("delete", rowid, row)
+        return row
+
+    def restore(self, rowid: int, values: Sequence[SQLValue]) -> None:
+        """Re-insert a row at a specific rowid (transaction rollback).
+
+        The rowid must be free; primary-key uniqueness is enforced.
+        Observers see an ordinary "insert", keeping indexes consistent.
+        """
+        if rowid in self._rows:
+            raise ConstraintError(
+                f"rowid {rowid} already occupied in table {self.name!r}"
+            )
+        row = self.schema.validate_row(values)
+        if self._pk_index is not None:
+            key = row[self._pk_position]
+            if key in self._pk_index:
+                raise ConstraintError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+            self._pk_index[key] = rowid
+        self._rows[rowid] = row
+        self._next_rowid = max(self._next_rowid, rowid + 1)
+        self._notify("insert", rowid, row)
+
+    # -- primary key fast path ---------------------------------------------
+
+    def lookup_pk(self, key: SQLValue) -> Optional[int]:
+        """Return the rowid holding primary key ``key``, if any."""
+        if self._pk_index is None:
+            return None
+        return self._pk_index.get(key)
+
+    def __repr__(self) -> str:
+        return f"HeapTable({self.name!r}, rows={len(self)})"

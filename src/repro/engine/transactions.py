@@ -1,0 +1,126 @@
+"""Transactions: undo-log based BEGIN / COMMIT / ROLLBACK.
+
+The engine supports one active transaction per database (no
+savepoints). While a transaction is open, an :class:`UndoLog` subscribes
+to every table's mutation stream and records the inverse of each change;
+ROLLBACK replays the inverses newest-first. Because the undo operations
+are ordinary table mutations, secondary indexes stay consistent for
+free.
+
+The same machinery gives *statement-level atomicity* outside explicit
+transactions: :class:`~repro.engine.database.Database` wraps every DML
+statement in a scratch undo scope and rolls it back if the statement
+raises part-way (e.g. a multi-row INSERT hitting a duplicate key on its
+third row).
+
+DDL (CREATE/DROP) is not transactional: it is rejected inside an open
+transaction rather than half-supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .errors import EngineError
+from .table import HeapTable, Row
+
+
+class TransactionError(EngineError):
+    """Raised on invalid transaction control (nested BEGIN, stray COMMIT)."""
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """The inverse of one mutation.
+
+    Attributes:
+        table: the mutated heap table.
+        kind: the original event ("insert", "update", "delete").
+        rowid: the affected rowid.
+        row: data needed to undo — the old row for updates, the deleted
+            row for deletes, None for inserts.
+    """
+
+    table: HeapTable
+    kind: str
+    rowid: int
+    row: Optional[Row]
+
+    def undo(self) -> None:
+        """Apply the inverse mutation."""
+        if self.kind == "insert":
+            self.table.delete(self.rowid)
+        elif self.kind == "update":
+            assert self.row is not None
+            self.table.update(self.rowid, self.row)
+        elif self.kind == "delete":
+            assert self.row is not None
+            self.table.restore(self.rowid, self.row)
+        else:  # pragma: no cover - table emits only these three
+            raise TransactionError(f"cannot undo event {self.kind!r}")
+
+
+class UndoLog:
+    """Records inverse operations for a set of tables.
+
+    Attach to tables with :meth:`attach`; every mutation thereafter is
+    recorded until :meth:`detach`. :meth:`rollback` detaches first, so
+    the undo mutations themselves are not re-recorded.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[UndoRecord] = []
+        self._attached: List[Tuple[HeapTable, object]] = []
+
+    def attach(self, table: HeapTable) -> None:
+        """Start recording mutations of ``table``."""
+
+        def observer(
+            event: str, rowid: int, row: Row, old: Optional[Row] = None
+        ) -> None:
+            if event == "insert":
+                self.records.append(UndoRecord(table, "insert", rowid, None))
+            elif event == "update":
+                self.records.append(UndoRecord(table, "update", rowid, old))
+            elif event == "delete":
+                self.records.append(UndoRecord(table, "delete", rowid, row))
+
+        table.subscribe(observer)
+        self._attached.append((table, observer))
+
+    def detach(self) -> None:
+        """Stop recording everywhere."""
+        for table, observer in self._attached:
+            table.unsubscribe(observer)
+        self._attached.clear()
+
+    def rollback(self) -> int:
+        """Undo every recorded mutation, newest first.
+
+        Returns the number of mutations undone.
+        """
+        self.detach()
+        undone = 0
+        for record in reversed(self.records):
+            record.undo()
+            undone += 1
+        self.records.clear()
+        return undone
+
+    def commit(self) -> int:
+        """Discard the log, keeping all changes; returns record count."""
+        count = len(self.records)
+        self.detach()
+        self.records.clear()
+        return count
+
+    def merge_into(self, parent: "UndoLog") -> None:
+        """Hand this scope's records to an enclosing log (statement
+        scope inside an explicit transaction)."""
+        self.detach()
+        parent.records.extend(self.records)
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,108 @@
+"""Column types for the relational engine.
+
+The engine supports four scalar types — INTEGER, FLOAT, TEXT, and BOOLEAN —
+plus SQL NULL (represented as Python ``None``). Type objects validate and
+coerce Python values on insertion so that tables never hold values outside
+their declared domain.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional, Tuple, Union
+
+from .errors import TypeMismatchError
+
+#: Union of Python values an engine cell may hold.
+SQLValue = Optional[Union[int, float, str, bool]]
+
+
+class DataType(enum.Enum):
+    """Enumeration of supported column types."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        """Resolve a type from its SQL name, accepting common aliases.
+
+        >>> DataType.from_name("int")
+        <DataType.INTEGER: 'INTEGER'>
+        """
+        normalized = name.strip().upper()
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "FLOAT": cls.FLOAT,
+            "REAL": cls.FLOAT,
+            "DOUBLE": cls.FLOAT,
+            "NUMERIC": cls.FLOAT,
+            "DECIMAL": cls.FLOAT,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise TypeMismatchError(f"unknown type name: {name!r}") from None
+
+    def validate(self, value: SQLValue, column: str = "?") -> SQLValue:
+        """Coerce ``value`` into this type's domain or raise.
+
+        ``None`` always passes (NULL is a member of every domain). Integers
+        are accepted for FLOAT columns and silently widened; bools are
+        *not* accepted for INTEGER columns (Python's bool-is-int would
+        otherwise let ``True`` leak into numeric data).
+        """
+        if value is None:
+            return None
+        if self is DataType.INTEGER:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeMismatchError(
+                    f"column {column!r} expects INTEGER, got {value!r}"
+                )
+            return value
+        if self is DataType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeMismatchError(
+                    f"column {column!r} expects FLOAT, got {value!r}"
+                )
+            return float(value)
+        if self is DataType.TEXT:
+            if not isinstance(value, str):
+                raise TypeMismatchError(
+                    f"column {column!r} expects TEXT, got {value!r}"
+                )
+            return value
+        if self is DataType.BOOLEAN:
+            if not isinstance(value, bool):
+                raise TypeMismatchError(
+                    f"column {column!r} expects BOOLEAN, got {value!r}"
+                )
+            return value
+        raise TypeMismatchError(f"unhandled type {self}")  # pragma: no cover
+
+
+#: Sort key that orders NULLs first and supports mixed numeric types.
+def sort_key(value: SQLValue) -> Tuple[int, Any]:
+    """Return a total-order key for a cell value.
+
+    NULL sorts before everything; within a type, natural order applies.
+    Mixed-type comparisons order by type name to stay deterministic.
+    """
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, value)

@@ -1,0 +1,34 @@
+"""One module per paper table/figure; see :mod:`repro.experiments.runner`."""
+
+from .fig1_calgary_distribution import Fig1Result, run_fig1
+from .fig23_boxoffice_distribution import Fig23Result, run_fig23
+from .fig456_update_skew import Fig456Result, SkewPoint, run_fig456
+from .table1_synthetic_scaling import Table1Result, Table1Row, run_table1
+from .table2_cap_scaling import Table2Result, Table2Row, run_table2
+from .table3_calgary_decay import Table3Result, Table3Row, run_table3
+from .table4_boxoffice_decay import Table4Result, Table4Row, run_table4
+from .table5_overhead import Table5Result, run_table5
+
+__all__ = [
+    "Fig1Result",
+    "Fig23Result",
+    "Fig456Result",
+    "SkewPoint",
+    "Table1Result",
+    "Table1Row",
+    "Table2Result",
+    "Table2Row",
+    "Table3Result",
+    "Table3Row",
+    "Table4Result",
+    "Table4Row",
+    "Table5Result",
+    "run_fig1",
+    "run_fig23",
+    "run_fig456",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

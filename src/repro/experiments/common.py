@@ -1,0 +1,26 @@
+"""Shared plumbing for the per-table / per-figure experiment modules.
+
+Every experiment follows the same pattern: build a workload, replay it
+through a guarded database on a virtual clock, evaluate an adversary,
+and report paper-style rows. Each module exposes a ``run_*`` function
+returning a structured result with a ``to_table()`` renderer; the CLI
+(:mod:`repro.experiments.runner`) and the benchmark suite both consume
+these functions.
+
+Experiments default to the paper's full scale; pass ``scale`` (in
+(0, 1]) to shrink populations and request counts proportionally — the
+test suite runs at small scales, the benchmark suite at full scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import ConfigError
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an experiment size, keeping at least ``minimum``."""
+    if not 0 < scale <= 1:
+        raise ConfigError(f"scale must be in (0, 1], got {scale}")
+    return max(minimum, int(round(value * scale)))

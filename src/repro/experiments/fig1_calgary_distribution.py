@@ -1,0 +1,68 @@
+"""Figure 1: request distribution of the (synthetic) Calgary trace.
+
+The paper's Figure 1 plots the request counts of the ten most popular
+objects in the Calgary trace, which "loosely follows an exponential
+popularity distribution with α ≈ 1.5". This experiment regenerates the
+synthetic trace, reports the top-10 counts, and fits α to verify the
+skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.analysis import fit_zipf_alpha
+from ..sim.experiment import ResultTable
+from ..workloads.calgary import (
+    CALGARY_ALPHA,
+    CALGARY_OBJECTS,
+    CALGARY_REQUESTS,
+    generate_calgary,
+)
+from .common import scaled
+
+
+@dataclass
+class Fig1Result:
+    """Top-of-distribution shape of the Calgary-like trace."""
+
+    top10: List[Tuple[int, int]]  # (rank position item, request count)
+    fitted_alpha: float
+    total_requests: int
+    distinct_objects: int
+
+    def to_table(self) -> ResultTable:
+        """Render as the paper's Figure 1 data (rank vs frequency)."""
+        table = ResultTable(
+            title="Figure 1 — Request Distribution: Calgary-like Trace",
+            columns=("rank", "requests"),
+            note=(
+                f"fitted alpha={self.fitted_alpha:.2f} "
+                f"(paper: ~{CALGARY_ALPHA}), "
+                f"{self.total_requests} requests over "
+                f"{self.distinct_objects} objects"
+            ),
+        )
+        for position, (_item, count) in enumerate(self.top10, start=1):
+            table.add_row(str(position), str(count))
+        return table
+
+
+def run_fig1(scale: float = 1.0, seed: int = 2004) -> Fig1Result:
+    """Generate the trace and measure its head shape."""
+    dataset = generate_calgary(
+        num_objects=scaled(CALGARY_OBJECTS, scale),
+        num_requests=scaled(CALGARY_REQUESTS, scale),
+        seed=seed,
+    )
+    frequencies = dataset.trace.item_frequencies()
+    ranked = frequencies.most_common()
+    # Fit over the top decades where the power law is clean.
+    head = [count for _item, count in ranked[: min(len(ranked), 200)]]
+    return Fig1Result(
+        top10=ranked[:10],
+        fitted_alpha=fit_zipf_alpha(head),
+        total_requests=len(dataset.trace),
+        distinct_objects=len(ranked),
+    )

@@ -1,0 +1,105 @@
+"""Command-line experiment runner.
+
+Run every experiment (or a subset) and print paper-style tables::
+
+    python -m repro.experiments.runner            # everything, full scale
+    python -m repro.experiments.runner --scale 0.02 table1 fig456
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Sequence
+
+from .ablations import (
+    run_adaptive_ablation,
+    run_beta_ablation,
+    run_policy_ablation,
+    run_store_ablation,
+)
+from .fig1_calgary_distribution import run_fig1
+from .fig23_boxoffice_distribution import run_fig23
+from .fig456_update_skew import run_fig456
+from .table1_synthetic_scaling import run_table1
+from .table2_cap_scaling import run_table2
+from .table3_calgary_decay import run_table3
+from .table4_boxoffice_decay import run_table4
+from .table5_overhead import run_table5
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": run_fig1,
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "fig23": run_fig23,
+    "table4": run_table4,
+    "fig456": run_fig456,
+    "table5": run_table5,
+    "ablation-stores": run_store_ablation,
+    "ablation-policies": run_policy_ablation,
+    "ablation-beta": run_beta_ablation,
+    "ablation-adaptive": run_adaptive_ablation,
+}
+
+
+def main(argv: Sequence[str] = None) -> int:
+    """Entry point: run selected experiments at the given scale."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help=(
+            "which experiments to run (default: all); choices: "
+            + ", ".join(EXPERIMENTS)
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="shrink populations/request counts to this fraction (0, 1]",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each experiment's table as CSV into this directory",
+    )
+    args = parser.parse_args(argv)
+    names = (
+        list(EXPERIMENTS)
+        if not args.names or "all" in args.names
+        else args.names
+    )
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {unknown}; choices: "
+            + ", ".join(EXPERIMENTS)
+        )
+
+    if args.csv_dir:
+        from pathlib import Path
+
+        Path(args.csv_dir).mkdir(parents=True, exist_ok=True)
+    for name in names:
+        started = time.perf_counter()
+        result = EXPERIMENTS[name](scale=args.scale)
+        elapsed = time.perf_counter() - started
+        table = result.to_table()
+        table.show()
+        if args.csv_dir:
+            from pathlib import Path
+
+            destination = Path(args.csv_dir) / f"{name}.csv"
+            table.to_csv(destination)
+            print(f"  [written to {destination}]")
+        print(f"  [{name} completed in {elapsed:.1f}s wall time]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

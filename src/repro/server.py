@@ -1,0 +1,255 @@
+"""A TCP front door for the data-provider service.
+
+:class:`DelayServer` exposes a :class:`~repro.service.DataProviderService`
+over a JSON-lines protocol — one JSON object per line in each direction
+— and :class:`DelayClient` is its Python client. This is the deployment
+shape the paper assumes: clients cannot reach the database except
+through the guarded front door, and delays are served while the
+connection waits.
+
+Protocol requests::
+
+    {"op": "register", "identity": "alice", "subnet": "10.0.0.0/8"}
+    {"op": "query", "sql": "SELECT ...", "identity": "alice"}
+    {"op": "report"}
+    {"op": "ping"}
+
+Responses are ``{"ok": true, ...}`` or
+``{"ok": false, "error": "...", "reason": "...", "retry_after": 1.5}``.
+
+The service is guarded by a lock (one statement at a time); with a
+:class:`~repro.core.clock.RealClock` the lock is *not* held while the
+delay is served, so slow (penalised) queries do not stall other
+clients.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Dict, Optional, Tuple
+
+from .core.errors import AccessDenied, ConfigError, DelayDefenseError
+from .engine.errors import EngineError
+from .service import DataProviderService
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "DelayServer" = self.server.delay_server  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            line = raw.decode("utf-8").strip()
+            if not line:
+                continue
+            response = server.handle_request(line)
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if response.get("op") == "bye":
+                break
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class DelayServer:
+    """Serves a :class:`DataProviderService` over TCP.
+
+    Args:
+        service: the guarded provider to expose.
+        host/port: bind address; port 0 picks a free port.
+    """
+
+    def __init__(
+        self,
+        service: DataProviderService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self._lock = threading.Lock()
+        self._tcp = _TcpServer((host, port), _Handler)
+        self._tcp.delay_server = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port)."""
+        return self._tcp.server_address  # type: ignore[return-value]
+
+    def start(self) -> None:
+        """Serve in a background thread until :meth:`stop`."""
+        if self._thread is not None:
+            raise ConfigError("server already started")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "DelayServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request dispatch -----------------------------------------------------
+
+    def handle_request(self, line: str) -> Dict:
+        """Process one JSON request line into a response dict."""
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as error:
+            return {"ok": False, "error": f"bad json: {error}"}
+        if not isinstance(request, dict) or "op" not in request:
+            return {"ok": False, "error": "request must be {'op': ...}"}
+        op = request["op"]
+        try:
+            if op == "ping":
+                return {"ok": True, "op": "pong"}
+            if op == "bye":
+                return {"ok": True, "op": "bye"}
+            if op == "register":
+                return self._handle_register(request)
+            if op == "query":
+                return self._handle_query(request)
+            if op == "report":
+                return self._handle_report()
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except AccessDenied as denied:
+            return {
+                "ok": False,
+                "error": str(denied),
+                "reason": denied.reason,
+                "retry_after": denied.retry_after,
+            }
+        except (EngineError, DelayDefenseError) as error:
+            return {"ok": False, "error": str(error)}
+
+    def _handle_register(self, request: Dict) -> Dict:
+        identity = request.get("identity")
+        if not identity:
+            return {"ok": False, "error": "register needs an identity"}
+        with self._lock:
+            account = self.service.register(
+                identity, subnet=request.get("subnet", "0.0.0.0/0")
+            )
+        return {
+            "ok": True,
+            "identity": account.identity,
+            "registered_at": account.registered_at,
+        }
+
+    def _handle_query(self, request: Dict) -> Dict:
+        sql = request.get("sql")
+        if not sql:
+            return {"ok": False, "error": "query needs sql"}
+        with self._lock:
+            # Compute + record under the lock, but do NOT serve the
+            # sleep while holding it: other clients must progress.
+            result = self.service.guard.execute(
+                sql, identity=request.get("identity"), sleep=False
+            )
+        if result.delay > 0:
+            self.service.clock.sleep(result.delay)
+        return {
+            "ok": True,
+            "columns": result.result.columns,
+            "rows": [list(row) for row in result.result.rows],
+            "delay": result.delay,
+            "rowcount": result.result.rowcount,
+        }
+
+    def _handle_report(self) -> Dict:
+        with self._lock:
+            report = self.service.report()
+        return {
+            "ok": True,
+            "users": report.users,
+            "queries": report.queries,
+            "denied": report.denied,
+            "median_user_delay": report.median_user_delay,
+            "extraction_cost": report.extraction_cost,
+            "max_extraction_cost": report.max_extraction_cost,
+        }
+
+
+class ServerError(DelayDefenseError):
+    """Raised by :class:`DelayClient` when the server reports an error."""
+
+    def __init__(self, payload: Dict):
+        super().__init__(payload.get("error", "server error"))
+        self.payload = payload
+        self.reason = payload.get("reason")
+        self.retry_after = payload.get("retry_after", 0.0)
+
+
+class DelayClient:
+    """JSON-lines client for :class:`DelayServer`.
+
+    >>> # with DelayServer(service) as server:
+    >>> #     client = DelayClient(*server.address)
+    >>> #     client.query("SELECT * FROM t WHERE id = 1")
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._socket = socket.create_connection((host, port), timeout)
+        self._file = self._socket.makefile("rwb")
+
+    def _call(self, request: Dict) -> Dict:
+        self._file.write((json.dumps(request) + "\n").encode("utf-8"))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServerError({"error": "connection closed by server"})
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise ServerError(response)
+        return response
+
+    def ping(self) -> bool:
+        """Round-trip health check."""
+        return self._call({"op": "ping"})["op"] == "pong"
+
+    def register(self, identity: str, subnet: str = "0.0.0.0/0") -> Dict:
+        """Register an identity with the provider."""
+        return self._call(
+            {"op": "register", "identity": identity, "subnet": subnet}
+        )
+
+    def query(self, sql: str, identity: Optional[str] = None) -> Dict:
+        """Run one statement; returns columns/rows/delay."""
+        request: Dict = {"op": "query", "sql": sql}
+        if identity is not None:
+            request["identity"] = identity
+        return self._call(request)
+
+    def report(self) -> Dict:
+        """Fetch the operator report."""
+        return self._call({"op": "report"})
+
+    def close(self) -> None:
+        """Say goodbye and close the connection."""
+        try:
+            self._call({"op": "bye"})
+        except (ServerError, OSError):
+            pass
+        self._file.close()
+        self._socket.close()
+
+    def __enter__(self) -> "DelayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,226 @@
+"""The complete data-provider service: database + guard + accounts.
+
+:class:`DataProviderService` is the deployable composition of every
+layer in this library — what the paper's information provider would
+actually run. It owns the engine, the delay guard, and the account
+manager; exposes user-facing ``register``/``query``; and gives the
+operator an admin report plus full state save/load (schema, data, *and*
+learned popularity, so delays survive restarts).
+
+>>> from repro.core import AccountPolicy
+>>> service = DataProviderService(account_policy=AccountPolicy())
+>>> _ = service.database.execute(
+...     "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+>>> _ = service.database.execute("INSERT INTO t VALUES (1, 'x')")
+>>> _ = service.register("alice")
+>>> service.query("alice", "SELECT * FROM t WHERE id = 1").rows
+[(1, 'x')]
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .core.accounts import Account, AccountManager, AccountPolicy
+from .core.clock import Clock, VirtualClock
+from .core.config import GuardConfig
+from .core.errors import ConfigError
+from .core.guard import DelayGuard, GuardedResult
+from .engine.database import Database
+from .engine.persistence import (
+    PersistenceError,
+    dump_database,
+    load_database,
+)
+from .sim.metrics import format_seconds
+
+#: Format identifier for full-service save files.
+SERVICE_FORMAT = "repro-service-v1"
+
+
+@dataclass
+class ServiceReport:
+    """Operator-facing snapshot of a running service.
+
+    Attributes:
+        users: registered identities.
+        queries: queries served (including denials).
+        denied: queries refused by account limits.
+        median_user_delay: median per-SELECT delay so far.
+        total_delay_charged: cumulative delay charged.
+        extraction_cost: what a full extraction would cost right now.
+        max_extraction_cost: the N·d_max bound (None without a cap).
+        protection_ratio: extraction cost over median delay.
+        top_tuples: the currently most popular (table, rowid, share).
+    """
+
+    users: int
+    queries: int
+    denied: int
+    median_user_delay: float
+    total_delay_charged: float
+    extraction_cost: float
+    max_extraction_cost: Optional[float]
+    top_tuples: List[Tuple[str, int, float]] = field(default_factory=list)
+
+    @property
+    def protection_ratio(self) -> float:
+        """Adversary cost relative to the median legitimate delay."""
+        if self.median_user_delay <= 0:
+            return float("inf")
+        return self.extraction_cost / self.median_user_delay
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"users               : {self.users}",
+            f"queries served      : {self.queries} "
+            f"({self.denied} denied)",
+            f"median user delay   : "
+            f"{format_seconds(self.median_user_delay)}",
+            f"delay charged total : "
+            f"{format_seconds(self.total_delay_charged)}",
+            f"extraction cost now : {format_seconds(self.extraction_cost)}",
+        ]
+        if self.max_extraction_cost is not None:
+            fraction = (
+                self.extraction_cost / self.max_extraction_cost
+                if self.max_extraction_cost
+                else 0.0
+            )
+            lines.append(
+                f"vs N*d_max bound    : "
+                f"{format_seconds(self.max_extraction_cost)} "
+                f"({fraction:.0%} reached)"
+            )
+        for table, rowid, share in self.top_tuples:
+            lines.append(
+                f"  hot tuple {table}#{rowid}: {share:.1%} of requests"
+            )
+        return "\n".join(lines)
+
+
+class DataProviderService:
+    """Database + delay guard + accounts, wired together.
+
+    Args:
+        database: an existing engine (a fresh one by default).
+        guard_config: delay policy configuration (§2 defaults).
+        account_policy: §2.4 defenses; None disables account
+            enforcement entirely (anonymous queries allowed).
+        clock: time source (virtual by default; pass
+            :class:`~repro.core.clock.RealClock` to actually delay).
+    """
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        guard_config: Optional[GuardConfig] = None,
+        account_policy: Optional[AccountPolicy] = None,
+        clock: Optional[Clock] = None,
+    ):
+        self.database = database if database is not None else Database()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.accounts = (
+            AccountManager(policy=account_policy, clock=self.clock)
+            if account_policy is not None
+            else None
+        )
+        self.guard = DelayGuard(
+            self.database,
+            config=guard_config,
+            clock=self.clock,
+            accounts=self.accounts,
+        )
+
+    # -- user-facing ---------------------------------------------------------
+
+    def register(self, identity: str, subnet: str = "0.0.0.0/0") -> Account:
+        """Register an identity (subject to the registration gate)."""
+        if self.accounts is None:
+            raise ConfigError(
+                "this service runs without accounts; queries are anonymous"
+            )
+        return self.accounts.register(identity, subnet=subnet)
+
+    def query(
+        self, identity: Optional[str], sql: str, record: bool = True
+    ) -> GuardedResult:
+        """Serve one query through the guard."""
+        return self.guard.execute(sql, identity=identity, record=record)
+
+    # -- operator-facing ---------------------------------------------------------
+
+    def report(self, top_k: int = 3) -> ServiceReport:
+        """Build an operator report of current protection posture."""
+        stats = self.guard.stats
+        snapshot = self.guard.popularity.snapshot()[:top_k]
+        total = max(self.guard.popularity.total_requests, 1.0)
+        top = [
+            (table, rowid, count / total)
+            for (table, rowid), count in snapshot
+        ]
+        max_cost = (
+            self.guard.max_extraction_cost()
+            if self.guard.config.cap is not None
+            else None
+        )
+        return ServiceReport(
+            users=len(self.accounts.accounts) if self.accounts else 0,
+            queries=stats.queries,
+            denied=stats.denied,
+            median_user_delay=stats.median_delay(),
+            total_delay_charged=stats.total_delay,
+            extraction_cost=self.guard.extraction_cost(),
+            max_extraction_cost=max_cost,
+            top_tuples=top,
+        )
+
+    # -- state persistence ----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist database *and* learned guard state to one file."""
+        payload = {
+            "format": SERVICE_FORMAT,
+            "database": dump_database(self.database),
+            "guard": self.guard.dump_state(),
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        guard_config: Optional[GuardConfig] = None,
+        account_policy: Optional[AccountPolicy] = None,
+        clock: Optional[Clock] = None,
+    ) -> "DataProviderService":
+        """Restore a service saved with :meth:`save`.
+
+        The guard configuration is supplied by the caller (policy knobs
+        are deployment configuration, not data); its decay rate must
+        match the saved state.
+        """
+        file_path = Path(path)
+        if not file_path.exists():
+            raise PersistenceError(f"no service save at {file_path}")
+        try:
+            payload = json.loads(file_path.read_text())
+        except json.JSONDecodeError as error:
+            raise PersistenceError(f"corrupt service save: {error}") from error
+        if payload.get("format") != SERVICE_FORMAT:
+            raise PersistenceError(
+                f"unsupported service format {payload.get('format')!r}"
+            )
+        database = load_database(payload["database"])
+        service = cls(
+            database=database,
+            guard_config=guard_config,
+            account_policy=account_policy,
+            clock=clock,
+        )
+        service.guard.load_state(payload["guard"])
+        return service

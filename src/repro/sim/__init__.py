@@ -1,0 +1,30 @@
+"""Simulation harness: trace replay, concurrent sessions, metrics."""
+
+from .concurrent import (
+    ConcurrentSimulation,
+    SessionReport,
+    SimStep,
+    SimulationReport,
+    extraction_script,
+    trace_script,
+)
+from .experiment import GuardedFixture, ResultTable, build_guarded_items
+from .metrics import DelayDistribution, format_ratio, format_seconds
+from .simulator import ReplayReport, TraceReplayer
+
+__all__ = [
+    "ConcurrentSimulation",
+    "DelayDistribution",
+    "GuardedFixture",
+    "ReplayReport",
+    "ResultTable",
+    "SessionReport",
+    "SimStep",
+    "SimulationReport",
+    "TraceReplayer",
+    "build_guarded_items",
+    "extraction_script",
+    "format_ratio",
+    "format_seconds",
+    "trace_script",
+]

@@ -1,0 +1,247 @@
+"""Concurrent multi-session simulation.
+
+The guard charges delay per *query stream*; §2.4's parallel attack works
+precisely because concurrent sessions each serve their own delays. This
+module runs many sessions against one guard on one virtual clock,
+event-driven: each session's next query is scheduled at the moment its
+previous delay (plus think time) elapses, so sessions genuinely overlap
+in simulated time instead of serialising on the shared clock.
+
+Sessions are scripts — iterables of :class:`SimStep` — and helpers build
+the common ones (trace replays, key-space extractions).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.clock import VirtualClock
+from ..core.errors import AccessDenied, ConfigError
+from ..core.guard import DelayGuard
+from ..workloads.generators import select_sql
+from ..workloads.traces import Trace
+from .metrics import DelayDistribution
+
+
+@dataclass(frozen=True)
+class SimStep:
+    """One step of a session script.
+
+    Attributes:
+        sql: the statement to issue.
+        think_time: simulated seconds the session idles *before*
+            issuing the statement.
+    """
+
+    sql: str
+    think_time: float = 0.0
+
+
+def extraction_script(
+    table: str, items: Iterable[int], think_time: float = 0.0
+) -> Iterator[SimStep]:
+    """A key-space walk: one single-tuple SELECT per item."""
+    for item in items:
+        yield SimStep(select_sql(table, item), think_time)
+
+
+def trace_script(trace: Trace, table: str) -> Iterator[SimStep]:
+    """Replay a query trace's events as a session script."""
+    for event in trace:
+        if event.kind == "query":
+            yield SimStep(select_sql(table, event.item), event.think_time)
+
+
+@dataclass
+class SessionReport:
+    """Outcome of one session.
+
+    Attributes:
+        name: session name.
+        queries: statements successfully executed.
+        denied: refusals by account-level limits.
+        retries: denials that were retried.
+        total_delay: delay charged across the session's queries.
+        delays: per-query delay distribution.
+        started_at / finished_at: simulated session lifetime.
+    """
+
+    name: str
+    queries: int = 0
+    denied: int = 0
+    retries: int = 0
+    total_delay: float = 0.0
+    delays: DelayDistribution = field(default_factory=DelayDistribution)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds from session start to completion."""
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of a whole simulation run."""
+
+    sessions: Dict[str, SessionReport] = field(default_factory=dict)
+    finished_at: float = 0.0
+
+    def session(self, name: str) -> SessionReport:
+        """Look up one session's report."""
+        return self.sessions[name]
+
+    @property
+    def makespan(self) -> float:
+        """Latest session completion time."""
+        return max(
+            (report.finished_at for report in self.sessions.values()),
+            default=0.0,
+        )
+
+
+class _Session:
+    def __init__(
+        self,
+        name: str,
+        script: Iterator[SimStep],
+        identity: Optional[str],
+        record: bool,
+        max_retries: int,
+    ):
+        self.name = name
+        self.script = script
+        self.identity = identity
+        self.record = record
+        self.max_retries = max_retries
+        self.pending: Optional[SimStep] = None
+        self.retries_left = max_retries
+        self.report = SessionReport(name=name)
+
+
+class ConcurrentSimulation:
+    """Runs session scripts against one guard, event-driven.
+
+    Args:
+        guard: the defended database. Its clock must be a
+            :class:`VirtualClock` (the simulation drives time).
+        max_retries: how many times a session retries a denied query
+            (waiting the advertised ``retry_after``) before dropping it.
+    """
+
+    def __init__(self, guard: DelayGuard, max_retries: int = 50):
+        if not isinstance(guard.clock, VirtualClock):
+            raise ConfigError(
+                "ConcurrentSimulation requires a guard on a VirtualClock"
+            )
+        self.guard = guard
+        self.clock: VirtualClock = guard.clock
+        self.max_retries = max_retries
+        self._sessions: List[Tuple[float, _Session]] = []
+
+    def add_session(
+        self,
+        name: str,
+        script: Iterable[SimStep],
+        start: float = 0.0,
+        identity: Optional[str] = None,
+        record: bool = True,
+    ) -> None:
+        """Register a session starting at simulated time ``start``."""
+        if start < 0:
+            raise ConfigError(f"start must be >= 0, got {start}")
+        if any(name == session.name for _, session in self._sessions):
+            raise ConfigError(f"duplicate session name {name!r}")
+        self._sessions.append(
+            (
+                start,
+                _Session(
+                    name, iter(script), identity, record, self.max_retries
+                ),
+            )
+        )
+
+    def run(self, until: Optional[float] = None) -> SimulationReport:
+        """Run all sessions to completion (or simulated time ``until``).
+
+        Events are processed in time order; ties break by insertion
+        order, keeping runs deterministic.
+        """
+        counter = itertools.count()
+        queue: List[Tuple[float, int, _Session]] = []
+        for start, session in self._sessions:
+            session.report.started_at = max(start, self.clock.now())
+            heapq.heappush(
+                queue, (session.report.started_at, next(counter), session)
+            )
+
+        while queue:
+            ready_at, _tie, session = heapq.heappop(queue)
+            if until is not None and ready_at > until:
+                session.report.finished_at = self.clock.now()
+                continue
+            if ready_at > self.clock.now():
+                self.clock.advance(ready_at - self.clock.now())
+
+            step = session.pending
+            if step is None:
+                step = next(session.script, None)
+                if step is None:
+                    session.report.finished_at = self.clock.now()
+                    continue
+                session.retries_left = session.max_retries
+                if step.think_time > 0:
+                    session.pending = SimStep(step.sql, 0.0)
+                    heapq.heappush(
+                        queue,
+                        (
+                            self.clock.now() + step.think_time,
+                            next(counter),
+                            session,
+                        ),
+                    )
+                    continue
+            session.pending = None
+
+            try:
+                result = self.guard.execute(
+                    step.sql,
+                    identity=session.identity,
+                    record=session.record,
+                    sleep=False,
+                )
+            except AccessDenied as denied:
+                session.report.denied += 1
+                if session.retries_left > 0:
+                    session.retries_left -= 1
+                    session.report.retries += 1
+                    session.pending = step
+                    retry_at = self.clock.now() + max(
+                        denied.retry_after, 1e-9
+                    )
+                    heapq.heappush(queue, (retry_at, next(counter), session))
+                # else: drop the query and move on.
+                else:
+                    heapq.heappush(
+                        queue, (self.clock.now(), next(counter), session)
+                    )
+                continue
+
+            session.report.queries += 1
+            session.report.total_delay += result.delay
+            session.report.delays.observe(result.delay)
+            heapq.heappush(
+                queue,
+                (self.clock.now() + result.delay, next(counter), session),
+            )
+
+        report = SimulationReport(finished_at=self.clock.now())
+        for _start, session in self._sessions:
+            if session.report.finished_at == 0.0:
+                session.report.finished_at = self.clock.now()
+            report.sessions[session.name] = session.report
+        return report

@@ -1,0 +1,109 @@
+"""Experiment scaffolding: build guarded databases and print result tables.
+
+The benchmark modules share this machinery so each bench reads like the
+paper's experiment description: build the workload, replay, extract,
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.clock import VirtualClock
+from ..core.config import GuardConfig
+from ..core.guard import DelayGuard
+from ..engine.database import Database
+from ..workloads.generators import load_items_table
+
+
+@dataclass
+class GuardedFixture:
+    """A database + guard + clock bundle ready for an experiment."""
+
+    database: Database
+    guard: DelayGuard
+    clock: VirtualClock
+    table: str
+
+
+def build_guarded_items(
+    population: int,
+    config: Optional[GuardConfig] = None,
+    table: str = "items",
+) -> GuardedFixture:
+    """Create a fresh items table of ``population`` rows behind a guard."""
+    database = Database()
+    load_items_table(database, population, table=table)
+    clock = VirtualClock()
+    guard = DelayGuard(database, config=config, clock=clock)
+    return GuardedFixture(
+        database=database, guard=guard, clock=clock, table=table
+    )
+
+
+@dataclass
+class ResultTable:
+    """A printable experiment table, in the style of the paper's tables.
+
+    >>> table = ResultTable(
+    ...     title="Demo", columns=("x", "y"))
+    >>> table.add_row("1", "2")
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    Demo
+    x | y
+    --+--
+    1 | 2
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[str]] = field(default_factory=list)
+    note: Optional[str] = None
+
+    def add_row(self, *cells: str) -> None:
+        """Append one row; cell count must match the header."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        widths = [len(header) for header in self.columns]
+        for row in self.rows:
+            for position, cell in enumerate(row):
+                widths[position] = max(widths[position], len(cell))
+        lines = [self.title]
+        header = " | ".join(
+            name.ljust(widths[position])
+            for position, name in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append(
+                " | ".join(
+                    cell.ljust(widths[position])
+                    for position, cell in enumerate(row)
+                )
+            )
+        if self.note:
+            lines.append(f"  note: {self.note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table."""
+        print()
+        print(self.render())
+
+    def to_csv(self, path) -> None:
+        """Write the table (header + rows) as CSV for external plotting."""
+        import csv
+
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            for row in self.rows:
+                writer.writerow(row)

@@ -1,0 +1,123 @@
+"""Delay-distribution metrics and duration formatting.
+
+The paper argues (§2.1) that quantile metrics — the median in particular
+— represent user experience under skew better than means, which outliers
+dominate. :class:`DelayDistribution` therefore leads with quantiles.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from ..core.errors import ConfigError
+
+
+@dataclass
+class DelayDistribution:
+    """An accumulating distribution of observed delays (seconds)."""
+
+    values: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one delay."""
+        if value < 0:
+            raise ConfigError(f"delays are non-negative, got {value}")
+        self.values.append(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record several delays."""
+        for value in values:
+            self.observe(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of all delays."""
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0 when empty)."""
+        if not self.values:
+            return 0.0
+        return self.total / len(self.values)
+
+    @property
+    def median(self) -> float:
+        """Median delay — the paper's headline user metric."""
+        if not self.values:
+            return 0.0
+        return statistics.median(self.values)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (0 with < 2 observations)."""
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.stdev(self.values)
+
+    @property
+    def maximum(self) -> float:
+        """Largest observed delay."""
+        return max(self.values) if self.values else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Delay at quantile ``q`` in [0, 1]."""
+        if not 0 <= q <= 1:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        position = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[position]
+
+
+#: (threshold seconds, divisor, unit) from largest to smallest. Hours
+#: run up to a week (the paper's tables report 282.70 h, not days).
+_UNITS = [
+    (7 * 86400.0, 7 * 86400.0, "weeks"),
+    (3600.0, 3600.0, "h"),
+    (60.0, 60.0, "min"),
+    (1.0, 1.0, "s"),
+    (1e-3, 1e-3, "ms"),
+    (0.0, 1e-6, "µs"),
+]
+
+
+def format_seconds(seconds: float, digits: int = 2) -> str:
+    """Render a duration with a sensible unit.
+
+    >>> format_seconds(0.0154)
+    '15.40 ms'
+    >>> format_seconds(108612)
+    '30.17 h'
+    """
+    if seconds < 0:
+        raise ConfigError(f"durations are non-negative, got {seconds}")
+    if seconds == 0:
+        return "0 s"
+    if math.isinf(seconds):
+        return "inf"
+    for threshold, divisor, unit in _UNITS:
+        if seconds >= threshold:
+            return f"{seconds / divisor:.{digits}f} {unit}"
+    return f"{seconds:.{digits}g} s"  # pragma: no cover
+
+
+def format_ratio(value: float) -> str:
+    """Render a dimensionless ratio compactly (scientific when large)."""
+    if value == 0:
+        return "0"
+    if value >= 1e4 or value < 1e-2:
+        return f"{value:.2e}"
+    return f"{value:.2f}"

@@ -1,0 +1,59 @@
+"""Workload substrates: samplers, traces, and dataset generators.
+
+Includes seeded synthetic stand-ins for the paper's two real datasets —
+the Calgary web trace (§4.1) and 2002 box-office sales (§4.2) — plus
+generic Zipf/uniform query and update generators for the synthetic
+experiments (Table 1, Figures 4-6).
+"""
+
+from .boxoffice import (
+    BOXOFFICE_FILMS,
+    BOXOFFICE_WEEKS,
+    DOLLARS_PER_REQUEST,
+    BoxOfficeDataset,
+    generate_boxoffice,
+)
+from .calgary import (
+    CALGARY_ALPHA,
+    CALGARY_OBJECTS,
+    CALGARY_REQUESTS,
+    CalgaryDataset,
+    generate_calgary,
+)
+from .generators import (
+    load_items_table,
+    make_uniform_query_trace,
+    make_zipf_query_trace,
+    make_zipf_update_trace,
+    select_sql,
+    update_sql,
+)
+from .traces import Trace, TraceEvent, interleave
+from .updates import UpdateProcess
+from .zipf import UniformSampler, WeightedSampler, ZipfSampler
+
+__all__ = [
+    "BOXOFFICE_FILMS",
+    "BOXOFFICE_WEEKS",
+    "BoxOfficeDataset",
+    "CALGARY_ALPHA",
+    "CALGARY_OBJECTS",
+    "CALGARY_REQUESTS",
+    "CalgaryDataset",
+    "DOLLARS_PER_REQUEST",
+    "Trace",
+    "TraceEvent",
+    "UniformSampler",
+    "UpdateProcess",
+    "WeightedSampler",
+    "ZipfSampler",
+    "generate_boxoffice",
+    "generate_calgary",
+    "interleave",
+    "load_items_table",
+    "make_uniform_query_trace",
+    "make_zipf_query_trace",
+    "make_zipf_update_trace",
+    "select_sql",
+    "update_sql",
+]

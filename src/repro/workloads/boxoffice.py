@@ -1,0 +1,182 @@
+"""Synthetic stand-in for the 2002 box-office workload (§4.2).
+
+The paper generates requests to a movie database in proportion to weekly
+box-office sales for the 634 films released in 2002 (one request per
+$100,000 of weekly gross), with a 10-second delay cap and decay applied
+at weekly boundaries. The real Variety sales data is not available, so
+this module synthesises a year of weekly grosses with the properties
+§4.2 exploits:
+
+* **mild annual skew** — the year's top-10 films differ by only ~2.5×
+  (paper Figure 2), modelled with a flat power law at the head;
+* **sharp weekly skew** — within any single week the top film dominates
+  (paper Figure 3), which falls out of the release/decay dynamics;
+* **rapidly shifting popularity** — films open big and decay
+  geometrically week over week, so each week's ranking is new.
+
+Film strengths follow a piecewise power law (flat head, steep tail) so
+both the head shape of Figure 2 and a realistic ~$10B annual total are
+matched; each film then decays geometrically from its release week.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from ..engine.database import Database
+from .traces import Trace
+
+#: Published workload parameters.
+BOXOFFICE_FILMS = 634
+BOXOFFICE_WEEKS = 52
+DOLLARS_PER_REQUEST = 100_000.0
+
+#: Shape constants for the synthetic sales model (see module docstring).
+_TOP_ANNUAL_GROSS = 400e6
+_HEAD_ALPHA = 0.45  # skew over ranks 1..HEAD_RANKS (Figure 2's shape)
+_TAIL_ALPHA = 2.0  # steep tail of flops beyond the head
+_HEAD_RANKS = 30
+_MIN_WEEKLY_GROSS = 50_000.0
+
+
+@dataclass
+class BoxOfficeDataset:
+    """A generated year of box-office sales and the request trace.
+
+    Attributes:
+        trace: query events grouped by week, with a "mark" event at
+            every week boundary (replay applies decay there, as §4.2
+            applies decay factors at weekly boundaries).
+        weekly_gross: array of shape (num_films + 1, weeks + 1); entry
+            [film, week] is that film's gross in that week (1-based
+            indexes; row/column 0 unused).
+        release_week: film id → release week.
+    """
+
+    trace: Trace
+    weekly_gross: np.ndarray
+    release_week: Dict[int, int]
+
+    @property
+    def num_films(self) -> int:
+        """Number of films in the dataset."""
+        return self.weekly_gross.shape[0] - 1
+
+    @property
+    def num_weeks(self) -> int:
+        """Number of weeks simulated."""
+        return self.weekly_gross.shape[1] - 1
+
+    def annual_sales(self) -> List[Tuple[int, float]]:
+        """(film, annual gross) pairs, highest-grossing first (Figure 2)."""
+        totals = self.weekly_gross.sum(axis=1)
+        films = np.argsort(-totals[1:]) + 1
+        return [(int(film), float(totals[film])) for film in films]
+
+    def weekly_sales(self, week: int) -> List[Tuple[int, float]]:
+        """(film, gross) for one week, highest first (Figure 3 is week 1)."""
+        if not 1 <= week <= self.num_weeks:
+            raise ConfigError(f"week must be in [1, {self.num_weeks}]")
+        column = self.weekly_gross[:, week]
+        films = np.argsort(-column[1:]) + 1
+        return [
+            (int(film), float(column[film]))
+            for film in films
+            if column[film] > 0
+        ]
+
+    def top_annual(self, k: int = 10) -> List[Tuple[int, float]]:
+        """Top-``k`` films by annual gross."""
+        return self.annual_sales()[:k]
+
+    def top_weekly(self, week: int, k: int = 10) -> List[Tuple[int, float]]:
+        """Top-``k`` films for one week."""
+        return self.weekly_sales(week)[:k]
+
+    def load_into(self, database: Database, table: str = "films") -> None:
+        """Create and fill the films table in ``database``."""
+        database.execute(
+            f"CREATE TABLE {table} (id INTEGER PRIMARY KEY, title TEXT, "
+            "release_week INTEGER, version INTEGER)"
+        )
+        rows = [
+            (film, f"film-{film}", self.release_week[film], 0)
+            for film in range(1, self.num_films + 1)
+        ]
+        database.insert_rows(table, rows)
+
+
+def _film_strengths(num_films: int) -> np.ndarray:
+    """Annual-gross targets by strength rank (piecewise power law)."""
+    ranks = np.arange(1, num_films + 1, dtype=np.float64)
+    head = _TOP_ANNUAL_GROSS * ranks ** (-_HEAD_ALPHA)
+    knee = _TOP_ANNUAL_GROSS * _HEAD_RANKS ** (-_HEAD_ALPHA)
+    tail = knee * (ranks / _HEAD_RANKS) ** (-_TAIL_ALPHA)
+    return np.where(ranks <= _HEAD_RANKS, head, tail)
+
+
+def generate_boxoffice(
+    num_films: int = BOXOFFICE_FILMS,
+    num_weeks: int = BOXOFFICE_WEEKS,
+    seed: Optional[int] = 2002,
+    dollars_per_request: float = DOLLARS_PER_REQUEST,
+) -> BoxOfficeDataset:
+    """Generate a year of synthetic box-office sales and its trace.
+
+    Requests are generated deterministically in proportion to weekly
+    gross (``round(gross / dollars_per_request)`` per film per week) and
+    shuffled within each week, exactly mirroring the paper's
+    one-request-per-$100k construction.
+    """
+    if num_films < 1:
+        raise ConfigError(f"num_films must be >= 1, got {num_films}")
+    if num_weeks < 1:
+        raise ConfigError(f"num_weeks must be >= 1, got {num_weeks}")
+    if dollars_per_request <= 0:
+        raise ConfigError(
+            f"dollars_per_request must be positive, got {dollars_per_request}"
+        )
+    rng = np.random.default_rng(seed)
+
+    strengths = _film_strengths(num_films)
+    # Scatter strength ranks over film ids.
+    film_of_rank = rng.permutation(num_films) + 1
+    # Per-film geometric weekly decay ("legs").
+    legs = rng.uniform(0.5, 0.78, size=num_films + 1)
+    # Release weeks: uniform over the year.
+    releases = rng.integers(1, num_weeks + 1, size=num_films + 1)
+
+    weekly_gross = np.zeros((num_films + 1, num_weeks + 1), dtype=np.float64)
+    release_week: Dict[int, int] = {}
+    for rank in range(1, num_films + 1):
+        film = int(film_of_rank[rank - 1])
+        release = int(releases[film])
+        release_week[film] = release
+        decay = float(legs[film])
+        # Opening gross such that the (untruncated, infinite-horizon)
+        # annual total matches the strength target.
+        opening = strengths[rank - 1] * (1.0 - decay)
+        week = release
+        gross = opening
+        while week <= num_weeks and gross >= _MIN_WEEKLY_GROSS:
+            weekly_gross[film, week] = gross
+            gross *= decay
+            week += 1
+
+    trace = Trace(population=num_films, name="boxoffice-synthetic")
+    for week in range(1, num_weeks + 1):
+        trace.add_mark(label=f"week-{week}")
+        requests: List[int] = []
+        for film in range(1, num_films + 1):
+            count = int(round(weekly_gross[film, week] / dollars_per_request))
+            requests.extend([film] * count)
+        order = rng.permutation(len(requests))
+        for position in order:
+            trace.add_query(requests[position], label=f"week-{week}")
+    return BoxOfficeDataset(
+        trace=trace, weekly_gross=weekly_gross, release_week=release_week
+    )

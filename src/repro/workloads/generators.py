@@ -1,0 +1,131 @@
+"""Generic workload generation and dataset loading helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from ..engine.database import Database
+from .traces import Trace
+from .zipf import UniformSampler, WeightedSampler, ZipfSampler
+
+
+def make_zipf_query_trace(
+    population: int,
+    num_queries: int,
+    alpha: float,
+    seed: Optional[int] = None,
+    think_time: float = 0.0,
+    permute_ranks: bool = True,
+    name: str = "zipf-queries",
+) -> Trace:
+    """A query trace whose item popularity follows Zipf(α).
+
+    With ``permute_ranks`` (default) the popularity ranking is scattered
+    over item ids by a seeded permutation, so item id carries no
+    popularity information — as in a real table, where hot rows are not
+    the first rows.
+    """
+    if num_queries < 0:
+        raise ConfigError(f"num_queries must be >= 0, got {num_queries}")
+    sampler = ZipfSampler(population, alpha, seed)
+    ranks = sampler.sample_many(num_queries)
+    items = _map_ranks_to_items(ranks, population, seed, permute_ranks)
+    trace = Trace(population=population, name=name)
+    for item in items:
+        trace.add_query(int(item), think_time=think_time)
+    return trace
+
+
+def make_uniform_query_trace(
+    population: int,
+    num_queries: int,
+    seed: Optional[int] = None,
+    think_time: float = 0.0,
+    name: str = "uniform-queries",
+) -> Trace:
+    """A query trace with uniform item popularity (the §3 scenario)."""
+    if num_queries < 0:
+        raise ConfigError(f"num_queries must be >= 0, got {num_queries}")
+    sampler = UniformSampler(population, seed)
+    items = sampler.sample_many(num_queries)
+    trace = Trace(population=population, name=name)
+    for item in items:
+        trace.add_query(int(item), think_time=think_time)
+    return trace
+
+
+def make_zipf_update_trace(
+    population: int,
+    num_updates: int,
+    alpha: float,
+    seed: Optional[int] = None,
+    total_rate: float = 1.0,
+    permute_ranks: bool = True,
+    name: str = "zipf-updates",
+) -> Trace:
+    """An update trace with Zipf(α)-skewed update frequency.
+
+    Inter-arrival times are exponential with aggregate rate
+    ``total_rate`` updates/second, so replaying the trace on a virtual
+    clock produces per-item update rates ``r_i ≈ total_rate · p_i``.
+    """
+    if num_updates < 0:
+        raise ConfigError(f"num_updates must be >= 0, got {num_updates}")
+    if total_rate <= 0:
+        raise ConfigError(f"total_rate must be positive, got {total_rate}")
+    sampler = ZipfSampler(population, alpha, seed)
+    ranks = sampler.sample_many(num_updates)
+    items = _map_ranks_to_items(ranks, population, seed, permute_ranks)
+    rng = np.random.default_rng(None if seed is None else seed + 1)
+    gaps = rng.exponential(1.0 / total_rate, size=num_updates)
+    trace = Trace(population=population, name=name)
+    for item, gap in zip(items, gaps):
+        trace.add_update(int(item), think_time=float(gap))
+    return trace
+
+
+def _map_ranks_to_items(
+    ranks: np.ndarray, population: int, seed: Optional[int], permute: bool
+) -> np.ndarray:
+    if not permute:
+        return ranks
+    rng = np.random.default_rng(None if seed is None else seed + 7919)
+    permutation = rng.permutation(population) + 1  # rank -> item id
+    return permutation[ranks - 1]
+
+
+def load_items_table(
+    database: Database,
+    population: int,
+    table: str = "items",
+    payload_prefix: str = "item",
+) -> Dict[int, int]:
+    """Create and fill a simple items table; returns item id → rowid.
+
+    The table schema is ``(id INTEGER PRIMARY KEY, payload TEXT,
+    version INTEGER)`` — the minimal relation the paper's selection-query
+    model needs. Item ids are 1-based and equal to primary keys.
+    """
+    database.execute(
+        f"CREATE TABLE {table} ("
+        "id INTEGER PRIMARY KEY, payload TEXT, version INTEGER)"
+    )
+    rows = [
+        (item, f"{payload_prefix}-{item}", 0)
+        for item in range(1, population + 1)
+    ]
+    rowids = database.insert_rows(table, rows)
+    return {item: rowid for item, rowid in zip(range(1, population + 1), rowids)}
+
+
+def select_sql(table: str, item: int) -> str:
+    """The single-tuple selection query for an item (the paper's model)."""
+    return f"SELECT * FROM {table} WHERE id = {int(item)}"
+
+
+def update_sql(table: str, item: int, version: int) -> str:
+    """A value-changing update for an item."""
+    return f"UPDATE {table} SET version = {int(version)} WHERE id = {int(item)}"

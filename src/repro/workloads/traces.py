@@ -1,0 +1,132 @@
+"""Trace representation: ordered streams of query and update events.
+
+A :class:`Trace` is what the simulation harness replays against a
+guarded database. Events reference items by 1-based *item id* (the
+dataset generators map item ids to primary keys when loading tables).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event in a trace.
+
+    Attributes:
+        kind: "query", "update", or "mark" (a period boundary, e.g. a
+            week edge in the box-office trace — replay hooks can apply
+            explicit decay there).
+        item: 1-based item id ("mark" events use 0).
+        think_time: simulated seconds elapsing *before* this event.
+        label: free-form annotation (e.g. week number).
+    """
+
+    kind: str
+    item: int
+    think_time: float = 0.0
+    label: Optional[str] = None
+
+
+@dataclass
+class Trace:
+    """An ordered event stream plus its population size."""
+
+    population: int
+    events: List[TraceEvent] = field(default_factory=list)
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ConfigError(
+                f"population must be >= 1, got {self.population}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def add_query(
+        self, item: int, think_time: float = 0.0, label: Optional[str] = None
+    ) -> None:
+        """Append a query event for ``item``."""
+        self._check_item(item)
+        self.events.append(TraceEvent("query", item, think_time, label))
+
+    def add_update(
+        self, item: int, think_time: float = 0.0, label: Optional[str] = None
+    ) -> None:
+        """Append an update event for ``item``."""
+        self._check_item(item)
+        self.events.append(TraceEvent("update", item, think_time, label))
+
+    def add_mark(self, label: str, think_time: float = 0.0) -> None:
+        """Append a period-boundary marker."""
+        self.events.append(TraceEvent("mark", 0, think_time, label))
+
+    def _check_item(self, item: int) -> None:
+        if not 1 <= item <= self.population:
+            raise ConfigError(
+                f"item {item} outside population [1, {self.population}]"
+            )
+
+    # -- analysis helpers ---------------------------------------------------
+
+    def query_count(self) -> int:
+        """Number of query events."""
+        return sum(1 for event in self.events if event.kind == "query")
+
+    def update_count(self) -> int:
+        """Number of update events."""
+        return sum(1 for event in self.events if event.kind == "update")
+
+    def item_frequencies(self, kind: str = "query") -> Counter:
+        """Counter of item → number of events of ``kind``."""
+        return Counter(
+            event.item for event in self.events if event.kind == kind
+        )
+
+    def top_items(self, k: int = 10, kind: str = "query") -> List[Tuple[int, int]]:
+        """The ``k`` most frequent items as (item, count), most first.
+
+        This is exactly what the paper's Figures 1-3 plot.
+        """
+        return self.item_frequencies(kind).most_common(k)
+
+    def distinct_items(self, kind: str = "query") -> int:
+        """Number of distinct items with at least one ``kind`` event."""
+        return len(self.item_frequencies(kind))
+
+
+def interleave(traces: Iterable[Trace], name: str = "interleaved") -> Trace:
+    """Round-robin merge several traces into one.
+
+    Populations must match. Useful for mixing a query trace with an
+    update trace in the §4.3 experiments.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ConfigError("need at least one trace to interleave")
+    population = traces[0].population
+    for trace in traces[1:]:
+        if trace.population != population:
+            raise ConfigError("interleaved traces must share a population")
+    merged = Trace(population=population, name=name)
+    iterators = [iter(trace.events) for trace in traces]
+    exhausted = [False] * len(iterators)
+    while not all(exhausted):
+        for position, iterator in enumerate(iterators):
+            if exhausted[position]:
+                continue
+            try:
+                merged.events.append(next(iterator))
+            except StopIteration:
+                exhausted[position] = True
+    return merged

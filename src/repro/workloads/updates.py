@@ -1,0 +1,175 @@
+"""Update processes for the data-change experiments (§3, §4.3).
+
+The §4.3 simulation poses uniform queries against a 100,000-tuple
+relation while updates arrive with Zipf-skewed per-tuple rates. This
+module models that update side: a vector of per-item Poisson update
+rates, plus helpers to sample update events over a window and to compute
+staleness probabilities exactly — so week-long extractions can be
+evaluated without materialising millions of update events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigError
+
+
+@dataclass
+class UpdateProcess:
+    """Independent per-item Poisson update processes.
+
+    Attributes:
+        rates: array of shape (n + 1,); ``rates[item]`` is the update
+            rate of 1-based ``item`` in updates/second (index 0 unused).
+    """
+
+    rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rates = np.asarray(self.rates, dtype=np.float64)
+        if self.rates.ndim != 1 or self.rates.size < 2:
+            raise ConfigError("rates must be a 1-D array with index 0 unused")
+        if (self.rates[1:] < 0).any():
+            raise ConfigError("rates must be non-negative")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zipf(cls, n: int, alpha: float, rmax: float) -> "UpdateProcess":
+        """Rates ``r_i = rmax · i^-α`` with rank i equal to item id.
+
+        Rank 1 (item 1) is the most frequently updated tuple, matching
+        the paper's §3 convention.
+        """
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        if rmax <= 0:
+            raise ConfigError(f"rmax must be positive, got {rmax}")
+        rates = np.zeros(n + 1, dtype=np.float64)
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        rates[1:] = rmax * ranks ** (-float(alpha))
+        return cls(rates=rates)
+
+    @classmethod
+    def uniform(cls, n: int, rate: float) -> "UpdateProcess":
+        """Every item updated at the same ``rate`` (no skew — the case
+        where neither of the paper's schemes can help)."""
+        if n < 1:
+            raise ConfigError(f"n must be >= 1, got {n}")
+        if rate < 0:
+            raise ConfigError(f"rate must be >= 0, got {rate}")
+        rates = np.full(n + 1, float(rate), dtype=np.float64)
+        rates[0] = 0.0
+        return cls(rates=rates)
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def population(self) -> int:
+        """Number of items."""
+        return self.rates.size - 1
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate updates/second across all items."""
+        return float(self.rates[1:].sum())
+
+    @property
+    def max_rate(self) -> float:
+        """The fastest per-item rate (rmax)."""
+        return float(self.rates[1:].max())
+
+    def rate(self, item: int) -> float:
+        """Update rate of one item."""
+        if not 1 <= item <= self.population:
+            raise ConfigError(f"item {item} out of range")
+        return float(self.rates[item])
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample_counts(
+        self, window: float, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Per-item Poisson update counts over ``window`` seconds.
+
+        Returns an array of shape (n + 1,) aligned with ``rates``.
+        """
+        if window < 0:
+            raise ConfigError(f"window must be >= 0, got {window}")
+        rng = rng if rng is not None else np.random.default_rng()
+        counts = np.zeros_like(self.rates, dtype=np.int64)
+        counts[1:] = rng.poisson(self.rates[1:] * window)
+        return counts
+
+    def sample_events(
+        self,
+        start: float,
+        end: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Tuple[float, int]]:
+        """Materialise (time, item) update events in [start, end), sorted.
+
+        Suitable for small windows / tests; week-scale windows should
+        use the probabilistic staleness helpers instead.
+        """
+        if end < start:
+            raise ConfigError("end must be >= start")
+        rng = rng if rng is not None else np.random.default_rng()
+        counts = self.sample_counts(end - start, rng)
+        events: List[Tuple[float, int]] = []
+        for item in range(1, self.population + 1):
+            count = int(counts[item])
+            if count == 0:
+                continue
+            times = rng.uniform(start, end, size=count)
+            events.extend((float(t), item) for t in times)
+        events.sort()
+        return events
+
+    # -- staleness mathematics -----------------------------------------------
+
+    def stale_probability(self, item: int, window: float) -> float:
+        """P(item updated at least once within ``window`` seconds)."""
+        if window < 0:
+            raise ConfigError(f"window must be >= 0, got {window}")
+        return float(1.0 - np.exp(-self.rate(item) * window))
+
+    def expected_stale_fraction(self, windows: Sequence[float]) -> float:
+        """Expected stale fraction given each item's exposure window.
+
+        ``windows[item - 1]`` is the time between the adversary's
+        retrieval of ``item`` and the end of the extraction.
+        """
+        exposure = np.asarray(list(windows), dtype=np.float64)
+        if exposure.size != self.population:
+            raise ConfigError(
+                f"need {self.population} windows, got {exposure.size}"
+            )
+        if (exposure < 0).any():
+            raise ConfigError("windows must be non-negative")
+        probabilities = 1.0 - np.exp(-self.rates[1:] * exposure)
+        return float(probabilities.mean())
+
+    def sample_stale_flags(
+        self,
+        windows: Sequence[float],
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Bernoulli staleness draw per item given exposure windows.
+
+        Statistically equivalent to materialising every update event and
+        checking which extracted tuples were overwritten — but O(n)
+        regardless of how many updates the window implies.
+        """
+        exposure = np.asarray(list(windows), dtype=np.float64)
+        if exposure.size != self.population:
+            raise ConfigError(
+                f"need {self.population} windows, got {exposure.size}"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        probabilities = 1.0 - np.exp(-self.rates[1:] * exposure)
+        return rng.random(self.population) < probabilities

@@ -1,0 +1,160 @@
+"""Tests for the sequential extraction adversary."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.adversary import ExtractionAdversary
+from repro.core import DelayGuard, GuardConfig, VirtualClock
+from repro.core.errors import ConfigError
+from repro.engine import Database
+from repro.sim.experiment import build_guarded_items
+from repro.workloads.updates import UpdateProcess
+
+
+@pytest.fixture
+def fixture():
+    return build_guarded_items(50, config=GuardConfig(cap=2.0))
+
+
+class TestRun:
+    def test_extracts_every_tuple(self, fixture):
+        adversary = ExtractionAdversary(fixture.guard, fixture.table)
+        result = adversary.run()
+        assert result.tuples == 50
+        assert result.queries == 50
+        assert len(result.snapshot) == 50
+
+    def test_cold_table_pays_full_cap(self, fixture):
+        result = ExtractionAdversary(fixture.guard, fixture.table).run()
+        assert result.total_delay == pytest.approx(100.0)  # 50 * 2s
+        assert result.mean_delay == pytest.approx(2.0)
+
+    def test_clock_advances_by_delay(self, fixture):
+        ExtractionAdversary(fixture.guard, fixture.table).run()
+        assert fixture.clock.now() == pytest.approx(100.0)
+
+    def test_snapshot_times_increase(self, fixture):
+        result = ExtractionAdversary(fixture.guard, fixture.table).run()
+        times = [t.extracted_at for t in result.snapshot.tuples.values()]
+        assert times == sorted(times)
+        assert result.snapshot.completed_at >= times[-1]
+
+    def test_warm_tuples_cheaper(self, fixture):
+        for _ in range(100):
+            fixture.guard.execute("SELECT * FROM items WHERE id = 1")
+        result = ExtractionAdversary(fixture.guard, fixture.table).run()
+        assert result.total_delay < 100.0
+
+    def test_random_order_same_total(self):
+        a = build_guarded_items(30, config=GuardConfig(cap=1.0))
+        b = build_guarded_items(30, config=GuardConfig(cap=1.0))
+        ordered = ExtractionAdversary(a.guard, a.table, order="id").run()
+        shuffled = ExtractionAdversary(
+            b.guard, b.table, order="random", seed=3
+        ).run()
+        assert ordered.total_delay == pytest.approx(shuffled.total_delay)
+
+    def test_record_true_inflates_later_counts(self, fixture):
+        ExtractionAdversary(fixture.guard, fixture.table, record=True).run()
+        assert fixture.guard.popularity.total_requests == 50
+
+    def test_record_false_leaves_counts(self, fixture):
+        ExtractionAdversary(fixture.guard, fixture.table, record=False).run()
+        assert fixture.guard.popularity.total_requests == 0
+
+    def test_per_tuple_delays_kept(self, fixture):
+        result = ExtractionAdversary(fixture.guard, fixture.table).run()
+        assert len(result.per_tuple_delays) == 50
+
+    def test_invalid_order(self, fixture):
+        with pytest.raises(ConfigError):
+            ExtractionAdversary(fixture.guard, fixture.table, order="fancy")
+
+
+class TestEstimate:
+    def test_matches_run_on_cold_table(self):
+        a = build_guarded_items(40, config=GuardConfig(cap=3.0))
+        b = build_guarded_items(40, config=GuardConfig(cap=3.0))
+        ran = ExtractionAdversary(a.guard, a.table, record=False).run()
+        estimated = ExtractionAdversary(b.guard, b.table).estimate()
+        assert estimated.total_delay == pytest.approx(ran.total_delay)
+        assert estimated.tuples == ran.tuples
+
+    def test_matches_run_on_warm_table(self):
+        a = build_guarded_items(40, config=GuardConfig(cap=3.0))
+        b = build_guarded_items(40, config=GuardConfig(cap=3.0))
+        for fixture in (a, b):
+            for item in (1, 1, 1, 2, 5, 5):
+                fixture.guard.execute(f"SELECT * FROM items WHERE id = {item}")
+        ran = ExtractionAdversary(a.guard, a.table, record=False).run()
+        estimated = ExtractionAdversary(b.guard, b.table).estimate()
+        assert estimated.total_delay == pytest.approx(ran.total_delay)
+
+    def test_does_not_touch_guard_state(self):
+        fixture = build_guarded_items(20)
+        before_requests = fixture.guard.popularity.total_requests
+        before_clock = fixture.clock.now()
+        ExtractionAdversary(fixture.guard, fixture.table).estimate()
+        assert fixture.guard.popularity.total_requests == before_requests
+        assert fixture.clock.now() == before_clock
+
+    def test_snapshot_virtual_times(self):
+        fixture = build_guarded_items(10, config=GuardConfig(cap=1.0))
+        result = ExtractionAdversary(fixture.guard, fixture.table).estimate()
+        assert result.snapshot.completed_at == pytest.approx(10.0)
+
+
+class TestStaleness:
+    def test_staleness_from_observed_updates(self):
+        fixture = build_guarded_items(10, config=GuardConfig(cap=1.0))
+        adversary = ExtractionAdversary(fixture.guard, fixture.table)
+        # Update item 10 after extraction starts but before it is read:
+        # not stale. Then extract and update item 1 afterwards: also not
+        # stale (after completion). Updates *during* extraction count.
+        result = adversary.run()
+        assert result.staleness is None  # no updates at all
+
+    def test_observed_mid_extraction_update_counts(self):
+        fixture = build_guarded_items(5, config=GuardConfig(cap=10.0))
+        guard = fixture.guard
+
+        # Extract item 1 (10s), then update item 1, then finish.
+        guard.execute("SELECT * FROM items WHERE id = 1")
+        first_done = fixture.clock.now()
+        guard.execute("UPDATE items SET version = 1 WHERE id = 1")
+        # Manually assemble the snapshot the adversary would have.
+        from repro.core.staleness import Snapshot, stale_fraction
+
+        snapshot = Snapshot(started_at=0.0)
+        snapshot.add(1, None, first_done - 10.0 + 10.0)  # at 10.0
+        snapshot.completed_at = fixture.clock.now() + 1.0
+        # Update happened at clock 10.0 (no delay for DML), so boundary
+        # semantics: updated exactly at extraction => not stale; nudge.
+        guard.clock.advance(1.0)
+        guard.execute("UPDATE items SET version = 2 WHERE id = 1")
+        snapshot.completed_at = fixture.clock.now() + 1.0
+        report = stale_fraction(
+            snapshot, guard.last_update_times_for("items")
+        )
+        assert report.stale == 1
+
+    def test_background_process_staleness(self):
+        fixture = build_guarded_items(
+            200, config=GuardConfig(policy="update", update_c=2.0, cap=10.0)
+        )
+        process = UpdateProcess.zipf(200, alpha=0.5, rmax=1.0)
+        heap = fixture.database.catalog.table(fixture.table)
+        rates = {
+            ("items", rowid): process.rate(row[0])
+            for rowid, row in heap.scan()
+        }
+        fixture.guard.update_rates.prime(rates, window=1e9)
+        adversary = ExtractionAdversary(
+            fixture.guard, fixture.table, record=False
+        )
+        result = adversary.estimate(
+            update_process=process, rng=np.random.default_rng(7)
+        )
+        assert result.staleness is not None
+        # Low skew with c=2: most of the snapshot should be stale.
+        assert result.staleness.fraction > 0.3

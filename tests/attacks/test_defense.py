@@ -1,0 +1,102 @@
+"""Tests for defense-side cost analysis (§2.4)."""
+
+import math
+
+import pytest
+
+from repro.attacks.defense import (
+    best_parallel_attack_time,
+    fee_for_parity,
+    optimal_parallelism,
+    parallel_attack_time,
+    registration_interval_for_target,
+)
+from repro.core.errors import ConfigError
+
+
+class TestParallelAttackTime:
+    def test_formula(self):
+        # k*t + D/k
+        assert parallel_attack_time(100.0, 5, 2.0) == pytest.approx(30.0)
+
+    def test_single_identity(self):
+        assert parallel_attack_time(100.0, 1, 2.0) == pytest.approx(102.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            parallel_attack_time(10.0, 0, 1.0)
+        with pytest.raises(ConfigError):
+            parallel_attack_time(-1.0, 1, 1.0)
+
+
+class TestOptimalParallelism:
+    def test_sqrt_rule(self):
+        # k* = sqrt(D/t) = sqrt(10000/1) = 100
+        assert optimal_parallelism(10_000.0, 1.0) == 100
+
+    def test_is_actually_optimal(self):
+        extraction, interval = 86_400.0, 7.0
+        best = optimal_parallelism(extraction, interval)
+        best_time = parallel_attack_time(extraction, best, interval)
+        for k in (best - 1, best + 1):
+            if k >= 1:
+                assert parallel_attack_time(
+                    extraction, k, interval
+                ) >= best_time
+
+    def test_at_least_one(self):
+        assert optimal_parallelism(1.0, 100.0) == 1
+
+    def test_requires_gate(self):
+        with pytest.raises(ConfigError):
+            optimal_parallelism(100.0, 0.0)
+
+
+class TestBestParallelAttackTime:
+    def test_two_sqrt_dt(self):
+        time = best_parallel_attack_time(10_000.0, 1.0)
+        assert time == pytest.approx(2 * math.sqrt(10_000.0), rel=0.01)
+
+    def test_monotone_in_interval(self):
+        slow = best_parallel_attack_time(10_000.0, 10.0)
+        fast = best_parallel_attack_time(10_000.0, 0.1)
+        assert slow > fast
+
+
+class TestRegistrationIntervalForTarget:
+    def test_round_trip(self):
+        extraction = 100_000.0
+        target = 50_000.0
+        interval = registration_interval_for_target(extraction, target)
+        achieved = best_parallel_attack_time(extraction, interval)
+        assert achieved == pytest.approx(target, rel=0.02)
+
+    def test_paper_criterion_parallelism_moot(self):
+        """Setting target = D makes the best parallel attack as slow as
+        the single-identity attack — the paper's 'rendered moot'."""
+        extraction = 86_400.0
+        interval = registration_interval_for_target(extraction, extraction)
+        assert best_parallel_attack_time(
+            extraction, interval
+        ) == pytest.approx(extraction, rel=0.02)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            registration_interval_for_target(0.0, 10.0)
+        with pytest.raises(ConfigError):
+            registration_interval_for_target(10.0, 0.0)
+
+
+class TestFeeForParity:
+    def test_division(self):
+        assert fee_for_parity(1000.0, 100) == 10.0
+
+    def test_total_spend_equals_value(self):
+        fee = fee_for_parity(5000.0, 37)
+        assert fee * 37 == pytest.approx(5000.0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            fee_for_parity(-1.0, 10)
+        with pytest.raises(ConfigError):
+            fee_for_parity(100.0, 0)

@@ -1,0 +1,101 @@
+"""Tests for the parallel (Sybil) adversary and its economics."""
+
+import pytest
+
+from repro.attacks.parallel import ParallelAdversary
+from repro.core import (
+    AccountManager,
+    AccountPolicy,
+    DelayGuard,
+    GuardConfig,
+    VirtualClock,
+)
+from repro.core.errors import ConfigError
+from repro.engine import Database
+from repro.sim.experiment import build_guarded_items
+
+
+def guarded_with_accounts(rows=60, cap=2.0, **policy_kwargs):
+    db = Database()
+    db.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, payload TEXT)")
+    db.insert_rows("items", [(i, f"p{i}") for i in range(1, rows + 1)])
+    clock = VirtualClock()
+    accounts = AccountManager(
+        policy=AccountPolicy(**policy_kwargs), clock=clock
+    )
+    guard = DelayGuard(
+        db, config=GuardConfig(cap=cap), clock=clock, accounts=accounts
+    )
+    return guard, clock, accounts
+
+
+class TestSimulate:
+    def test_work_divided_across_identities(self):
+        fixture = build_guarded_items(60, config=GuardConfig(cap=2.0))
+        attack = ParallelAdversary(fixture.guard, fixture.table, identities=4)
+        result = attack.simulate()
+        assert result.identities == 4
+        assert result.total_work == pytest.approx(120.0)  # 60 * 2s
+        assert result.wall_time == pytest.approx(30.0)  # perfect split
+        assert result.speedup == pytest.approx(4.0)
+
+    def test_single_identity_no_speedup(self):
+        fixture = build_guarded_items(60, config=GuardConfig(cap=2.0))
+        result = ParallelAdversary(
+            fixture.guard, fixture.table, identities=1
+        ).simulate()
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_registration_gate_adds_wall_time(self):
+        guard, _, _ = guarded_with_accounts(
+            rows=60, cap=2.0, registration_interval=100.0
+        )
+        result = ParallelAdversary(guard, "items", identities=10).simulate()
+        # First registration is free, then 9 waits of 100s.
+        assert result.registration_wait == pytest.approx(900.0)
+        assert result.wall_time >= 900.0
+
+    def test_gate_can_erase_parallel_benefit(self):
+        guard, _, _ = guarded_with_accounts(
+            rows=60, cap=2.0, registration_interval=100.0
+        )
+        serial = ParallelAdversary(guard, "items", identities=1).simulate()
+        parallel = ParallelAdversary(guard, "items", identities=20).simulate()
+        assert parallel.wall_time > serial.wall_time
+
+    def test_fees_accumulate(self):
+        guard, _, _ = guarded_with_accounts(
+            rows=10, cap=1.0, registration_fee=3.0
+        )
+        result = ParallelAdversary(guard, "items", identities=5).simulate()
+        assert result.fees_paid == 15.0
+
+    def test_invalid_identity_count(self):
+        fixture = build_guarded_items(10)
+        with pytest.raises(ConfigError):
+            ParallelAdversary(fixture.guard, fixture.table, identities=0)
+
+
+class TestRegisterIdentities:
+    def test_registers_through_gate_advancing_clock(self):
+        guard, clock, accounts = guarded_with_accounts(
+            rows=10, cap=1.0, registration_interval=50.0
+        )
+        attack = ParallelAdversary(guard, "items", identities=3)
+        names = attack.register_identities()
+        assert len(names) == 3
+        assert len(accounts.accounts) == 3
+        assert clock.now() >= 100.0  # two waits of 50s
+
+    def test_requires_account_manager(self):
+        fixture = build_guarded_items(10)
+        attack = ParallelAdversary(fixture.guard, fixture.table, identities=2)
+        with pytest.raises(ConfigError):
+            attack.register_identities()
+
+    def test_identities_share_subnet(self):
+        guard, _, accounts = guarded_with_accounts(rows=5, cap=1.0)
+        ParallelAdversary(
+            guard, "items", identities=3, subnet="evil/24"
+        ).register_identities()
+        assert accounts.subnet_accounts("evil/24") == 3

@@ -1,0 +1,88 @@
+"""Tests for the storefront attack simulation."""
+
+import pytest
+
+from repro.attacks.storefront import StorefrontAttack
+from repro.core import (
+    AccountManager,
+    AccountPolicy,
+    DelayGuard,
+    GuardConfig,
+    VirtualClock,
+)
+from repro.core.errors import ConfigError
+from repro.engine import Database
+from repro.workloads.generators import make_zipf_query_trace
+
+
+def storefront_setup(rows=50, quota=None):
+    db = Database()
+    db.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, payload TEXT)")
+    db.insert_rows("items", [(i, f"p{i}") for i in range(1, rows + 1)])
+    clock = VirtualClock()
+    accounts = AccountManager(
+        policy=AccountPolicy(daily_query_quota=quota), clock=clock
+    )
+    guard = DelayGuard(
+        db, config=GuardConfig(cap=1.0), clock=clock, accounts=accounts
+    )
+    accounts.register("storefront")
+    return guard
+
+
+class TestRelay:
+    def test_relays_whole_trace_without_quota(self):
+        guard = storefront_setup()
+        trace = make_zipf_query_trace(50, 200, alpha=1.0, seed=1)
+        result = StorefrontAttack(guard, "items", "storefront").relay(trace)
+        assert result.relayed == 200
+        assert result.denied == 0
+        assert 0 < result.coverage <= 1.0
+
+    def test_quota_throttles_storefront(self):
+        guard = storefront_setup(quota=20)
+        trace = make_zipf_query_trace(50, 200, alpha=1.0, seed=1)
+        attack = StorefrontAttack(
+            guard, "items", "storefront", give_up_after=3
+        )
+        result = attack.relay(trace)
+        assert result.relayed == 20
+        assert result.denied >= 3
+        assert result.coverage < 1.0
+
+    def test_coverage_is_distinct_items_over_population(self):
+        guard = storefront_setup(rows=10)
+        trace = make_zipf_query_trace(10, 100, alpha=0.0, seed=2)
+        result = StorefrontAttack(guard, "items", "storefront").relay(trace)
+        distinct = len({e.item for e in trace if e.kind == "query"})
+        assert result.coverage == pytest.approx(distinct / 10)
+
+    def test_cached_storefront_skips_repeats(self):
+        guard = storefront_setup()
+        trace = make_zipf_query_trace(50, 300, alpha=1.5, seed=3)
+        cached = StorefrontAttack(
+            guard, "items", "storefront", cache=True
+        ).relay(trace)
+        # With caching, relayed equals distinct items touched.
+        assert cached.relayed == len(
+            {e.item for e in trace if e.kind == "query"}
+        )
+
+    def test_customers_absorb_delay(self):
+        guard = storefront_setup()
+        trace = make_zipf_query_trace(50, 100, alpha=1.0, seed=4)
+        result = StorefrontAttack(guard, "items", "storefront").relay(trace)
+        assert result.total_delay > 0
+
+    def test_wait_events_recorded(self):
+        guard = storefront_setup(quota=5)
+        trace = make_zipf_query_trace(50, 100, alpha=1.0, seed=5)
+        result = StorefrontAttack(
+            guard, "items", "storefront", give_up_after=2
+        ).relay(trace)
+        assert len(result.wait_events) == result.denied
+
+    def test_invalid_give_up(self):
+        guard = storefront_setup()
+        with pytest.raises(ConfigError):
+            StorefrontAttack(guard, "items", "storefront", give_up_after=0)

@@ -1,0 +1,147 @@
+"""Tests for account management and §2.4 defenses."""
+
+import pytest
+
+from repro.core.accounts import AccountManager, AccountPolicy
+from repro.core.clock import VirtualClock
+from repro.core.errors import AccessDenied, ConfigError, UnknownAccount
+
+
+def manager(clock=None, **policy_kwargs):
+    return AccountManager(
+        policy=AccountPolicy(**policy_kwargs),
+        clock=clock or VirtualClock(),
+    )
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        m = manager()
+        account = m.register("alice", subnet="10.0.0.0/24")
+        assert m.account("alice") is account
+        assert account.subnet == "10.0.0.0/24"
+
+    def test_duplicate_identity_rejected(self):
+        m = manager()
+        m.register("alice")
+        with pytest.raises(ConfigError):
+            m.register("alice")
+
+    def test_unknown_account_raises(self):
+        with pytest.raises(UnknownAccount):
+            manager().account("ghost")
+
+    def test_registration_throttle(self):
+        clock = VirtualClock()
+        m = manager(clock=clock, registration_interval=60.0)
+        m.register("a")
+        with pytest.raises(AccessDenied) as excinfo:
+            m.register("b")
+        assert excinfo.value.reason == "registration_rate"
+        assert excinfo.value.retry_after == pytest.approx(60.0)
+        clock.advance(60.0)
+        m.register("b")  # now admitted
+
+    def test_time_to_register_lower_bound(self):
+        m = manager(registration_interval=30.0)
+        m.register("a")
+        # 10 more identities need >= 10 * 30s (first waits full interval).
+        assert m.time_to_register(10) == pytest.approx(300.0)
+
+    def test_time_to_register_without_gate_is_zero(self):
+        assert manager().time_to_register(100) == 0.0
+
+    def test_fees_collected(self):
+        m = manager(registration_fee=5.0)
+        m.register("a")
+        m.register("b")
+        assert m.fees_collected == 10.0
+        assert m.cost_to_register(7) == 35.0
+        assert m.account("a").fee_paid == 5.0
+
+
+class TestQueryAuthorization:
+    def test_no_limits_always_allowed(self):
+        m = manager()
+        m.register("a")
+        for _ in range(1000):
+            m.authorize_query("a")
+        assert m.account("a").queries_issued == 1000
+
+    def test_daily_quota(self):
+        clock = VirtualClock()
+        m = manager(clock=clock, daily_query_quota=3)
+        m.register("a")
+        for _ in range(3):
+            m.authorize_query("a")
+        with pytest.raises(AccessDenied) as excinfo:
+            m.authorize_query("a")
+        assert excinfo.value.reason == "query_quota"
+        assert excinfo.value.retry_after > 0
+
+    def test_quota_resets_after_a_day(self):
+        clock = VirtualClock()
+        m = manager(clock=clock, daily_query_quota=1)
+        m.register("a")
+        m.authorize_query("a")
+        clock.advance(86401)
+        m.authorize_query("a")  # new day, new quota
+
+    def test_quota_tracked_per_identity(self):
+        m = manager(daily_query_quota=1)
+        m.register("a")
+        m.register("b")
+        m.authorize_query("a")
+        m.authorize_query("b")  # independent quota
+
+    def test_user_rate_limit(self):
+        clock = VirtualClock()
+        m = manager(
+            clock=clock, user_query_rate=1.0, user_query_burst=2.0
+        )
+        m.register("a")
+        m.authorize_query("a")
+        m.authorize_query("a")
+        with pytest.raises(AccessDenied) as excinfo:
+            m.authorize_query("a")
+        assert excinfo.value.reason == "user_rate"
+        clock.advance(1.0)
+        m.authorize_query("a")
+
+    def test_subnet_rate_shared_by_sybils(self):
+        """The Sybil defense: many identities, one subnet budget."""
+        clock = VirtualClock()
+        m = manager(
+            clock=clock, subnet_query_rate=1.0, subnet_query_burst=3.0
+        )
+        for name in ("s1", "s2", "s3", "s4"):
+            m.register(name, subnet="evil/24")
+        m.authorize_query("s1")
+        m.authorize_query("s2")
+        m.authorize_query("s3")
+        with pytest.raises(AccessDenied) as excinfo:
+            m.authorize_query("s4")
+        assert excinfo.value.reason == "subnet_rate"
+
+    def test_different_subnets_independent(self):
+        m = manager(subnet_query_rate=1.0, subnet_query_burst=1.0)
+        m.register("a", subnet="net-a")
+        m.register("b", subnet="net-b")
+        m.authorize_query("a")
+        m.authorize_query("b")  # separate bucket
+
+    def test_record_retrieval(self):
+        m = manager()
+        m.register("a")
+        m.record_retrieval("a", 17)
+        assert m.account("a").tuples_retrieved == 17
+
+
+class TestSubnetReporting:
+    def test_subnet_accounts(self):
+        m = manager()
+        m.register("a", subnet="x")
+        m.register("b", subnet="x")
+        m.register("c", subnet="y")
+        assert m.subnet_accounts("x") == 2
+        assert m.subnet_accounts("z") == 0

@@ -1,0 +1,281 @@
+"""Tests for the closed-form analysis (paper equations 1-12)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import analysis
+from repro.core.errors import ConfigError
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert analysis.zipf_weights(100, 1.5).sum() == pytest.approx(1.0)
+
+    def test_alpha_zero_uniform(self):
+        weights = analysis.zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_monotone_decreasing(self):
+        weights = analysis.zipf_weights(50, 0.8)
+        assert (np.diff(weights) <= 0).all()
+
+    def test_ratio_follows_power_law(self):
+        weights = analysis.zipf_weights(100, 2.0)
+        assert weights[0] / weights[3] == pytest.approx(16.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigError):
+            analysis.zipf_weights(0, 1.0)
+
+
+class TestSums:
+    def test_generalized_harmonic(self):
+        assert analysis.generalized_harmonic(3, 1.0) == pytest.approx(
+            1 + 0.5 + 1 / 3
+        )
+
+    def test_power_sum_small(self):
+        assert analysis.power_sum(4, 2.0) == pytest.approx(1 + 4 + 9 + 16)
+
+    def test_power_sum_large_approximation(self):
+        exact = analysis.power_sum(10_000_000, 1.5)
+        approx_n = 20_000_000
+        approx = analysis.power_sum(approx_n, 1.5)
+        # leading term is n^2.5/2.5: doubling n multiplies by ~5.66
+        assert approx / exact == pytest.approx(2 ** 2.5, rel=0.01)
+
+
+class TestPopularityDelay:
+    def test_equation_one(self):
+        # d = i^(a+b) / (N fmax)
+        assert analysis.popularity_delay(
+            rank=10, n=100, fmax=0.5, alpha=1.0, beta=1.0
+        ) == pytest.approx(100 / 50.0)
+
+    def test_cap_applied(self):
+        assert analysis.popularity_delay(
+            rank=1000, n=10, fmax=0.01, alpha=2.0, cap=5.0
+        ) == 5.0
+
+    def test_monotone_in_rank(self):
+        delays = [
+            analysis.popularity_delay(rank, 1000, 0.1, 1.5)
+            for rank in range(1, 50)
+        ]
+        assert delays == sorted(delays)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            analysis.popularity_delay(0, 10, 0.1, 1.0)
+        with pytest.raises(ConfigError):
+            analysis.popularity_delay(1, 10, 0.0, 1.0)
+
+
+class TestCapRank:
+    def test_equation_five_inversion(self):
+        n, fmax, alpha, beta = 10_000, 0.2, 1.0, 0.5
+        m = analysis.cap_rank(n, fmax, alpha, beta, dmax=10.0)
+        below = analysis.popularity_delay(m, n, fmax, alpha, beta)
+        above = analysis.popularity_delay(m + 1, n, fmax, alpha, beta)
+        assert below <= 10.0 < above
+
+    def test_clamped_to_population(self):
+        assert analysis.cap_rank(100, 1.0, 1.0, 0.0, dmax=1e9) == 100
+
+    def test_at_least_one(self):
+        assert analysis.cap_rank(100, 1.0, 2.0, 0.0, dmax=1e-9) == 1
+
+    def test_invalid_dmax(self):
+        with pytest.raises(ConfigError):
+            analysis.cap_rank(10, 1.0, 1.0, 0.0, dmax=0)
+
+
+class TestTotalExtractionDelay:
+    def test_uncapped_matches_direct_sum(self):
+        n, fmax, alpha = 500, 0.3, 1.2
+        expected = sum(
+            analysis.popularity_delay(rank, n, fmax, alpha)
+            for rank in range(1, n + 1)
+        )
+        assert analysis.total_extraction_delay(
+            n, fmax, alpha
+        ) == pytest.approx(expected)
+
+    def test_capped_matches_direct_sum(self):
+        n, fmax, alpha, cap = 500, 0.3, 1.2, 2.0
+        expected = sum(
+            analysis.popularity_delay(rank, n, fmax, alpha, cap=cap)
+            for rank in range(1, n + 1)
+        )
+        assert analysis.total_extraction_delay(
+            n, fmax, alpha, cap=cap
+        ) == pytest.approx(expected, rel=0.01)
+
+    def test_cap_reduces_total(self):
+        uncapped = analysis.total_extraction_delay(1000, 0.2, 1.5)
+        capped = analysis.total_extraction_delay(1000, 0.2, 1.5, cap=1.0)
+        assert capped < uncapped
+
+    def test_capped_total_bounded_by_n_dmax(self):
+        total = analysis.total_extraction_delay(1000, 0.2, 1.5, cap=1.0)
+        assert total <= 1000 * 1.0 + 1e-9
+
+
+class TestMedianRank:
+    def test_uniform_median_is_middle(self):
+        assert analysis.median_rank(100, 0.0) == pytest.approx(50, abs=1)
+
+    def test_high_skew_median_near_head(self):
+        assert analysis.median_rank(10_000, 2.0) <= 3
+
+    def test_cumulative_definition(self):
+        n, alpha = 1000, 1.0
+        m = analysis.median_rank(n, alpha)
+        weights = analysis.zipf_weights(n, alpha)
+        assert weights[:m].sum() >= 0.5
+        assert weights[: m - 1].sum() < 0.5
+
+    def test_asymptotic_regimes(self):
+        n = 10_000
+        assert analysis.median_rank_asymptotic(n, 1.0) == pytest.approx(
+            math.sqrt(n)
+        )
+        assert analysis.median_rank_asymptotic(n, 2.0) == pytest.approx(
+            math.log(n)
+        )
+        # alpha < 1: 2^(1/(alpha-1)) * N with negative exponent => < N
+        low = analysis.median_rank_asymptotic(n, 0.5)
+        assert 0 < low < n
+
+    def test_asymptotic_tracks_exact_for_alpha_over_one(self):
+        # Θ(log N): the exact median should grow like log N.
+        small = analysis.median_rank(1_000, 1.5)
+        large = analysis.median_rank(1_000_000, 1.5)
+        assert large <= small * 8  # far sub-linear growth
+
+
+class TestRatio:
+    def test_equation_four_definition(self):
+        n, fmax, alpha, beta = 2000, 0.25, 1.5, 0.0
+        ratio = analysis.adversary_to_user_ratio(n, fmax, alpha, beta)
+        expected = analysis.total_extraction_delay(
+            n, fmax, alpha, beta
+        ) / analysis.median_delay(n, fmax, alpha, beta)
+        assert ratio == pytest.approx(expected)
+
+    def test_ratio_orders_of_magnitude(self):
+        # The paper's core claim: for alpha >= 1 the ratio is huge.
+        ratio = analysis.adversary_to_user_ratio(100_000, 0.1, 1.5)
+        assert ratio > 1e5
+
+    def test_beta_increases_ratio(self):
+        low = analysis.adversary_to_user_ratio(10_000, 0.1, 1.0, beta=0.0)
+        high = analysis.adversary_to_user_ratio(10_000, 0.1, 1.0, beta=1.0)
+        assert high > low
+
+    def test_cap_keeps_asymptotics(self):
+        # §2.2: the capped ratio still grows with N.
+        small = analysis.adversary_to_user_ratio(1_000, 0.1, 1.5, cap=10.0)
+        large = analysis.adversary_to_user_ratio(100_000, 0.1, 1.5, cap=10.0)
+        assert large > small * 10
+
+    def test_ratio_asymptotic_regimes(self):
+        n = 10_000
+        assert analysis.ratio_asymptotic(n, 1.0, 1.0) == pytest.approx(
+            n ** 2.0
+        )
+        # (alpha+beta)/(1-alpha) = 1/0.5 = 2 => 2^2 * n
+        assert analysis.ratio_asymptotic(n, 0.5, 0.5) == pytest.approx(
+            4.0 * n
+        )
+        over = analysis.ratio_asymptotic(n, 1.5, 0.0)
+        assert over == pytest.approx(n * (n / math.log(n)) ** 1.5)
+
+
+class TestUpdateDelays:
+    def test_equation_nine(self):
+        assert analysis.update_delay(
+            rank=4, n=100, rmax=2.0, alpha=1.0, c=1.0
+        ) == pytest.approx((1.0 / 100) * 4 / 2.0)
+
+    def test_cap(self):
+        assert analysis.update_delay(
+            rank=10**6, n=10, rmax=0.001, alpha=2.0, c=1.0, cap=10.0
+        ) == 10.0
+
+    def test_total_matches_direct_sum(self):
+        n, rmax, alpha, c = 300, 0.5, 1.3, 2.0
+        expected = sum(
+            analysis.update_delay(rank, n, rmax, alpha, c)
+            for rank in range(1, n + 1)
+        )
+        assert analysis.total_update_extraction_delay(
+            n, rmax, alpha, c
+        ) == pytest.approx(expected)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            analysis.update_delay(1, 10, 0.0, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            analysis.update_delay(1, 10, 1.0, 1.0, 0.0)
+
+
+class TestStaleness:
+    def test_equation_twelve(self):
+        assert analysis.staleness_fraction(1.0, 1.0) == pytest.approx(0.5)
+        assert analysis.staleness_fraction(2.0, 1.0) == 1.0  # clamped
+
+    def test_bounds(self):
+        for c in (0.1, 0.5, 1.0, 5.0):
+            for alpha in (0.25, 1.0, 2.5):
+                s = analysis.staleness_fraction(c, alpha)
+                assert 0.0 <= s <= 1.0
+
+    def test_zero_c_zero_staleness(self):
+        assert analysis.staleness_fraction(0.0, 1.0) == 0.0
+
+    def test_inverse_consistency(self):
+        for target in (0.1, 0.5, 0.9):
+            c = analysis.required_c_for_staleness(target, alpha=1.5)
+            assert analysis.staleness_fraction(c, 1.5) == pytest.approx(
+                target
+            )
+
+    def test_required_c_invalid_target(self):
+        with pytest.raises(ConfigError):
+            analysis.required_c_for_staleness(0.0, 1.0)
+        with pytest.raises(ConfigError):
+            analysis.required_c_for_staleness(1.5, 1.0)
+
+    def test_exact_matches_approximation_for_large_n(self):
+        # eq (12) is the n→∞ limit of the exact eq (10)-(11) computation.
+        approx = analysis.staleness_fraction(1.0, 1.0)
+        exact = analysis.exact_stale_fraction(
+            100_000, rmax=1.0, alpha=1.0, c=1.0
+        )
+        assert exact == pytest.approx(approx, rel=0.01)
+
+    def test_exact_with_cap_not_more_stale(self):
+        uncapped = analysis.exact_stale_fraction(10_000, 1.0, 1.5, 2.0)
+        capped = analysis.exact_stale_fraction(
+            10_000, 1.0, 1.5, 2.0, cap=0.001
+        )
+        assert capped <= uncapped
+
+
+class TestFitZipfAlpha:
+    def test_recovers_exact_alpha(self):
+        frequencies = [1000 * i ** -1.3 for i in range(1, 200)]
+        assert analysis.fit_zipf_alpha(frequencies) == pytest.approx(
+            1.3, abs=0.01
+        )
+
+    def test_ignores_zero_entries(self):
+        frequencies = [100.0, 50.0, 0.0, 25.0]
+        assert analysis.fit_zipf_alpha(frequencies) > 0
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigError):
+            analysis.fit_zipf_alpha([5.0])

@@ -1,0 +1,67 @@
+"""Tests for clocks."""
+
+import time
+
+import pytest
+
+from repro.core.clock import RealClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(100.0).now() == 100.0
+
+    def test_sleep_advances(self):
+        clock = VirtualClock()
+        clock.sleep(5.0)
+        clock.sleep(2.5)
+        assert clock.now() == 7.5
+
+    def test_sleeps_recorded(self):
+        clock = VirtualClock()
+        clock.sleep(1.0)
+        clock.sleep(2.0)
+        assert clock.sleeps == [1.0, 2.0]
+        assert clock.total_slept == 3.0
+
+    def test_advance_does_not_record_sleep(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        assert clock.now() == 10.0
+        assert clock.sleeps == []
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-1)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_zero_sleep_allowed(self):
+        clock = VirtualClock()
+        clock.sleep(0.0)
+        assert clock.now() == 0.0
+
+
+class TestRealClock:
+    def test_now_is_monotonic(self):
+        clock = RealClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_sleep_actually_blocks(self):
+        clock = RealClock()
+        started = time.monotonic()
+        clock.sleep(0.02)
+        assert time.monotonic() - started >= 0.015
+
+    def test_zero_sleep_fast(self):
+        started = time.monotonic()
+        RealClock().sleep(0)
+        assert time.monotonic() - started < 0.01
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            RealClock().sleep(-0.1)

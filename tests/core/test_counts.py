@@ -1,0 +1,197 @@
+"""Tests for count stores (§4.4 storage strategies)."""
+
+import pytest
+
+from repro.core.counts import (
+    CountingSampleStore,
+    InMemoryCountStore,
+    SpaceSavingStore,
+    WriteBehindCountStore,
+)
+from repro.core.errors import ConfigError
+
+
+class TestInMemoryCountStore:
+    def test_add_and_get(self):
+        store = InMemoryCountStore()
+        store.add(1)
+        store.add(1, 2.5)
+        assert store.get(1) == 3.5
+        assert store.get(2) == 0.0
+
+    def test_items_and_len(self):
+        store = InMemoryCountStore()
+        store.add(1)
+        store.add(2, 4.0)
+        assert dict(store.items()) == {1: 1.0, 2: 4.0}
+        assert len(store) == 2
+
+    def test_scale(self):
+        store = InMemoryCountStore()
+        store.add(1, 10.0)
+        store.scale(0.5)
+        assert store.get(1) == 5.0
+
+    def test_clear(self):
+        store = InMemoryCountStore()
+        store.add(1)
+        store.clear()
+        assert len(store) == 0
+
+
+class TestWriteBehindCountStore:
+    def test_exact_counts_survive_eviction(self):
+        store = WriteBehindCountStore(cache_size=2)
+        for key in range(10):
+            store.add(key, float(key))
+        for key in range(10):
+            assert store.get(key) == float(key)
+
+    def test_eviction_causes_backing_io(self):
+        store = WriteBehindCountStore(cache_size=2)
+        for key in range(5):
+            store.add(key)
+        assert store.backing_writes >= 3
+
+    def test_cache_hit_avoids_io(self):
+        store = WriteBehindCountStore(cache_size=8)
+        store.add(1)
+        reads_before = store.backing_reads
+        for _ in range(100):
+            store.add(1)
+        assert store.backing_reads == reads_before
+
+    def test_flush_persists_dirty_entries(self):
+        store = WriteBehindCountStore(cache_size=8)
+        store.add(1, 3.0)
+        store.flush()
+        assert store._backing[1] == 3.0
+
+    def test_items_includes_cached_and_backed(self):
+        store = WriteBehindCountStore(cache_size=1)
+        store.add(1, 1.0)
+        store.add(2, 2.0)  # evicts key 1
+        assert dict(store.items()) == {1: 1.0, 2: 2.0}
+
+    def test_scale_covers_everything(self):
+        store = WriteBehindCountStore(cache_size=1)
+        store.add(1, 2.0)
+        store.add(2, 4.0)
+        store.scale(0.5)
+        assert store.get(1) == 1.0
+        assert store.get(2) == 2.0
+
+    def test_len_deduplicates(self):
+        store = WriteBehindCountStore(cache_size=1)
+        store.add(1)
+        store.add(2)
+        store.get(1)
+        assert len(store) == 2
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(ConfigError):
+            WriteBehindCountStore(cache_size=0)
+
+    def test_clear(self):
+        store = WriteBehindCountStore(cache_size=2)
+        store.add(1)
+        store.clear()
+        assert store.get(1) == 0.0
+
+
+class TestCountingSampleStore:
+    def test_exact_below_capacity_with_unit_tau(self):
+        store = CountingSampleStore(capacity=100, seed=1)
+        for _ in range(50):
+            store.add(7)
+        assert store.get(7) == 50.0  # tau still 1 => exact
+
+    def test_respects_capacity(self):
+        store = CountingSampleStore(capacity=16, seed=2)
+        for key in range(500):
+            store.add(key)
+        assert len(store) <= 16
+        assert store.tau > 1.0
+
+    def test_heavy_hitter_survives_decimation(self):
+        store = CountingSampleStore(capacity=32, seed=3)
+        for round_ in range(300):
+            store.add(0)  # heavy key
+            store.add(1000 + round_)  # stream of singletons
+        assert store.get(0) > 100  # estimate retains the hot key
+
+    def test_estimate_includes_tau_adjustment(self):
+        store = CountingSampleStore(capacity=4, seed=4)
+        for key in range(100):
+            store.add(key % 8)
+        for key, estimate in store.items():
+            assert estimate >= store.tau - 1.0
+
+    def test_weighted_add_rejected(self):
+        store = CountingSampleStore()
+        with pytest.raises(ConfigError, match="unit increments"):
+            store.add(1, 2.0)
+
+    def test_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            CountingSampleStore().scale(0.5)
+
+    def test_clear_resets_tau(self):
+        store = CountingSampleStore(capacity=4, seed=5)
+        for key in range(100):
+            store.add(key)
+        store.clear()
+        assert store.tau == 1.0 and len(store) == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            CountingSampleStore(capacity=0)
+        with pytest.raises(ConfigError):
+            CountingSampleStore(growth=1.0)
+
+
+class TestSpaceSavingStore:
+    def test_exact_below_capacity(self):
+        store = SpaceSavingStore(capacity=10)
+        store.add(1, 5.0)
+        store.add(2, 3.0)
+        assert store.get(1) == 5.0
+
+    def test_capacity_bound(self):
+        store = SpaceSavingStore(capacity=8)
+        for key in range(100):
+            store.add(key)
+        assert len(store) == 8
+
+    def test_overestimate_bound(self):
+        store = SpaceSavingStore(capacity=10)
+        total = 0.0
+        true_counts = {}
+        for i in range(1000):
+            key = i % 25
+            store.add(key)
+            total += 1.0
+            true_counts[key] = true_counts.get(key, 0) + 1
+        for key, estimate in store.items():
+            assert estimate >= true_counts.get(key, 0)
+            assert estimate <= true_counts.get(key, 0) + total / 10
+
+    def test_weighted_adds(self):
+        store = SpaceSavingStore(capacity=4)
+        store.add(1, 100.0)
+        for key in range(2, 50):
+            store.add(key, 0.1)
+        assert store.get(1) >= 100.0  # heavy key retained
+
+    def test_scale(self):
+        store = SpaceSavingStore(capacity=4)
+        store.add(1, 8.0)
+        store.scale(0.25)
+        assert store.get(1) == 2.0
+
+    def test_eviction_inherits_weight(self):
+        store = SpaceSavingStore(capacity=1)
+        store.add(1, 5.0)
+        store.add(2, 1.0)
+        assert store.get(2) == 6.0  # inherited 5 + own 1
+        assert store.get(1) == 0.0

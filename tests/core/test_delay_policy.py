@@ -1,0 +1,199 @@
+"""Tests for delay policies."""
+
+import math
+
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.core.delay_policy import (
+    CompositeDelayPolicy,
+    FixedDelayPolicy,
+    NoDelayPolicy,
+    PopularityDelayPolicy,
+    UpdateRateDelayPolicy,
+)
+from repro.core.errors import ConfigError
+from repro.core.popularity import PopularityTracker
+from repro.core.update_tracker import UpdateRateTracker
+
+
+def warm_tracker(counts):
+    tracker = PopularityTracker(rank_refresh=1)
+    for key, count in counts.items():
+        for _ in range(count):
+            tracker.record(key)
+    return tracker
+
+
+class TestBaselinePolicies:
+    def test_no_delay(self):
+        policy = NoDelayPolicy()
+        assert policy.delay_for("anything") == 0.0
+        assert "no delay" in policy.describe()
+
+    def test_fixed_delay(self):
+        policy = FixedDelayPolicy(2.5)
+        assert policy.delay_for("x") == 2.5
+
+    def test_fixed_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            FixedDelayPolicy(-1)
+
+
+class TestPopularityDelayPolicy:
+    def test_inverse_popularity(self):
+        tracker = warm_tracker({"hot": 90, "cold": 10})
+        policy = PopularityDelayPolicy(tracker, population=100, cap=1e9)
+        # d = 1/(N p): hot p=0.9 => 1/90; cold p=0.1 => 1/10
+        assert policy.delay_for("hot") == pytest.approx(1.0 / 90.0)
+        assert policy.delay_for("cold") == pytest.approx(1.0 / 10.0)
+
+    def test_cold_start_gets_cap(self):
+        tracker = PopularityTracker()
+        policy = PopularityDelayPolicy(tracker, population=10, cap=7.0)
+        assert policy.delay_for("never-seen") == 7.0
+
+    def test_cold_start_without_cap_uses_fallback(self):
+        tracker = PopularityTracker()
+        policy = PopularityDelayPolicy(
+            tracker, population=10, cap=None, uncapped_cold=123.0
+        )
+        assert policy.delay_for("never-seen") == 123.0
+
+    def test_cap_clamps_unpopular(self):
+        tracker = warm_tracker({"hot": 999, "cold": 1})
+        # cold popularity 1e-3 => uncapped delay 1/(10 * 1e-3) = 100s
+        policy = PopularityDelayPolicy(tracker, population=10, cap=5.0)
+        assert policy.delay_for("cold") == 5.0
+
+    def test_matches_equation_one_for_zipf_counts(self):
+        """With Zipf counts, the policy reproduces eq (1) exactly."""
+        n, alpha, fmax_count = 50, 1.0, 10_000
+        tracker = PopularityTracker(rank_refresh=1)
+        for rank in range(1, n + 1):
+            count = max(1, int(fmax_count * rank ** -alpha))
+            tracker.record(rank, weight=count)
+        total = tracker.total_requests
+        for rank in (1, 5, 20):
+            policy = PopularityDelayPolicy(
+                tracker, population=n, cap=None
+            )
+            p = tracker.popularity(rank)
+            assert policy.delay_for(rank) == pytest.approx(1.0 / (n * p))
+
+    def test_beta_multiplies_by_rank_power(self):
+        tracker = warm_tracker({"a": 50, "b": 30, "c": 20})
+        base = PopularityDelayPolicy(tracker, population=3, cap=None)
+        boosted = PopularityDelayPolicy(
+            tracker, population=3, cap=None, beta=1.0
+        )
+        # 'b' has rank 2: delay doubles with beta=1.
+        assert boosted.delay_for("b") == pytest.approx(
+            2 * base.delay_for("b")
+        )
+
+    def test_unit_scales_linearly(self):
+        tracker = warm_tracker({"a": 10})
+        one = PopularityDelayPolicy(tracker, population=5, cap=None, unit=1.0)
+        two = PopularityDelayPolicy(tracker, population=5, cap=None, unit=2.0)
+        assert two.delay_for("a") == pytest.approx(2 * one.delay_for("a"))
+
+    def test_callable_population(self):
+        tracker = warm_tracker({"a": 10})
+        policy = PopularityDelayPolicy(
+            tracker, population=lambda: 10, cap=None
+        )
+        assert policy.delay_for("a") == pytest.approx(0.1)
+
+    def test_invalid_configs(self):
+        tracker = PopularityTracker()
+        with pytest.raises(ConfigError):
+            PopularityDelayPolicy(tracker, 10, cap=0)
+        with pytest.raises(ConfigError):
+            PopularityDelayPolicy(tracker, 10, beta=-1)
+        with pytest.raises(ConfigError):
+            PopularityDelayPolicy(tracker, 10, unit=0)
+        with pytest.raises(ConfigError):
+            PopularityDelayPolicy(tracker, 10, mode="nope")
+
+    def test_describe_mentions_parameters(self):
+        tracker = PopularityTracker()
+        text = PopularityDelayPolicy(tracker, 10, cap=3.0, beta=0.5).describe()
+        assert "beta=0.5" in text and "cap=3s" in text
+
+
+class TestUpdateRateDelayPolicy:
+    def make(self, rates, n=100, c=1.0, cap=10.0):
+        clock = VirtualClock(1000.0)
+        tracker = UpdateRateTracker(clock=clock)
+        tracker.prime(rates, window=1000.0)
+        return UpdateRateDelayPolicy(tracker, population=n, c=c, cap=cap)
+
+    def test_inverse_rate(self):
+        policy = self.make({"fast": 1.0, "slow": 0.001}, n=100, c=1.0,
+                           cap=1e9)
+        assert policy.delay_for("fast") == pytest.approx(0.01)
+        assert policy.delay_for("slow") == pytest.approx(10.0)
+
+    def test_never_updated_gets_cap(self):
+        policy = self.make({}, cap=4.0)
+        assert policy.delay_for("unknown") == 4.0
+
+    def test_never_updated_without_cap_infinite(self):
+        policy = self.make({})
+        policy.cap = None
+        assert policy.delay_for("unknown") == math.inf
+
+    def test_c_scales(self):
+        one = self.make({"a": 1.0}, c=1.0, cap=None)
+        two = self.make({"a": 1.0}, c=2.0, cap=None)
+        assert two.delay_for("a") == pytest.approx(2 * one.delay_for("a"))
+
+    def test_matches_equation_nine_for_zipf_rates(self):
+        n, alpha, rmax = 20, 1.0, 2.0
+        rates = {rank: rmax * rank ** -alpha for rank in range(1, n + 1)}
+        policy = self.make(rates, n=n, c=1.5, cap=None)
+        for rank in (1, 7, 20):
+            expected = (1.5 / n) * (rank ** alpha) / rmax
+            assert policy.delay_for(rank) == pytest.approx(expected)
+
+    def test_invalid_configs(self):
+        tracker = UpdateRateTracker(clock=VirtualClock())
+        with pytest.raises(ConfigError):
+            UpdateRateDelayPolicy(tracker, 10, c=0)
+        with pytest.raises(ConfigError):
+            UpdateRateDelayPolicy(tracker, 10, cap=-1)
+
+
+class TestCompositeDelayPolicy:
+    def test_max_combination(self):
+        policy = CompositeDelayPolicy(
+            [FixedDelayPolicy(1.0), FixedDelayPolicy(3.0)], combine="max"
+        )
+        assert policy.delay_for("x") == 3.0
+
+    def test_sum_combination(self):
+        policy = CompositeDelayPolicy(
+            [FixedDelayPolicy(1.0), FixedDelayPolicy(3.0)], combine="sum"
+        )
+        assert policy.delay_for("x") == 4.0
+
+    def test_min_combination(self):
+        policy = CompositeDelayPolicy(
+            [FixedDelayPolicy(1.0), FixedDelayPolicy(3.0)], combine="min"
+        )
+        assert policy.delay_for("x") == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            CompositeDelayPolicy([])
+
+    def test_unknown_combine_rejected(self):
+        with pytest.raises(ConfigError):
+            CompositeDelayPolicy([NoDelayPolicy()], combine="avg")
+
+    def test_describe_nests(self):
+        policy = CompositeDelayPolicy(
+            [NoDelayPolicy(), FixedDelayPolicy(1.0)]
+        )
+        assert "max(" in policy.describe()

@@ -1,0 +1,139 @@
+"""Tests for extraction detection (coverage + novelty monitoring)."""
+
+import pytest
+
+from repro.core import AccountManager, DelayGuard, GuardConfig, VirtualClock
+from repro.core.detection import CoverageMonitor, attach_monitor
+from repro.core.errors import ConfigError
+from repro.engine import Database
+from repro.workloads.zipf import ZipfSampler
+
+
+def feed(monitor, identity, items, table="t"):
+    for item in items:
+        monitor.record(identity, [(table, item)])
+
+
+class TestSignals:
+    def test_coverage_counts_distinct(self):
+        monitor = CoverageMonitor(population=100)
+        feed(monitor, "u", [1, 2, 3, 1, 1])
+        assert monitor.coverage("u") == pytest.approx(0.03)
+
+    def test_novelty_rate_window(self):
+        monitor = CoverageMonitor(population=100, window=4)
+        feed(monitor, "u", [1, 2, 1, 2])  # recent: T T F F
+        assert monitor.novelty_rate("u") == pytest.approx(0.5)
+
+    def test_unknown_identity_defaults(self):
+        monitor = CoverageMonitor(population=10)
+        assert monitor.coverage("ghost") == 0.0
+        assert monitor.novelty_rate("ghost") == 0.0
+        assert monitor.evaluate("ghost") is None
+
+    def test_callable_population(self):
+        size = [10]
+        monitor = CoverageMonitor(population=lambda: size[0])
+        feed(monitor, "u", [1, 2, 3, 4, 5])
+        assert monitor.coverage("u") == pytest.approx(0.5)
+        size[0] = 20
+        assert monitor.coverage("u") == pytest.approx(0.25)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            CoverageMonitor(10, coverage_threshold=0)
+        with pytest.raises(ConfigError):
+            CoverageMonitor(10, novelty_threshold=1.5)
+        with pytest.raises(ConfigError):
+            CoverageMonitor(10, window=0)
+        with pytest.raises(ConfigError):
+            CoverageMonitor(10, min_requests=0)
+
+
+class TestFlagging:
+    def test_coverage_flag(self):
+        monitor = CoverageMonitor(
+            population=10, coverage_threshold=0.5, min_requests=1000
+        )
+        feed(monitor, "robot", range(1, 6))
+        suspect = monitor.evaluate("robot")
+        assert suspect is not None
+        assert "coverage" in suspect.reasons
+
+    def test_novelty_flag_respects_grace_period(self):
+        monitor = CoverageMonitor(
+            population=10_000,
+            coverage_threshold=1.0,
+            novelty_threshold=0.9,
+            min_requests=50,
+        )
+        feed(monitor, "young", range(1, 30))  # all novel but < 50 reqs
+        assert monitor.evaluate("young") is None
+        feed(monitor, "young", range(30, 80))
+        suspect = monitor.evaluate("young")
+        assert suspect is not None and "novelty" in suspect.reasons
+
+    def test_suspects_sorted_by_coverage(self):
+        monitor = CoverageMonitor(
+            population=10, coverage_threshold=0.3, min_requests=1000
+        )
+        feed(monitor, "big", range(1, 9))
+        feed(monitor, "small", range(1, 5))
+        names = [s.identity for s in monitor.suspects()]
+        assert names == ["big", "small"]
+
+
+class TestDiscrimination:
+    def test_robot_flagged_zipf_browser_not(self):
+        """The core claim: extraction traffic separates cleanly from
+        legitimate skewed browsing."""
+        population = 2000
+        monitor = CoverageMonitor(
+            population=population,
+            coverage_threshold=0.5,
+            novelty_threshold=0.9,
+            window=300,
+            min_requests=200,
+        )
+        # A legitimate browser: 3000 Zipf(1.2) requests.
+        sampler = ZipfSampler(population, alpha=1.2, seed=31)
+        feed(monitor, "browser", (int(i) for i in sampler.sample_many(3000)))
+        # A robot: walks the key space once.
+        feed(monitor, "robot", range(1, population + 1))
+
+        suspects = {s.identity for s in monitor.suspects()}
+        assert "robot" in suspects
+        assert "browser" not in suspects
+        assert monitor.novelty_rate("robot") == pytest.approx(1.0)
+        assert monitor.novelty_rate("browser") < 0.5
+
+
+class TestGuardAttachment:
+    def test_attach_monitor_profiles_queries(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.insert_rows("t", [(i, "x") for i in range(1, 21)])
+        clock = VirtualClock()
+        accounts = AccountManager(clock=clock)
+        guard = DelayGuard(
+            db, config=GuardConfig(cap=0.001), clock=clock,
+            accounts=accounts,
+        )
+        accounts.register("u")
+        monitor = CoverageMonitor(population=guard.population)
+        attach_monitor(guard, monitor)
+        for item in range(1, 6):
+            guard.execute(
+                f"SELECT * FROM t WHERE id = {item}", identity="u"
+            )
+        assert monitor.coverage("u") == pytest.approx(0.25)
+
+    def test_anonymous_queries_not_profiled(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.insert_rows("t", [(1, "x")])
+        guard = DelayGuard(db, clock=VirtualClock())
+        monitor = CoverageMonitor(population=guard.population)
+        attach_monitor(guard, monitor)
+        guard.execute("SELECT * FROM t WHERE id = 1")
+        assert monitor.profiles == {}

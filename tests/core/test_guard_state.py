@@ -1,0 +1,81 @@
+"""Tests for guard state dump/load."""
+
+import pytest
+
+from repro.core import ConfigError, DelayGuard, GuardConfig, VirtualClock
+from repro.engine import Database
+
+
+def make_guard(decay=1.0, rows=30):
+    db = Database()
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    db.insert_rows("t", [(i, "x") for i in range(1, rows + 1)])
+    return DelayGuard(
+        db,
+        config=GuardConfig(cap=5.0, decay_rate=decay),
+        clock=VirtualClock(),
+    )
+
+
+class TestDumpLoad:
+    def test_round_trip_preserves_delays(self):
+        source = make_guard()
+        for item in (1, 1, 1, 2, 7):
+            source.execute(f"SELECT * FROM t WHERE id = {item}")
+        source.execute("UPDATE t SET v = 'u' WHERE id = 2")
+        state = source.dump_state()
+
+        target = make_guard()
+        target.load_state(state)
+        for rowid in range(1, 31):
+            assert target.delay_for("t", rowid) == pytest.approx(
+                source.delay_for("t", rowid)
+            )
+        assert target.last_update_times == source.last_update_times
+
+    def test_round_trip_with_decay(self):
+        source = make_guard(decay=1.05)
+        for item in (1, 2, 1, 3, 1):
+            source.execute(f"SELECT * FROM t WHERE id = {item}")
+        target = make_guard(decay=1.05)
+        target.load_state(source.dump_state())
+        assert target.popularity.total_requests == 5
+        assert target.delay_for("t", 1) == pytest.approx(
+            source.delay_for("t", 1)
+        )
+        # Continued recording stays consistent between the two guards.
+        source.execute("SELECT * FROM t WHERE id = 4")
+        target.execute("SELECT * FROM t WHERE id = 4")
+        assert target.delay_for("t", 4) == pytest.approx(
+            source.delay_for("t", 4)
+        )
+
+    def test_state_is_json_compatible(self):
+        import json
+
+        guard = make_guard()
+        guard.execute("SELECT * FROM t WHERE id = 1")
+        text = json.dumps(guard.dump_state())
+        restored = make_guard()
+        restored.load_state(json.loads(text))
+        assert restored.popularity.total_requests == 1
+
+    def test_decay_mismatch_rejected(self):
+        source = make_guard(decay=1.5)
+        target = make_guard(decay=1.0)
+        with pytest.raises(ConfigError, match="decay rate"):
+            target.load_state(source.dump_state())
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ConfigError, match="format"):
+            make_guard().load_state({"format": "bogus"})
+
+    def test_load_replaces_existing_state(self):
+        source = make_guard()
+        source.execute("SELECT * FROM t WHERE id = 1")
+        target = make_guard()
+        for _ in range(50):
+            target.execute("SELECT * FROM t WHERE id = 9")
+        target.load_state(source.dump_state())
+        assert target.popularity.total_requests == 1
+        assert target.popularity.present_count(("t", 9)) == 0.0

@@ -1,0 +1,112 @@
+"""Tests for rate-limiting primitives."""
+
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.core.errors import ConfigError
+from repro.core.ratelimit import FixedIntervalGate, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_available_immediately(self):
+        bucket = TokenBucket(rate=1.0, burst=5.0, clock=VirtualClock())
+        for _ in range(5):
+            assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_refills_over_time(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.try_acquire(2.0)
+        assert bucket.try_acquire() > 0
+        clock.advance(0.5)  # refills 1 token
+        assert bucket.try_acquire() == 0.0
+
+    def test_wait_time_is_deficit_over_rate(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+        bucket.try_acquire()
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(0.25)
+
+    def test_tokens_capped_at_burst(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_failed_acquire_does_not_consume(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        bucket.try_acquire()
+        before = bucket.tokens
+        bucket.try_acquire()
+        assert bucket.tokens == pytest.approx(before)
+
+    def test_acquire_sleeps_until_available(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        bucket.try_acquire()
+        waited = bucket.acquire()
+        assert waited == pytest.approx(0.5)
+        assert clock.now() == pytest.approx(0.5)
+
+    def test_acquire_cost_beyond_burst(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        waited = bucket.acquire(5.0)
+        assert waited > 0
+        assert clock.now() >= 3.0  # needed 3 extra tokens at 1/s
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=1, burst=0)
+        bucket = TokenBucket(rate=1, burst=1, clock=VirtualClock())
+        with pytest.raises(ConfigError):
+            bucket.try_acquire(0)
+
+
+class TestFixedIntervalGate:
+    def test_first_admission_free(self):
+        gate = FixedIntervalGate(10.0, clock=VirtualClock())
+        assert gate.try_admit() == 0.0
+        assert gate.admitted == 1
+
+    def test_second_admission_waits(self):
+        clock = VirtualClock()
+        gate = FixedIntervalGate(10.0, clock=clock)
+        gate.try_admit()
+        wait = gate.try_admit()
+        assert wait == pytest.approx(10.0)
+        assert gate.admitted == 1
+
+    def test_admission_after_interval(self):
+        clock = VirtualClock()
+        gate = FixedIntervalGate(10.0, clock=clock)
+        gate.try_admit()
+        clock.advance(10.0)
+        assert gate.try_admit() == 0.0
+
+    def test_time_to_accumulate_fresh_gate(self):
+        gate = FixedIntervalGate(5.0, clock=VirtualClock())
+        assert gate.time_to_accumulate(0) == 0.0
+        assert gate.time_to_accumulate(1) == 0.0
+        # k identities: first free, then (k-1) intervals.
+        assert gate.time_to_accumulate(4) == pytest.approx(15.0)
+
+    def test_time_to_accumulate_respects_recent_admission(self):
+        clock = VirtualClock()
+        gate = FixedIntervalGate(5.0, clock=clock)
+        gate.try_admit()
+        clock.advance(2.0)
+        # Next admission in 3s, then 2 more at 5s apart.
+        assert gate.time_to_accumulate(3) == pytest.approx(13.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            FixedIntervalGate(0)
+        gate = FixedIntervalGate(1.0, clock=VirtualClock())
+        with pytest.raises(ConfigError):
+            gate.time_to_accumulate(-1)

@@ -1,0 +1,78 @@
+"""Tests for the §1.1 strawman result-size limit — and why it fails.
+
+The paper's introduction: "most information providers restrict the
+amount of information that can be queried in one request — users must
+ask very selective queries. However, such restrictions are easy to
+overcome — the attacker could trivially construct a robot that
+repeatedly asks slightly different selective queries whose union is the
+entire database." These tests implement both halves of that sentence.
+"""
+
+import pytest
+
+from repro.attacks import ExtractionAdversary
+from repro.core import AccessDenied, ConfigError, GuardConfig
+from repro.sim.experiment import build_guarded_items
+
+
+class TestResultLimitEnforcement:
+    def test_large_result_refused(self):
+        fixture = build_guarded_items(
+            50, config=GuardConfig(max_result_rows=5, cap=1.0)
+        )
+        with pytest.raises(AccessDenied) as excinfo:
+            fixture.guard.execute("SELECT * FROM items WHERE id <= 10")
+        assert excinfo.value.reason == "result_limit"
+        assert fixture.guard.stats.denied == 1
+
+    def test_small_result_allowed(self):
+        fixture = build_guarded_items(
+            50, config=GuardConfig(max_result_rows=5, cap=1.0)
+        )
+        result = fixture.guard.execute("SELECT * FROM items WHERE id <= 5")
+        assert len(result.rows) == 5
+
+    def test_refused_query_not_recorded(self):
+        fixture = build_guarded_items(
+            50, config=GuardConfig(max_result_rows=2, cap=1.0)
+        )
+        with pytest.raises(AccessDenied):
+            fixture.guard.execute("SELECT * FROM items WHERE id <= 10")
+        assert fixture.guard.popularity.total_requests == 0
+
+    def test_refused_query_charges_no_delay(self):
+        fixture = build_guarded_items(
+            50, config=GuardConfig(max_result_rows=2, cap=1.0)
+        )
+        with pytest.raises(AccessDenied):
+            fixture.guard.execute("SELECT * FROM items WHERE id <= 10")
+        assert fixture.clock.total_slept == 0.0
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            GuardConfig(max_result_rows=0).validate()
+
+
+class TestWhyTheStrawmanFails:
+    def test_selective_robot_defeats_the_limit_alone(self):
+        """With ONLY the result limit (no delays), a one-row-at-a-time
+        robot extracts the entire database unimpeded."""
+        fixture = build_guarded_items(
+            100,
+            config=GuardConfig(policy="none", max_result_rows=1),
+        )
+        result = ExtractionAdversary(fixture.guard, fixture.table).run()
+        assert result.tuples == 100  # complete copy obtained
+        assert result.total_delay == 0.0  # and it cost nothing
+        assert fixture.guard.stats.denied == 0  # never even refused
+
+    def test_delay_scheme_still_bites_with_limit_in_place(self):
+        """The two defenses compose: the limit refuses bulk grabs and
+        the delay scheme makes the selective robot pay."""
+        fixture = build_guarded_items(
+            100,
+            config=GuardConfig(cap=2.0, max_result_rows=1),
+        )
+        result = ExtractionAdversary(fixture.guard, fixture.table).run()
+        assert result.tuples == 100
+        assert result.total_delay == pytest.approx(200.0)

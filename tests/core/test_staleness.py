@@ -1,0 +1,99 @@
+"""Tests for snapshot staleness evaluation (§3)."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.core.staleness import (
+    Snapshot,
+    stale_fraction,
+    stale_fraction_from_history,
+)
+
+
+def make_snapshot(extraction_times, start=0.0, end=None):
+    snapshot = Snapshot(started_at=start)
+    for key, when in extraction_times.items():
+        snapshot.add(key, f"value-{key}", when)
+    snapshot.completed_at = (
+        end if end is not None else max(extraction_times.values(), default=0)
+    )
+    return snapshot
+
+
+class TestSnapshot:
+    def test_len_and_duration(self):
+        snapshot = make_snapshot({1: 1.0, 2: 2.0}, start=0.5, end=3.0)
+        assert len(snapshot) == 2
+        assert snapshot.duration == 2.5
+
+    def test_re_adding_key_overwrites(self):
+        snapshot = Snapshot()
+        snapshot.add(1, "old", 1.0)
+        snapshot.add(1, "new", 2.0)
+        assert snapshot.tuples[1].value == "new"
+
+
+class TestStaleFraction:
+    def test_update_after_extraction_is_stale(self):
+        snapshot = make_snapshot({1: 1.0, 2: 2.0}, end=10.0)
+        report = stale_fraction(snapshot, {1: 5.0})
+        assert report.stale == 1
+        assert report.fraction == 0.5
+
+    def test_update_before_extraction_not_stale(self):
+        snapshot = make_snapshot({1: 5.0}, end=10.0)
+        report = stale_fraction(snapshot, {1: 2.0})
+        assert report.stale == 0
+
+    def test_update_after_evaluation_time_ignored(self):
+        snapshot = make_snapshot({1: 1.0}, end=10.0)
+        report = stale_fraction(snapshot, {1: 50.0})
+        assert report.stale == 0
+
+    def test_as_of_extends_window(self):
+        snapshot = make_snapshot({1: 1.0}, end=10.0)
+        report = stale_fraction(snapshot, {1: 50.0}, as_of=100.0)
+        assert report.stale == 1
+        assert report.evaluated_at == 100.0
+
+    def test_never_updated_not_stale(self):
+        snapshot = make_snapshot({1: 1.0, 2: 2.0}, end=10.0)
+        assert stale_fraction(snapshot, {}).fraction == 0.0
+
+    def test_empty_snapshot(self):
+        report = stale_fraction(make_snapshot({}), {1: 5.0})
+        assert report.fraction == 0.0
+        assert report.total == 0
+
+    def test_boundary_update_at_extraction_instant_not_stale(self):
+        snapshot = make_snapshot({1: 3.0}, end=10.0)
+        assert stale_fraction(snapshot, {1: 3.0}).stale == 0
+
+    def test_boundary_update_at_completion_is_stale(self):
+        snapshot = make_snapshot({1: 3.0}, end=10.0)
+        assert stale_fraction(snapshot, {1: 10.0}).stale == 1
+
+    def test_evaluation_before_start_rejected(self):
+        snapshot = make_snapshot({1: 5.0}, start=4.0, end=10.0)
+        with pytest.raises(ConfigError):
+            stale_fraction(snapshot, {}, as_of=1.0)
+
+
+class TestStaleFractionFromHistory:
+    def test_any_update_in_window_counts(self):
+        snapshot = make_snapshot({1: 1.0, 2: 8.0}, end=10.0)
+        history = {1: [0.5, 4.0], 2: [7.0]}
+        report = stale_fraction_from_history(snapshot, history)
+        assert report.stale == 1  # key 1 updated at 4.0 > 1.0; key 2 at 7 < 8
+
+    def test_empty_history(self):
+        snapshot = make_snapshot({1: 1.0}, end=5.0)
+        assert stale_fraction_from_history(snapshot, {}).stale == 0
+
+    def test_matches_last_update_variant_for_single_updates(self):
+        snapshot = make_snapshot({1: 1.0, 2: 2.0, 3: 3.0}, end=10.0)
+        last = {1: 5.0, 2: 0.5, 3: 9.0}
+        history = {key: [when] for key, when in last.items()}
+        a = stale_fraction(snapshot, last)
+        b = stale_fraction_from_history(snapshot, history)
+        assert a.stale == b.stale == 2

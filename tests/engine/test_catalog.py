@@ -1,0 +1,116 @@
+"""Tests for the catalog."""
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.errors import CatalogError
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DataType
+
+
+def schema(name="t"):
+    return TableSchema(
+        name,
+        [
+            Column("id", DataType.INTEGER, nullable=False, primary_key=True),
+            Column("v", DataType.TEXT),
+        ],
+    )
+
+
+class TestTables:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        table = catalog.create_table(schema())
+        assert catalog.table("t") is table
+        assert catalog.table("T") is table  # case-insensitive
+        assert catalog.has_table("t")
+
+    def test_duplicate_create_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.create_table(schema())
+
+    def test_if_not_exists_returns_existing(self):
+        catalog = Catalog()
+        first = catalog.create_table(schema())
+        second = catalog.create_table(schema(), if_not_exists=True)
+        assert first is second
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError, match="no table"):
+            Catalog().table("missing")
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        assert catalog.drop_table("t") is True
+        assert not catalog.has_table("t")
+
+    def test_drop_missing_raises_unless_if_exists(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+        assert catalog.drop_table("t", if_exists=True) is False
+
+    def test_table_names(self):
+        catalog = Catalog()
+        catalog.create_table(schema("a"))
+        catalog.create_table(schema("b"))
+        assert catalog.table_names() == ["a", "b"]
+
+
+class TestIndexes:
+    def test_create_index_and_find(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        index = catalog.create_index("iv", "t", "v")
+        assert catalog.index_on("t", "v") is index
+        assert catalog.index_on("t", "V") is index
+        assert catalog.indexes_for("t") == [index]
+
+    def test_index_on_filters_by_kind(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        catalog.create_index("ih", "t", "v", kind="hash")
+        assert catalog.index_on("t", "v", kind="ordered") is None
+        assert catalog.index_on("t", "v", kind="hash") is not None
+
+    def test_duplicate_index_name_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        catalog.create_index("i", "t", "v")
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.create_index("i", "t", "id")
+
+    def test_index_stays_in_sync(self):
+        catalog = Catalog()
+        table = catalog.create_table(schema())
+        index = catalog.create_index("iv", "t", "v")
+        table.insert([1, "x"])
+        assert index.lookup("x") == [1]
+
+    def test_drop_index(self):
+        catalog = Catalog()
+        table = catalog.create_table(schema())
+        index = catalog.create_index("iv", "t", "v")
+        catalog.drop_index("iv")
+        assert catalog.index_on("t", "v") is None
+        table.insert([1, "x"])
+        assert index.lookup("x") == []  # detached
+
+    def test_drop_missing_index_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop_index("nope")
+
+    def test_drop_table_drops_its_indexes(self):
+        catalog = Catalog()
+        catalog.create_table(schema())
+        catalog.create_index("iv", "t", "v")
+        catalog.drop_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_index("iv")
+
+    def test_indexes_for_unknown_table_empty(self):
+        assert Catalog().indexes_for("nope") == []

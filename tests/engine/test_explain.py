@@ -1,0 +1,79 @@
+"""Tests for the EXPLAIN statement."""
+
+import pytest
+
+from repro.engine import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT, n FLOAT)"
+    )
+    database.execute("CREATE TABLE u (id INTEGER PRIMARY KEY, tid INTEGER)")
+    database.execute("CREATE INDEX inn ON t (n)")
+    database.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+    return database
+
+
+def plan(db, sql):
+    return [line for (line,) in db.execute(sql).rows]
+
+
+class TestExplain:
+    def test_pk_lookup_plan(self, db):
+        lines = plan(db, "EXPLAIN SELECT * FROM t WHERE id = 1")
+        assert lines == ["PK LOOKUP id=1"]
+
+    def test_full_scan_plan(self, db):
+        lines = plan(db, "EXPLAIN SELECT * FROM t WHERE v = 'a'")
+        assert lines == ["FULL SCAN"]
+
+    def test_index_range_plan(self, db):
+        lines = plan(db, "EXPLAIN SELECT * FROM t WHERE n > 0.5")
+        assert "INDEX RANGE" in lines[0]
+
+    def test_join_plan(self, db):
+        lines = plan(
+            db,
+            "EXPLAIN SELECT * FROM t JOIN u ON t.id = u.tid "
+            "WHERE t.n > 1",
+        )
+        assert lines[0] == "FULL SCAN t"
+        assert lines[1].startswith("HASH JOIN u ON")
+        assert lines[2].startswith("FILTER")
+
+    def test_non_equi_join_plan(self, db):
+        lines = plan(
+            db, "EXPLAIN SELECT * FROM t JOIN u ON t.id < u.tid"
+        )
+        assert lines[1].startswith("NESTED LOOP")
+
+    def test_left_join_plan(self, db):
+        lines = plan(
+            db, "EXPLAIN SELECT * FROM t LEFT JOIN u ON t.id = u.tid"
+        )
+        assert lines[1].startswith("LEFT HASH JOIN")
+
+    def test_group_and_sort_reported(self, db):
+        lines = plan(
+            db,
+            "EXPLAIN SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v",
+        )
+        assert any(line.startswith("GROUP BY") for line in lines)
+        assert "SORT" in lines
+
+    def test_explain_dml(self, db):
+        lines = plan(db, "EXPLAIN DELETE FROM t WHERE id = 1")
+        assert lines == ["PK LOOKUP id=1"]
+        lines = plan(db, "EXPLAIN UPDATE t SET v = 'x' WHERE n < 2")
+        assert "INDEX RANGE" in lines[0]
+
+    def test_explain_unknown_table(self, db):
+        lines = plan(db, "EXPLAIN SELECT * FROM missing")
+        assert "NO PLAN" in lines[0]
+
+    def test_explain_does_not_execute(self, db):
+        db.execute("EXPLAIN DELETE FROM t")
+        assert db.row_count("t") == 1

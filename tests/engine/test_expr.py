@@ -1,0 +1,236 @@
+"""Tests for repro.engine.expr: evaluation and SQL three-valued logic."""
+
+import pytest
+
+from repro.engine.errors import ExecutionError
+from repro.engine.expr import (
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Logical,
+    Negate,
+    Not,
+    conjuncts,
+    predicate_holds,
+)
+
+ROW = {"a": 5, "b": 2.5, "s": "hello", "flag": True, "nothing": None}
+
+
+def lit(value):
+    return Literal(value)
+
+
+class TestLiteralAndColumn:
+    def test_literal_evaluates_to_value(self):
+        assert lit(7).evaluate({}) == 7
+        assert lit(None).evaluate({}) is None
+
+    def test_column_lookup_case_insensitive(self):
+        assert ColumnRef("A").evaluate(ROW) == 5
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExecutionError, match="missing"):
+            ColumnRef("missing").evaluate(ROW)
+
+    def test_literal_str_quotes_strings(self):
+        assert str(lit("o'brien")) == "'o''brien'"
+        assert str(lit(None)) == "NULL"
+
+    def test_columns_collects_references(self):
+        expr = Logical(
+            "AND",
+            Comparison("=", ColumnRef("a"), lit(1)),
+            Comparison(">", ColumnRef("b"), ColumnRef("c")),
+        )
+        assert sorted(expr.columns()) == ["a", "b", "c"]
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 1, 1, True),
+            ("=", 1, 2, False),
+            ("!=", 1, 2, True),
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 1, 2, False),
+        ],
+    )
+    def test_numeric_comparisons(self, op, left, right, expected):
+        assert Comparison(op, lit(left), lit(right)).evaluate({}) is expected
+
+    def test_int_float_cross_comparison(self):
+        assert Comparison("=", lit(1), lit(1.0)).evaluate({}) is True
+
+    def test_string_comparison(self):
+        assert Comparison("<", lit("a"), lit("b")).evaluate({}) is True
+
+    def test_null_yields_null(self):
+        assert Comparison("=", lit(None), lit(1)).evaluate({}) is None
+        assert Comparison("<", lit(1), lit(None)).evaluate({}) is None
+
+    def test_mixed_types_raise(self):
+        with pytest.raises(ExecutionError):
+            Comparison("<", lit(1), lit("a")).evaluate({})
+
+
+class TestArithmetic:
+    def test_basic_operations(self):
+        assert Arithmetic("+", lit(2), lit(3)).evaluate({}) == 5
+        assert Arithmetic("-", lit(2), lit(3)).evaluate({}) == -1
+        assert Arithmetic("*", lit(2), lit(3)).evaluate({}) == 6
+        assert Arithmetic("/", lit(7), lit(2)).evaluate({}) == 3.5
+        assert Arithmetic("%", lit(7), lit(2)).evaluate({}) == 1
+
+    def test_string_concatenation_with_plus(self):
+        assert Arithmetic("+", lit("a"), lit("b")).evaluate({}) == "ab"
+
+    def test_null_propagates(self):
+        assert Arithmetic("+", lit(None), lit(1)).evaluate({}) is None
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            Arithmetic("/", lit(1), lit(0)).evaluate({})
+
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(ExecutionError, match="modulo by zero"):
+            Arithmetic("%", lit(1), lit(0)).evaluate({})
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ExecutionError):
+            Arithmetic("*", lit("a"), lit(2)).evaluate({})
+
+    def test_negate(self):
+        assert Negate(lit(5)).evaluate({}) == -5
+        assert Negate(lit(None)).evaluate({}) is None
+        with pytest.raises(ExecutionError):
+            Negate(lit("x")).evaluate({})
+
+
+class TestLogical:
+    def test_and_truth_table(self):
+        t, f, n = lit(True), lit(False), lit(None)
+        assert Logical("AND", t, t).evaluate({}) is True
+        assert Logical("AND", t, f).evaluate({}) is False
+        assert Logical("AND", f, n).evaluate({}) is False  # false wins
+        assert Logical("AND", t, n).evaluate({}) is None
+
+    def test_or_truth_table(self):
+        t, f, n = lit(True), lit(False), lit(None)
+        assert Logical("OR", f, f).evaluate({}) is False
+        assert Logical("OR", t, n).evaluate({}) is True  # true wins
+        assert Logical("OR", f, n).evaluate({}) is None
+
+    def test_not(self):
+        assert Not(lit(True)).evaluate({}) is False
+        assert Not(lit(None)).evaluate({}) is None
+
+    def test_non_boolean_operand_raises(self):
+        with pytest.raises(ExecutionError):
+            Logical("AND", lit(1), lit(True)).evaluate({})
+
+
+class TestIsNull:
+    def test_is_null(self):
+        assert IsNull(ColumnRef("nothing")).evaluate(ROW) is True
+        assert IsNull(ColumnRef("a")).evaluate(ROW) is False
+
+    def test_is_not_null(self):
+        assert IsNull(ColumnRef("a"), negated=True).evaluate(ROW) is True
+
+
+class TestInList:
+    def test_membership(self):
+        expr = InList(ColumnRef("a"), (lit(1), lit(5)))
+        assert expr.evaluate(ROW) is True
+
+    def test_not_in(self):
+        expr = InList(ColumnRef("a"), (lit(1),), negated=True)
+        assert expr.evaluate(ROW) is True
+
+    def test_null_operand_is_null(self):
+        expr = InList(ColumnRef("nothing"), (lit(1),))
+        assert expr.evaluate(ROW) is None
+
+    def test_null_member_without_match_is_null(self):
+        expr = InList(ColumnRef("a"), (lit(1), lit(None)))
+        assert expr.evaluate(ROW) is None
+
+    def test_match_beats_null_member(self):
+        expr = InList(ColumnRef("a"), (lit(5), lit(None)))
+        assert expr.evaluate(ROW) is True
+
+
+class TestBetween:
+    def test_inclusive_bounds(self):
+        assert Between(lit(5), lit(5), lit(10)).evaluate({}) is True
+        assert Between(lit(10), lit(5), lit(10)).evaluate({}) is True
+        assert Between(lit(11), lit(5), lit(10)).evaluate({}) is False
+
+    def test_negated(self):
+        assert Between(lit(1), lit(5), lit(10), negated=True).evaluate({}) is True
+
+    def test_null_operand(self):
+        assert Between(lit(None), lit(1), lit(2)).evaluate({}) is None
+
+    def test_definite_false_with_null_bound(self):
+        # 20 > 10 (high) is definitely out even though low is NULL.
+        assert Between(lit(20), lit(None), lit(10)).evaluate({}) is False
+
+
+class TestLike:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("hello", "hello", True),
+            ("hello", "h%", True),
+            ("hello", "%llo", True),
+            ("hello", "h_llo", True),
+            ("hello", "H%", False),  # case-sensitive
+            ("hello", "%z%", False),
+            ("a.c", "a.c", True),  # dot is literal, not regex
+            ("abc", "a.c", False),
+        ],
+    )
+    def test_patterns(self, value, pattern, expected):
+        assert Like(lit(value), lit(pattern)).evaluate({}) is expected
+
+    def test_negated(self):
+        assert Like(lit("x"), lit("y%"), negated=True).evaluate({}) is True
+
+    def test_null_is_null(self):
+        assert Like(lit(None), lit("%")).evaluate({}) is None
+
+    def test_non_string_raises(self):
+        with pytest.raises(ExecutionError):
+            Like(lit(5), lit("%")).evaluate({})
+
+
+class TestPredicateHelpers:
+    def test_predicate_holds_requires_true(self):
+        assert predicate_holds(None, ROW) is True
+        assert predicate_holds(lit(True), ROW) is True
+        assert predicate_holds(lit(False), ROW) is False
+        assert predicate_holds(lit(None), ROW) is False  # NULL filters out
+
+    def test_conjuncts_flattens_and_tree(self):
+        a = Comparison("=", ColumnRef("a"), lit(1))
+        b = Comparison("=", ColumnRef("b"), lit(2))
+        c = Comparison("=", ColumnRef("s"), lit("x"))
+        tree = Logical("AND", Logical("AND", a, b), c)
+        assert conjuncts(tree) == [a, b, c]
+
+    def test_conjuncts_of_none_is_empty(self):
+        assert conjuncts(None) == []
+
+    def test_or_is_single_conjunct(self):
+        tree = Logical("OR", lit(True), lit(False))
+        assert conjuncts(tree) == [tree]

@@ -1,0 +1,147 @@
+"""Tests for GROUP BY / HAVING execution."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE sales (id INTEGER PRIMARY KEY, region TEXT, "
+        "amount FLOAT, units INTEGER)"
+    )
+    database.execute(
+        "INSERT INTO sales VALUES "
+        "(1, 'north', 10.0, 1), (2, 'north', 20.0, 2), "
+        "(3, 'south', 5.0, 1), (4, 'south', 15.0, 3), "
+        "(5, 'east', 40.0, 4), (6, 'north', NULL, 1)"
+    )
+    return database
+
+
+class TestGroupBy:
+    def test_count_per_group(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region"
+        )
+        assert sorted(rows) == [("east", 1), ("north", 3), ("south", 2)]
+
+    def test_sum_and_avg_skip_nulls(self, db):
+        rows = dict(
+            db.query("SELECT region, SUM(amount) FROM sales GROUP BY region")
+        )
+        assert rows["north"] == 30.0  # NULL amount excluded
+
+    def test_group_key_order_first_seen(self, db):
+        rows = db.query("SELECT region, COUNT(*) FROM sales GROUP BY region")
+        assert [region for region, _ in rows] == ["north", "south", "east"]
+
+    def test_group_by_expression(self, db):
+        rows = db.query(
+            "SELECT units % 2, COUNT(*) FROM sales GROUP BY units % 2"
+        )
+        assert sorted(rows) == [(0, 2), (1, 4)]
+
+    def test_multiple_group_keys(self, db):
+        rows = db.query(
+            "SELECT region, units, COUNT(*) FROM sales "
+            "GROUP BY region, units"
+        )
+        assert ("north", 1, 2) in rows
+
+    def test_non_aggregate_item_takes_group_value(self, db):
+        rows = db.query(
+            "SELECT region, MIN(amount) FROM sales GROUP BY region"
+        )
+        assert dict(rows)["south"] == 5.0
+
+    def test_order_by_aggregate_alias(self, db):
+        rows = db.query(
+            "SELECT region, SUM(amount) AS total FROM sales "
+            "GROUP BY region ORDER BY total DESC"
+        )
+        assert rows[0] == ("east", 40.0)
+
+    def test_order_by_aggregate_label(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region "
+            "ORDER BY region"
+        )
+        assert [region for region, _ in rows] == ["east", "north", "south"]
+
+    def test_limit_applies_to_groups(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region "
+            "ORDER BY region LIMIT 2"
+        )
+        assert len(rows) == 2
+
+    def test_star_with_group_by_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT * FROM sales GROUP BY region")
+
+    def test_empty_input_no_groups(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) FROM sales WHERE id > 99 "
+            "GROUP BY region"
+        )
+        assert rows == []
+
+    def test_rowids_per_group(self, db):
+        result = db.execute(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region"
+        )
+        # touched covers every member row of every surviving group.
+        assert len(result.touched) == 6
+
+
+class TestHaving:
+    def test_having_filters_groups(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) AS n FROM sales GROUP BY region "
+            "HAVING n >= 2"
+        )
+        assert sorted(rows) == [("north", 3), ("south", 2)]
+
+    def test_having_on_aggregate_label(self, db):
+        rows = db.query(
+            "SELECT region, SUM(amount) AS s FROM sales GROUP BY region "
+            "HAVING s > 25"
+        )
+        assert sorted(rows) == [("east", 40.0), ("north", 30.0)]
+
+    def test_having_on_group_column(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) FROM sales GROUP BY region "
+            "HAVING region = 'east'"
+        )
+        assert rows == [("east", 1)]
+
+    def test_having_drops_all(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) AS n FROM sales GROUP BY region "
+            "HAVING n > 99"
+        )
+        assert rows == []
+
+
+class TestGroupByThroughGuard:
+    def test_guard_charges_group_members(self):
+        from repro.core import DelayGuard, GuardConfig, VirtualClock
+
+        db = Database()
+        db.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, bucket TEXT)"
+        )
+        db.insert_rows("t", [(i, f"b{i % 2}") for i in range(1, 7)])
+        guard = DelayGuard(
+            db, config=GuardConfig(cap=1.0), clock=VirtualClock()
+        )
+        result = guard.execute(
+            "SELECT bucket, COUNT(*) FROM t GROUP BY bucket"
+        )
+        # All six member rows charged at the cold cap.
+        assert result.delay == pytest.approx(6.0)

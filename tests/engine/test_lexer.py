@@ -1,0 +1,93 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.engine.errors import ParseError
+from repro.engine.parser.lexer import Token, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestTokenize:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_keywords_uppercased(self):
+        assert values("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        assert values("myTable") == ["myTable"]
+        assert tokenize("myTable")[0].kind == "identifier"
+
+    def test_numbers_integer_and_float(self):
+        tokens = tokenize("42 3.14 1e5 2.5e-3")
+        assert [t.value for t in tokens[:-1]] == ["42", "3.14", "1e5", "2.5e-3"]
+        assert all(t.kind == "number" for t in tokens[:-1])
+
+    def test_leading_dot_number(self):
+        assert values(".5") == [".5"]
+
+    def test_double_dot_number_rejected(self):
+        with pytest.raises(ParseError, match="malformed number"):
+            tokenize("1.2.3")
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.kind == "string" and token.value == "hello world"
+
+    def test_string_escaped_quote(self):
+        assert tokenize("'o''brien'")[0].value == "o'brien"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        token = tokenize('"Select"')[0]
+        assert token.kind == "identifier" and token.value == "Select"
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_operators_longest_match(self):
+        assert values("a <= b <> c != d") == ["a", "<=", "b", "<>", "c", "!=", "d"]
+
+    def test_line_comment_skipped(self):
+        assert values("SELECT -- comment here\n 1") == ["SELECT", "1"]
+
+    def test_comment_at_end_of_input(self):
+        assert values("1 -- trailing") == ["1"]
+
+    def test_minus_not_comment(self):
+        assert values("1 - 2") == ["1", "-", "2"]
+
+    def test_illegal_character_raises_with_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("SELECT @")
+        assert excinfo.value.position == 7
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = Token("keyword", "SELECT", 0)
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("FROM", "SELECT")
+        assert not token.is_keyword("FROM")
+
+    def test_is_operator(self):
+        token = Token("operator", ",", 0)
+        assert token.is_operator(",")
+        assert not token.is_operator(";")

@@ -1,0 +1,263 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.engine.errors import ParseError
+from repro.engine.expr import (
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Logical,
+    Negate,
+    Not,
+)
+from repro.engine.parser import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+    parse,
+)
+from repro.engine.types import DataType
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt, SelectStatement)
+        assert stmt.table == "t"
+        assert stmt.items[0].star
+
+    def test_column_list_and_aliases(self):
+        stmt = parse("SELECT a, b AS bee, c cee FROM t")
+        assert [item.alias for item in stmt.items] == [None, "bee", "cee"]
+
+    def test_where_clause(self):
+        stmt = parse("SELECT * FROM t WHERE a = 1")
+        assert isinstance(stmt.where, Comparison)
+        assert stmt.where.op == "="
+
+    def test_order_by_multiple_keys(self):
+        stmt = parse("SELECT * FROM t ORDER BY a DESC, b ASC, c")
+        assert [item.descending for item in stmt.order_by] == [True, False, False]
+
+    def test_limit_offset(self):
+        stmt = parse("SELECT * FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit == 10 and stmt.offset == 5
+
+    def test_limit_rejects_float(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM t LIMIT 1.5")
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_aggregates(self):
+        stmt = parse("SELECT COUNT(*), SUM(a), AVG(b), MIN(c), MAX(d) FROM t")
+        assert [item.aggregate for item in stmt.items] == [
+            "COUNT", "SUM", "AVG", "MIN", "MAX",
+        ]
+        assert stmt.items[0].expression is None
+
+    def test_count_distinct(self):
+        stmt = parse("SELECT COUNT(DISTINCT a) FROM t")
+        assert stmt.items[0].distinct
+
+    def test_star_only_for_count(self):
+        with pytest.raises(ParseError, match="COUNT"):
+            parse("SELECT SUM(*) FROM t")
+
+    def test_trailing_semicolon_ok(self):
+        assert parse("SELECT * FROM t;").table == "t"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("SELECT * FROM t garbage extra")
+
+
+class TestExpressionParsing:
+    def where(self, sql_condition):
+        return parse(f"SELECT * FROM t WHERE {sql_condition}").where
+
+    def test_precedence_or_lowest(self):
+        expr = self.where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, Logical) and expr.op == "OR"
+        assert isinstance(expr.right, Logical) and expr.right.op == "AND"
+
+    def test_parentheses_override(self):
+        expr = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert expr.op == "AND"
+        assert isinstance(expr.left, Logical) and expr.left.op == "OR"
+
+    def test_not(self):
+        expr = self.where("NOT a = 1")
+        assert isinstance(expr, Not)
+
+    def test_arithmetic_precedence(self):
+        expr = self.where("a + 2 * 3 = 7")
+        assert isinstance(expr.left, Arithmetic) and expr.left.op == "+"
+        assert isinstance(expr.left.right, Arithmetic)
+        assert expr.left.right.op == "*"
+
+    def test_unary_minus(self):
+        expr = self.where("a = -1")
+        assert isinstance(expr.right, Negate)
+
+    def test_unary_plus_noop(self):
+        expr = self.where("a = +1")
+        assert expr.right == Literal(1)
+
+    def test_diamond_not_equal_normalized(self):
+        assert self.where("a <> 1").op == "!="
+
+    def test_in_list(self):
+        expr = self.where("a IN (1, 2, 3)")
+        assert isinstance(expr, InList) and len(expr.items) == 3
+
+    def test_not_in(self):
+        expr = self.where("a NOT IN (1)")
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_between(self):
+        expr = self.where("a BETWEEN 1 AND 10")
+        assert isinstance(expr, Between) and not expr.negated
+
+    def test_not_between(self):
+        expr = self.where("a NOT BETWEEN 1 AND 10")
+        assert expr.negated
+
+    def test_between_binds_tighter_than_and(self):
+        expr = self.where("a BETWEEN 1 AND 10 AND b = 2")
+        assert isinstance(expr, Logical) and expr.op == "AND"
+        assert isinstance(expr.left, Between)
+
+    def test_like(self):
+        expr = self.where("s LIKE 'a%'")
+        assert isinstance(expr, Like)
+
+    def test_not_like(self):
+        assert self.where("s NOT LIKE 'a%'").negated
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(self.where("a IS NULL"), IsNull)
+        assert self.where("a IS NOT NULL").negated
+
+    def test_boolean_literals(self):
+        expr = self.where("flag = TRUE OR flag = FALSE")
+        assert expr.left.right == Literal(True)
+        assert expr.right.right == Literal(False)
+
+    def test_null_literal(self):
+        assert self.where("a = NULL").right == Literal(None)
+
+    def test_number_literal_types(self):
+        assert isinstance(self.where("a = 5").right.value, int)
+        assert isinstance(self.where("a = 5.0").right.value, float)
+        assert isinstance(self.where("a = 1e3").right.value, float)
+
+
+class TestInsert:
+    def test_positional(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'a')")
+        assert isinstance(stmt, InsertStatement)
+        assert stmt.columns == ()
+        assert len(stmt.rows) == 1 and len(stmt.rows[0]) == 2
+
+    def test_with_columns(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_multi_row(self):
+        stmt = parse("INSERT INTO t VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_expression_values(self):
+        stmt = parse("INSERT INTO t VALUES (1 + 2)")
+        assert isinstance(stmt.rows[0][0], Arithmetic)
+
+
+class TestUpdateDelete:
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert isinstance(stmt, UpdateStatement)
+        assert [column for column, _ in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_update_without_where(self):
+        assert parse("UPDATE t SET a = 1").where is None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a > 5")
+        assert isinstance(stmt, DeleteStatement)
+
+    def test_delete_all(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestDDL:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, "
+            "name VARCHAR(40) NOT NULL, score FLOAT)"
+        )
+        assert isinstance(stmt, CreateTableStatement)
+        assert stmt.columns[0].primary_key
+        assert not stmt.columns[1].nullable
+        assert stmt.columns[1].dtype is DataType.TEXT
+        assert stmt.columns[2].nullable
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse("CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+        assert stmt.if_not_exists
+
+    def test_create_index(self):
+        stmt = parse("CREATE INDEX idx ON t (a)")
+        assert isinstance(stmt, CreateIndexStatement)
+        assert (stmt.name, stmt.table, stmt.column) == ("idx", "t", "a")
+        assert stmt.kind == "ordered"
+
+    def test_create_index_using_hash(self):
+        assert parse("CREATE INDEX i ON t (a) USING hash").kind == "hash"
+
+    def test_drop_table(self):
+        stmt = parse("DROP TABLE t")
+        assert isinstance(stmt, DropTableStatement) and not stmt.if_exists
+
+    def test_drop_table_if_exists(self):
+        assert parse("DROP TABLE IF EXISTS t").if_exists
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "FOO BAR",
+            "SELECT FROM t",
+            "SELECT * t",
+            "SELECT * FROM",
+            "INSERT t VALUES (1)",
+            "UPDATE t a = 1",
+            "DELETE t",
+            "CREATE VIEW v",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE a IN ()",
+            "SELECT * FROM t ORDER a",
+        ],
+    )
+    def test_malformed_statements_raise(self, sql):
+        with pytest.raises(ParseError):
+            parse(sql)
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT * FROM t WHERE >")
+        assert excinfo.value.position >= 0

@@ -1,0 +1,66 @@
+"""Fuzz tests: the parser must fail cleanly, never crash.
+
+Any input text must either parse or raise
+:class:`~repro.engine.errors.ParseError` (or a TypeMismatchError for a
+bad type name) — no other exception type may escape, and a successful
+parse must be executable-or-EngineError against a database.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database
+from repro.engine.errors import EngineError
+from repro.engine.parser import parse
+
+sql_alphabet = (
+    string.ascii_letters + string.digits + " '\"(),.*=<>!+-/%;_\n\t"
+)
+
+
+class TestParserNeverCrashes:
+    @given(st.text(alphabet=sql_alphabet, max_size=120))
+    @settings(max_examples=300, deadline=None)
+    def test_random_text(self, text):
+        try:
+            parse(text)
+        except EngineError:
+            pass  # ParseError / TypeMismatchError are the contract
+
+    @given(
+        st.text(alphabet=sql_alphabet, max_size=60),
+        st.sampled_from(
+            [
+                "SELECT {} FROM t",
+                "SELECT * FROM t WHERE {}",
+                "INSERT INTO t VALUES ({})",
+                "UPDATE t SET v = {}",
+                "DELETE FROM t WHERE {}",
+                "CREATE TABLE x ({})",
+            ]
+        ),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_statement_shaped_fuzz(self, filler, template):
+        try:
+            parse(template.format(filler))
+        except EngineError:
+            pass
+
+    @given(st.text(alphabet=sql_alphabet, max_size=80))
+    @settings(max_examples=150, deadline=None)
+    def test_parsed_statements_execute_or_engine_error(self, text):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        try:
+            statement = parse(text)
+        except EngineError:
+            return
+        try:
+            db.execute(statement)
+        except EngineError:
+            pass

@@ -1,0 +1,194 @@
+"""Tests for database persistence and CSV import/export."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    Database,
+    PersistenceError,
+    dump_database,
+    export_csv,
+    import_csv,
+    load_database,
+    open_database,
+    save_database,
+)
+from repro.engine.errors import CatalogError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, score FLOAT, "
+        "ok BOOLEAN)"
+    )
+    database.execute(
+        "INSERT INTO t VALUES (1, 'a', 1.5, TRUE), (2, NULL, NULL, FALSE), "
+        "(3, 'c', 3.5, TRUE)"
+    )
+    database.execute("CREATE INDEX iname ON t (name)")
+    return database
+
+
+class TestDumpLoad:
+    def test_round_trip_rows(self, db):
+        restored = load_database(dump_database(db))
+        assert restored.query("SELECT * FROM t ORDER BY id") == db.query(
+            "SELECT * FROM t ORDER BY id"
+        )
+
+    def test_round_trip_schema(self, db):
+        restored = load_database(dump_database(db))
+        schema = restored.catalog.table("t").schema
+        assert schema.primary_key == "id"
+        assert schema.column("score").dtype.value == "FLOAT"
+        assert not schema.column("id").nullable
+
+    def test_round_trip_indexes(self, db):
+        restored = load_database(dump_database(db))
+        assert restored.catalog.index_on("t", "name") is not None
+        assert "INDEX" in restored.explain(
+            "SELECT * FROM t WHERE name = 'a'"
+        )
+
+    def test_rowids_preserved_after_deletions(self, db):
+        db.execute("DELETE FROM t WHERE id = 2")
+        db.execute("INSERT INTO t VALUES (4, 'd', 4.0, TRUE)")
+        original = sorted(db.catalog.table("t").rowids())
+        restored = load_database(dump_database(db))
+        assert sorted(restored.catalog.table("t").rowids()) == original
+
+    def test_rowid_counter_not_reused_after_restore(self, db):
+        db.execute("DELETE FROM t WHERE id = 3")
+        restored = load_database(dump_database(db))
+        new_rowid = restored.catalog.table("t").insert([9, "z", 0.0, True])
+        assert new_rowid > 3  # never reuse the deleted row's id
+
+    def test_multiple_tables(self, db):
+        db.execute("CREATE TABLE u (k INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO u VALUES (7)")
+        restored = load_database(dump_database(db))
+        assert restored.catalog.table_names() == ["t", "u"]
+        assert restored.query("SELECT k FROM u") == [(7,)]
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(PersistenceError, match="format"):
+            load_database({"format": "something-else"})
+
+
+class TestSaveOpen:
+    def test_save_and_open(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        restored = open_database(path)
+        assert restored.query("SELECT COUNT(*) FROM t") == [(3,)]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no save file"):
+            open_database(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError, match="corrupt"):
+            open_database(path)
+
+    def test_file_is_plain_json(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-engine-v1"
+
+    def test_guard_state_survives_reload(self, db, tmp_path):
+        """Popularity keyed by (table, rowid) stays valid after reload."""
+        from repro.core import DelayGuard, GuardConfig, VirtualClock
+
+        guard = DelayGuard(
+            db, config=GuardConfig(cap=5.0), clock=VirtualClock()
+        )
+        for _ in range(50):
+            guard.execute("SELECT * FROM t WHERE id = 1")
+        warm_delay = guard.delay_for("t", 1)
+
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        restored = open_database(path)
+        guard.database = restored  # swap the engine under the guard
+        result = guard.execute("SELECT * FROM t WHERE id = 1")
+        assert result.delay == pytest.approx(warm_delay, rel=0.1)
+
+
+class TestCsv:
+    def test_export_then_import_round_trip(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        count = export_csv(db, "t", path)
+        assert count == 3
+
+        target = Database()
+        target.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+            "score FLOAT, ok BOOLEAN)"
+        )
+        imported = import_csv(target, "t", path)
+        assert imported == 3
+        # NULL name round-trips as NULL via the empty field.
+        assert target.query("SELECT name FROM t WHERE id = 2") == [(None,)]
+        assert target.query("SELECT ok FROM t WHERE id = 1") == [(True,)]
+
+    def test_import_with_create(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        export_csv(db, "t", path)
+        target = Database()
+        import_csv(target, "fresh", path, create=True)
+        # created as all-TEXT
+        assert target.query("SELECT id FROM fresh WHERE id = '1'") == [("1",)]
+
+    def test_import_create_existing_rejected(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        export_csv(db, "t", path)
+        with pytest.raises(CatalogError):
+            import_csv(db, "t", path, create=True)
+
+    def test_import_column_mismatch(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        export_csv(db, "t", path)
+        target = Database()
+        target.execute("CREATE TABLE t (only INTEGER)")
+        with pytest.raises(PersistenceError, match="columns"):
+            import_csv(target, "t", path)
+
+    def test_import_missing_file(self, db, tmp_path):
+        with pytest.raises(PersistenceError):
+            import_csv(db, "t", tmp_path / "missing.csv")
+
+    def test_import_empty_file(self, db, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(PersistenceError, match="empty"):
+            import_csv(db, "t", path)
+
+    def test_boolean_parsing_variants(self, db, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("id,name,score,ok\n9,x,0.5,yes\n10,y,0.5,0\n")
+        target = Database()
+        target.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+            "score FLOAT, ok BOOLEAN)"
+        )
+        import_csv(target, "t", path)
+        assert target.query("SELECT ok FROM t ORDER BY id") == [
+            (True,), (False,),
+        ]
+
+    def test_bad_boolean_rejected(self, db, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("id,name,score,ok\n9,x,0.5,maybe\n")
+        target = Database()
+        target.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+            "score FLOAT, ok BOOLEAN)"
+        )
+        with pytest.raises(PersistenceError, match="boolean"):
+            import_csv(target, "t", path)

@@ -1,0 +1,151 @@
+"""Tests for access-path selection."""
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.parser.parser import parse
+from repro.engine.planner import candidate_rowids, choose_access_path
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DataType
+
+
+@pytest.fixture
+def setup():
+    catalog = Catalog()
+    table = catalog.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("id", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("v", DataType.TEXT),
+                Column("n", DataType.FLOAT),
+                Column("u", DataType.INTEGER),
+            ],
+        )
+    )
+    catalog.create_index("iv", "t", "v", kind="hash")
+    catalog.create_index("inn", "t", "n", kind="ordered")
+    for i in range(1, 21):
+        table.insert([i, f"v{i % 5}", float(i), i * 10])
+    return catalog, table
+
+
+def path_for(catalog, table, sql_condition):
+    where = parse(f"SELECT * FROM t WHERE {sql_condition}").where
+    return choose_access_path(catalog, table, where)
+
+
+class TestPathSelection:
+    def test_no_where_full_scan(self, setup):
+        catalog, table = setup
+        assert choose_access_path(catalog, table, None).kind == "full_scan"
+
+    def test_pk_equality(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "id = 7")
+        assert path.kind == "pk_lookup" and path.key == 7
+
+    def test_pk_equality_reversed_operands(self, setup):
+        catalog, table = setup
+        assert path_for(catalog, table, "7 = id").kind == "pk_lookup"
+
+    def test_pk_preferred_over_index(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "v = 'v1' AND id = 3")
+        assert path.kind == "pk_lookup"
+
+    def test_hash_index_equality(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "v = 'v2'")
+        assert path.kind == "index_lookup" and path.index_name == "iv"
+
+    def test_in_list_on_indexed_column(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "v IN ('v1', 'v2')")
+        assert path.kind == "index_in" and path.keys == ("v1", "v2")
+
+    def test_range_on_ordered_index(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "n > 5")
+        assert path.kind == "index_range"
+        assert path.low == 5 and not path.low_inclusive
+        assert path.high is None
+
+    def test_range_bounds_merged(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "n > 5 AND n <= 10 AND n >= 6")
+        assert path.low == 6 and path.low_inclusive
+        assert path.high == 10 and path.high_inclusive
+
+    def test_between_uses_range(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "n BETWEEN 3 AND 8")
+        assert path.kind == "index_range"
+        assert (path.low, path.high) == (3, 8)
+
+    def test_reversed_range_operands_flipped(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "5 < n")
+        assert path.low == 5 and not path.low_inclusive
+
+    def test_unindexed_column_full_scan(self, setup):
+        catalog, table = setup
+        assert path_for(catalog, table, "u = 10").kind == "full_scan"
+
+    def test_or_condition_full_scan(self, setup):
+        catalog, table = setup
+        assert path_for(catalog, table, "id = 1 OR id = 2").kind == "full_scan"
+
+    def test_column_to_column_comparison_full_scan(self, setup):
+        catalog, table = setup
+        assert path_for(catalog, table, "n = u").kind == "full_scan"
+
+    def test_null_literal_not_used_as_key(self, setup):
+        catalog, table = setup
+        assert path_for(catalog, table, "v = NULL").kind == "full_scan"
+
+    def test_describe_is_readable(self, setup):
+        catalog, table = setup
+        assert "PK LOOKUP" in path_for(catalog, table, "id = 1").describe()
+        assert "FULL SCAN" in choose_access_path(catalog, table, None).describe()
+        assert "INDEX RANGE" in path_for(catalog, table, "n < 2").describe()
+
+
+class TestCandidateRowids:
+    def test_full_scan_returns_all(self, setup):
+        catalog, table = setup
+        path = choose_access_path(catalog, table, None)
+        assert len(candidate_rowids(catalog, table, path)) == 20
+
+    def test_pk_lookup_single(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "id = 3")
+        assert candidate_rowids(catalog, table, path) == [3]
+
+    def test_pk_lookup_missing_key_empty(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "id = 999")
+        assert candidate_rowids(catalog, table, path) == []
+
+    def test_index_lookup_candidates_superset_safe(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "v = 'v1'")
+        rowids = candidate_rowids(catalog, table, path)
+        assert rowids == [1, 6, 11, 16]
+
+    def test_index_in_deduplicates(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "v IN ('v1', 'v1')")
+        rowids = candidate_rowids(catalog, table, path)
+        assert rowids == sorted(set(rowids))
+
+    def test_range_candidates(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "n BETWEEN 2 AND 4")
+        assert candidate_rowids(catalog, table, path) == [2, 3, 4]
+
+    def test_dropped_index_falls_back_to_scan(self, setup):
+        catalog, table = setup
+        path = path_for(catalog, table, "v = 'v1'")
+        catalog.drop_index("iv")
+        assert len(candidate_rowids(catalog, table, path)) == 20

@@ -1,0 +1,191 @@
+"""Property-based tests for the engine (hypothesis)."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database
+from repro.engine.catalog import Catalog
+from repro.engine.index import HashIndex, OrderedIndex
+from repro.engine.schema import Column, TableSchema
+from repro.engine.table import HeapTable
+from repro.engine.types import DataType, sort_key
+
+values = st.one_of(
+    st.none(),
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(
+        min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
+    ),
+)
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+
+def fresh_table():
+    return HeapTable(
+        TableSchema(
+            "t",
+            [
+                Column("id", DataType.INTEGER, nullable=False, primary_key=True),
+                Column("n", DataType.FLOAT),
+            ],
+        )
+    )
+
+
+class TestSortKeyProperties:
+    @given(st.lists(values, max_size=30))
+    def test_sort_key_total_order_idempotent(self, items):
+        once = sorted(items, key=sort_key)
+        assert sorted(once, key=sort_key) == once
+
+    @given(values, values)
+    def test_sort_key_antisymmetry(self, a, b):
+        if sort_key(a) < sort_key(b):
+            assert not sort_key(b) < sort_key(a)
+
+
+class TestIndexScanEquivalence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.one_of(st.none(), st.floats(0, 100, allow_nan=False)),
+            ),
+            max_size=40,
+        ),
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 100, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ordered_index_range_matches_scan(self, rows, bound_a, bound_b):
+        low, high = min(bound_a, bound_b), max(bound_a, bound_b)
+        table = fresh_table()
+        seen_ids = set()
+        for item_id, n in rows:
+            if item_id in seen_ids:
+                continue
+            seen_ids.add(item_id)
+            table.insert([item_id, n])
+        index = OrderedIndex("i", table, "n")
+        via_index = set(index.range(low=low, high=high))
+        via_scan = {
+            rowid
+            for rowid, row in table.scan()
+            if row[1] is not None and low <= row[1] <= high
+        }
+        assert via_index == via_scan
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.one_of(st.none(), st.integers(0, 5).map(float)),
+            ),
+            max_size=40,
+        ),
+        st.integers(0, 5).map(float),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hash_lookup_matches_scan(self, rows, key):
+        table = fresh_table()
+        seen_ids = set()
+        for item_id, n in rows:
+            if item_id in seen_ids:
+                continue
+            seen_ids.add(item_id)
+            table.insert([item_id, n])
+        index = HashIndex("i", table, "n")
+        via_index = set(index.lookup(key))
+        via_scan = {
+            rowid for rowid, row in table.scan() if row[1] == key
+        }
+        assert via_index == via_scan
+
+
+class TestSqlRoundTrips:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=200),
+                st.integers(min_value=-50, max_value=50),
+            ),
+            min_size=1,
+            max_size=30,
+            unique_by=lambda pair: pair[0],
+        ),
+        st.integers(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_where_filter_matches_python_filter(self, rows, threshold):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.insert_rows("t", rows)
+        got = sorted(db.query(f"SELECT id FROM t WHERE v > {threshold}"))
+        expected = sorted((i,) for i, v in rows if v > threshold)
+        assert got == expected
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=100),
+                st.integers(min_value=-9, max_value=9),
+            ),
+            min_size=1,
+            max_size=25,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_order_by_sorts(self, rows):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.insert_rows("t", rows)
+        got = [v for (v,) in db.query("SELECT v FROM t ORDER BY v")]
+        assert got == sorted(v for _, v in rows)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=100),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=25,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_aggregates_match_python(self, rows):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.insert_rows("t", rows)
+        result = db.execute("SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t")
+        vs = [v for _, v in rows]
+        assert result.rows == [(len(vs), sum(vs), min(vs), max(vs))]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=60),
+                st.integers(min_value=0, max_value=9),
+            ),
+            min_size=1,
+            max_size=30,
+            unique_by=lambda pair: pair[0],
+        ),
+        st.integers(min_value=0, max_value=9),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_indexed_and_unindexed_agree(self, rows, key):
+        plain = Database()
+        plain.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        plain.insert_rows("t", rows)
+        indexed = Database()
+        indexed.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        indexed.execute("CREATE INDEX iv ON t (v)")
+        indexed.insert_rows("t", rows)
+        sql = f"SELECT id FROM t WHERE v = {key}"
+        assert sorted(plain.query(sql)) == sorted(indexed.query(sql))

@@ -1,0 +1,131 @@
+"""Tests for repro.engine.schema."""
+
+import pytest
+
+from repro.engine.errors import CatalogError, ConstraintError
+from repro.engine.schema import Column, TableSchema, schema
+from repro.engine.types import DataType
+
+
+def make_schema():
+    return TableSchema(
+        "t",
+        [
+            Column("id", DataType.INTEGER, nullable=False, primary_key=True),
+            Column("name", DataType.TEXT),
+            Column("score", DataType.FLOAT),
+        ],
+    )
+
+
+class TestTableSchema:
+    def test_len_and_contains(self):
+        s = make_schema()
+        assert len(s) == 3
+        assert "name" in s
+        assert "NAME" in s  # case-insensitive
+        assert "missing" not in s
+
+    def test_position_and_column(self):
+        s = make_schema()
+        assert s.position("id") == 0
+        assert s.position("SCORE") == 2
+        assert s.column("name").dtype is DataType.TEXT
+
+    def test_position_unknown_raises(self):
+        with pytest.raises(CatalogError, match="nope"):
+            make_schema().position("nope")
+
+    def test_column_names_in_order(self):
+        assert make_schema().column_names() == ["id", "name", "score"]
+
+    def test_primary_key_detected(self):
+        assert make_schema().primary_key == "id"
+
+    def test_no_primary_key(self):
+        s = TableSchema("t", [Column("a", DataType.TEXT)])
+        assert s.primary_key is None
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError, match="duplicate"):
+            TableSchema(
+                "t",
+                [Column("a", DataType.TEXT), Column("A", DataType.INTEGER)],
+            )
+
+    def test_multiple_primary_keys_rejected(self):
+        with pytest.raises(CatalogError, match="multiple primary keys"):
+            TableSchema(
+                "t",
+                [
+                    Column("a", DataType.INTEGER, primary_key=True),
+                    Column("b", DataType.INTEGER, primary_key=True),
+                ],
+            )
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [])
+
+
+class TestRowValidation:
+    def test_valid_row_coerced(self):
+        row = make_schema().validate_row([1, "x", 2])
+        assert row == (1, "x", 2.0)
+        assert isinstance(row[2], float)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ConstraintError, match="expects 3 values"):
+            make_schema().validate_row([1, "x"])
+
+    def test_pk_null_rejected(self):
+        with pytest.raises(ConstraintError, match="may not be NULL"):
+            make_schema().validate_row([None, "x", 1.0])
+
+    def test_nullable_column_accepts_null(self):
+        row = make_schema().validate_row([1, None, None])
+        assert row == (1, None, None)
+
+    def test_not_null_column_rejects_null(self):
+        s = TableSchema(
+            "t", [Column("a", DataType.TEXT, nullable=False)]
+        )
+        with pytest.raises(ConstraintError):
+            s.validate_row([None])
+
+
+class TestRowFromMapping:
+    def test_full_mapping(self):
+        row = make_schema().row_from_mapping(
+            {"id": 1, "name": "n", "score": 0.5}
+        )
+        assert row == (1, "n", 0.5)
+
+    def test_missing_columns_default_null(self):
+        row = make_schema().row_from_mapping({"id": 2})
+        assert row == (2, None, None)
+
+    def test_case_insensitive_keys(self):
+        row = make_schema().row_from_mapping({"ID": 3, "Name": "x"})
+        assert row[0] == 3 and row[1] == "x"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(CatalogError, match="bogus"):
+            make_schema().row_from_mapping({"id": 1, "bogus": 2})
+
+
+class TestSchemaHelper:
+    def test_builds_pk_and_not_null(self):
+        s = schema(
+            "t",
+            ("id", DataType.INTEGER, "pk"),
+            ("v", DataType.TEXT, "not null"),
+            ("w", DataType.FLOAT),
+        )
+        assert s.primary_key == "id"
+        assert not s.column("id").nullable
+        assert not s.column("v").nullable
+        assert s.column("w").nullable
+
+    def test_repr_mentions_columns(self):
+        assert "id INTEGER" in repr(schema("t", ("id", DataType.INTEGER)))

@@ -1,0 +1,168 @@
+"""Tests for uncorrelated subqueries (IN-subquery and scalar)."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.errors import ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE products (id INTEGER PRIMARY KEY, category INTEGER, "
+        "price FLOAT)"
+    )
+    database.execute(
+        "CREATE TABLE categories (id INTEGER PRIMARY KEY, active BOOLEAN)"
+    )
+    database.execute(
+        "INSERT INTO products VALUES (1, 10, 5.0), (2, 20, 15.0), "
+        "(3, 10, 25.0), (4, 30, 35.0)"
+    )
+    database.execute(
+        "INSERT INTO categories VALUES (10, TRUE), (20, FALSE), (30, TRUE)"
+    )
+    return database
+
+
+class TestInSubquery:
+    def test_basic_membership(self, db):
+        rows = db.query(
+            "SELECT id FROM products WHERE category IN "
+            "(SELECT id FROM categories WHERE active = TRUE)"
+        )
+        assert sorted(rows) == [(1,), (3,), (4,)]
+
+    def test_not_in(self, db):
+        rows = db.query(
+            "SELECT id FROM products WHERE category NOT IN "
+            "(SELECT id FROM categories WHERE active = TRUE)"
+        )
+        assert rows == [(2,)]
+
+    def test_empty_subquery_matches_nothing(self, db):
+        rows = db.query(
+            "SELECT id FROM products WHERE category IN "
+            "(SELECT id FROM categories WHERE id > 999)"
+        )
+        assert rows == []
+
+    def test_not_in_empty_subquery_matches_all(self, db):
+        rows = db.query(
+            "SELECT id FROM products WHERE category NOT IN "
+            "(SELECT id FROM categories WHERE id > 999)"
+        )
+        assert len(rows) == 4
+
+    def test_null_in_subquery_result_gives_unknown(self, db):
+        db.execute("CREATE TABLE n (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.execute("INSERT INTO n VALUES (1, 10), (2, NULL)")
+        # category 20 is not in {10, NULL}: UNKNOWN, so filtered out;
+        # NOT IN over a null-containing set is UNKNOWN too.
+        rows = db.query(
+            "SELECT id FROM products WHERE category IN (SELECT v FROM n)"
+        )
+        assert sorted(rows) == [(1,), (3,)]
+        rows = db.query(
+            "SELECT id FROM products WHERE category NOT IN "
+            "(SELECT v FROM n)"
+        )
+        assert rows == []
+
+    def test_multi_column_subquery_rejected(self, db):
+        with pytest.raises(ExecutionError, match="one column"):
+            db.query(
+                "SELECT id FROM products WHERE category IN "
+                "(SELECT id, active FROM categories)"
+            )
+
+    def test_subquery_reads_are_touched(self, db):
+        result = db.execute(
+            "SELECT id FROM products WHERE category IN "
+            "(SELECT id FROM categories WHERE active = TRUE)"
+        )
+        tables = {name for name, _ in result.touched}
+        assert tables == {"products", "categories"}
+
+    def test_in_subquery_in_delete(self, db):
+        db.execute(
+            "DELETE FROM products WHERE category IN "
+            "(SELECT id FROM categories WHERE active = FALSE)"
+        )
+        assert db.row_count("products") == 3
+
+    def test_in_subquery_in_update(self, db):
+        db.execute(
+            "UPDATE products SET price = 0.0 WHERE category IN "
+            "(SELECT id FROM categories WHERE active = TRUE)"
+        )
+        rows = db.query("SELECT id FROM products WHERE price = 0.0")
+        assert sorted(rows) == [(1,), (3,), (4,)]
+
+
+class TestScalarSubquery:
+    def test_scalar_comparison(self, db):
+        rows = db.query(
+            "SELECT id FROM products WHERE price > "
+            "(SELECT AVG(price) FROM products)"
+        )
+        assert sorted(rows) == [(3,), (4,)]
+
+    def test_scalar_aggregate_equality(self, db):
+        rows = db.query(
+            "SELECT id FROM products WHERE price = "
+            "(SELECT MAX(price) FROM products)"
+        )
+        assert rows == [(4,)]
+
+    def test_empty_scalar_is_null(self, db):
+        rows = db.query(
+            "SELECT id FROM products WHERE price = "
+            "(SELECT price FROM products WHERE id = 999)"
+        )
+        assert rows == []  # NULL comparison filters everything
+
+    def test_multi_row_scalar_rejected(self, db):
+        with pytest.raises(ExecutionError, match="more than one row"):
+            db.query(
+                "SELECT id FROM products WHERE price = "
+                "(SELECT price FROM products)"
+            )
+
+    def test_scalar_in_arithmetic(self, db):
+        rows = db.query(
+            "SELECT id FROM products WHERE price > "
+            "(SELECT MIN(price) FROM products) + 10"
+        )
+        # min(5.0) + 10 = 15.0; strictly greater leaves 25.0 and 35.0.
+        assert sorted(rows) == [(3,), (4,)]
+
+    def test_nested_subqueries(self, db):
+        rows = db.query(
+            "SELECT id FROM products WHERE category IN "
+            "(SELECT id FROM categories WHERE id > "
+            "(SELECT MIN(id) FROM categories))"
+        )
+        assert sorted(rows) == [(2,), (4,)]
+
+    def test_unbound_subquery_outside_where_errors(self, db):
+        # Subqueries in the select list are not supported; the error
+        # must be clear rather than silently wrong.
+        with pytest.raises(ExecutionError, match="unbound"):
+            db.query("SELECT (SELECT MAX(id) FROM categories) FROM products")
+
+
+class TestSubqueriesThroughGuard:
+    def test_guard_charges_inner_and_outer_tuples(self, db):
+        from repro.core import DelayGuard, GuardConfig, VirtualClock
+
+        guard = DelayGuard(
+            db, config=GuardConfig(cap=1.0), clock=VirtualClock()
+        )
+        result = guard.execute(
+            "SELECT id FROM products WHERE category IN "
+            "(SELECT id FROM categories WHERE active = TRUE)"
+        )
+        # 2 categories read + 3 products returned = 5 cold tuples.
+        assert result.delay == pytest.approx(5.0)

@@ -1,0 +1,73 @@
+"""Property tests: subquery binding agrees with manual evaluation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database
+
+pairs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=9),
+    ),
+    min_size=1,
+    max_size=25,
+    unique_by=lambda pair: pair[0],
+)
+
+
+def build(rows_a, rows_b):
+    db = Database()
+    db.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)")
+    db.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, w INTEGER)")
+    db.insert_rows("a", rows_a)
+    db.insert_rows("b", rows_b)
+    return db
+
+
+class TestInSubqueryEquivalence:
+    @given(pairs, pairs, st.integers(min_value=0, max_value=9))
+    @settings(max_examples=50, deadline=None)
+    def test_in_subquery_matches_literal_in_list(self, rows_a, rows_b, cut):
+        db = build(rows_a, rows_b)
+        via_subquery = sorted(
+            db.query(
+                f"SELECT id FROM a WHERE v IN "
+                f"(SELECT w FROM b WHERE w >= {cut})"
+            )
+        )
+        values = sorted({w for _, w in rows_b if w >= cut})
+        if values:
+            literal = ", ".join(str(value) for value in values)
+            via_list = sorted(
+                db.query(f"SELECT id FROM a WHERE v IN ({literal})")
+            )
+        else:
+            via_list = []
+        assert via_subquery == via_list
+
+    @given(pairs, pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_in_plus_not_in_partition_when_no_nulls(self, rows_a, rows_b):
+        db = build(rows_a, rows_b)
+        inside = set(
+            db.query("SELECT id FROM a WHERE v IN (SELECT w FROM b)")
+        )
+        outside = set(
+            db.query("SELECT id FROM a WHERE v NOT IN (SELECT w FROM b)")
+        )
+        everything = set(db.query("SELECT id FROM a"))
+        assert inside | outside == everything
+        assert inside & outside == set()
+
+    @given(pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_scalar_max_subquery_matches_python(self, rows_a):
+        db = build(rows_a, [(1, 0)])
+        best = max(v for _, v in rows_a)
+        rows = db.query(
+            "SELECT id FROM a WHERE v = (SELECT MAX(v) FROM a)"
+        )
+        expected = sorted((i,) for i, v in rows_a if v == best)
+        assert sorted(rows) == expected

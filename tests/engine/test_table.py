@@ -1,0 +1,160 @@
+"""Tests for heap tables."""
+
+import pytest
+
+from repro.engine.errors import ConstraintError
+from repro.engine.schema import Column, TableSchema
+from repro.engine.table import HeapTable
+from repro.engine.types import DataType
+
+
+def make_table(with_pk=True):
+    columns = [
+        Column("id", DataType.INTEGER, nullable=False, primary_key=with_pk),
+        Column("v", DataType.TEXT),
+    ]
+    return HeapTable(TableSchema("t", columns))
+
+
+class TestInsert:
+    def test_rowids_are_sequential_and_stable(self):
+        table = make_table()
+        assert table.insert([1, "a"]) == 1
+        assert table.insert([2, "b"]) == 2
+        table.delete(1)
+        assert table.insert([3, "c"]) == 3  # ids never reused
+
+    def test_insert_validates_types(self):
+        with pytest.raises(Exception):
+            make_table().insert(["x", "a"])
+
+    def test_duplicate_pk_rejected(self):
+        table = make_table()
+        table.insert([1, "a"])
+        with pytest.raises(ConstraintError, match="duplicate primary key"):
+            table.insert([1, "b"])
+
+    def test_no_pk_allows_duplicates(self):
+        table = make_table(with_pk=False)
+        table.insert([1, "a"])
+        table.insert([1, "a"])
+        assert len(table) == 2
+
+
+class TestUpdateDelete:
+    def test_update_replaces_row_keeps_rowid(self):
+        table = make_table()
+        rowid = table.insert([1, "a"])
+        table.update(rowid, [1, "z"])
+        assert table.get(rowid) == (1, "z")
+
+    def test_update_pk_change_tracked(self):
+        table = make_table()
+        rowid = table.insert([1, "a"])
+        table.update(rowid, [9, "a"])
+        assert table.lookup_pk(9) == rowid
+        assert table.lookup_pk(1) is None
+
+    def test_update_to_existing_pk_rejected(self):
+        table = make_table()
+        table.insert([1, "a"])
+        rowid = table.insert([2, "b"])
+        with pytest.raises(ConstraintError):
+            table.update(rowid, [1, "b"])
+
+    def test_update_to_same_pk_allowed(self):
+        table = make_table()
+        rowid = table.insert([1, "a"])
+        table.update(rowid, [1, "b"])
+        assert table.get(rowid) == (1, "b")
+
+    def test_update_missing_row_raises(self):
+        with pytest.raises(ConstraintError, match="no row"):
+            make_table().update(99, [1, "a"])
+
+    def test_delete_removes_row_and_pk(self):
+        table = make_table()
+        rowid = table.insert([1, "a"])
+        deleted = table.delete(rowid)
+        assert deleted == (1, "a")
+        assert table.get(rowid) is None
+        assert table.lookup_pk(1) is None
+
+    def test_delete_missing_row_raises(self):
+        with pytest.raises(ConstraintError):
+            make_table().delete(5)
+
+
+class TestScan:
+    def test_scan_in_insertion_order(self):
+        table = make_table()
+        for i in range(5):
+            table.insert([i, str(i)])
+        assert [rowid for rowid, _ in table.scan()] == [1, 2, 3, 4, 5]
+
+    def test_rowids_snapshot(self):
+        table = make_table()
+        table.insert([1, "a"])
+        ids = table.rowids()
+        table.insert([2, "b"])
+        assert ids == [1]  # snapshot unaffected
+
+    def test_contains(self):
+        table = make_table()
+        rowid = table.insert([1, "a"])
+        assert rowid in table
+        assert 99 not in table
+
+
+class TestObservers:
+    def test_events_fired_in_order(self):
+        table = make_table()
+        events = []
+        table.subscribe(
+            lambda kind, rowid, row, old: events.append((kind, rowid))
+        )
+        rowid = table.insert([1, "a"])
+        table.update(rowid, [1, "b"])
+        table.delete(rowid)
+        assert events == [
+            ("insert", rowid), ("update", rowid), ("delete", rowid),
+        ]
+
+    def test_unsubscribe_stops_events(self):
+        table = make_table()
+        events = []
+        observer = lambda kind, rowid, row, old: events.append(kind)
+        table.subscribe(observer)
+        table.insert([1, "a"])
+        table.unsubscribe(observer)
+        table.insert([2, "b"])
+        assert events == ["insert"]
+
+    def test_observer_sees_new_row_on_update(self):
+        table = make_table()
+        seen = {}
+        old_rows = {}
+        table.subscribe(
+            lambda kind, rowid, row, old: (
+                seen.update({kind: row}),
+                old_rows.update({kind: old}),
+            )
+        )
+        rowid = table.insert([1, "a"])
+        table.update(rowid, [1, "z"])
+        assert seen["update"] == (1, "z")
+        assert old_rows["update"] == (1, "a")
+        assert old_rows["insert"] is None
+
+
+class TestPkLookup:
+    def test_lookup_pk(self):
+        table = make_table()
+        rowid = table.insert([42, "x"])
+        assert table.lookup_pk(42) == rowid
+        assert table.lookup_pk(43) is None
+
+    def test_lookup_pk_without_pk_returns_none(self):
+        table = make_table(with_pk=False)
+        table.insert([1, "a"])
+        assert table.lookup_pk(1) is None

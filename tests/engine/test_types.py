@@ -1,0 +1,99 @@
+"""Tests for repro.engine.types."""
+
+import pytest
+
+from repro.engine.errors import TypeMismatchError
+from repro.engine.types import DataType, sort_key
+
+
+class TestDataTypeFromName:
+    def test_canonical_names(self):
+        assert DataType.from_name("INTEGER") is DataType.INTEGER
+        assert DataType.from_name("FLOAT") is DataType.FLOAT
+        assert DataType.from_name("TEXT") is DataType.TEXT
+        assert DataType.from_name("BOOLEAN") is DataType.BOOLEAN
+
+    def test_aliases(self):
+        assert DataType.from_name("int") is DataType.INTEGER
+        assert DataType.from_name("BIGINT") is DataType.INTEGER
+        assert DataType.from_name("varchar") is DataType.TEXT
+        assert DataType.from_name("REAL") is DataType.FLOAT
+        assert DataType.from_name("double") is DataType.FLOAT
+        assert DataType.from_name("bool") is DataType.BOOLEAN
+
+    def test_case_and_whitespace_insensitive(self):
+        assert DataType.from_name("  Integer ") is DataType.INTEGER
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.from_name("BLOB")
+
+
+class TestValidate:
+    def test_null_passes_every_type(self):
+        for dtype in DataType:
+            assert dtype.validate(None) is None
+
+    def test_integer_accepts_int(self):
+        assert DataType.INTEGER.validate(42) == 42
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.INTEGER.validate(True)
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.INTEGER.validate(1.5)
+
+    def test_float_widens_int(self):
+        value = DataType.FLOAT.validate(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.FLOAT.validate("3.0")
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.FLOAT.validate(False)
+
+    def test_text_accepts_str(self):
+        assert DataType.TEXT.validate("hi") == "hi"
+
+    def test_text_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.TEXT.validate(7)
+
+    def test_boolean_accepts_bool(self):
+        assert DataType.BOOLEAN.validate(True) is True
+
+    def test_boolean_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.BOOLEAN.validate(1)
+
+    def test_error_message_names_column(self):
+        with pytest.raises(TypeMismatchError, match="price"):
+            DataType.FLOAT.validate("x", column="price")
+
+
+class TestSortKey:
+    def test_null_sorts_first(self):
+        values = ["b", None, 3, True]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None
+
+    def test_numbers_cross_type_order(self):
+        assert sort_key(1) < sort_key(1.5) < sort_key(2)
+
+    def test_bools_group_before_numbers(self):
+        assert sort_key(False) < sort_key(True) < sort_key(0)
+
+    def test_strings_after_numbers(self):
+        assert sort_key(10**9) < sort_key("a")
+
+    def test_total_order_is_stable_for_mixed_list(self):
+        values = [None, "z", "a", 5, 2.5, False]
+        once = sorted(values, key=sort_key)
+        twice = sorted(once, key=sort_key)
+        assert once == twice

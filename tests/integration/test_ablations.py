@@ -1,0 +1,64 @@
+"""Small-scale shape tests for the ablation experiments."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_adaptive_ablation,
+    run_beta_ablation,
+    run_policy_ablation,
+    run_store_ablation,
+)
+
+
+class TestStoreAblation:
+    def test_exact_backends_agree_sampled_bounded(self):
+        result = run_store_ablation(scale=0.05)
+        by_name = {row.store: row for row in result.rows}
+        assert by_name["write_behind"].adversary_error == pytest.approx(
+            0.0, abs=1e-12
+        )
+        assert by_name["write_behind"].backing_io > 0
+        assert abs(by_name["space_saving"].adversary_error) < 0.5
+        assert by_name["space_saving"].tracked_keys < (
+            by_name["memory"].tracked_keys
+        )
+        assert result.to_table().render()
+
+
+class TestPolicyAblation:
+    def test_popularity_dominates_naive(self):
+        result = run_policy_ablation(scale=0.05)
+        popularity = result.row("popularity")
+        fixed = result.row("fixed (calibrated)")
+        assert fixed.adversary_delay == pytest.approx(
+            popularity.adversary_delay, rel=0.01
+        )
+        assert fixed.median_user_delay > popularity.median_user_delay
+        assert popularity.ratio > fixed.ratio
+        assert result.row("none").adversary_delay == 0.0
+        assert result.to_table().render()
+
+
+class TestBetaAblation:
+    def test_uncapped_grows_with_beta(self):
+        result = run_beta_ablation(scale=0.05, betas=(0.0, 0.5, 1.0))
+        uncapped = [row.uncapped_adversary_delay for row in result.rows]
+        assert uncapped == sorted(uncapped)
+        assert uncapped[-1] > uncapped[0]
+        capped = [row.adversary_delay for row in result.rows]
+        assert all(value <= result.population * 10.0 + 1e-9 for value in capped)
+        assert result.to_table().render()
+
+
+class TestAdaptiveAblation:
+    def test_adaptive_near_best_fixed(self):
+        result = run_adaptive_ablation(scale=0.2)
+        fixed = [
+            row for row in result.rows if row.tracker.startswith("fixed")
+        ]
+        best = min(row.median_user_delay for row in fixed)
+        adaptive = result.row("adaptive")
+        no_decay = result.row("fixed decay 1.0")
+        assert adaptive.median_user_delay <= 3 * best
+        assert adaptive.median_user_delay <= no_decay.median_user_delay
+        assert result.to_table().render()

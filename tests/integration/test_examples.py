@@ -1,0 +1,50 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The slower examples (web_directory, movie_reviews generate full
+published-scale datasets) are exercised by the benchmarks that share
+their code paths; here we run the quick ones outright.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestFastExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "first access to tuple 42" in out
+        assert "full extraction would cost" in out
+
+    def test_stock_ticker(self, capsys):
+        out = run_example("stock_ticker.py", capsys)
+        assert "stale on arrival (paper model) : 90.0%" in out
+
+    def test_sqlite_front_door(self, capsys):
+        out = run_example("sqlite_front_door.py", capsys)
+        assert "bestseller lookup" in out
+        assert "provider listening on" in out
+        assert "operator report" in out
+
+    def test_provider_operations(self, capsys):
+        out = run_example("provider_operations.py", capsys)
+        assert "operator report, end of day 1" in out
+        assert "scraper-llc stopped after 500 queries" in out
+
+
+class TestExamplesAreListed:
+    def test_every_example_file_mentioned_in_readme(self):
+        readme = (EXAMPLES.parent / "README.md").read_text()
+        for script in EXAMPLES.glob("*.py"):
+            assert script.name in readme, (
+                f"examples/{script.name} missing from README"
+            )

@@ -1,0 +1,130 @@
+"""Shape tests for every experiment module, at reduced scale.
+
+Each test runs the corresponding ``run_*`` function small and asserts
+the qualitative result the paper's table/figure shows. The full-scale
+runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_fig1,
+    run_fig23,
+    run_fig456,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+SCALE = 0.01
+
+
+class TestFig1:
+    def test_head_shape_and_alpha(self):
+        result = run_fig1(scale=0.05)
+        counts = [count for _, count in result.top10]
+        assert counts == sorted(counts, reverse=True)
+        assert result.fitted_alpha == pytest.approx(1.5, abs=0.25)
+        assert result.to_table().render()
+
+
+class TestTable1:
+    def test_adversary_scales_with_n_median_stays_low(self):
+        result = run_table1(scale=SCALE, sizes=(100_000, 500_000))
+        small, large = result.rows
+        assert large.size == 5 * small.size
+        # Adversary delay ~linear in N (within 2x tolerance).
+        assert large.adversary_delay > 3 * small.adversary_delay
+        # Median user delay stays far below the cap.
+        assert small.median_user_delay < 0.5
+        assert large.median_user_delay <= small.median_user_delay * 1.5
+        assert result.to_table().render()
+
+
+class TestTable2:
+    def test_cap_scales_adversary_not_median(self):
+        result = run_table2(scale=0.02)
+        delays = [row.adversary_delay for row in result.rows]
+        assert delays == sorted(delays)
+        # 10x cap => between 2x and 11x adversary delay.
+        for previous, current in zip(result.rows, result.rows[1:]):
+            ratio = current.adversary_delay / previous.adversary_delay
+            assert 1.5 < ratio < 11.0
+        medians = [row.median_user_delay for row in result.rows]
+        assert max(medians) - min(medians) < 0.5  # median barely moves
+        assert result.to_table().render()
+
+
+class TestTable3:
+    def test_decay_inflates_median_not_adversary(self):
+        result = run_table3(scale=0.02)
+        medians = [row.median_user_delay for row in result.rows]
+        assert medians == sorted(medians)  # monotone in decay
+        assert medians[-1] > 3 * medians[0]  # grows substantially
+        adversaries = [row.adversary_delay for row in result.rows]
+        spread = max(adversaries) / min(adversaries)
+        assert spread < 1.6  # paper: 30.17h..33.61h (~1.11x)
+        # Adversary near the N*d_max bound.
+        assert min(adversaries) > 0.6 * result.max_extraction_delay
+        assert result.to_table().render()
+
+
+class TestFig23:
+    def test_weekly_sharper_than_annual(self):
+        result = run_fig23(scale=0.3)
+        assert result.weekly_skew > result.annual_skew
+        assert 1.5 < result.annual_skew < 8.0
+        assert result.to_table().render()
+
+
+class TestTable4:
+    def test_all_decays_reasonable_and_adversary_near_max(self):
+        result = run_table4(scale=0.1, decays=(1.0, 1.2, 2.0, 5.0))
+        adversaries = [row.adversary_delay for row in result.rows]
+        # Higher decay forgets faster => adversary closer to the bound.
+        assert adversaries[-1] >= adversaries[0]
+        assert adversaries[-1] > 0.5 * result.max_extraction_delay
+        medians = [row.median_user_delay for row in result.rows]
+        assert medians == sorted(medians)
+        assert result.to_table().render()
+
+
+class TestFig456:
+    def test_three_series_shapes(self):
+        result = run_fig456(scale=0.02, skews=(0.25, 0.75, 1.25, 2.0, 2.5))
+        points = result.points
+
+        # Figure 4: median rises with skew, capped at d_max.
+        medians = [point.median_user_delay for point in points]
+        assert medians == sorted(medians)
+        assert medians[-1] == pytest.approx(result.cap)
+
+        # Figure 5: adversary delay rises toward N*d_max.
+        adversaries = [point.adversary_delay for point in points]
+        assert adversaries == sorted(adversaries)
+        assert adversaries[-1] > 0.9 * result.max_extraction_delay
+
+        # Figure 6: staleness ~100% at modest skew, falls at high skew.
+        assert points[0].stale_fraction > 0.95
+        assert points[1].stale_fraction > 0.95
+        assert points[-1].stale_fraction < 0.5
+        assert result.to_table().render()
+
+    def test_eq12_matches_in_uncapped_regime(self):
+        result = run_fig456(scale=0.02, skews=(0.5, 1.0))
+        for point in result.points:
+            assert point.stale_fraction == pytest.approx(
+                min(1.0, point.predicted_staleness), abs=0.1
+            )
+
+
+class TestTable5:
+    def test_overhead_modest(self):
+        result = run_table5(queries=30, repeats=5, population=2000)
+        assert result.total_mean > result.base_mean * 0.95
+        # The paper reports ~20%; allow generous CI headroom but insist
+        # the machinery is not order-of-magnitude expensive.
+        assert result.overhead_fraction < 1.0
+        assert result.to_table().render()

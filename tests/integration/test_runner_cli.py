@@ -1,0 +1,65 @@
+"""Tests for the experiments runner CLI surface."""
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestRunnerMain:
+    def test_runs_named_experiment(self, capsys):
+        assert main(["fig1", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "completed in" in out
+
+    def test_unknown_name_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_csv_dir_written(self, tmp_path, capsys):
+        target = tmp_path / "out"
+        assert main(
+            ["fig1", "--scale", "0.01", "--csv-dir", str(target)]
+        ) == 0
+        csv_path = target / "fig1.csv"
+        assert csv_path.exists()
+        with open(csv_path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["rank", "requests"]
+        assert len(rows) == 11  # header + top 10
+
+    def test_ablations_registered(self):
+        for name in (
+            "ablation-stores",
+            "ablation-policies",
+            "ablation-beta",
+            "ablation-adaptive",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_ablation_runs_small(self, capsys):
+        assert main(["ablation-beta", "--scale", "0.02"]) == 0
+        assert "Beta" in capsys.readouterr().out
+
+
+class TestExtractionAccounting:
+    def test_total_equals_sum_of_per_tuple(self):
+        from repro.attacks import ExtractionAdversary
+        from repro.core import GuardConfig
+        from repro.sim.experiment import build_guarded_items
+
+        fixture = build_guarded_items(25, config=GuardConfig(cap=1.5))
+        result = ExtractionAdversary(fixture.guard, fixture.table).run()
+        assert result.total_delay == pytest.approx(
+            sum(result.per_tuple_delays)
+        )
+        estimated = ExtractionAdversary(
+            build_guarded_items(25, config=GuardConfig(cap=1.5)).guard,
+            "items",
+        ).estimate(keep_per_tuple=True)
+        assert estimated.total_delay == pytest.approx(
+            sum(estimated.per_tuple_delays)
+        )

@@ -1,0 +1,212 @@
+"""Tests for the concurrent multi-session simulator."""
+
+import pytest
+
+from repro.core import (
+    AccountManager,
+    AccountPolicy,
+    DelayGuard,
+    GuardConfig,
+    RealClock,
+    VirtualClock,
+)
+from repro.core.errors import ConfigError
+from repro.engine import Database
+from repro.sim.concurrent import (
+    ConcurrentSimulation,
+    SimStep,
+    extraction_script,
+    trace_script,
+)
+from repro.workloads.generators import make_zipf_query_trace
+from repro.workloads.traces import Trace
+
+
+def make_guard(rows=20, cap=2.0, accounts=None):
+    db = Database()
+    db.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, v TEXT)")
+    db.insert_rows("items", [(i, "x") for i in range(1, rows + 1)])
+    clock = VirtualClock()
+    return DelayGuard(
+        db, config=GuardConfig(cap=cap), clock=clock, accounts=accounts
+    )
+
+
+class TestScripts:
+    def test_extraction_script(self):
+        steps = list(extraction_script("t", [1, 2, 3], think_time=0.5))
+        assert len(steps) == 3
+        assert steps[0].sql == "SELECT * FROM t WHERE id = 1"
+        assert steps[0].think_time == 0.5
+
+    def test_trace_script_skips_non_queries(self):
+        trace = Trace(population=5)
+        trace.add_query(1)
+        trace.add_update(2)
+        trace.add_mark("m")
+        steps = list(trace_script(trace, "t"))
+        assert len(steps) == 1
+
+
+class TestSingleSession:
+    def test_sequential_session_matches_inline_execution(self):
+        guard = make_guard(rows=10, cap=2.0)
+        sim = ConcurrentSimulation(guard)
+        sim.add_session(
+            "solo", extraction_script("items", range(1, 11)), record=False
+        )
+        report = sim.run()
+        solo = report.session("solo")
+        assert solo.queries == 10
+        assert solo.total_delay == pytest.approx(20.0)  # all cold at cap
+        assert solo.duration == pytest.approx(20.0)
+
+    def test_think_time_extends_duration(self):
+        guard = make_guard(rows=3, cap=1.0)
+        sim = ConcurrentSimulation(guard)
+        sim.add_session(
+            "slow",
+            extraction_script("items", [1, 2, 3], think_time=5.0),
+            record=False,
+        )
+        report = sim.run()
+        assert report.session("slow").duration == pytest.approx(18.0)
+
+    def test_delayed_start(self):
+        guard = make_guard(rows=2, cap=1.0)
+        sim = ConcurrentSimulation(guard)
+        sim.add_session(
+            "late", extraction_script("items", [1]), start=100.0
+        )
+        report = sim.run()
+        late = report.session("late")
+        assert late.started_at == pytest.approx(100.0)
+        assert late.finished_at == pytest.approx(101.0)
+
+
+class TestParallelism:
+    def test_sybil_shards_overlap(self):
+        """k concurrent shards finish in ~1/k the single-session time."""
+        guard = make_guard(rows=40, cap=2.0)
+        sim = ConcurrentSimulation(guard)
+        for shard in range(4):
+            items = range(shard + 1, 41, 4)
+            sim.add_session(
+                f"shard-{shard}",
+                extraction_script("items", items),
+                record=False,
+            )
+        report = sim.run()
+        # Total work: 40 tuples * 2s = 80s; 4-way split => 20s makespan.
+        assert report.makespan == pytest.approx(20.0)
+        for shard in range(4):
+            assert report.session(f"shard-{shard}").total_delay == (
+                pytest.approx(20.0)
+            )
+
+    def test_sessions_do_not_serialise(self):
+        guard = make_guard(rows=10, cap=3.0)
+        sim = ConcurrentSimulation(guard)
+        sim.add_session("a", extraction_script("items", [1, 2]), record=False)
+        sim.add_session("b", extraction_script("items", [3, 4]), record=False)
+        report = sim.run()
+        # Each session: 2 * 3s; concurrent => makespan 6s, not 12s.
+        assert report.makespan == pytest.approx(6.0)
+
+    def test_legitimate_user_unbothered_by_concurrent_extraction(self):
+        guard = make_guard(rows=50, cap=5.0)
+        # Warm a popular tuple first.
+        for _ in range(200):
+            guard.execute("SELECT * FROM items WHERE id = 1")
+        sim = ConcurrentSimulation(guard)
+        sim.add_session(
+            "robot", extraction_script("items", range(1, 51)), record=False
+        )
+        sim.add_session(
+            "user",
+            [SimStep("SELECT * FROM items WHERE id = 1", 1.0)] * 5,
+            record=False,
+        )
+        report = sim.run()
+        user = report.session("user")
+        robot = report.session("robot")
+        assert user.delays.median < 0.1
+        assert robot.total_delay > 100.0
+
+
+class TestDenialsAndRetries:
+    def make_quota_guard(self, quota):
+        clock = VirtualClock()
+        accounts = AccountManager(
+            policy=AccountPolicy(user_query_rate=1.0, user_query_burst=quota),
+            clock=clock,
+        )
+        db = Database()
+        db.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, v TEXT)")
+        db.insert_rows("items", [(i, "x") for i in range(1, 11)])
+        guard = DelayGuard(
+            db, config=GuardConfig(cap=0.0001), clock=clock,
+            accounts=accounts,
+        )
+        accounts.register("u")
+        return guard
+
+    def test_rate_limited_session_retries_and_completes(self):
+        guard = self.make_quota_guard(quota=2.0)
+        sim = ConcurrentSimulation(guard)
+        sim.add_session(
+            "u-session",
+            extraction_script("items", range(1, 11)),
+            identity="u",
+            record=False,
+        )
+        report = sim.run()
+        session = report.session("u-session")
+        assert session.queries == 10  # all completed after retries
+        assert session.denied > 0
+        # Rate 1/s with burst 2: ten queries need ~8s of waiting.
+        assert session.duration == pytest.approx(8.0, rel=0.1)
+
+    def test_retry_exhaustion_drops_queries(self):
+        guard = self.make_quota_guard(quota=1.0)
+        sim = ConcurrentSimulation(guard, max_retries=0)
+        sim.add_session(
+            "u-session",
+            extraction_script("items", range(1, 6)),
+            identity="u",
+            record=False,
+        )
+        report = sim.run()
+        session = report.session("u-session")
+        assert session.queries < 5
+        assert session.retries == 0
+
+
+class TestValidation:
+    def test_requires_virtual_clock(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        guard = DelayGuard(db, clock=RealClock())
+        with pytest.raises(ConfigError, match="VirtualClock"):
+            ConcurrentSimulation(guard)
+
+    def test_duplicate_session_name(self):
+        guard = make_guard()
+        sim = ConcurrentSimulation(guard)
+        sim.add_session("a", [])
+        with pytest.raises(ConfigError, match="duplicate"):
+            sim.add_session("a", [])
+
+    def test_negative_start(self):
+        sim = ConcurrentSimulation(make_guard())
+        with pytest.raises(ConfigError):
+            sim.add_session("a", [], start=-1.0)
+
+    def test_until_cuts_off(self):
+        guard = make_guard(rows=10, cap=10.0)
+        sim = ConcurrentSimulation(guard)
+        sim.add_session(
+            "slow", extraction_script("items", range(1, 11)), record=False
+        )
+        report = sim.run(until=25.0)
+        assert report.session("slow").queries <= 3

@@ -1,0 +1,80 @@
+"""Property tests for the concurrent simulator's conservation laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DelayGuard, GuardConfig, VirtualClock
+from repro.engine import Database
+from repro.sim.concurrent import ConcurrentSimulation, extraction_script
+
+session_plans = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=30), min_size=1, max_size=15
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def make_guard(cap):
+    db = Database()
+    db.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, v TEXT)")
+    db.insert_rows("items", [(i, "x") for i in range(1, 31)])
+    return DelayGuard(
+        db, config=GuardConfig(cap=cap), clock=VirtualClock()
+    )
+
+
+class TestConservation:
+    @given(session_plans, st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, plans, cap):
+        """max(session delay) <= makespan <= sum(session delays)."""
+        guard = make_guard(cap)
+        sim = ConcurrentSimulation(guard)
+        for index, items in enumerate(plans):
+            sim.add_session(
+                f"s{index}",
+                extraction_script("items", items),
+                record=False,
+            )
+        report = sim.run()
+        delays = [s.total_delay for s in report.sessions.values()]
+        assert report.makespan >= max(delays) - 1e-9
+        assert report.makespan <= sum(delays) + 1e-9
+
+    @given(session_plans, st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_every_query_served_and_charged(self, plans, cap):
+        guard = make_guard(cap)
+        sim = ConcurrentSimulation(guard)
+        for index, items in enumerate(plans):
+            sim.add_session(
+                f"s{index}",
+                extraction_script("items", items),
+                record=False,
+            )
+        report = sim.run()
+        total_queries = sum(s.queries for s in report.sessions.values())
+        assert total_queries == sum(len(items) for items in plans)
+        # Every query was cold (record=False): each charged the cap.
+        for session in report.sessions.values():
+            assert session.total_delay == pytest.approx(
+                session.queries * cap
+            )
+
+    @given(session_plans)
+    @settings(max_examples=30, deadline=None)
+    def test_session_duration_at_least_own_delay(self, plans):
+        guard = make_guard(1.0)
+        sim = ConcurrentSimulation(guard)
+        for index, items in enumerate(plans):
+            sim.add_session(
+                f"s{index}",
+                extraction_script("items", items),
+                record=False,
+            )
+        report = sim.run()
+        for session in report.sessions.values():
+            assert session.duration >= session.total_delay - 1e-9

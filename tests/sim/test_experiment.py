@@ -1,0 +1,50 @@
+"""Tests for experiment scaffolding."""
+
+import pytest
+
+from repro.sim.experiment import GuardedFixture, ResultTable, build_guarded_items
+
+
+class TestBuildGuardedItems:
+    def test_builds_connected_fixture(self):
+        fixture = build_guarded_items(12)
+        assert fixture.database.row_count("items") == 12
+        assert fixture.guard.database is fixture.database
+        assert fixture.guard.clock is fixture.clock
+        assert fixture.table == "items"
+
+    def test_custom_table_name(self):
+        fixture = build_guarded_items(3, table="records")
+        assert fixture.database.row_count("records") == 3
+
+    def test_guard_operational(self):
+        fixture = build_guarded_items(5)
+        result = fixture.guard.execute("SELECT * FROM items WHERE id = 1")
+        assert len(result.rows) == 1
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        table = ResultTable(title="T", columns=("a", "long header"))
+        table.add_row("1", "2")
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "long header" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+
+    def test_cell_count_enforced(self):
+        table = ResultTable(title="T", columns=("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_note_rendered(self):
+        table = ResultTable(title="T", columns=("a",), note="hello")
+        table.add_row("1")
+        assert "note: hello" in table.render()
+
+    def test_show_prints(self, capsys):
+        table = ResultTable(title="T", columns=("a",))
+        table.add_row("x")
+        table.show()
+        assert "x" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""Tests for delay metrics and formatting."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.sim.metrics import DelayDistribution, format_ratio, format_seconds
+
+
+class TestDelayDistribution:
+    def test_empty_distribution(self):
+        d = DelayDistribution()
+        assert d.count == 0
+        assert d.median == 0.0
+        assert d.mean == 0.0
+        assert d.maximum == 0.0
+        assert d.stdev == 0.0
+        assert d.quantile(0.9) == 0.0
+
+    def test_basic_stats(self):
+        d = DelayDistribution()
+        d.observe_many([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert d.count == 5
+        assert d.median == 3.0
+        assert d.mean == 22.0
+        assert d.maximum == 100.0
+        assert d.total == 110.0
+
+    def test_median_robust_to_outliers(self):
+        """The paper's §2.1 point: median unaffected by outliers."""
+        d = DelayDistribution()
+        d.observe_many([0.001] * 99 + [1e6])
+        assert d.median == 0.001
+        assert d.mean > 1000
+
+    def test_quantiles(self):
+        d = DelayDistribution()
+        d.observe_many(float(i) for i in range(100))
+        assert d.quantile(0.0) == 0.0
+        assert d.quantile(0.5) == 50.0
+        assert d.quantile(1.0) == 99.0
+
+    def test_quantile_bounds(self):
+        d = DelayDistribution()
+        d.observe(1.0)
+        with pytest.raises(ConfigError):
+            d.quantile(-0.1)
+        with pytest.raises(ConfigError):
+            d.quantile(1.1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigError):
+            DelayDistribution().observe(-1.0)
+
+    def test_stdev(self):
+        d = DelayDistribution()
+        d.observe_many([2.0, 4.0])
+        assert d.stdev == pytest.approx(1.4142, rel=0.01)
+
+    def test_len(self):
+        d = DelayDistribution()
+        d.observe(1.0)
+        assert len(d) == 1
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0, "0 s"),
+            (0.0000005, "0.50 µs"),
+            (0.0154, "15.40 ms"),
+            (2.5, "2.50 s"),
+            (90, "1.50 min"),
+            (7200, "2.00 h"),
+            (108612, "30.17 h"),
+            (2 * 86400, "48.00 h"),
+            (14 * 86400, "2.00 weeks"),
+        ],
+    )
+    def test_unit_selection(self, seconds, expected):
+        assert format_seconds(seconds) == expected
+
+    def test_infinity(self):
+        assert format_seconds(float("inf")) == "inf"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            format_seconds(-1)
+
+    def test_digits_parameter(self):
+        assert format_seconds(2.5, digits=0) == "2 s"
+
+
+class TestFormatRatio:
+    def test_zero(self):
+        assert format_ratio(0) == "0"
+
+    def test_small_and_large_scientific(self):
+        assert "e" in format_ratio(1e6)
+        assert "e" in format_ratio(1e-3)
+
+    def test_mid_range_plain(self):
+        assert format_ratio(12.5) == "12.50"

@@ -1,0 +1,171 @@
+"""Tests for trace replay, including fast/sql path equivalence."""
+
+import pytest
+
+from repro.core import GuardConfig
+from repro.core.errors import ConfigError
+from repro.sim.experiment import build_guarded_items
+from repro.sim.simulator import TraceReplayer
+from repro.workloads.generators import (
+    make_zipf_query_trace,
+    make_zipf_update_trace,
+)
+from repro.workloads.traces import Trace, interleave
+
+
+class TestFastReplay:
+    def test_counts_queries_and_delays(self):
+        fixture = build_guarded_items(20, config=GuardConfig(cap=1.0))
+        trace = make_zipf_query_trace(20, 100, alpha=1.0, seed=1)
+        report = TraceReplayer(fixture.guard, fixture.table).replay(trace)
+        assert report.queries == 100
+        assert report.user_delays.count == 100
+        assert report.median_delay >= 0
+
+    def test_guard_stats_updated(self):
+        fixture = build_guarded_items(20, config=GuardConfig(cap=1.0))
+        trace = make_zipf_query_trace(20, 50, alpha=1.0, seed=2)
+        TraceReplayer(fixture.guard, fixture.table).replay(trace)
+        assert fixture.guard.stats.selects == 50
+        assert fixture.guard.popularity.total_requests == 50
+
+    def test_clock_advances_by_delays_and_think_time(self):
+        fixture = build_guarded_items(5, config=GuardConfig(cap=2.0))
+        trace = Trace(population=5)
+        trace.add_query(1, think_time=10.0)
+        report = TraceReplayer(fixture.guard, fixture.table).replay(trace)
+        # 10s think + 2s cold delay
+        assert fixture.clock.now() == pytest.approx(12.0)
+        assert report.duration == pytest.approx(12.0)
+
+    def test_update_events_tracked(self):
+        fixture = build_guarded_items(10)
+        trace = make_zipf_update_trace(
+            10, 30, alpha=1.0, seed=3, total_rate=1.0
+        )
+        report = TraceReplayer(fixture.guard, fixture.table).replay(trace)
+        assert report.updates == 30
+        assert fixture.guard.update_rates.total_updates == 30
+        assert len(fixture.guard.last_update_times) > 0
+
+    def test_limit_parameter(self):
+        fixture = build_guarded_items(10)
+        trace = make_zipf_query_trace(10, 100, alpha=1.0, seed=4)
+        report = TraceReplayer(fixture.guard, fixture.table).replay(
+            trace, limit=10
+        )
+        assert report.queries == 10
+
+    def test_mark_applies_boundary_decay(self):
+        fixture = build_guarded_items(5)
+        guard = fixture.guard
+        trace = Trace(population=5)
+        trace.add_query(1)
+        trace.add_mark("week-1")
+        trace.add_query(2)
+        replayer = TraceReplayer(
+            guard, fixture.table, boundary_decay=100.0
+        )
+        report = replayer.replay(trace)
+        assert report.marks == 1
+        # After the boundary, item 2's single access dominates item 1's.
+        key1 = (fixture.table, 1)
+        key2 = (fixture.table, 2)
+        assert guard.popularity.popularity(key2, "decayed") > (
+            guard.popularity.popularity(key1, "decayed") * 10
+        )
+
+    def test_mark_without_decay_is_annotation(self):
+        fixture = build_guarded_items(5)
+        trace = Trace(population=5)
+        trace.add_mark("week-1")
+        report = TraceReplayer(fixture.guard, fixture.table).replay(trace)
+        assert report.marks == 1
+
+    def test_unknown_item_raises(self):
+        fixture = build_guarded_items(3)
+        trace = Trace(population=10)
+        trace.add_query(9)  # table only has items 1..3
+        with pytest.raises(ConfigError, match="not present"):
+            TraceReplayer(fixture.guard, fixture.table).replay(trace)
+
+    def test_invalid_mode(self):
+        fixture = build_guarded_items(3)
+        with pytest.raises(ConfigError):
+            TraceReplayer(fixture.guard, fixture.table, mode="turbo")
+
+    def test_invalid_boundary_decay(self):
+        fixture = build_guarded_items(3)
+        with pytest.raises(ConfigError):
+            TraceReplayer(fixture.guard, fixture.table, boundary_decay=0.5)
+
+
+class TestReplayEquivalence:
+    """The fast path must be indistinguishable from the SQL path."""
+
+    def make_pair(self, config=None):
+        return (
+            build_guarded_items(15, config=config or GuardConfig(cap=2.0)),
+            build_guarded_items(15, config=config or GuardConfig(cap=2.0)),
+        )
+
+    def test_query_delays_identical(self):
+        fast_fx, sql_fx = self.make_pair()
+        trace = make_zipf_query_trace(15, 120, alpha=1.2, seed=5)
+        fast = TraceReplayer(fast_fx.guard, "items", mode="fast").replay(trace)
+        slow = TraceReplayer(sql_fx.guard, "items", mode="sql").replay(trace)
+        assert fast.user_delays.values == pytest.approx(
+            slow.user_delays.values
+        )
+        assert fast_fx.clock.total_slept == pytest.approx(
+            sql_fx.clock.total_slept
+        )
+
+    def test_popularity_state_identical(self):
+        fast_fx, sql_fx = self.make_pair()
+        trace = make_zipf_query_trace(15, 80, alpha=1.0, seed=6)
+        TraceReplayer(fast_fx.guard, "items", mode="fast").replay(trace)
+        TraceReplayer(sql_fx.guard, "items", mode="sql").replay(trace)
+        for rowid in range(1, 16):
+            key = ("items", rowid)
+            assert fast_fx.guard.popularity.popularity(key) == pytest.approx(
+                sql_fx.guard.popularity.popularity(key)
+            )
+
+    def test_update_state_equivalent(self):
+        fast_fx, sql_fx = self.make_pair()
+        trace = make_zipf_update_trace(
+            15, 60, alpha=1.0, seed=7, total_rate=0.5
+        )
+        TraceReplayer(fast_fx.guard, "items", mode="fast").replay(trace)
+        TraceReplayer(sql_fx.guard, "items", mode="sql").replay(trace)
+        assert (
+            fast_fx.guard.update_rates.total_updates
+            == sql_fx.guard.update_rates.total_updates
+        )
+        for key, when in fast_fx.guard.last_update_times.items():
+            assert sql_fx.guard.last_update_times[key] == pytest.approx(when)
+
+    def test_mixed_workload_equivalent_extraction_cost(self):
+        fast_fx, sql_fx = self.make_pair()
+        queries = make_zipf_query_trace(15, 60, alpha=1.0, seed=8)
+        updates = make_zipf_update_trace(
+            15, 30, alpha=0.5, seed=9, total_rate=1.0
+        )
+        mixed = interleave([queries, updates])
+        TraceReplayer(fast_fx.guard, "items", mode="fast").replay(mixed)
+        TraceReplayer(sql_fx.guard, "items", mode="sql").replay(mixed)
+        assert fast_fx.guard.extraction_cost("items") == pytest.approx(
+            sql_fx.guard.extraction_cost("items")
+        )
+
+    def test_sql_mode_actually_bumps_versions(self):
+        fixture = build_guarded_items(5)
+        trace = Trace(population=5)
+        trace.add_update(2)
+        trace.add_update(2)
+        TraceReplayer(fixture.guard, "items", mode="sql").replay(trace)
+        version = fixture.database.execute(
+            "SELECT version FROM items WHERE id = 2"
+        ).scalar()
+        assert version == 2

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSqlCommand:
+    def test_execute_and_save(self, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        status = main(
+            [
+                "sql", "--db", str(db_path),
+                "-e", "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)",
+                "-e", "INSERT INTO t VALUES (1, 'x'), (2, 'y')",
+                "--save",
+            ]
+        )
+        assert status == 0
+        assert db_path.exists()
+        out = capsys.readouterr().out
+        assert "2 row(s) affected" in out
+
+    def test_query_persisted_database(self, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        main(
+            [
+                "sql", "--db", str(db_path),
+                "-e", "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)",
+                "-e", "INSERT INTO t VALUES (1, 'hello')",
+                "--save",
+            ]
+        )
+        capsys.readouterr()
+        status = main(["sql", "--db", str(db_path), "-e", "SELECT v FROM t"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "hello" in out and "(1 row(s))" in out
+
+    def test_nulls_rendered(self, capsys):
+        main(
+            [
+                "sql",
+                "-e", "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)",
+                "-e", "INSERT INTO t (id) VALUES (1)",
+                "-e", "SELECT v FROM t",
+            ]
+        )
+        assert "NULL" in capsys.readouterr().out
+
+    def test_sql_error_reported(self, capsys):
+        status = main(["sql", "-e", "SELECT FROM"])
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_save_without_db_rejected(self, capsys):
+        status = main(["sql", "-e", "CREATE TABLE t (a INTEGER)", "--save"])
+        assert status == 2
+
+    def test_no_sql_given(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin.isatty", lambda: True)
+        status = main(["sql"])
+        assert status == 2
+
+
+class TestCsvCommand:
+    def test_export_import_round_trip(self, tmp_path, capsys):
+        db_path = tmp_path / "db.json"
+        csv_path = tmp_path / "t.csv"
+        main(
+            [
+                "sql", "--db", str(db_path),
+                "-e", "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)",
+                "-e", "INSERT INTO t VALUES (1, 'a'), (2, 'b')",
+                "--save",
+            ]
+        )
+        status = main(
+            ["csv", "export", "t", str(csv_path), "--db", str(db_path)]
+        )
+        assert status == 0
+        assert "exported 2" in capsys.readouterr().out
+
+        target_db = tmp_path / "db2.json"
+        main(
+            [
+                "sql", "--db", str(target_db),
+                "-e", "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)",
+                "--save",
+            ]
+        )
+        capsys.readouterr()
+        status = main(
+            ["csv", "import", "t", str(csv_path), "--db", str(target_db)]
+        )
+        assert status == 0
+        assert "imported 2" in capsys.readouterr().out
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        status = main(["csv", "import", "t", str(tmp_path / "nope.csv")])
+        assert status == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_prints_predictions(self, capsys):
+        status = main(
+            ["analyze", "--tuples", "10000", "--alpha", "1.5",
+             "--cap", "10"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "median user delay" in out
+        assert "adversary delay" in out
+        assert "N*d_max bound" in out
+        assert "27.78 h" in out  # 10000 * 10s
+
+    def test_no_cap(self, capsys):
+        status = main(
+            ["analyze", "--tuples", "1000", "--alpha", "1.0", "--no-cap"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "cap (d_max)           : none" in out
+
+    def test_staleness_option(self, capsys):
+        main(
+            ["analyze", "--tuples", "1000", "--alpha", "1.0",
+             "--staleness-c", "1.0"]
+        )
+        out = capsys.readouterr().out
+        assert "eq.12 staleness" in out and "50.0%" in out
+
+
+class TestExperimentsCommand:
+    def test_runs_named_experiment(self, capsys):
+        status = main(["experiments", "fig1", "--scale", "0.01"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out

@@ -1,0 +1,142 @@
+"""Tests for the TCP server and client."""
+
+import threading
+
+import pytest
+
+from repro.core import AccountPolicy, GuardConfig
+from repro.server import DelayClient, DelayServer, ServerError
+from repro.service import DataProviderService
+
+
+@pytest.fixture
+def service():
+    provider = DataProviderService(
+        guard_config=GuardConfig(cap=0.001),
+        account_policy=AccountPolicy(daily_query_quota=100),
+    )
+    provider.database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"
+    )
+    provider.database.insert_rows(
+        "t", [(i, f"v{i}") for i in range(1, 21)]
+    )
+    return provider
+
+
+@pytest.fixture
+def server(service):
+    with DelayServer(service) as running:
+        yield running
+
+
+class TestProtocol:
+    def test_ping(self, server):
+        with DelayClient(*server.address) as client:
+            assert client.ping()
+
+    def test_register_and_query(self, server):
+        with DelayClient(*server.address) as client:
+            client.register("alice", subnet="10.0.0.0/8")
+            response = client.query(
+                "SELECT * FROM t WHERE id = 1", identity="alice"
+            )
+        assert response["rows"] == [[1, "v1"]]
+        assert response["columns"] == ["id", "v"]
+        assert response["delay"] > 0
+
+    def test_query_error_surfaces(self, server):
+        with DelayClient(*server.address) as client:
+            client.register("bob")
+            with pytest.raises(ServerError, match="expected"):
+                client.query("SELECT FROM", identity="bob")
+
+    def test_denial_carries_reason_and_retry(self, service, server):
+        with DelayClient(*server.address) as client:
+            client.register("carol")
+            for i in range(100):
+                client.query(
+                    f"SELECT * FROM t WHERE id = {1 + i % 20}",
+                    identity="carol",
+                )
+            with pytest.raises(ServerError) as excinfo:
+                client.query("SELECT * FROM t WHERE id = 1",
+                             identity="carol")
+        assert excinfo.value.reason == "query_quota"
+        assert excinfo.value.retry_after > 0
+
+    def test_report(self, server):
+        with DelayClient(*server.address) as client:
+            client.register("dave")
+            client.query("SELECT * FROM t WHERE id = 3", identity="dave")
+            report = client.report()
+        assert report["users"] >= 1
+        assert report["queries"] >= 1
+        assert report["extraction_cost"] > 0
+
+    def test_identity_required_by_service(self, server):
+        with DelayClient(*server.address) as client:
+            with pytest.raises(ServerError, match="identity"):
+                client.query("SELECT * FROM t WHERE id = 1")
+
+    def test_unknown_op(self, server):
+        with DelayClient(*server.address) as client:
+            with pytest.raises(ServerError, match="unknown op"):
+                client._call({"op": "dance"})
+
+    def test_bad_json_line(self, server):
+        response = server.handle_request("{not json")
+        assert response["ok"] is False
+
+    def test_non_dict_request(self, server):
+        response = server.handle_request('"hello"')
+        assert response["ok"] is False
+
+
+class TestConcurrentClients:
+    def test_parallel_clients_all_served(self, server):
+        with DelayClient(*server.address) as admin:
+            for name in ("u0", "u1", "u2", "u3"):
+                admin.register(name)
+
+        errors = []
+        counts = [0] * 4
+
+        def worker(index):
+            try:
+                with DelayClient(*server.address) as client:
+                    for item in range(1, 11):
+                        client.query(
+                            f"SELECT * FROM t WHERE id = {item}",
+                            identity=f"u{index}",
+                        )
+                        counts[index] += 1
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert counts == [10, 10, 10, 10]
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, service):
+        server = DelayServer(service)
+        server.start()
+        try:
+            with pytest.raises(Exception):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_enough(self, service):
+        server = DelayServer(service)
+        server.start()
+        server.stop()

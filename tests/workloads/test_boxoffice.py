@@ -1,0 +1,105 @@
+"""Tests for the synthetic box-office workload (§4.2 stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.engine import Database
+from repro.workloads.boxoffice import (
+    BOXOFFICE_FILMS,
+    BOXOFFICE_WEEKS,
+    generate_boxoffice,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_boxoffice(num_films=200, num_weeks=52, seed=22)
+
+
+class TestGeneration:
+    def test_published_constants(self):
+        assert BOXOFFICE_FILMS == 634
+        assert BOXOFFICE_WEEKS == 52
+
+    def test_dimensions(self, dataset):
+        assert dataset.num_films == 200
+        assert dataset.num_weeks == 52
+
+    def test_marks_at_week_boundaries(self, dataset):
+        marks = [e for e in dataset.trace if e.kind == "mark"]
+        assert len(marks) == 52
+        assert marks[0].label == "week-1"
+
+    def test_requests_proportional_to_gross(self, dataset):
+        """One request per $100k of weekly gross (rounded)."""
+        requested = dataset.trace.item_frequencies()
+        for film in list(requested)[:20]:
+            expected = sum(
+                int(round(dataset.weekly_gross[film, week] / 100_000))
+                for week in range(1, 53)
+            )
+            assert requested[film] == expected
+
+    def test_annual_skew_is_mild(self, dataset):
+        top = dataset.top_annual(10)
+        ratio = top[0][1] / top[-1][1]
+        assert 1.5 < ratio < 6.0  # paper Figure 2: ~2.5x
+
+    def test_weekly_skew_is_sharp(self, dataset):
+        # Find a mid-year week with several films showing.
+        ratios = []
+        for week in range(10, 40):
+            sales = dataset.top_weekly(week, 10)
+            if len(sales) >= 8:
+                ratios.append(sales[0][1] / sales[7][1])
+        assert ratios, "no busy weeks generated"
+        assert np.median(ratios) > 5.0  # weekly much sharper than annual
+
+    def test_sales_decay_week_over_week(self, dataset):
+        film = dataset.top_annual(1)[0][0]
+        release = dataset.release_week[film]
+        run = dataset.weekly_gross[film, release:]
+        run = run[run > 0]
+        assert (np.diff(run) < 0).all()
+
+    def test_gross_zero_before_release(self, dataset):
+        for film in range(1, 30):
+            release = dataset.release_week[film]
+            assert (dataset.weekly_gross[film, 1:release] == 0).all()
+
+    def test_weekly_sales_sorted(self, dataset):
+        for week in (5, 20, 45):
+            sales = dataset.weekly_sales(week)
+            values = [value for _, value in sales]
+            assert values == sorted(values, reverse=True)
+
+    def test_week_out_of_range(self, dataset):
+        with pytest.raises(ConfigError):
+            dataset.weekly_sales(0)
+        with pytest.raises(ConfigError):
+            dataset.weekly_sales(53)
+
+    def test_deterministic(self):
+        a = generate_boxoffice(num_films=30, seed=3)
+        b = generate_boxoffice(num_films=30, seed=3)
+        assert np.array_equal(a.weekly_gross, b.weekly_gross)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            generate_boxoffice(num_films=0)
+        with pytest.raises(ConfigError):
+            generate_boxoffice(num_films=10, num_weeks=0)
+        with pytest.raises(ConfigError):
+            generate_boxoffice(num_films=10, dollars_per_request=0)
+
+
+class TestLoading:
+    def test_load_into_database(self, dataset):
+        db = Database()
+        dataset.load_into(db)
+        assert db.row_count("films") == 200
+        release = db.execute(
+            "SELECT release_week FROM films WHERE id = 1"
+        ).scalar()
+        assert release == dataset.release_week[1]

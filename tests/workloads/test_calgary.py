@@ -1,0 +1,67 @@
+"""Tests for the synthetic Calgary trace (§4.1 stand-in)."""
+
+import pytest
+
+from repro.core.analysis import fit_zipf_alpha
+from repro.core.errors import ConfigError
+from repro.engine import Database
+from repro.workloads.calgary import (
+    CALGARY_ALPHA,
+    CALGARY_OBJECTS,
+    CALGARY_REQUESTS,
+    generate_calgary,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_calgary(num_objects=2000, num_requests=60_000, seed=11)
+
+
+class TestGeneration:
+    def test_published_constants(self):
+        assert CALGARY_OBJECTS == 12_179
+        assert CALGARY_REQUESTS == 725_091
+        assert CALGARY_ALPHA == 1.5
+
+    def test_trace_shape(self, dataset):
+        assert len(dataset.trace) == 60_000
+        assert dataset.population == 2000
+        assert all(event.kind == "query" for event in dataset.trace)
+
+    def test_skew_close_to_published_alpha(self, dataset):
+        counts = sorted(
+            dataset.trace.item_frequencies().values(), reverse=True
+        )
+        assert fit_zipf_alpha(counts[:60]) == pytest.approx(1.5, abs=0.2)
+
+    def test_rank_mappings_are_inverse(self, dataset):
+        for rank in (1, 10, 500):
+            item = dataset.item_by_rank[rank]
+            assert dataset.rank_by_item[item] == rank
+
+    def test_rank_one_is_most_requested(self, dataset):
+        frequencies = dataset.trace.item_frequencies()
+        top_item = frequencies.most_common(1)[0][0]
+        assert dataset.rank_by_item[top_item] <= 3  # sampling noise margin
+
+    def test_deterministic(self):
+        a = generate_calgary(num_objects=100, num_requests=500, seed=5)
+        b = generate_calgary(num_objects=100, num_requests=500, seed=5)
+        assert [e.item for e in a.trace] == [e.item for e in b.trace]
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            generate_calgary(num_objects=0)
+        with pytest.raises(ConfigError):
+            generate_calgary(num_objects=10, num_requests=-1)
+
+
+class TestLoading:
+    def test_load_into_database(self, dataset):
+        db = Database()
+        dataset.load_into(db)
+        assert db.row_count("web_objects") == 2000
+        assert db.query(
+            "SELECT payload FROM web_objects WHERE id = 1"
+        ) == [("page-1",)]

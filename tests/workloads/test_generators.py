@@ -1,0 +1,103 @@
+"""Tests for workload generators and dataset loading."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import fit_zipf_alpha
+from repro.core.errors import ConfigError
+from repro.engine import Database
+from repro.workloads.generators import (
+    load_items_table,
+    make_uniform_query_trace,
+    make_zipf_query_trace,
+    make_zipf_update_trace,
+    select_sql,
+    update_sql,
+)
+
+
+class TestZipfQueryTrace:
+    def test_size_and_population(self):
+        trace = make_zipf_query_trace(100, 5000, alpha=1.0, seed=1)
+        assert len(trace) == 5000
+        assert trace.population == 100
+
+    def test_skew_recoverable(self):
+        trace = make_zipf_query_trace(500, 100_000, alpha=1.2, seed=2)
+        counts = sorted(
+            trace.item_frequencies().values(), reverse=True
+        )
+        fitted = fit_zipf_alpha(counts[:50])
+        assert fitted == pytest.approx(1.2, abs=0.15)
+
+    def test_permutation_scatters_popularity(self):
+        trace = make_zipf_query_trace(1000, 20_000, alpha=1.5, seed=3)
+        top_item = trace.top_items(1)[0][0]
+        assert top_item != 1  # overwhelmingly unlikely under permutation
+
+    def test_no_permutation_keeps_rank_order(self):
+        trace = make_zipf_query_trace(
+            1000, 20_000, alpha=1.5, seed=3, permute_ranks=False
+        )
+        assert trace.top_items(1)[0][0] == 1
+
+    def test_deterministic(self):
+        a = make_zipf_query_trace(50, 100, alpha=1.0, seed=9)
+        b = make_zipf_query_trace(50, 100, alpha=1.0, seed=9)
+        assert [e.item for e in a] == [e.item for e in b]
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigError):
+            make_zipf_query_trace(10, -1, alpha=1.0)
+
+
+class TestUniformQueryTrace:
+    def test_roughly_uniform(self):
+        trace = make_uniform_query_trace(10, 20_000, seed=1)
+        counts = trace.item_frequencies()
+        assert min(counts.values()) > 0.8 * max(counts.values())
+
+
+class TestZipfUpdateTrace:
+    def test_update_events_with_exponential_gaps(self):
+        trace = make_zipf_update_trace(
+            50, 10_000, alpha=1.0, seed=1, total_rate=2.0
+        )
+        assert trace.update_count() == 10_000
+        gaps = [event.think_time for event in trace]
+        assert np.mean(gaps) == pytest.approx(0.5, rel=0.05)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigError):
+            make_zipf_update_trace(10, 10, alpha=1.0, total_rate=0)
+
+
+class TestLoadItemsTable:
+    def test_creates_and_fills(self):
+        db = Database()
+        mapping = load_items_table(db, 25)
+        assert db.row_count("items") == 25
+        assert set(mapping) == set(range(1, 26))
+
+    def test_item_ids_queryable(self):
+        db = Database()
+        load_items_table(db, 5, table="things", payload_prefix="x")
+        rows = db.query("SELECT payload FROM things WHERE id = 3")
+        assert rows == [("x-3",)]
+
+    def test_version_starts_zero(self):
+        db = Database()
+        load_items_table(db, 3)
+        assert db.query("SELECT version FROM items WHERE id = 1") == [(0,)]
+
+
+class TestSqlHelpers:
+    def test_select_sql(self):
+        assert select_sql("t", 7) == "SELECT * FROM t WHERE id = 7"
+
+    def test_update_sql(self):
+        sql = update_sql("t", 7, 3)
+        assert "SET version = 3" in sql and "id = 7" in sql
+
+    def test_select_sql_coerces_item(self):
+        assert "id = 7" in select_sql("t", 7.0)

@@ -1,0 +1,91 @@
+"""Tests for the trace representation."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.workloads.traces import Trace, TraceEvent, interleave
+
+
+class TestTrace:
+    def test_add_and_iterate(self):
+        trace = Trace(population=10)
+        trace.add_query(1)
+        trace.add_update(2, think_time=0.5)
+        trace.add_mark("week-1")
+        kinds = [event.kind for event in trace]
+        assert kinds == ["query", "update", "mark"]
+        assert len(trace) == 3
+
+    def test_item_bounds_enforced(self):
+        trace = Trace(population=5)
+        with pytest.raises(ConfigError):
+            trace.add_query(0)
+        with pytest.raises(ConfigError):
+            trace.add_query(6)
+        with pytest.raises(ConfigError):
+            trace.add_update(-1)
+
+    def test_population_validated(self):
+        with pytest.raises(ConfigError):
+            Trace(population=0)
+
+    def test_counts(self):
+        trace = Trace(population=3)
+        trace.add_query(1)
+        trace.add_query(2)
+        trace.add_update(1)
+        trace.add_mark("m")
+        assert trace.query_count() == 2
+        assert trace.update_count() == 1
+
+    def test_item_frequencies(self):
+        trace = Trace(population=3)
+        for item in [1, 1, 2, 1]:
+            trace.add_query(item)
+        frequencies = trace.item_frequencies()
+        assert frequencies[1] == 3 and frequencies[2] == 1
+
+    def test_top_items(self):
+        trace = Trace(population=5)
+        for item in [3, 3, 3, 1, 1, 5]:
+            trace.add_query(item)
+        assert trace.top_items(2) == [(3, 3), (1, 2)]
+
+    def test_distinct_items_by_kind(self):
+        trace = Trace(population=5)
+        trace.add_query(1)
+        trace.add_update(2)
+        trace.add_update(3)
+        assert trace.distinct_items("query") == 1
+        assert trace.distinct_items("update") == 2
+
+    def test_labels_and_think_time_preserved(self):
+        trace = Trace(population=2)
+        trace.add_query(1, think_time=1.5, label="w1")
+        event = trace.events[0]
+        assert event.think_time == 1.5 and event.label == "w1"
+
+
+class TestInterleave:
+    def test_round_robin_merge(self):
+        a = Trace(population=5, name="a")
+        a.add_query(1)
+        a.add_query(2)
+        b = Trace(population=5, name="b")
+        b.add_update(3)
+        merged = interleave([a, b])
+        assert [e.kind for e in merged] == ["query", "update", "query"]
+
+    def test_population_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            interleave([Trace(population=2), Trace(population=3)])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigError):
+            interleave([])
+
+    def test_single_trace_passthrough(self):
+        a = Trace(population=2)
+        a.add_query(1)
+        merged = interleave([a])
+        assert len(merged) == 1

@@ -1,0 +1,106 @@
+"""Tests for the update process model (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.workloads.updates import UpdateProcess
+
+
+class TestConstruction:
+    def test_zipf_rates(self):
+        process = UpdateProcess.zipf(100, alpha=1.0, rmax=2.0)
+        assert process.rate(1) == pytest.approx(2.0)
+        assert process.rate(2) == pytest.approx(1.0)
+        assert process.rate(100) == pytest.approx(0.02)
+        assert process.max_rate == pytest.approx(2.0)
+
+    def test_uniform_rates(self):
+        process = UpdateProcess.uniform(10, rate=0.5)
+        assert process.total_rate == pytest.approx(5.0)
+        assert process.rate(3) == 0.5
+
+    def test_population(self):
+        assert UpdateProcess.zipf(42, 1.0, 1.0).population == 42
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            UpdateProcess.zipf(0, 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            UpdateProcess.zipf(10, 1.0, 0.0)
+        with pytest.raises(ConfigError):
+            UpdateProcess.uniform(10, rate=-1)
+        with pytest.raises(ConfigError):
+            UpdateProcess(rates=np.array([1.0]))
+        with pytest.raises(ConfigError):
+            UpdateProcess(rates=np.array([0.0, -1.0]))
+        with pytest.raises(ConfigError):
+            UpdateProcess.zipf(5, 1.0, 1.0).rate(6)
+
+
+class TestSampling:
+    def test_sample_counts_shape_and_mean(self):
+        process = UpdateProcess.uniform(1000, rate=0.1)
+        rng = np.random.default_rng(1)
+        counts = process.sample_counts(100.0, rng)
+        assert counts.shape == (1001,)
+        assert counts[0] == 0
+        assert counts[1:].mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_sample_events_sorted_and_in_window(self):
+        process = UpdateProcess.uniform(20, rate=1.0)
+        rng = np.random.default_rng(2)
+        events = process.sample_events(10.0, 15.0, rng)
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+        assert all(10.0 <= t < 15.0 for t in times)
+
+    def test_zero_window_no_events(self):
+        process = UpdateProcess.uniform(5, rate=10.0)
+        assert process.sample_events(1.0, 1.0) == []
+
+    def test_invalid_windows(self):
+        process = UpdateProcess.uniform(5, rate=1.0)
+        with pytest.raises(ConfigError):
+            process.sample_counts(-1.0)
+        with pytest.raises(ConfigError):
+            process.sample_events(5.0, 1.0)
+
+
+class TestStalenessMath:
+    def test_stale_probability(self):
+        process = UpdateProcess.uniform(5, rate=1.0)
+        assert process.stale_probability(1, 0.0) == 0.0
+        assert process.stale_probability(1, 1e9) == pytest.approx(1.0)
+        assert process.stale_probability(1, 1.0) == pytest.approx(
+            1 - np.exp(-1.0)
+        )
+
+    def test_expected_stale_fraction(self):
+        process = UpdateProcess.uniform(4, rate=1.0)
+        windows = [0.0, 0.0, 1e9, 1e9]
+        assert process.expected_stale_fraction(windows) == pytest.approx(0.5)
+
+    def test_expected_requires_full_windows(self):
+        process = UpdateProcess.uniform(4, rate=1.0)
+        with pytest.raises(ConfigError):
+            process.expected_stale_fraction([1.0])
+        with pytest.raises(ConfigError):
+            process.expected_stale_fraction([1.0, 1.0, 1.0, -1.0])
+
+    def test_sampled_flags_match_expectation(self):
+        process = UpdateProcess.uniform(20_000, rate=1.0)
+        windows = np.full(20_000, 0.5)
+        rng = np.random.default_rng(3)
+        flags = process.sample_stale_flags(windows, rng)
+        expected = 1 - np.exp(-0.5)
+        assert flags.mean() == pytest.approx(expected, abs=0.01)
+
+    def test_sampled_flags_monotone_in_rate(self):
+        process = UpdateProcess.zipf(10_000, alpha=1.5, rmax=10.0)
+        windows = np.full(10_000, 1.0)
+        rng = np.random.default_rng(4)
+        flags = process.sample_stale_flags(windows, rng)
+        head = flags[:100].mean()
+        tail = flags[-1000:].mean()
+        assert head > tail  # fast-updated ranks go stale more often

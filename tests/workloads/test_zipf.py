@@ -1,0 +1,99 @@
+"""Tests for the seeded samplers."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.workloads.zipf import UniformSampler, WeightedSampler, ZipfSampler
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(100, 1.5, seed=1)
+        draws = sampler.sample_many(1000)
+        assert draws.min() >= 1 and draws.max() <= 100
+
+    def test_deterministic_with_seed(self):
+        a = ZipfSampler(50, 1.0, seed=7).sample_many(100)
+        b = ZipfSampler(50, 1.0, seed=7).sample_many(100)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = ZipfSampler(50, 1.0, seed=1).sample_many(100)
+        b = ZipfSampler(50, 1.0, seed=2).sample_many(100)
+        assert not (a == b).all()
+
+    def test_empirical_skew_matches_alpha(self):
+        sampler = ZipfSampler(1000, 1.0, seed=3)
+        draws = sampler.sample_many(200_000)
+        counts = np.bincount(draws, minlength=1001)
+        # rank 1 should be ~2x rank 2, ~10x rank 10 for alpha=1.
+        assert counts[1] / counts[2] == pytest.approx(2.0, rel=0.15)
+        assert counts[1] / counts[10] == pytest.approx(10.0, rel=0.25)
+
+    def test_alpha_zero_is_uniform(self):
+        sampler = ZipfSampler(10, 0.0, seed=4)
+        draws = sampler.sample_many(50_000)
+        counts = np.bincount(draws, minlength=11)[1:]
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(20, 1.3, seed=5)
+        total = sum(sampler.probability(rank) for rank in range(1, 21))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_matches_definition(self):
+        sampler = ZipfSampler(10, 2.0, seed=6)
+        assert sampler.probability(1) / sampler.probability(2) == (
+            pytest.approx(4.0)
+        )
+
+    def test_single_sample(self):
+        assert 1 <= ZipfSampler(5, 1.0, seed=7).sample() <= 5
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ConfigError):
+            ZipfSampler(10, -0.5)
+        with pytest.raises(ConfigError):
+            ZipfSampler(10, 1.0).sample_many(-1)
+        with pytest.raises(ConfigError):
+            ZipfSampler(10, 1.0).probability(11)
+
+
+class TestUniformSampler:
+    def test_range_and_determinism(self):
+        a = UniformSampler(30, seed=1).sample_many(500)
+        b = UniformSampler(30, seed=1).sample_many(500)
+        assert (a == b).all()
+        assert a.min() >= 1 and a.max() <= 30
+
+    def test_roughly_uniform(self):
+        draws = UniformSampler(10, seed=2).sample_many(50_000)
+        counts = np.bincount(draws, minlength=11)[1:]
+        assert counts.min() > 0.85 * counts.max()
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            UniformSampler(0)
+
+
+class TestWeightedSampler:
+    def test_follows_weights(self):
+        sampler = WeightedSampler([3.0, 1.0, 0.0], seed=1)
+        draws = sampler.sample_many(40_000)
+        counts = np.bincount(draws, minlength=4)[1:]
+        assert counts[2] == 0
+        assert counts[0] / counts[1] == pytest.approx(3.0, rel=0.1)
+
+    def test_single_sample_in_range(self):
+        assert WeightedSampler([1, 1], seed=2).sample() in (1, 2)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ConfigError):
+            WeightedSampler([])
+        with pytest.raises(ConfigError):
+            WeightedSampler([-1.0, 2.0])
+        with pytest.raises(ConfigError):
+            WeightedSampler([0.0, 0.0])
