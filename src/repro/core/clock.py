@@ -4,16 +4,27 @@ The paper's adversary delays run to weeks; experiments therefore run on a
 :class:`VirtualClock`, where ``sleep`` advances simulated time instantly.
 :class:`RealClock` actually blocks, and is what a production deployment
 of the guard would use.
+
+Both clocks are thread-safe. The server serves many connections against
+one shared clock, so ``sleep``/``advance``/``now`` must be callable from
+any handler thread: :class:`RealClock` is stateless (``time.monotonic``
+and ``time.sleep`` are safe everywhere), and :class:`VirtualClock` takes
+an internal lock around its timeline so concurrent sleeps serialise into
+one consistent sequence of advances instead of losing increments.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import List
 
 
 class Clock:
-    """Interface: monotonically non-decreasing time plus sleep."""
+    """Interface: monotonically non-decreasing time plus sleep.
+
+    Implementations must be safe to share across threads.
+    """
 
     def now(self) -> float:
         """Current time in seconds (arbitrary epoch, monotonic)."""
@@ -25,7 +36,11 @@ class Clock:
 
 
 class RealClock(Clock):
-    """Wall-clock implementation backed by ``time.monotonic``/``time.sleep``."""
+    """Wall-clock implementation backed by ``time.monotonic``/``time.sleep``.
+
+    Stateless, so inherently thread-safe: concurrent sessions each block
+    for their own duration without touching shared state.
+    """
 
     def now(self) -> float:
         return time.monotonic()
@@ -40,30 +55,38 @@ class RealClock(Clock):
 class VirtualClock(Clock):
     """Simulated clock: ``sleep`` advances time without blocking.
 
-    Also records every sleep for test introspection.
+    Also records every sleep for test introspection. A single lock
+    guards the timeline and the sleep log, so ``self._now += seconds``
+    from many threads never loses an advance and ``total_slept`` always
+    equals the simulated time that has passed through ``sleep``.
     """
 
     def __init__(self, start: float = 0.0):
+        self._lock = threading.Lock()
         self._now = float(start)
         #: every sleep duration requested, in order.
         self.sleeps: List[float] = []
 
     def now(self) -> float:
-        return self._now
+        with self._lock:
+            return self._now
 
     def sleep(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"cannot sleep for {seconds!r} seconds")
-        self._now += seconds
-        self.sleeps.append(seconds)
+        with self._lock:
+            self._now += seconds
+            self.sleeps.append(seconds)
 
     def advance(self, seconds: float) -> None:
         """Advance time without recording a sleep (e.g. think time)."""
         if seconds < 0:
             raise ValueError(f"cannot advance by {seconds!r} seconds")
-        self._now += seconds
+        with self._lock:
+            self._now += seconds
 
     @property
     def total_slept(self) -> float:
         """Sum of all sleeps so far."""
-        return sum(self.sleeps)
+        with self._lock:
+            return sum(self.sleeps)

@@ -18,11 +18,19 @@ provides all three storage strategies behind one interface:
 
 All stores hold float weights: the popularity tracker layers exponential
 decay on top by inflating increments (see :mod:`repro.core.popularity`).
+
+Every store is thread-safe: an internal re-entrant lock makes each
+``add``/``get``/``scale``/``clear`` atomic, and ``items()`` iterates a
+snapshot taken under the lock so concurrent writers never invalidate an
+in-progress iteration. Read-modify-write sequences *across* calls (e.g.
+the popularity tracker's record bookkeeping) still need the caller's own
+lock on top.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, Optional, Tuple
 
@@ -65,26 +73,33 @@ class InMemoryCountStore(CountStore):
     """Exact counts in a plain dict."""
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._counts: Dict[Key, float] = {}
 
     def add(self, key: Key, amount: float = 1.0) -> None:
-        self._counts[key] = self._counts.get(key, 0.0) + amount
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0.0) + amount
 
     def get(self, key: Key) -> float:
-        return self._counts.get(key, 0.0)
+        with self._lock:
+            return self._counts.get(key, 0.0)
 
     def items(self) -> Iterator[Tuple[Key, float]]:
-        return iter(self._counts.items())
+        with self._lock:
+            return iter(list(self._counts.items()))
 
     def scale(self, factor: float) -> None:
-        for key in self._counts:
-            self._counts[key] *= factor
+        with self._lock:
+            for key in self._counts:
+                self._counts[key] *= factor
 
     def clear(self) -> None:
-        self._counts.clear()
+        with self._lock:
+            self._counts.clear()
 
     def __len__(self) -> int:
-        return len(self._counts)
+        with self._lock:
+            return len(self._counts)
 
 
 class WriteBehindCountStore(CountStore):
@@ -101,6 +116,7 @@ class WriteBehindCountStore(CountStore):
         if cache_size < 1:
             raise ConfigError(f"cache_size must be >= 1, got {cache_size}")
         self.cache_size = cache_size
+        self._lock = threading.RLock()
         self._cache: "OrderedDict[Key, float]" = OrderedDict()
         self._dirty: Dict[Key, bool] = {}
         self._backing: Dict[Key, float] = {}
@@ -129,43 +145,56 @@ class WriteBehindCountStore(CountStore):
                 self.backing_writes += 1
 
     def add(self, key: Key, amount: float = 1.0) -> None:
-        value = self._load(key)
-        self._cache[key] = value + amount
-        self._dirty[key] = True
+        with self._lock:
+            value = self._load(key)
+            self._cache[key] = value + amount
+            self._dirty[key] = True
 
     def get(self, key: Key) -> float:
-        return self._load(key)
+        with self._lock:
+            return self._load(key)
 
     def flush(self) -> None:
         """Write every dirty cached entry through to the backing store."""
-        for key, value in self._cache.items():
-            if self._dirty.get(key):
-                self._backing[key] = value
-                self.backing_writes += 1
-                self._dirty[key] = False
+        with self._lock:
+            for key, value in self._cache.items():
+                if self._dirty.get(key):
+                    self._backing[key] = value
+                    self.backing_writes += 1
+                    self._dirty[key] = False
 
     def items(self) -> Iterator[Tuple[Key, float]]:
-        self.flush()
-        return iter(self._backing.items()) if not self._cache else iter(
-            {**self._backing, **dict(self._cache)}.items()
-        )
+        with self._lock:
+            self.flush()
+            if not self._cache:
+                return iter(list(self._backing.items()))
+            return iter(
+                list({**self._backing, **dict(self._cache)}.items())
+            )
 
     def scale(self, factor: float) -> None:
-        self.flush()
-        for key in self._backing:
-            self._backing[key] *= factor
-        for key in self._cache:
-            self._cache[key] *= factor
+        with self._lock:
+            self.flush()
+            for key in self._backing:
+                self._backing[key] *= factor
+            for key in self._cache:
+                self._cache[key] *= factor
 
     def clear(self) -> None:
-        self._cache.clear()
-        self._dirty.clear()
-        self._backing.clear()
+        with self._lock:
+            self._cache.clear()
+            self._dirty.clear()
+            self._backing.clear()
+            # A cleared store must look factory-fresh: stale I/O counters
+            # would report phantom cache traffic for the next experiment.
+            self.backing_reads = 0
+            self.backing_writes = 0
 
     def __len__(self) -> int:
-        keys = set(self._backing)
-        keys.update(self._cache)
-        return len(keys)
+        with self._lock:
+            keys = set(self._backing)
+            keys.update(self._cache)
+            return len(keys)
 
 
 class CountingSampleStore(CountStore):
@@ -201,6 +230,7 @@ class CountingSampleStore(CountStore):
         self.capacity = capacity
         self.growth = growth
         self.tau = 1.0
+        self._lock = threading.RLock()
         self._counts: Dict[Key, float] = {}
         self._rng = random.Random(seed)
 
@@ -210,13 +240,14 @@ class CountingSampleStore(CountStore):
                 "CountingSampleStore only supports unit increments; "
                 "use SpaceSavingStore for weighted counts"
             )
-        if key in self._counts:
-            self._counts[key] += 1.0
-            return
-        if self._rng.random() < 1.0 / self.tau:
-            self._counts[key] = 1.0
-            if len(self._counts) > self.capacity:
-                self._raise_threshold()
+        with self._lock:
+            if key in self._counts:
+                self._counts[key] += 1.0
+                return
+            if self._rng.random() < 1.0 / self.tau:
+                self._counts[key] = 1.0
+                if len(self._counts) > self.capacity:
+                    self._raise_threshold()
 
     def _raise_threshold(self) -> None:
         """Decimate the sample until it fits, raising ``tau`` each round."""
@@ -240,14 +271,21 @@ class CountingSampleStore(CountStore):
             self.tau = new_tau
 
     def get(self, key: Key) -> float:
-        count = self._counts.get(key)
-        if count is None:
-            return 0.0
-        return count + self.tau - 1.0
+        with self._lock:
+            count = self._counts.get(key)
+            if count is None:
+                return 0.0
+            return count + self.tau - 1.0
 
     def items(self) -> Iterator[Tuple[Key, float]]:
-        adjustment = self.tau - 1.0
-        return ((key, count + adjustment) for key, count in self._counts.items())
+        with self._lock:
+            adjustment = self.tau - 1.0
+            return iter(
+                [
+                    (key, count + adjustment)
+                    for key, count in self._counts.items()
+                ]
+            )
 
     def scale(self, factor: float) -> None:
         raise ConfigError(
@@ -256,11 +294,13 @@ class CountingSampleStore(CountStore):
         )
 
     def clear(self) -> None:
-        self._counts.clear()
-        self.tau = 1.0
+        with self._lock:
+            self._counts.clear()
+            self.tau = 1.0
 
     def __len__(self) -> int:
-        return len(self._counts)
+        with self._lock:
+            return len(self._counts)
 
 
 class SpaceSavingStore(CountStore):
@@ -280,31 +320,38 @@ class SpaceSavingStore(CountStore):
         if capacity < 1:
             raise ConfigError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self._lock = threading.RLock()
         self._counts: Dict[Key, float] = {}
 
     def add(self, key: Key, amount: float = 1.0) -> None:
-        if key in self._counts:
-            self._counts[key] += amount
-            return
-        if len(self._counts) < self.capacity:
-            self._counts[key] = amount
-            return
-        victim = min(self._counts, key=self._counts.get)  # type: ignore[arg-type]
-        inherited = self._counts.pop(victim)
-        self._counts[key] = inherited + amount
+        with self._lock:
+            if key in self._counts:
+                self._counts[key] += amount
+                return
+            if len(self._counts) < self.capacity:
+                self._counts[key] = amount
+                return
+            victim = min(self._counts, key=self._counts.get)  # type: ignore[arg-type]
+            inherited = self._counts.pop(victim)
+            self._counts[key] = inherited + amount
 
     def get(self, key: Key) -> float:
-        return self._counts.get(key, 0.0)
+        with self._lock:
+            return self._counts.get(key, 0.0)
 
     def items(self) -> Iterator[Tuple[Key, float]]:
-        return iter(self._counts.items())
+        with self._lock:
+            return iter(list(self._counts.items()))
 
     def scale(self, factor: float) -> None:
-        for key in self._counts:
-            self._counts[key] *= factor
+        with self._lock:
+            for key in self._counts:
+                self._counts[key] *= factor
 
     def clear(self) -> None:
-        self._counts.clear()
+        with self._lock:
+            self._counts.clear()
 
     def __len__(self) -> int:
-        return len(self._counts)
+        with self._lock:
+            return len(self._counts)

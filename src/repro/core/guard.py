@@ -16,7 +16,9 @@ a tuple's first-ever retrieval is always charged the cold-start cap.
 
 from __future__ import annotations
 
+import math
 import statistics
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
@@ -66,7 +68,14 @@ class GuardedResult:
 
 @dataclass
 class GuardStats:
-    """Aggregate guard behaviour, used by the evaluation harness."""
+    """Aggregate guard behaviour, used by the evaluation harness.
+
+    Thread-safe for concurrent serving: the ``note_*`` methods take an
+    internal lock so each logical event (a denial, a served SELECT, a
+    finished query) lands atomically even when many handler threads
+    share one guard. The fields stay public for single-threaded readers
+    (experiments, reports).
+    """
 
     queries: int = 0
     selects: int = 0
@@ -76,21 +85,61 @@ class GuardStats:
     select_delays: List[float] = field(default_factory=list)
     engine_seconds: float = 0.0
     accounting_seconds: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    # -- atomic recording ---------------------------------------------------
+
+    def note_denied(self) -> None:
+        """Count one refused query."""
+        with self._lock:
+            self.denied += 1
+
+    def note_select(self, delay: float, tuples: int) -> None:
+        """Count one served SELECT and the tuples it was charged for."""
+        with self._lock:
+            self.selects += 1
+            self.select_delays.append(delay)
+            self.tuples_charged += tuples
+
+    def note_query(
+        self,
+        delay: float,
+        engine_seconds: float,
+        accounting_seconds: float,
+    ) -> None:
+        """Count one finished statement with its timing buckets."""
+        with self._lock:
+            self.queries += 1
+            self.total_delay += delay
+            self.engine_seconds += engine_seconds
+            self.accounting_seconds += accounting_seconds
+
+    # -- summaries ----------------------------------------------------------
 
     def median_delay(self) -> float:
         """Median per-SELECT delay (the paper's headline user metric)."""
-        if not self.select_delays:
+        with self._lock:
+            delays = list(self.select_delays)
+        if not delays:
             return 0.0
-        return statistics.median(self.select_delays)
+        return statistics.median(delays)
 
     def quantile_delay(self, q: float) -> float:
-        """Delay at quantile ``q`` in [0, 1] over SELECT queries."""
-        if not self.select_delays:
-            return 0.0
+        """Delay at quantile ``q`` in [0, 1] over SELECT queries.
+
+        Nearest-rank: the smallest delay d such that at least ``q`` of
+        the observations are <= d (q=0 gives the minimum, q=1 the max).
+        """
         if not 0 <= q <= 1:
             raise ConfigError(f"quantile must be in [0,1], got {q}")
-        ordered = sorted(self.select_delays)
-        position = min(len(ordered) - 1, int(q * len(ordered)))
+        with self._lock:
+            delays = list(self.select_delays)
+        if not delays:
+            return 0.0
+        ordered = sorted(delays)
+        position = max(0, math.ceil(q * len(ordered)) - 1)
         return ordered[position]
 
     def overhead_fraction(self) -> float:
@@ -229,7 +278,7 @@ class DelayGuard:
             try:
                 self.accounts.authorize_query(identity)
             except Exception:
-                self.stats.denied += 1
+                self.stats.note_denied()
                 raise
         accounting = time.perf_counter() - accounting_start
 
@@ -246,8 +295,12 @@ class DelayGuard:
             # rows) but pre-recording/charging: the caller gets nothing.
             limit = self.config.max_result_rows
             if limit is not None and len(result.rows) > limit:
-                self.stats.queries += 1
-                self.stats.denied += 1
+                # The engine already did the work; fold its time (and the
+                # accounting spent so far) into the Table 5 buckets even
+                # though the caller gets nothing back.
+                accounting += time.perf_counter() - accounting_start
+                self.stats.note_denied()
+                self.stats.note_query(0.0, engine_elapsed, accounting)
                 raise AccessDenied("result_limit")
             # `touched` covers every contributing base tuple, across
             # joined tables; fall back to the driving table's rowids for
@@ -268,9 +321,7 @@ class DelayGuard:
                     self.popularity.record(key)
             if self.accounts is not None and identity is not None:
                 self.accounts.record_retrieval(identity, len(keys))
-            self.stats.selects += 1
-            self.stats.select_delays.append(delay)
-            self.stats.tuples_charged += len(keys)
+            self.stats.note_select(delay, len(keys))
         elif result.statement_kind in ("insert", "update", "delete"):
             if self.config.record_updates and result.table is not None:
                 now = self.clock.now()
@@ -281,10 +332,7 @@ class DelayGuard:
                     self.last_update_times[key] = now
         accounting += time.perf_counter() - accounting_start
 
-        self.stats.queries += 1
-        self.stats.total_delay += delay
-        self.stats.engine_seconds += engine_elapsed
-        self.stats.accounting_seconds += accounting
+        self.stats.note_query(delay, engine_elapsed, accounting)
 
         if delay > 0 and sleep:
             self.clock.sleep(delay)

@@ -21,6 +21,7 @@ Two popularity normalisations are offered:
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .counts import CountStore, InMemoryCountStore, Key
@@ -62,6 +63,11 @@ class PopularityTracker:
         self.decay_rate = float(decay_rate)
         self.rescale_threshold = float(rescale_threshold)
         self.rank_refresh = rank_refresh
+        # Re-entrant: record -> _rescale and rank -> store.items() nest.
+        # The store has its own lock, but the multi-step bookkeeping here
+        # (count + both totals + increment) must be atomic as a unit or
+        # concurrent recorders would desynchronise counts from totals.
+        self._lock = threading.RLock()
         self._increment = 1.0  # weight assigned to the NEXT request
         self._raw_total = 0.0
         self._decayed_total = 0.0
@@ -75,16 +81,17 @@ class PopularityTracker:
         """Record one access to ``key`` (``weight`` allows batched hits)."""
         if weight <= 0:
             raise ConfigError(f"weight must be positive, got {weight}")
-        amount = self._increment * weight
-        self.store.add(key, amount)
-        self._decayed_total += amount
-        self._raw_total += weight
-        self._increment *= self.decay_rate
-        self._records_since_rank += 1
-        if self._records_since_rank >= self.rank_refresh:
-            self._rank_cache = None
-        if self._increment > self.rescale_threshold:
-            self._rescale()
+        with self._lock:
+            amount = self._increment * weight
+            self.store.add(key, amount)
+            self._decayed_total += amount
+            self._raw_total += weight
+            self._increment *= self.decay_rate
+            self._records_since_rank += 1
+            if self._records_since_rank >= self.rank_refresh:
+                self._rank_cache = None
+            if self._increment > self.rescale_threshold:
+                self._rescale()
 
     def record_many(self, keys: Iterable[Key]) -> None:
         """Record a sequence of accesses in order."""
@@ -93,11 +100,12 @@ class PopularityTracker:
 
     def _rescale(self) -> None:
         """Divide all state by the current increment (overflow guard)."""
-        factor = 1.0 / self._increment
-        self.store.scale(factor)
-        self._decayed_total *= factor
-        self._increment = 1.0
-        self._rescales += 1
+        with self._lock:
+            factor = 1.0 / self._increment
+            self.store.scale(factor)
+            self._decayed_total *= factor
+            self._increment = 1.0
+            self._rescales += 1
 
     def apply_decay(self, factor: float) -> None:
         """Explicitly decay all accumulated history by ``factor``.
@@ -110,16 +118,30 @@ class PopularityTracker:
         """
         if factor < 1.0:
             raise ConfigError(f"decay factor must be >= 1.0, got {factor}")
-        self._increment *= factor
-        if self._increment > self.rescale_threshold:
-            self._rescale()
+        with self._lock:
+            self._increment *= factor
+            if self._increment > self.rescale_threshold:
+                self._rescale()
 
     # -- queries ------------------------------------------------------------
 
     @property
     def total_requests(self) -> float:
         """Undecayed number of recorded requests."""
-        return self._raw_total
+        with self._lock:
+            return self._raw_total
+
+    @property
+    def decayed_total(self) -> float:
+        """Decayed request total on the present-request weight scale.
+
+        This is the correct denominator for shares of *decayed* counts
+        (e.g. ``snapshot()`` weights): with no decay it equals
+        ``total_requests``, and with decay it is the effective number of
+        'current' requests the surviving weight represents.
+        """
+        with self._lock:
+            return self._decayed_total / self._increment
 
     @property
     def rescales(self) -> int:
@@ -132,7 +154,8 @@ class PopularityTracker:
         With no decay this is exactly the raw hit count; with decay it is
         the equivalent number of 'current' requests.
         """
-        return self.store.get(key) / self._increment
+        with self._lock:
+            return self.store.get(key) / self._increment
 
     def popularity(self, key: Key, mode: str = "raw") -> float:
         """Normalised popularity estimate of ``key`` in [0, ~1].
@@ -142,17 +165,18 @@ class PopularityTracker:
         the decayed total (a true frequency over the effective window).
         Returns 0 for unseen keys or before any requests.
         """
-        count = self.store.get(key)
-        if count <= 0:
-            return 0.0
-        if mode == "raw":
-            if self._raw_total <= 0:
+        with self._lock:
+            count = self.store.get(key)
+            if count <= 0:
                 return 0.0
-            return (count / self._increment) / self._raw_total
-        if mode == "decayed":
-            if self._decayed_total <= 0:
-                return 0.0
-            return count / self._decayed_total
+            if mode == "raw":
+                if self._raw_total <= 0:
+                    return 0.0
+                return (count / self._increment) / self._raw_total
+            if mode == "decayed":
+                if self._decayed_total <= 0:
+                    return 0.0
+                return count / self._decayed_total
         raise ConfigError(f"unknown popularity mode {mode!r}")
 
     def max_popularity(self, mode: str = "raw") -> float:
@@ -170,22 +194,25 @@ class PopularityTracker:
         the counts slightly — acceptable for delay assignment, where the
         ranking moves slowly.
         """
-        if self._rank_cache is None:
-            ordered = sorted(
-                self.store.items(), key=lambda item: item[1], reverse=True
-            )
-            self._rank_cache = {
-                key_: position + 1 for position, (key_, _) in enumerate(ordered)
-            }
-            self._records_since_rank = 0
-        return self._rank_cache.get(key, len(self._rank_cache) + 1)
+        with self._lock:
+            if self._rank_cache is None:
+                ordered = sorted(
+                    self.store.items(), key=lambda item: item[1], reverse=True
+                )
+                self._rank_cache = {
+                    key_: position + 1
+                    for position, (key_, _) in enumerate(ordered)
+                }
+                self._records_since_rank = 0
+            return self._rank_cache.get(key, len(self._rank_cache) + 1)
 
     def snapshot(self) -> List[Tuple[Key, float]]:
         """All (key, present_count) pairs, most popular first."""
-        pairs = [
-            (key, count / self._increment)
-            for key, count in self.store.items()
-        ]
+        with self._lock:
+            pairs = [
+                (key, count / self._increment)
+                for key, count in self.store.items()
+            ]
         pairs.sort(key=lambda item: item[1], reverse=True)
         return pairs
 
@@ -195,12 +222,13 @@ class PopularityTracker:
 
     def reset(self) -> None:
         """Forget all history."""
-        self.store.clear()
-        self._increment = 1.0
-        self._raw_total = 0.0
-        self._decayed_total = 0.0
-        self._rank_cache = None
-        self._records_since_rank = 0
+        with self._lock:
+            self.store.clear()
+            self._increment = 1.0
+            self._raw_total = 0.0
+            self._decayed_total = 0.0
+            self._rank_cache = None
+            self._records_since_rank = 0
 
 
 class AdaptiveTracker:
@@ -239,25 +267,31 @@ class AdaptiveTracker:
             for rate in decay_rates
         }
         self.score_smoothing = score_smoothing
+        self._lock = threading.Lock()
         self._scores: Dict[float, float] = {rate: 0.0 for rate in decay_rates}
         self._seen_any = False
 
     def record(self, key: Key, weight: float = 1.0) -> None:
         """Score each candidate's prediction for ``key``, then update all."""
-        for rate, tracker in self.trackers.items():
-            predicted = max(tracker.popularity(key, "decayed"), self._EPSILON)
-            loss = -math.log(predicted)
-            previous = self._scores[rate]
-            if self._seen_any:
-                self._scores[rate] = (
-                    (1 - self.score_smoothing) * previous
-                    + self.score_smoothing * loss
+        # Scoring reads every tracker before any of them is updated; the
+        # lock keeps concurrent records from interleaving the two halves.
+        with self._lock:
+            for rate, tracker in self.trackers.items():
+                predicted = max(
+                    tracker.popularity(key, "decayed"), self._EPSILON
                 )
-            else:
-                self._scores[rate] = loss
-        self._seen_any = True
-        for tracker in self.trackers.values():
-            tracker.record(key, weight)
+                loss = -math.log(predicted)
+                previous = self._scores[rate]
+                if self._seen_any:
+                    self._scores[rate] = (
+                        (1 - self.score_smoothing) * previous
+                        + self.score_smoothing * loss
+                    )
+                else:
+                    self._scores[rate] = loss
+            self._seen_any = True
+            for tracker in self.trackers.values():
+                tracker.record(key, weight)
 
     @property
     def active_rate(self) -> float:

@@ -9,6 +9,7 @@ exponential decay in time so shifting update behaviour is tracked.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from .clock import Clock, VirtualClock
@@ -41,6 +42,9 @@ class UpdateRateTracker:
             )
         self.clock = clock if clock is not None else VirtualClock()
         self.time_constant = time_constant
+        # Guards counts/last-seen/total as one unit: the lazy decay in
+        # record_update is a read-modify-write over two dicts.
+        self._lock = threading.RLock()
         self._counts: Dict[Key, float] = {}
         self._last_seen: Dict[Key, float] = {}
         self._started = self.clock.now()
@@ -51,19 +55,21 @@ class UpdateRateTracker:
     def record_update(self, key: Key) -> None:
         """Record one update to ``key`` at the current clock time."""
         now = self.clock.now()
-        current = self._decayed_count(key, now)
-        self._counts[key] = current + 1.0
-        self._last_seen[key] = now
-        self._total_updates += 1
+        with self._lock:
+            current = self._decayed_count(key, now)
+            self._counts[key] = current + 1.0
+            self._last_seen[key] = now
+            self._total_updates += 1
 
     def _decayed_count(self, key: Key, now: float) -> float:
-        count = self._counts.get(key, 0.0)
-        if count == 0.0 or self.time_constant is None:
-            return count
-        age = now - self._last_seen.get(key, now)
-        if age <= 0:
-            return count
-        return count * math.exp(-age / self.time_constant)
+        with self._lock:
+            count = self._counts.get(key, 0.0)
+            if count == 0.0 or self.time_constant is None:
+                return count
+            age = now - self._last_seen.get(key, now)
+            if age <= 0:
+                return count
+            return count * math.exp(-age / self.time_constant)
 
     def prime(self, rates: Dict[Key, float], window: float = 1e6) -> None:
         """Initialise counters to their steady-state expectation.
@@ -79,18 +85,21 @@ class UpdateRateTracker:
         if window <= 0:
             raise ConfigError(f"window must be positive, got {window}")
         now = self.clock.now()
-        for key, rate in rates.items():
-            if rate < 0:
-                raise ConfigError(f"rate for {key!r} must be >= 0, got {rate}")
-            if rate == 0:
-                continue
-            if self.time_constant is not None:
-                self._counts[key] = rate * self.time_constant
-            else:
-                self._counts[key] = rate * window
-            self._last_seen[key] = now
-        if self.time_constant is None:
-            self._started = min(self._started, now - window)
+        with self._lock:
+            for key, rate in rates.items():
+                if rate < 0:
+                    raise ConfigError(
+                        f"rate for {key!r} must be >= 0, got {rate}"
+                    )
+                if rate == 0:
+                    continue
+                if self.time_constant is not None:
+                    self._counts[key] = rate * self.time_constant
+                else:
+                    self._counts[key] = rate * window
+                self._last_seen[key] = now
+            if self.time_constant is None:
+                self._started = min(self._started, now - window)
 
     # -- queries ------------------------------------------------------------
 
@@ -106,44 +115,49 @@ class UpdateRateTracker:
     def rate(self, key: Key) -> float:
         """Estimated updates/second for ``key`` (0 for never-updated)."""
         now = self.clock.now()
-        count = self._decayed_count(key, now)
-        if count <= 0:
-            return 0.0
-        if self.time_constant is not None:
-            return count / self.time_constant
-        elapsed = now - self._started
-        if elapsed <= 0:
-            # All updates happened "now"; report a large finite rate.
-            return count
-        return count / elapsed
+        with self._lock:
+            count = self._decayed_count(key, now)
+            if count <= 0:
+                return 0.0
+            if self.time_constant is not None:
+                return count / self.time_constant
+            elapsed = now - self._started
+            if elapsed <= 0:
+                # All updates happened "now"; report a large finite rate.
+                return count
+            return count / elapsed
 
     def max_rate(self) -> float:
         """Largest estimated rate across tracked keys (0 if none)."""
         now = self.clock.now()
         best = 0.0
-        for key in self._counts:
-            count = self._decayed_count(key, now)
-            if self.time_constant is not None:
-                rate = count / self.time_constant
-            else:
-                elapsed = now - self._started
-                rate = count / elapsed if elapsed > 0 else count
-            best = max(best, rate)
+        with self._lock:
+            for key in self._counts:
+                count = self._decayed_count(key, now)
+                if self.time_constant is not None:
+                    rate = count / self.time_constant
+                else:
+                    elapsed = now - self._started
+                    rate = count / elapsed if elapsed > 0 else count
+                best = max(best, rate)
         return best
 
     def snapshot(self) -> List[Tuple[Key, float]]:
         """All (key, rate) pairs, fastest-updated first."""
-        pairs = [(key, self.rate(key)) for key in self._counts]
+        with self._lock:
+            pairs = [(key, self.rate(key)) for key in list(self._counts)]
         pairs.sort(key=lambda item: item[1], reverse=True)
         return pairs
 
     def tracked_keys(self) -> int:
         """Number of keys ever updated."""
-        return len(self._counts)
+        with self._lock:
+            return len(self._counts)
 
     def reset(self) -> None:
         """Forget all update history."""
-        self._counts.clear()
-        self._last_seen.clear()
-        self._started = self.clock.now()
-        self._total_updates = 0
+        with self._lock:
+            self._counts.clear()
+            self._last_seen.clear()
+            self._started = self.clock.now()
+            self._total_updates = 0

@@ -17,10 +17,24 @@ Protocol requests::
 Responses are ``{"ok": true, ...}`` or
 ``{"ok": false, "error": "...", "reason": "...", "retry_after": 1.5}``.
 
-The service is guarded by a lock (one statement at a time); with a
-:class:`~repro.core.clock.RealClock` the lock is *not* held while the
-delay is served, so slow (penalised) queries do not stall other
-clients.
+Concurrency model
+-----------------
+
+Each connection gets its own handler thread. The service is guarded by
+one server lock (one statement at a time): authorization, engine
+execution, and tracker recording all happen under it, so the counts the
+delay formula (eq. 1) reads are never mid-update. The *sleep* that
+serves the delay happens outside the lock — with a
+:class:`~repro.core.clock.RealClock` each connection blocks only itself,
+and with a :class:`~repro.core.clock.VirtualClock` the (thread-safe)
+clock advances atomically — so slow (penalised) queries never stall
+other clients.
+
+Per-connection robustness: reads are bounded by ``read_timeout`` and
+``max_request_bytes``; a handler crash is recorded in
+:attr:`DelayServer.handler_errors` and answered with an error response
+instead of silently killing the thread; and :meth:`DelayServer.stop`
+drains in-flight connections before closing.
 """
 
 from __future__ import annotations
@@ -29,7 +43,8 @@ import json
 import socket
 import socketserver
 import threading
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, List, Optional, Tuple
 
 from .core.errors import AccessDenied, ConfigError, DelayDefenseError
 from .engine.errors import EngineError
@@ -37,17 +52,65 @@ from .service import DataProviderService
 
 
 class _Handler(socketserver.StreamRequestHandler):
+    def setup(self) -> None:
+        server: "DelayServer" = self.server.delay_server  # type: ignore[attr-defined]
+        if server.read_timeout is not None:
+            self.request.settimeout(server.read_timeout)
+        super().setup()
+
     def handle(self) -> None:
         server: "DelayServer" = self.server.delay_server  # type: ignore[attr-defined]
-        for raw in self.rfile:
-            line = raw.decode("utf-8").strip()
+        server._connection_opened(self.request)
+        try:
+            self._serve(server)
+        finally:
+            server._connection_closed(self.request)
+
+    def _serve(self, server: "DelayServer") -> None:
+        limit = server.max_request_bytes
+        while not server._draining.is_set():
+            try:
+                raw = self.rfile.readline(limit + 1)
+            except (socket.timeout, OSError):
+                # Idle past the read timeout, or the peer vanished:
+                # drop the connection without disturbing anyone else.
+                return
+            if not raw:
+                return  # client closed its end
+            if len(raw) > limit:
+                self._respond(
+                    {
+                        "ok": False,
+                        "error": f"request exceeds {limit} bytes",
+                        "reason": "request_too_large",
+                    }
+                )
+                return
+            line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
-            response = server.handle_request(line)
-            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
-            self.wfile.flush()
+            try:
+                response = server.handle_request(line)
+            except Exception as error:  # noqa: BLE001 — isolate the connection
+                # handle_request already maps expected errors; anything
+                # that escapes is a server bug. Record it (tests assert
+                # this list is empty) and keep the thread alive.
+                server._record_handler_error(error)
+                response = {
+                    "ok": False,
+                    "error": f"internal server error: {error}",
+                    "reason": "internal_error",
+                }
+            try:
+                self._respond(response)
+            except (socket.timeout, OSError):
+                return
             if response.get("op") == "bye":
-                break
+                return
+
+    def _respond(self, response: Dict) -> None:
+        self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+        self.wfile.flush()
 
 
 class _TcpServer(socketserver.ThreadingTCPServer):
@@ -61,6 +124,13 @@ class DelayServer:
     Args:
         service: the guarded provider to expose.
         host/port: bind address; port 0 picks a free port.
+        read_timeout: seconds a connection may sit idle between requests
+            before it is dropped (None disables the timeout).
+        max_request_bytes: longest accepted request line; longer lines
+            are answered with ``request_too_large`` and the connection
+            is closed.
+        drain_timeout: how long :meth:`stop` waits for in-flight
+            connections to finish before closing anyway.
     """
 
     def __init__(
@@ -68,9 +138,33 @@ class DelayServer:
         service: DataProviderService,
         host: str = "127.0.0.1",
         port: int = 0,
+        read_timeout: Optional[float] = 30.0,
+        max_request_bytes: int = 64 * 1024,
+        drain_timeout: float = 5.0,
     ):
+        if read_timeout is not None and read_timeout <= 0:
+            raise ConfigError(
+                f"read_timeout must be positive, got {read_timeout}"
+            )
+        if max_request_bytes < 1:
+            raise ConfigError(
+                f"max_request_bytes must be >= 1, got {max_request_bytes}"
+            )
+        if drain_timeout < 0:
+            raise ConfigError(
+                f"drain_timeout must be >= 0, got {drain_timeout}"
+            )
         self.service = service
+        self.read_timeout = read_timeout
+        self.max_request_bytes = max_request_bytes
+        self.drain_timeout = drain_timeout
+        #: unexpected exceptions that escaped request handling, newest
+        #: last; a healthy server keeps this empty.
+        self.handler_errors: List[BaseException] = []
         self._lock = threading.Lock()
+        self._draining = threading.Event()
+        self._conn_cond = threading.Condition()
+        self._connections: Dict[int, socket.socket] = {}
         self._tcp = _TcpServer((host, port), _Handler)
         self._tcp.delay_server = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
@@ -80,18 +174,52 @@ class DelayServer:
         """The bound (host, port)."""
         return self._tcp.server_address  # type: ignore[return-value]
 
+    @property
+    def active_connections(self) -> int:
+        """Connections currently being served."""
+        with self._conn_cond:
+            return len(self._connections)
+
     def start(self) -> None:
         """Serve in a background thread until :meth:`stop`."""
         if self._thread is not None:
             raise ConfigError("server already started")
+        self._draining.clear()
         self._thread = threading.Thread(
             target=self._tcp.serve_forever, daemon=True
         )
         self._thread.start()
 
     def stop(self) -> None:
-        """Shut the server down and join its thread."""
+        """Stop accepting, drain in-flight connections, then close.
+
+        Connections still active after ``drain_timeout`` seconds are
+        forcibly shut down so their handler threads unblock and exit.
+        """
         self._tcp.shutdown()
+        self._draining.set()
+        deadline = time.monotonic() + self.drain_timeout
+        with self._conn_cond:
+            while self._connections:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._conn_cond.wait(remaining)
+            lingering = list(self._connections.values())
+        for connection in lingering:
+            # Unblocks a handler sitting in readline; its thread then
+            # deregisters itself on the way out.
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        with self._conn_cond:
+            deadline = time.monotonic() + 1.0
+            while self._connections:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._conn_cond.wait(remaining)
         self._tcp.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
@@ -103,6 +231,21 @@ class DelayServer:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+    # -- connection bookkeeping ------------------------------------------------
+
+    def _connection_opened(self, connection: socket.socket) -> None:
+        with self._conn_cond:
+            self._connections[id(connection)] = connection
+
+    def _connection_closed(self, connection: socket.socket) -> None:
+        with self._conn_cond:
+            self._connections.pop(id(connection), None)
+            self._conn_cond.notify_all()
+
+    def _record_handler_error(self, error: BaseException) -> None:
+        with self._conn_cond:
+            self.handler_errors.append(error)
 
     # -- request dispatch -----------------------------------------------------
 
@@ -162,6 +305,9 @@ class DelayServer:
                 sql, identity=request.get("identity"), sleep=False
             )
         if result.delay > 0:
+            # Outside the lock the shared clock must be thread-safe:
+            # RealClock blocks only this connection, VirtualClock
+            # advances its timeline atomically.
             self.service.clock.sleep(result.delay)
         return {
             "ok": True,
@@ -186,13 +332,32 @@ class DelayServer:
 
 
 class ServerError(DelayDefenseError):
-    """Raised by :class:`DelayClient` when the server reports an error."""
+    """Raised by :class:`DelayClient` when the server reports an error.
+
+    Attributes:
+        reason: the machine-readable denial reason, when the server sent
+            one (e.g. ``query_quota``, ``user_rate``).
+        retry_after: seconds after which the request may succeed, when
+            the server knows (0.0 otherwise).
+    """
 
     def __init__(self, payload: Dict):
         super().__init__(payload.get("error", "server error"))
         self.payload = payload
         self.reason = payload.get("reason")
         self.retry_after = payload.get("retry_after", 0.0)
+
+
+class ConnectionClosed(ServerError):
+    """The transport died: no response arrived for the request.
+
+    Distinct from an application-level denial (plain
+    :class:`ServerError`): the caller cannot know whether the request
+    was processed, so retrying may repeat side effects.
+    """
+
+    def __init__(self, detail: str = "connection closed by server"):
+        super().__init__({"error": detail})
 
 
 class DelayClient:
@@ -206,16 +371,24 @@ class DelayClient:
     def __init__(self, host: str, port: int, timeout: float = 30.0):
         self._socket = socket.create_connection((host, port), timeout)
         self._file = self._socket.makefile("rwb")
+        #: retry_after from the most recent denial (0.0 when none).
+        self.last_retry_after = 0.0
 
     def _call(self, request: Dict) -> Dict:
-        self._file.write((json.dumps(request) + "\n").encode("utf-8"))
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write((json.dumps(request) + "\n").encode("utf-8"))
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as error:
+            raise ConnectionClosed(f"transport failure: {error}") from error
         if not line:
-            raise ServerError({"error": "connection closed by server"})
+            raise ConnectionClosed()
         response = json.loads(line.decode("utf-8"))
         if not response.get("ok"):
-            raise ServerError(response)
+            error = ServerError(response)
+            self.last_retry_after = error.retry_after
+            raise error
+        self.last_retry_after = 0.0
         return response
 
     def ping(self) -> bool:
@@ -228,12 +401,42 @@ class DelayClient:
             {"op": "register", "identity": identity, "subnet": subnet}
         )
 
-    def query(self, sql: str, identity: Optional[str] = None) -> Dict:
-        """Run one statement; returns columns/rows/delay."""
+    def query(
+        self,
+        sql: str,
+        identity: Optional[str] = None,
+        retries: int = 0,
+        max_retry_wait: float = 5.0,
+    ) -> Dict:
+        """Run one statement; returns columns/rows/delay.
+
+        Args:
+            retries: how many times to retry after a denial that carries
+                a ``retry_after`` hint (waiting it out in real time).
+                Transport failures (:class:`ConnectionClosed`) are never
+                retried — the request may already have been applied.
+            max_retry_wait: give up instead of honouring a hint longer
+                than this many seconds.
+        """
         request: Dict = {"op": "query", "sql": sql}
         if identity is not None:
             request["identity"] = identity
-        return self._call(request)
+        attempts_left = retries
+        while True:
+            try:
+                return self._call(request)
+            except ConnectionClosed:
+                raise
+            except ServerError as denied:
+                wait = denied.retry_after
+                if (
+                    attempts_left <= 0
+                    or wait <= 0
+                    or wait > max_retry_wait
+                ):
+                    raise
+                attempts_left -= 1
+                time.sleep(wait)
 
     def report(self) -> Dict:
         """Fetch the operator report."""

@@ -158,7 +158,12 @@ class DataProviderService:
         """Build an operator report of current protection posture."""
         stats = self.guard.stats
         snapshot = self.guard.popularity.snapshot()[:top_k]
-        total = max(self.guard.popularity.total_requests, 1.0)
+        # Snapshot weights are decayed, so their shares must be taken
+        # against the decayed total; dividing by the raw request count
+        # mixes scales and misreports "% of requests" whenever
+        # decay_rate > 1 or apply_decay has run. Equal to total_requests
+        # when decay is off.
+        total = max(self.guard.popularity.decayed_total, 1.0)
         top = [
             (table, rowid, count / total)
             for (table, rowid), count in snapshot

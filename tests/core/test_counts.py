@@ -98,6 +98,20 @@ class TestWriteBehindCountStore:
         store.clear()
         assert store.get(1) == 0.0
 
+    def test_clear_resets_io_counters(self):
+        # A reused store must not report the previous run's phantom I/O
+        # in the cache-effectiveness numbers.
+        store = WriteBehindCountStore(cache_size=2)
+        for key in range(10):
+            store.add(key)
+        assert store.backing_reads > 0 and store.backing_writes > 0
+        store.clear()
+        assert store.backing_reads == 0
+        assert store.backing_writes == 0
+        # get() on a cleared store repopulates the counters from zero.
+        store.get(1)
+        assert store.backing_reads == 1
+
 
 class TestCountingSampleStore:
     def test_exact_below_capacity_with_unit_tau(self):

@@ -48,6 +48,21 @@ class TestResultLimitEnforcement:
             fixture.guard.execute("SELECT * FROM items WHERE id <= 10")
         assert fixture.clock.total_slept == 0.0
 
+    def test_refused_query_still_accounts_engine_time(self):
+        # The engine did the read before the limit refused the result,
+        # so the Table 5 timing buckets must include that work.
+        fixture = build_guarded_items(
+            50, config=GuardConfig(max_result_rows=2, cap=1.0)
+        )
+        with pytest.raises(AccessDenied):
+            fixture.guard.execute("SELECT * FROM items WHERE id <= 10")
+        stats = fixture.guard.stats
+        assert stats.queries == 1
+        assert stats.denied == 1
+        assert stats.engine_seconds > 0
+        assert stats.accounting_seconds > 0
+        assert stats.total_delay == 0.0
+
     def test_invalid_limit_rejected(self):
         with pytest.raises(ConfigError):
             GuardConfig(max_result_rows=0).validate()

@@ -1,11 +1,17 @@
 """Tests for the TCP server and client."""
 
 import threading
+import time
 
 import pytest
 
-from repro.core import AccountPolicy, GuardConfig
-from repro.server import DelayClient, DelayServer, ServerError
+from repro.core import AccountPolicy, GuardConfig, RealClock
+from repro.server import (
+    ConnectionClosed,
+    DelayClient,
+    DelayServer,
+    ServerError,
+)
 from repro.service import DataProviderService
 
 
@@ -91,6 +97,138 @@ class TestProtocol:
     def test_non_dict_request(self, server):
         response = server.handle_request('"hello"')
         assert response["ok"] is False
+
+
+class TestRobustness:
+    def test_connection_closed_is_distinct_from_denial(self, service):
+        server = DelayServer(service, drain_timeout=0.2)
+        server.start()
+        client = DelayClient(*server.address)
+        assert client.ping()
+        server.stop()
+        with pytest.raises(ConnectionClosed):
+            client.ping()
+        # ConnectionClosed still is a ServerError, so old handlers work.
+        assert issubclass(ConnectionClosed, ServerError)
+
+    def test_oversized_request_refused(self, service):
+        with DelayServer(service, max_request_bytes=256) as server:
+            with DelayClient(*server.address) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.query(
+                        "SELECT * FROM t WHERE v = '" + "x" * 1024 + "'"
+                    )
+        assert excinfo.value.reason == "request_too_large"
+
+    def test_idle_connection_dropped_after_read_timeout(self, service):
+        with DelayServer(service, read_timeout=0.2) as server:
+            client = DelayClient(*server.address)
+            assert client.ping()
+            time.sleep(0.5)
+            with pytest.raises(ConnectionClosed):
+                client.ping()
+
+    def test_handler_error_is_isolated_and_recorded(
+        self, service, server, monkeypatch
+    ):
+        def boom(*args, **kwargs):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(service.guard, "execute", boom)
+        with DelayClient(*server.address) as client:
+            client.register("erin")
+            with pytest.raises(ServerError, match="internal server error"):
+                client.query("SELECT * FROM t WHERE id = 1",
+                             identity="erin")
+            # The connection (and server) survive the crash.
+            assert client.ping()
+        assert len(server.handler_errors) == 1
+        assert isinstance(server.handler_errors[0], RuntimeError)
+
+    def test_stop_drains_active_connections(self, service):
+        server = DelayServer(service, drain_timeout=2.0)
+        server.start()
+        with DelayClient(*server.address) as client:
+            client.register("frank")
+            client.query("SELECT * FROM t WHERE id = 1", identity="frank")
+        server.stop()
+        assert server.active_connections == 0
+
+    def test_invalid_server_options_rejected(self, service):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            DelayServer(service, read_timeout=0)
+        with pytest.raises(ConfigError):
+            DelayServer(service, max_request_bytes=0)
+        with pytest.raises(ConfigError):
+            DelayServer(service, drain_timeout=-1)
+
+
+class TestClientRetry:
+    @pytest.fixture
+    def realtime_service(self):
+        provider = DataProviderService(
+            guard_config=GuardConfig(cap=0.001),
+            account_policy=AccountPolicy(
+                user_query_rate=50.0, user_query_burst=1.0
+            ),
+            clock=RealClock(),
+        )
+        provider.database.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"
+        )
+        provider.database.insert_rows("t", [(1, "v1"), (2, "v2")])
+        return provider
+
+    def test_rate_denial_carries_retry_after(self, realtime_service):
+        with DelayServer(realtime_service) as server:
+            with DelayClient(*server.address) as client:
+                client.register("gail")
+                client.query("SELECT * FROM t WHERE id = 1",
+                             identity="gail")
+                with pytest.raises(ServerError) as excinfo:
+                    client.query("SELECT * FROM t WHERE id = 2",
+                                 identity="gail")
+                assert (
+                    client.last_retry_after == excinfo.value.retry_after
+                )
+        assert excinfo.value.reason == "user_rate"
+        assert 0 < excinfo.value.retry_after < 1
+
+    def test_retry_waits_out_the_denial(self, realtime_service):
+        with DelayServer(realtime_service) as server:
+            with DelayClient(*server.address) as client:
+                client.register("hana")
+                client.query("SELECT * FROM t WHERE id = 1",
+                             identity="hana")
+                # Bucket is empty (burst=1): an immediate retry is
+                # denied, but honouring retry_after succeeds.
+                response = client.query(
+                    "SELECT * FROM t WHERE id = 2",
+                    identity="hana",
+                    retries=3,
+                )
+        assert response["rows"] == [[2, "v2"]]
+        assert client.last_retry_after == 0.0
+
+    def test_retry_gives_up_when_hint_exceeds_cap(self, service, server):
+        # query_quota retry_after is ~a day: far beyond max_retry_wait,
+        # so the client must surface the denial instead of sleeping.
+        with DelayClient(*server.address) as client:
+            client.register("ivan")
+            for i in range(100):
+                client.query(
+                    f"SELECT * FROM t WHERE id = {1 + i % 20}",
+                    identity="ivan",
+                )
+            with pytest.raises(ServerError) as excinfo:
+                client.query(
+                    "SELECT * FROM t WHERE id = 1",
+                    identity="ivan",
+                    retries=5,
+                )
+        assert excinfo.value.reason == "query_quota"
 
 
 class TestConcurrentClients:

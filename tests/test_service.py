@@ -69,6 +69,38 @@ class TestReport:
         assert report.median_user_delay == 0.0
         assert report.protection_ratio == float("inf")
 
+    def test_top_tuple_shares_normalised_under_decay(self):
+        # Every request hits the same tuple, so its share of the
+        # (decayed) traffic is exactly 100% regardless of decay rate.
+        # The old report divided decayed weights by the raw request
+        # total, shrinking the share as decay accumulated.
+        service = make_service(rows=20, cap=5.0, decay_rate=1.5)
+        for _ in range(10):
+            service.query(None, "SELECT * FROM t WHERE id = 1")
+        report = service.report()
+        table, rowid, share = report.top_tuples[0]
+        assert (table, rowid) == ("t", 1)
+        assert share == pytest.approx(1.0)
+
+    def test_top_tuple_shares_stay_normalised_after_apply_decay(self):
+        service = make_service(rows=20, cap=5.0, decay_rate=1.0)
+        for _ in range(10):
+            service.query(None, "SELECT * FROM t WHERE id = 1")
+        service.guard.popularity.apply_decay(4.0)
+        for _ in range(2):
+            service.query(None, "SELECT * FROM t WHERE id = 2")
+        report = service.report()
+        shares = {
+            (table, rowid): share
+            for table, rowid, share in report.top_tuples
+        }
+        # Shares are proportions of the decayed total: they must sum to
+        # at most 1 and reflect the post-decay balance (the old key-1
+        # history is worth 10/4 = 2.5 present requests vs 2 for key 2).
+        assert sum(shares.values()) <= 1.0 + 1e-9
+        assert shares[("t", 1)] == pytest.approx(2.5 / 4.5)
+        assert shares[("t", 2)] == pytest.approx(2.0 / 4.5)
+
 
 class TestPersistence:
     def test_save_load_round_trip_keeps_delays(self, tmp_path):
