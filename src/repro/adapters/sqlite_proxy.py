@@ -203,7 +203,7 @@ class SQLiteDelayProxy:
             try:
                 self.accounts.authorize_query(identity)
             except Exception:
-                self.stats.denied += 1
+                self.stats.note_denied()
                 raise
         statement = parse_cached(sql)
         if isinstance(statement, SelectStatement):
@@ -225,9 +225,9 @@ class SQLiteDelayProxy:
         engine_start = time.perf_counter()
         self.connection.execute(sql)
         self.connection.commit()
-        self.stats.queries += 1
-        self.stats.engine_seconds += time.perf_counter() - engine_start
-        self.stats.accounting_seconds += accounting
+        self.stats.note_query(
+            0.0, time.perf_counter() - engine_start, accounting
+        )
         return ProxyResult(statement_kind="ddl")
 
     def _execute_select(
@@ -255,13 +255,8 @@ class SQLiteDelayProxy:
         rows = cursor.fetchall()
         engine_elapsed = time.perf_counter() - engine_start
 
-        self.stats.queries += 1
-        self.stats.selects += 1
-        self.stats.tuples_charged += len(keys)
-        self.stats.select_delays.append(delay)
-        self.stats.total_delay += delay
-        self.stats.engine_seconds += engine_elapsed
-        self.stats.accounting_seconds += accounting
+        self.stats.note_select(delay, len(keys))
+        self.stats.note_query(delay, engine_elapsed, accounting)
         if delay > 0 and sleep:
             self.clock.sleep(delay)
         return ProxyResult(
@@ -303,9 +298,7 @@ class SQLiteDelayProxy:
         accounting += time.perf_counter() - accounting_start
 
         kind = type(statement).__name__.replace("Statement", "").lower()
-        self.stats.queries += 1
-        self.stats.engine_seconds += engine_elapsed
-        self.stats.accounting_seconds += accounting
+        self.stats.note_query(0.0, engine_elapsed, accounting)
         return ProxyResult(
             rowids=rowids,
             rowcount=len(rowids),

@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Four subcommands::
+Six subcommands::
 
     python -m repro sql        # run SQL against a (persisted) database
     python -m repro csv        # import/export CSV
     python -m repro analyze    # closed-form predictions (eqs. 1-12)
     python -m repro experiments  # regenerate the paper's tables/figures
+    python -m repro metrics    # scrape a live server's metrics
+    python -m repro trace      # fetch a live server's recent traces
 
 Examples::
 
@@ -15,11 +17,14 @@ Examples::
     python -m repro sql --db shop.json -e "SELECT * FROM t"
     python -m repro analyze --tuples 100000 --alpha 1.5 --cap 10
     python -m repro experiments table3 --scale 0.05
+    python -m repro metrics --port 7007 --prometheus
+    python -m repro trace --port 7007 --limit 5
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -145,6 +150,83 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return run_experiments(argv)
 
 
+def _render_metric(name: str, snapshot: dict) -> List[str]:
+    lines = [f"{name} ({snapshot['type']})"]
+    if snapshot["type"] == "histogram":
+        summary = f"  count={snapshot['count']} sum={snapshot['sum']:.6g}"
+        quantiles = snapshot.get("quantiles")
+        if quantiles:
+            summary += (
+                f" p50={quantiles['p50']:.6g} p99={quantiles['p99']:.6g}"
+            )
+        lines.append(summary)
+        return lines
+    if "series" in snapshot:
+        for series in snapshot["series"]:
+            labels = series["labels"]
+            label_text = ", ".join(f"{k}={v}" for k, v in labels.items())
+            lines.append(f"  {{{label_text}}} {series['value']:.6g}")
+    else:
+        lines.append(f"  {snapshot['value']:.6g}")
+    return lines
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape a live DelayServer's metrics registry."""
+    from .server import DelayClient, ServerError
+
+    try:
+        with DelayClient(args.host, args.port, timeout=args.timeout) as client:
+            if args.prometheus:
+                print(client.metrics(format="prometheus")["text"], end="")
+                return 0
+            for name, snapshot in client.metrics()["metrics"].items():
+                for line in _render_metric(name, snapshot):
+                    print(line)
+    except (ServerError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Fetch recent query-lifecycle traces from a live DelayServer."""
+    import json as json_module
+
+    from .server import DelayClient, ServerError
+
+    try:
+        with DelayClient(args.host, args.port, timeout=args.timeout) as client:
+            response = client.traces(limit=args.limit)
+    except (ServerError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    traces = response["traces"]
+    if args.json:
+        print(json_module.dumps(traces, indent=2))
+        return 0
+    print(
+        f"{len(traces)} trace(s) shown, "
+        f"{response['finished_total']} finished total"
+    )
+    for trace in traces:
+        identity = trace.get("identity", "-")
+        sql = trace.get("sql", "")
+        print(
+            f"[{trace['status']}] {identity} "
+            f"delay={format_seconds(trace['delay'])} "
+            f"total={format_seconds(trace['duration'])} {sql}"
+        )
+        for span in trace["spans"]:
+            print(
+                f"    {span['name']:<10} +{span['offset'] * 1e3:8.3f} ms  "
+                f"{span['duration'] * 1e3:10.3f} ms"
+            )
+        if trace.get("reason"):
+            print(f"    reason: {trace['reason']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -204,13 +286,44 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--scale", type=float, default=1.0)
     experiments.set_defaults(handler=cmd_experiments)
 
+    metrics = commands.add_parser(
+        "metrics", help="scrape a live server's metrics registry"
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, required=True)
+    metrics.add_argument("--timeout", type=float, default=10.0)
+    metrics.add_argument(
+        "--prometheus", action="store_true",
+        help="print Prometheus text exposition instead of a summary",
+    )
+    metrics.set_defaults(handler=cmd_metrics)
+
+    trace = commands.add_parser(
+        "trace", help="fetch a live server's recent query traces"
+    )
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, required=True)
+    trace.add_argument("--timeout", type=float, default=10.0)
+    trace.add_argument("--limit", type=int, default=20)
+    trace.add_argument(
+        "--json", action="store_true", help="print raw JSON traces"
+    )
+    trace.set_defaults(handler=cmd_trace)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); exit
+        # quietly like any well-behaved filter. Reopen stdout on
+        # devnull so the interpreter's shutdown flush doesn't raise.
+        sys.stdout = open(os.devnull, "w")
+        return 0
 
 
 if __name__ == "__main__":

@@ -65,6 +65,15 @@ class CountStore:
         """Drop all counts."""
         raise NotImplementedError
 
+    def metrics(self) -> Dict[str, float]:
+        """Backend statistics for observability gauges.
+
+        Every store reports ``entries`` (tracked keys); backends add
+        their own (cache sizes, simulated I/O counters, thresholds).
+        Keys are stable snake_case names suitable for metric suffixes.
+        """
+        return {"entries": float(len(self))}
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -190,6 +199,18 @@ class WriteBehindCountStore(CountStore):
             self.backing_reads = 0
             self.backing_writes = 0
 
+    def metrics(self) -> Dict[str, float]:
+        with self._lock:
+            dirty = sum(1 for flag in self._dirty.values() if flag)
+            return {
+                "entries": float(len(self)),
+                "cache_entries": float(len(self._cache)),
+                "dirty_entries": float(dirty),
+                "backing_entries": float(len(self._backing)),
+                "backing_reads": float(self.backing_reads),
+                "backing_writes": float(self.backing_writes),
+            }
+
     def __len__(self) -> int:
         with self._lock:
             keys = set(self._backing)
@@ -298,6 +319,14 @@ class CountingSampleStore(CountStore):
             self._counts.clear()
             self.tau = 1.0
 
+    def metrics(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "entries": float(len(self._counts)),
+                "capacity": float(self.capacity),
+                "tau": float(self.tau),
+            }
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._counts)
@@ -351,6 +380,13 @@ class SpaceSavingStore(CountStore):
     def clear(self) -> None:
         with self._lock:
             self._counts.clear()
+
+    def metrics(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "entries": float(len(self._counts)),
+                "capacity": float(self.capacity),
+            }
 
     def __len__(self) -> int:
         with self._lock:

@@ -16,8 +16,6 @@ a tuple's first-ever retrieval is always charged the cold-start cap.
 
 from __future__ import annotations
 
-import math
-import statistics
 import threading
 import time
 from dataclasses import dataclass, field
@@ -25,6 +23,8 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..engine.database import Database
 from ..engine.executor import ResultSet
+from ..engine.parser.parser import parse_cached
+from ..obs import Histogram, Observability, QueryTrace
 from .accounts import AccountManager
 from .clock import Clock, VirtualClock
 from .config import GuardConfig
@@ -59,11 +59,26 @@ class GuardedResult:
     delay: float
     per_tuple_delays: List[float] = field(default_factory=list)
     identity: Optional[str] = None
+    #: The lifecycle trace recorded for this query (None when the
+    #: guard's observability is disabled). Lets callers that serve the
+    #: sleep themselves (the server does, outside its statement lock)
+    #: extend the trace with the stage they served.
+    trace: Optional[QueryTrace] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def rows(self):
         """The underlying result rows."""
         return self.result.rows
+
+
+def _delay_histogram() -> Histogram:
+    """The canonical per-SELECT delay distribution (bounded memory)."""
+    return Histogram(
+        "guard_select_delay_seconds",
+        "Delay charged per SELECT (seconds)",
+    )
 
 
 @dataclass
@@ -75,6 +90,14 @@ class GuardStats:
     finished query) lands atomically even when many handler threads
     share one guard. The fields stay public for single-threaded readers
     (experiments, reports).
+
+    The per-SELECT delay distribution lives in ``delay_histogram``, a
+    bounded streaming histogram (the old unbounded ``select_delays``
+    list would leak on a long-running server). Quantiles come from the
+    histogram: exact at q=0/q=1 and whenever a bucket holds one
+    distinct value, bucket-width-bounded otherwise. Callers needing raw
+    per-query delays (windowed medians, cap re-sweeps) should collect
+    them at the call site from :class:`GuardedResult`.
     """
 
     queries: int = 0
@@ -82,9 +105,11 @@ class GuardStats:
     tuples_charged: int = 0
     total_delay: float = 0.0
     denied: int = 0
-    select_delays: List[float] = field(default_factory=list)
     engine_seconds: float = 0.0
     accounting_seconds: float = 0.0
+    delay_histogram: Histogram = field(
+        default_factory=_delay_histogram, repr=False, compare=False
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -100,8 +125,8 @@ class GuardStats:
         """Count one served SELECT and the tuples it was charged for."""
         with self._lock:
             self.selects += 1
-            self.select_delays.append(delay)
             self.tuples_charged += tuples
+            self.delay_histogram.observe(delay)
 
     def note_query(
         self,
@@ -120,33 +145,33 @@ class GuardStats:
 
     def median_delay(self) -> float:
         """Median per-SELECT delay (the paper's headline user metric)."""
-        with self._lock:
-            delays = list(self.select_delays)
-        if not delays:
-            return 0.0
-        return statistics.median(delays)
+        return self.delay_histogram.quantile(0.5)
 
     def quantile_delay(self, q: float) -> float:
         """Delay at quantile ``q`` in [0, 1] over SELECT queries.
 
-        Nearest-rank: the smallest delay d such that at least ``q`` of
-        the observations are <= d (q=0 gives the minimum, q=1 the max).
+        Histogram-estimated nearest-rank: q=0 gives the exact minimum,
+        q=1 the exact maximum; interior quantiles answer with the mean
+        of the matched bucket (exact when the bucket holds one distinct
+        value, bucket-width-bounded error otherwise).
         """
         if not 0 <= q <= 1:
             raise ConfigError(f"quantile must be in [0,1], got {q}")
-        with self._lock:
-            delays = list(self.select_delays)
-        if not delays:
-            return 0.0
-        ordered = sorted(delays)
-        position = max(0, math.ceil(q * len(ordered)) - 1)
-        return ordered[position]
+        return self.delay_histogram.quantile(q)
 
     def overhead_fraction(self) -> float:
-        """Accounting cost relative to raw engine cost (Table 5 metric)."""
-        if self.engine_seconds == 0:
+        """Accounting cost relative to raw engine cost (Table 5 metric).
+
+        Both buckets are read under the lock so a concurrent
+        ``note_query`` can never yield a torn pair (accounting from one
+        query paired with engine time missing it).
+        """
+        with self._lock:
+            engine = self.engine_seconds
+            accounting = self.accounting_seconds
+        if engine == 0:
             return 0.0
-        return self.accounting_seconds / self.engine_seconds
+        return accounting / engine
 
 
 class DelayGuard:
@@ -160,6 +185,11 @@ class DelayGuard:
         policy: a pre-built policy, overriding ``config.policy``.
         accounts: an :class:`AccountManager` enforcing §2.4 defenses;
             when provided, ``execute`` requires a registered identity.
+        obs: observability bundle (registry + tracer). A fresh enabled
+            one by default; pass ``Observability.disabled()`` to skip
+            all metric/trace work (overhead-sensitive replays), or the
+            service's bundle so one scrape covers every layer. Each
+            guard needs its own registry (metric names would collide).
 
     >>> from repro.engine import Database
     >>> db = Database()
@@ -178,6 +208,7 @@ class DelayGuard:
         clock: Optional[Clock] = None,
         policy: Optional[DelayPolicy] = None,
         accounts: Optional[AccountManager] = None,
+        obs: Optional[Observability] = None,
     ):
         self.database = database
         self.config = (config if config is not None else GuardConfig()).validate()
@@ -193,8 +224,88 @@ class DelayGuard:
         #: key -> clock time of last update (for staleness evaluation).
         self.last_update_times: Dict[TupleKey, float] = {}
         self.policy = policy if policy is not None else self._build_policy()
+        self.obs = obs if obs is not None else Observability()
+        if self.obs.enabled:
+            self._register_metrics()
 
     # -- construction helpers ----------------------------------------------
+
+    def _register_metrics(self) -> None:
+        """Create the guard's metric handles and state gauges.
+
+        The unlabelled totals are callback-backed views over
+        :attr:`stats` — the hot path pays nothing for them, and a scrape
+        can never disagree with the stats because they are read from the
+        same fields. Only the labelled metrics (denials by reason,
+        per-identity delay) are event-driven, and both sit on cold or
+        delay-charged paths.
+        """
+        registry = self.obs.registry
+        stats = self.stats
+        registry.counter(
+            "guard_queries_total", "Statements executed through the guard"
+        ).set_function(lambda: stats.queries)
+        registry.counter(
+            "guard_selects_total", "SELECT statements served"
+        ).set_function(lambda: stats.selects)
+        self._m_denied = registry.counter(
+            "guard_denied_total", "Queries refused", ("reason",)
+        )
+        registry.counter(
+            "guard_tuples_charged_total", "Base tuples charged a delay"
+        ).set_function(lambda: stats.tuples_charged)
+        registry.counter(
+            "guard_delay_seconds_total", "Total delay charged (seconds)"
+        ).set_function(lambda: stats.total_delay)
+        registry.counter(
+            "guard_engine_seconds_total",
+            "Time spent parsing and executing statements (seconds)",
+        ).set_function(lambda: stats.engine_seconds)
+        registry.counter(
+            "guard_accounting_seconds_total",
+            "Time spent on guard accounting (seconds)",
+        ).set_function(lambda: stats.accounting_seconds)
+        self._m_identity_delay = registry.counter(
+            "guard_identity_delay_seconds_total",
+            "Delay charged per identity (seconds); extraction-detection "
+            "raw material",
+            ("identity",),
+        )
+        # The canonical delay distribution IS the stats histogram:
+        # registering the same object means a scrape and GuardStats can
+        # never disagree.
+        registry.register(self.stats.delay_histogram)
+        registry.gauge(
+            "guard_population", "Protected tuples (N in the formulas)"
+        ).set_function(self.population)
+        popularity = self.popularity
+        registry.gauge(
+            "guard_popularity_tracked_keys", "Keys with a popularity count"
+        ).set_function(popularity.tracked_keys)
+        registry.gauge(
+            "guard_popularity_requests_total",
+            "Undecayed recorded accesses",
+        ).set_function(lambda: popularity.total_requests)
+        registry.gauge(
+            "guard_popularity_decayed_total",
+            "Decayed request total on the present-request scale",
+        ).set_function(lambda: popularity.decayed_total)
+        registry.gauge(
+            "guard_popularity_rescales", "Overflow rescales performed"
+        ).set_function(lambda: popularity.rescales)
+        update_rates = self.update_rates
+        registry.gauge(
+            "guard_update_tracker_keys", "Keys with recorded updates"
+        ).set_function(update_rates.tracked_keys)
+        registry.gauge(
+            "guard_update_tracker_updates_total", "Updates recorded"
+        ).set_function(lambda: update_rates.total_updates)
+        store = popularity.store
+        for stat in store.metrics():
+            registry.gauge(
+                f"guard_count_store_{stat}",
+                f"Count-store backend statistic: {stat}",
+            ).set_function(lambda name=stat: store.metrics()[name])
 
     def _build_store(self) -> CountStore:
         kind = self.config.count_store
@@ -254,6 +365,12 @@ class DelayGuard:
     ) -> GuardedResult:
         """Execute a statement, charging and applying its delay.
 
+        When the guard's :class:`~repro.obs.Observability` is enabled,
+        each query also emits a lifecycle trace (spans: parse →
+        authorize → engine → delay → record → sleep) and updates the
+        metrics registry; both stay exactly consistent with
+        :attr:`stats`.
+
         Args:
             sql_or_statement: SQL text or a pre-parsed statement.
             identity: registered identity, required when the guard has
@@ -269,7 +386,58 @@ class DelayGuard:
         Raises:
             AccessDenied: if an account-level limit refuses the query.
         """
-        accounting_start = time.perf_counter()
+        if not self.obs.enabled:
+            return self._serve(sql_or_statement, identity, record, sleep, None)
+        tracer = self.obs.tracer
+        trace = QueryTrace(
+            "query",
+            identity=identity,
+            sql=sql_or_statement
+            if isinstance(sql_or_statement, str)
+            else None,
+        )
+        try:
+            served = self._serve(
+                sql_or_statement, identity, record, sleep, trace
+            )
+        except AccessDenied as denied:
+            tracer.finish(trace.finish("denied", reason=denied.reason))
+            raise
+        except Exception as error:
+            tracer.finish(trace.finish("error", reason=str(error)))
+            raise
+        tracer.finish(
+            trace.finish(
+                "ok", delay=served.delay, rows=served.result.rowcount
+            )
+        )
+        served.trace = trace
+        return served
+
+    def _serve(
+        self,
+        sql_or_statement: Union[str, object],
+        identity: Optional[str],
+        record: bool,
+        sleep: bool,
+        trace: Optional[QueryTrace],
+    ) -> GuardedResult:
+        """The lifecycle body; ``trace`` is None when obs is disabled."""
+        stage_start = time.perf_counter()
+        engine_seconds = 0.0
+        statement = sql_or_statement
+        if isinstance(sql_or_statement, str):
+            statement = parse_cached(sql_or_statement)
+            now = time.perf_counter()
+            # Parsing used to happen inside Database.execute and so
+            # landed in the engine bucket; keep it there so Table 5
+            # comparisons stay stable across this refactor.
+            engine_seconds += now - stage_start
+            if trace is not None:
+                trace.add_span("parse", stage_start, now)
+            stage_start = now
+
+        accounting = 0.0
         if self.accounts is not None:
             if identity is None:
                 raise ConfigError(
@@ -277,16 +445,30 @@ class DelayGuard:
                 )
             try:
                 self.accounts.authorize_query(identity)
-            except Exception:
+            except Exception as error:
                 self.stats.note_denied()
+                if trace is not None:
+                    trace.add_span(
+                        "authorize", stage_start, time.perf_counter()
+                    )
+                    self._m_denied.inc(
+                        reason=getattr(error, "reason", None)
+                        or type(error).__name__
+                    )
                 raise
-        accounting = time.perf_counter() - accounting_start
+            now = time.perf_counter()
+            accounting += now - stage_start
+            if trace is not None:
+                trace.add_span("authorize", stage_start, now)
+            stage_start = now
 
-        engine_start = time.perf_counter()
-        result = self.database.execute(sql_or_statement)
-        engine_elapsed = time.perf_counter() - engine_start
+        result = self.database.execute(statement)
+        now = time.perf_counter()
+        engine_seconds += now - stage_start
+        if trace is not None:
+            trace.add_span("engine", stage_start, now)
+        stage_start = now
 
-        accounting_start = time.perf_counter()
         delay = 0.0
         per_tuple: List[float] = []
         if result.statement_kind == "select" and result.table is not None:
@@ -298,9 +480,11 @@ class DelayGuard:
                 # The engine already did the work; fold its time (and the
                 # accounting spent so far) into the Table 5 buckets even
                 # though the caller gets nothing back.
-                accounting += time.perf_counter() - accounting_start
+                accounting += time.perf_counter() - stage_start
                 self.stats.note_denied()
-                self.stats.note_query(0.0, engine_elapsed, accounting)
+                self.stats.note_query(0.0, engine_seconds, accounting)
+                if trace is not None:
+                    self._m_denied.inc(reason="result_limit")
                 raise AccessDenied("result_limit")
             # `touched` covers every contributing base tuple, across
             # joined tables; fall back to the driving table's rowids for
@@ -316,26 +500,48 @@ class DelayGuard:
                 delay = sum(per_tuple)
             else:
                 delay = max(per_tuple, default=0.0)
+            now = time.perf_counter()
+            accounting += now - stage_start
+            if trace is not None:
+                trace.add_span("delay", stage_start, now)
+            stage_start = now
+
             if record and self.config.record_accesses:
                 for key in keys:
                     self.popularity.record(key)
             if self.accounts is not None and identity is not None:
                 self.accounts.record_retrieval(identity, len(keys))
             self.stats.note_select(delay, len(keys))
+            if trace is not None and identity is not None and delay > 0:
+                self._m_identity_delay.inc(delay, identity=identity)
+            now = time.perf_counter()
+            accounting += now - stage_start
+            if trace is not None:
+                trace.add_span("record", stage_start, now)
+            stage_start = now
         elif result.statement_kind in ("insert", "update", "delete"):
             if self.config.record_updates and result.table is not None:
-                now = self.clock.now()
+                clock_now = self.clock.now()
                 table_key = result.table.lower()
                 for rowid in result.rowids:
                     key = (table_key, rowid)
                     self.update_rates.record_update(key)
-                    self.last_update_times[key] = now
-        accounting += time.perf_counter() - accounting_start
+                    self.last_update_times[key] = clock_now
+            now = time.perf_counter()
+            accounting += now - stage_start
+            if trace is not None:
+                trace.add_span("record", stage_start, now)
+            stage_start = now
+        else:
+            accounting += time.perf_counter() - stage_start
 
-        self.stats.note_query(delay, engine_elapsed, accounting)
+        self.stats.note_query(delay, engine_seconds, accounting)
 
         if delay > 0 and sleep:
+            sleep_start = time.perf_counter()
             self.clock.sleep(delay)
+            if trace is not None:
+                trace.add_span("sleep", sleep_start, time.perf_counter())
         return GuardedResult(
             result=result,
             delay=delay,

@@ -81,7 +81,7 @@ def run_table2(
     )
     population = dataset.population
     fixture = build_guarded_items(population, config=GuardConfig(cap=max(caps)))
-    TraceReplayer(fixture.guard, fixture.table).replay(dataset.trace)
+    replay = TraceReplayer(fixture.guard, fixture.table).replay(dataset.trace)
 
     heap = fixture.database.catalog.table(fixture.table)
     keys = [(fixture.table.lower(), rowid) for rowid in heap.rowids()]
@@ -95,9 +95,11 @@ def run_table2(
         total = sum(policy.delay_for(key) for key in keys)
         # Median user delay under this cap: re-apply the cap to the
         # replayed per-query delays (delays below every cap here are
-        # unchanged; only cold-start hits move).
+        # unchanged; only cold-start hits move). The raw per-query
+        # delays come from the replay report — guard stats now keep a
+        # histogram, not a list.
         capped = sorted(
-            min(delay, cap) for delay in fixture.guard.stats.select_delays
+            min(delay, cap) for delay in replay.user_delays.values
         )
         median = capped[len(capped) // 2] if capped else 0.0
         rows.append(

@@ -1,0 +1,85 @@
+"""repro.obs — the observability layer: metrics, tracing, exposition.
+
+The paper's defense is an argument about *measured time*: median user
+delay in milliseconds against extraction cost in hours. This package
+makes a running deployment show those numbers continuously:
+
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters,
+  gauges, and bounded streaming histograms, with JSON and
+  Prometheus-text exposition.
+* :mod:`repro.obs.tracing` — per-stage query-lifecycle spans collected
+  into a bounded ring buffer, optionally mirrored to a JSON-lines sink.
+* :class:`Observability` — the bundle a guard/service/server shares:
+  one registry + one tracer + an enable switch, so instrumentation can
+  be turned off wholesale for overhead-sensitive runs (the
+  ``benchmarks/test_metrics_overhead.py`` acceptance is < 5%
+  single-threaded cost when enabled).
+
+Everything here is dependency-free and imports nothing from the rest of
+the library, so any layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricError,
+    MetricsRegistry,
+    delay_buckets,
+)
+from .tracing import QueryTrace, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricError",
+    "MetricsRegistry",
+    "Observability",
+    "QueryTrace",
+    "Span",
+    "Tracer",
+    "delay_buckets",
+]
+
+
+class Observability:
+    """One registry + one tracer, shared by every instrumented layer.
+
+    Args:
+        registry: metrics registry (a fresh one by default).
+        tracer: lifecycle tracer (a fresh ring of 256 by default).
+        enabled: when False, instrumented code paths skip all metric
+            and trace work (the registry/tracer stay usable directly).
+
+    The guard, service, and server all accept an ``Observability`` and
+    default to sharing the one owned by the service, so a server scrape
+    sees guard counters and server counters in a single exposition.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        enabled: bool = True,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.enabled = enabled
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """An inert bundle: registry and tracer exist but are not fed."""
+        return cls(enabled=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"Observability(enabled={self.enabled}, "
+            f"metrics={len(self.registry)}, traces={len(self.tracer)})"
+        )

@@ -1,0 +1,286 @@
+"""Query-lifecycle tracing: per-stage spans with a bounded trace buffer.
+
+Every statement served by the guard passes through the same lifecycle —
+parse, account check, engine execution, delay computation, accounting,
+sleep — and the paper's claims live in the *ratios* between those
+stages: accounting must stay a small fraction of engine time (Table 5)
+while the sleep stage is where the defense actually bites. A
+:class:`QueryTrace` records one such lifecycle as a list of
+:class:`Span` (name, offset, duration); the :class:`Tracer` keeps a ring
+buffer of the most recent traces (bounded memory — a long-running server
+never accumulates them) and can mirror every finished trace to a
+JSON-lines sink for offline analysis.
+
+Traces are cheap: the guard adds spans from ``perf_counter`` readings it
+already takes for its timing buckets, so tracing adds a handful of
+clock reads and one small object per query. Span recording is
+deliberately allocation-lean — stages are kept as plain tuples of
+atomics (which the cyclic GC untracks) and only materialised into
+:class:`Span` objects when read. The dominant cost of tracing every
+query is not the instruction path but garbage-collector pressure from
+objects retained in the ring; keeping the retained graph GC-invisible
+is what keeps the overhead benchmark inside its budget.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Dict, IO, List, Optional, Union
+
+__all__ = ["Span", "QueryTrace", "Tracer"]
+
+#: SQL stored on a trace is truncated to this many characters.
+SQL_LIMIT = 200
+
+
+class Span:
+    """One lifecycle stage: name, offset from trace start, duration."""
+
+    __slots__ = ("name", "offset", "duration")
+
+    def __init__(self, name: str, offset: float, duration: float):
+        self.name = name
+        self.offset = offset
+        self.duration = duration
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "offset": self.offset,
+            "duration": self.duration,
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration * 1e3:.3f} ms)"
+
+
+class QueryTrace:
+    """The recorded lifecycle of one statement through the guard.
+
+    Attributes:
+        kind: trace kind (``"query"``).
+        identity: the requesting identity, when known.
+        sql: the statement text (truncated), when given as text.
+        started_at: wall-clock UNIX time when the trace began.
+        spans: per-stage :class:`Span` list, in execution order.
+        status: ``"ok"``, ``"denied"``, or ``"error"``.
+        reason: denial reason or error text, when not ok.
+        delay: the delay charged (seconds of simulated or real sleep).
+        rows: result rows returned (SELECT only).
+        duration: total wall-clock seconds from start to finish.
+    """
+
+    __slots__ = (
+        "kind",
+        "identity",
+        "sql",
+        "started_at",
+        "_events",
+        "status",
+        "reason",
+        "delay",
+        "rows",
+        "duration",
+        "_perf_start",
+    )
+
+    def __init__(
+        self,
+        kind: str = "query",
+        identity: Optional[str] = None,
+        sql: Optional[str] = None,
+    ):
+        self.kind = kind
+        self.identity = identity
+        if sql is not None and len(sql) > SQL_LIMIT:
+            sql = sql[:SQL_LIMIT]
+        self.sql = sql or None
+        self.started_at = time.time()
+        # (name, perf_start, perf_end) tuples. Tuples of atomics get
+        # untracked by the cyclic GC, so a ring full of finished traces
+        # costs the collector almost nothing to traverse.
+        self._events: List[tuple] = []
+        self.status = "ok"
+        self.reason: Optional[str] = None
+        self.delay = 0.0
+        self.rows = 0
+        self.duration = 0.0
+        self._perf_start = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+
+    def add_span(self, name: str, start: float, end: float) -> None:
+        """Record one stage from two ``perf_counter`` readings."""
+        self._events.append((name, start, end))
+
+    @property
+    def spans(self) -> List[Span]:
+        """Per-stage :class:`Span` list, materialised from the raw events."""
+        base = self._perf_start
+        return [
+            Span(name, start - base, end - start)
+            for name, start, end in self._events
+        ]
+
+    def finish(
+        self,
+        status: str = "ok",
+        reason: Optional[str] = None,
+        delay: float = 0.0,
+        rows: int = 0,
+    ) -> "QueryTrace":
+        """Close the trace, stamping totals and outcome."""
+        self.status = status
+        self.reason = reason
+        self.delay = delay
+        self.rows = rows
+        self.duration = time.perf_counter() - self._perf_start
+        return self
+
+    def extend(self, name: str, start: float, end: float) -> None:
+        """Append a span after :meth:`finish` and stretch the duration.
+
+        For lifecycle work served by an outer layer after the traced
+        body returned — the canonical case is :class:`DelayServer`
+        serving the sleep outside its statement lock: the guard's trace
+        is already finished and retained, and the server appends the
+        observed sleep so the recorded lifecycle still covers the full
+        wall-clock the client experienced.
+        """
+        self._events.append((name, start, end))
+        self.duration = end - self._perf_start
+
+    # -- reading -----------------------------------------------------------
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Total duration per stage name (stages can repeat)."""
+        stages: Dict[str, float] = {}
+        for name, start, end in self._events:
+            stages[name] = stages.get(name, 0.0) + (end - start)
+        return stages
+
+    def span_total(self) -> float:
+        """Sum of all span durations (~= duration; gaps are untraced)."""
+        return sum(end - start for _, start, end in self._events)
+
+    def to_dict(self) -> Dict:
+        payload: Dict = {
+            "kind": self.kind,
+            "status": self.status,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "delay": self.delay,
+            "rows": self.rows,
+            "spans": [span.to_dict() for span in self.spans],
+        }
+        if self.identity is not None:
+            payload["identity"] = self.identity
+        if self.sql is not None:
+            payload["sql"] = self.sql
+        if self.reason is not None:
+            payload["reason"] = self.reason
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryTrace({self.status}, {len(self._events)} spans, "
+            f"delay={self.delay:.4g})"
+        )
+
+
+class Tracer:
+    """Collects finished traces into a bounded ring buffer.
+
+    Args:
+        capacity: how many recent traces to retain (older ones fall off
+            the ring — memory stays bounded on a long-running server).
+        sink: optional JSON-lines destination — a path (opened lazily,
+            append mode) or any writable text file object. Every
+            finished trace is written as one JSON line.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        sink: Optional[Union[str, IO[str]]] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: "deque[QueryTrace]" = deque(maxlen=capacity)
+        self._finished = 0
+        self._sink_path = sink if isinstance(sink, str) else None
+        self._sink_file: Optional[IO[str]] = (
+            sink if sink is not None and not isinstance(sink, str) else None
+        )
+
+    # -- recording ---------------------------------------------------------
+
+    def start(
+        self,
+        kind: str = "query",
+        identity: Optional[str] = None,
+        sql: Optional[str] = None,
+    ) -> QueryTrace:
+        """Begin a trace (not retained until :meth:`finish`)."""
+        return QueryTrace(kind=kind, identity=identity, sql=sql)
+
+    def finish(self, trace: QueryTrace) -> None:
+        """Retain a finished trace and mirror it to the sink, if any."""
+        if self._sink_path is None and self._sink_file is None:
+            with self._lock:
+                self._ring.append(trace)
+                self._finished += 1
+            return
+        with self._lock:
+            self._ring.append(trace)
+            self._finished += 1
+            sink = self._open_sink()
+            if sink is not None:
+                sink.write(json.dumps(trace.to_dict()) + "\n")
+                sink.flush()
+
+    def _open_sink(self) -> Optional[IO[str]]:
+        if self._sink_file is None and self._sink_path is not None:
+            self._sink_file = open(self._sink_path, "a", encoding="utf-8")
+        return self._sink_file
+
+    def close(self) -> None:
+        """Close a path-opened sink (file-object sinks are the caller's)."""
+        with self._lock:
+            if self._sink_path is not None and self._sink_file is not None:
+                self._sink_file.close()
+                self._sink_file = None
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def finished_total(self) -> int:
+        """Traces finished over the tracer's lifetime (not just retained)."""
+        with self._lock:
+            return self._finished
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def recent(self, limit: int = 20) -> List[QueryTrace]:
+        """The most recent traces, newest first."""
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        with self._lock:
+            items = list(self._ring)
+        return list(reversed(items))[:limit]
+
+    def to_json(self, limit: int = 20) -> List[Dict]:
+        """Recent traces as JSON-compatible dicts, newest first."""
+        return [trace.to_dict() for trace in self.recent(limit)]
+
+    def clear(self) -> None:
+        """Drop retained traces (the lifetime counter is kept)."""
+        with self._lock:
+            self._ring.clear()

@@ -12,10 +12,19 @@ Protocol requests::
     {"op": "register", "identity": "alice", "subnet": "10.0.0.0/8"}
     {"op": "query", "sql": "SELECT ...", "identity": "alice"}
     {"op": "report"}
+    {"op": "metrics", "format": "json" | "prometheus"}
+    {"op": "trace", "limit": 20}
     {"op": "ping"}
 
 Responses are ``{"ok": true, ...}`` or
 ``{"ok": false, "error": "...", "reason": "...", "retry_after": 1.5}``.
+
+The ``metrics`` and ``trace`` ops expose the service's shared
+:class:`~repro.obs.Observability` bundle: one scrape returns guard
+counters/histograms and server counters together, as JSON or as
+Prometheus text exposition. Scrapes read the registry directly and do
+*not* take the server's statement lock, so monitoring stays responsive
+while a penalised query is being served.
 
 Concurrency model
 -----------------
@@ -44,11 +53,16 @@ import socket
 import socketserver
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
 
 from .core.errors import AccessDenied, ConfigError, DelayDefenseError
 from .engine.errors import EngineError
 from .service import DataProviderService
+
+#: Ops the server dispatches; anything else counts as "unknown" in the
+#: per-op request metric so adversarial op names cannot mint series.
+KNOWN_OPS = ("ping", "bye", "register", "query", "report", "metrics", "trace")
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -131,6 +145,10 @@ class DelayServer:
             is closed.
         drain_timeout: how long :meth:`stop` waits for in-flight
             connections to finish before closing anyway.
+        max_handler_errors: how many recent handler exceptions to retain
+            in :attr:`handler_errors` (older ones fall off; the exact
+            lifetime count lives in the ``server_handler_errors_total``
+            metric, so bounding the list loses no information).
     """
 
     def __init__(
@@ -141,6 +159,7 @@ class DelayServer:
         read_timeout: Optional[float] = 30.0,
         max_request_bytes: int = 64 * 1024,
         drain_timeout: float = 5.0,
+        max_handler_errors: int = 64,
     ):
         if read_timeout is not None and read_timeout <= 0:
             raise ConfigError(
@@ -154,20 +173,56 @@ class DelayServer:
             raise ConfigError(
                 f"drain_timeout must be >= 0, got {drain_timeout}"
             )
+        if max_handler_errors < 1:
+            raise ConfigError(
+                f"max_handler_errors must be >= 1, got {max_handler_errors}"
+            )
         self.service = service
         self.read_timeout = read_timeout
         self.max_request_bytes = max_request_bytes
         self.drain_timeout = drain_timeout
-        #: unexpected exceptions that escaped request handling, newest
-        #: last; a healthy server keeps this empty.
-        self.handler_errors: List[BaseException] = []
+        #: recent unexpected exceptions that escaped request handling,
+        #: newest last, bounded so a long-running server cannot leak; a
+        #: healthy server keeps this empty. The lifetime total is
+        #: :attr:`handler_errors_total`.
+        self.handler_errors: Deque[BaseException] = deque(
+            maxlen=max_handler_errors
+        )
+        #: exact lifetime count of handler errors (survives ring wrap).
+        self.handler_errors_total = 0
+        self.obs = service.obs
         self._lock = threading.Lock()
         self._draining = threading.Event()
         self._conn_cond = threading.Condition()
         self._connections: Dict[int, socket.socket] = {}
+        if self.obs.enabled:
+            self._register_metrics()
         self._tcp = _TcpServer((host, port), _Handler)
         self._tcp.delay_server = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+
+    def _register_metrics(self) -> None:
+        """Create the server's metric handles in the shared registry."""
+        registry = self.obs.registry
+        self._m_requests = registry.counter(
+            "server_requests_total", "Requests received, by op", ("op",)
+        )
+        self._m_denied = registry.counter(
+            "server_denied_total",
+            "Requests answered with a denial, by reason",
+            ("reason",),
+        )
+        self._m_handler_errors = registry.counter(
+            "server_handler_errors_total",
+            "Unexpected exceptions that escaped request handling",
+        )
+        self._m_connections = registry.counter(
+            "server_connections_total", "Connections accepted"
+        )
+        registry.gauge(
+            "server_in_flight_connections",
+            "Connections currently being served",
+        ).set_function(lambda: self.active_connections)
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -237,6 +292,8 @@ class DelayServer:
     def _connection_opened(self, connection: socket.socket) -> None:
         with self._conn_cond:
             self._connections[id(connection)] = connection
+        if self.obs.enabled:
+            self._m_connections.inc()
 
     def _connection_closed(self, connection: socket.socket) -> None:
         with self._conn_cond:
@@ -246,6 +303,9 @@ class DelayServer:
     def _record_handler_error(self, error: BaseException) -> None:
         with self._conn_cond:
             self.handler_errors.append(error)
+            self.handler_errors_total += 1
+        if self.obs.enabled:
+            self._m_handler_errors.inc()
 
     # -- request dispatch -----------------------------------------------------
 
@@ -258,6 +318,8 @@ class DelayServer:
         if not isinstance(request, dict) or "op" not in request:
             return {"ok": False, "error": "request must be {'op': ...}"}
         op = request["op"]
+        if self.obs.enabled:
+            self._m_requests.inc(op=op if op in KNOWN_OPS else "unknown")
         try:
             if op == "ping":
                 return {"ok": True, "op": "pong"}
@@ -269,8 +331,14 @@ class DelayServer:
                 return self._handle_query(request)
             if op == "report":
                 return self._handle_report()
+            if op == "metrics":
+                return self._handle_metrics(request)
+            if op == "trace":
+                return self._handle_trace(request)
             return {"ok": False, "error": f"unknown op {op!r}"}
         except AccessDenied as denied:
+            if self.obs.enabled:
+                self._m_denied.inc(reason=denied.reason or "denied")
             return {
                 "ok": False,
                 "error": str(denied),
@@ -308,7 +376,15 @@ class DelayServer:
             # Outside the lock the shared clock must be thread-safe:
             # RealClock blocks only this connection, VirtualClock
             # advances its timeline atomically.
+            sleep_start = time.perf_counter()
             self.service.clock.sleep(result.delay)
+            if result.trace is not None:
+                # The guard finished its trace before we served the
+                # sleep; append the stage it couldn't see so the
+                # recorded lifecycle covers the client's full wait.
+                result.trace.extend(
+                    "sleep", sleep_start, time.perf_counter()
+                )
         return {
             "ok": True,
             "columns": result.result.columns,
@@ -328,6 +404,35 @@ class DelayServer:
             "median_user_delay": report.median_user_delay,
             "extraction_cost": report.extraction_cost,
             "max_extraction_cost": report.max_extraction_cost,
+        }
+
+    def _handle_metrics(self, request: Dict) -> Dict:
+        # Registry reads take only per-metric locks, never the server's
+        # statement lock: a scrape during a long penalised query returns
+        # immediately.
+        fmt = request.get("format", "json")
+        if fmt == "json":
+            return {"ok": True, "metrics": self.obs.registry.to_json()}
+        if fmt == "prometheus":
+            return {
+                "ok": True,
+                "content_type": "text/plain; version=0.0.4",
+                "text": self.obs.registry.render_prometheus(),
+            }
+        return {
+            "ok": False,
+            "error": f"unknown metrics format {fmt!r}; "
+            "use 'json' or 'prometheus'",
+        }
+
+    def _handle_trace(self, request: Dict) -> Dict:
+        limit = request.get("limit", 20)
+        if not isinstance(limit, int) or limit < 1:
+            return {"ok": False, "error": f"limit must be >= 1, got {limit}"}
+        return {
+            "ok": True,
+            "traces": self.obs.tracer.to_json(limit),
+            "finished_total": self.obs.tracer.finished_total,
         }
 
 
@@ -441,6 +546,19 @@ class DelayClient:
     def report(self) -> Dict:
         """Fetch the operator report."""
         return self._call({"op": "report"})
+
+    def metrics(self, format: str = "json") -> Dict:
+        """Scrape the server's metrics registry.
+
+        Args:
+            format: ``"json"`` (structured snapshots under ``metrics``)
+                or ``"prometheus"`` (text exposition under ``text``).
+        """
+        return self._call({"op": "metrics", "format": format})
+
+    def traces(self, limit: int = 20) -> Dict:
+        """Fetch the most recent query-lifecycle traces, newest first."""
+        return self._call({"op": "trace", "limit": limit})
 
     def close(self) -> None:
         """Say goodbye and close the connection."""

@@ -35,6 +35,7 @@ from .engine.persistence import (
     dump_database,
     load_database,
 )
+from .obs import Observability
 from .sim.metrics import format_seconds
 
 #: Format identifier for full-service save files.
@@ -113,6 +114,10 @@ class DataProviderService:
             enforcement entirely (anonymous queries allowed).
         clock: time source (virtual by default; pass
             :class:`~repro.core.clock.RealClock` to actually delay).
+        obs: observability bundle shared with the guard (and, when the
+            service is wrapped in a :class:`~repro.server.DelayServer`,
+            with the server), so one scrape covers every layer. A fresh
+            enabled bundle by default.
     """
 
     def __init__(
@@ -121,9 +126,11 @@ class DataProviderService:
         guard_config: Optional[GuardConfig] = None,
         account_policy: Optional[AccountPolicy] = None,
         clock: Optional[Clock] = None,
+        obs: Optional[Observability] = None,
     ):
         self.database = database if database is not None else Database()
         self.clock = clock if clock is not None else VirtualClock()
+        self.obs = obs if obs is not None else Observability()
         self.accounts = (
             AccountManager(policy=account_policy, clock=self.clock)
             if account_policy is not None
@@ -134,6 +141,7 @@ class DataProviderService:
             config=guard_config,
             clock=self.clock,
             accounts=self.accounts,
+            obs=self.obs,
         )
 
     # -- user-facing ---------------------------------------------------------

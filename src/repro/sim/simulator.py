@@ -149,11 +149,8 @@ class TraceReplayer:
         delay = guard.policy.delay_for(key)
         if guard.config.record_accesses:
             guard.popularity.record(key)
-        guard.stats.queries += 1
-        guard.stats.selects += 1
-        guard.stats.tuples_charged += 1
-        guard.stats.select_delays.append(delay)
-        guard.stats.total_delay += delay
+        guard.stats.note_select(delay, 1)
+        guard.stats.note_query(delay, 0.0, 0.0)
         if delay > 0:
             guard.clock.sleep(delay)
         report.queries += 1
@@ -174,5 +171,5 @@ class TraceReplayer:
         if guard.config.record_updates:
             guard.update_rates.record_update(key)
             guard.last_update_times[key] = now
-        guard.stats.queries += 1
+        guard.stats.note_query(0.0, 0.0, 0.0)
         report.updates += 1

@@ -188,7 +188,7 @@ class TestGuardStats:
         assert stats.selects == expected
         assert stats.denied == expected
         assert stats.tuples_charged == 3 * expected
-        assert len(stats.select_delays) == expected
+        assert stats.delay_histogram.count == expected
         assert stats.total_delay == pytest.approx(0.5 * expected)
         assert stats.engine_seconds == pytest.approx(0.001 * expected)
         assert stats.accounting_seconds == pytest.approx(0.002 * expected)

@@ -152,17 +152,20 @@ class TestStats:
 
     def test_quantile_nearest_rank_boundaries(self):
         guard, _ = make_guard()
-        guard.stats.select_delays = [4.0, 1.0, 3.0, 2.0]
+        for delay in [4.0, 1.0, 3.0, 2.0]:
+            guard.stats.note_select(delay, 1)
         # Nearest-rank over [1, 2, 3, 4]: q=0 is the minimum, q=0.5 the
         # 2nd element (not the 3rd, the old int-truncation bias), q=1
-        # the maximum.
+        # the maximum. The histogram answers exactly here because each
+        # delay occupies its own bucket.
         assert guard.stats.quantile_delay(0.0) == 1.0
         assert guard.stats.quantile_delay(0.5) == 2.0
         assert guard.stats.quantile_delay(1.0) == 4.0
 
     def test_quantile_nearest_rank_odd_length(self):
         guard, _ = make_guard()
-        guard.stats.select_delays = [5.0, 1.0, 3.0]
+        for delay in [5.0, 1.0, 3.0]:
+            guard.stats.note_select(delay, 1)
         assert guard.stats.quantile_delay(0.0) == 1.0
         assert guard.stats.quantile_delay(0.5) == 3.0
         assert guard.stats.quantile_delay(1.0) == 5.0

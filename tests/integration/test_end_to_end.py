@@ -90,8 +90,10 @@ class TestLearningDynamics:
         replayer = TraceReplayer(fixture.guard, fixture.table)
         replayer.replay(trace, limit=50)
         early_median = fixture.guard.stats.median_delay()
-        replayer.replay(trace)
-        late_delays = fixture.guard.stats.select_delays[-200:]
+        # Each replay returns its own report with raw per-query delays
+        # (guard stats keep only a histogram now).
+        report = replayer.replay(trace)
+        late_delays = report.user_delays.values[-200:]
         late_median = sorted(late_delays)[100]
         assert late_median < early_median
 

@@ -1,0 +1,105 @@
+"""Tests for query-lifecycle tracing."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import QueryTrace, Tracer
+from repro.obs.tracing import SQL_LIMIT
+
+
+class TestQueryTrace:
+    def test_spans_record_offset_and_duration(self):
+        trace = QueryTrace(identity="alice", sql="SELECT 1")
+        base = trace._perf_start
+        trace.add_span("parse", base, base + 0.001)
+        trace.add_span("engine", base + 0.001, base + 0.005)
+        trace.finish("ok", delay=0.25, rows=3)
+        assert [span.name for span in trace.spans] == ["parse", "engine"]
+        assert trace.spans[0].offset == pytest.approx(0.0)
+        assert trace.spans[1].offset == pytest.approx(0.001)
+        assert trace.spans[1].duration == pytest.approx(0.004)
+        assert trace.span_total() == pytest.approx(0.005)
+        assert trace.stage_seconds()["engine"] == pytest.approx(0.004)
+        assert trace.status == "ok"
+        assert trace.delay == 0.25
+        assert trace.rows == 3
+
+    def test_repeated_stage_names_accumulate(self):
+        trace = QueryTrace()
+        base = trace._perf_start
+        trace.add_span("record", base, base + 0.001)
+        trace.add_span("record", base + 0.002, base + 0.004)
+        assert trace.stage_seconds() == {"record": pytest.approx(0.003)}
+
+    def test_sql_truncated(self):
+        trace = QueryTrace(sql="x" * 1000)
+        assert len(trace.sql) == SQL_LIMIT
+
+    def test_to_dict_omits_absent_fields(self):
+        payload = QueryTrace().finish().to_dict()
+        assert "identity" not in payload
+        assert "sql" not in payload
+        assert "reason" not in payload
+        denied = QueryTrace().finish("denied", reason="quota").to_dict()
+        assert denied["reason"] == "quota"
+
+
+class TestTracer:
+    def test_ring_buffer_bounded(self):
+        tracer = Tracer(capacity=3)
+        for index in range(10):
+            tracer.finish(tracer.start(identity=f"u{index}").finish())
+        assert len(tracer) == 3
+        assert tracer.finished_total == 10
+        newest_first = tracer.recent()
+        assert [trace.identity for trace in newest_first] == [
+            "u9", "u8", "u7",
+        ]
+
+    def test_recent_limit(self):
+        tracer = Tracer()
+        for _ in range(5):
+            tracer.finish(tracer.start().finish())
+        assert len(tracer.recent(limit=2)) == 2
+        with pytest.raises(ValueError):
+            tracer.recent(limit=0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear_keeps_lifetime_total(self):
+        tracer = Tracer()
+        tracer.finish(tracer.start().finish())
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.finished_total == 1
+
+    def test_jsonl_sink_path(self, tmp_path):
+        sink = tmp_path / "traces.jsonl"
+        tracer = Tracer(sink=str(sink))
+        tracer.finish(tracer.start(identity="a", sql="SELECT 1").finish())
+        tracer.finish(
+            tracer.start(identity="b").finish("denied", reason="quota")
+        )
+        tracer.close()
+        lines = sink.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["identity"] == "a"
+        assert second["status"] == "denied"
+
+    def test_file_object_sink(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            tracer = Tracer(sink=handle)
+            tracer.finish(tracer.start().finish())
+        assert json.loads(path.read_text())["status"] == "ok"
+
+    def test_duration_tracks_wall_clock(self):
+        trace = QueryTrace()
+        time.sleep(0.01)
+        trace.finish()
+        assert trace.duration >= 0.01

@@ -264,6 +264,168 @@ class TestConcurrentClients:
         assert counts == [10, 10, 10, 10]
 
 
+class TestObservabilityOps:
+    def test_metrics_json_reconciles_with_stats(self, service, server):
+        with DelayClient(*server.address) as client:
+            client.register("mia")
+            for item in range(1, 6):
+                client.query(
+                    f"SELECT * FROM t WHERE id = {item}", identity="mia"
+                )
+            scrape = client.metrics()["metrics"]
+        stats = service.guard.stats
+        assert scrape["guard_queries_total"]["value"] == stats.queries == 5
+        assert scrape["guard_selects_total"]["value"] == stats.selects
+        histogram = scrape["guard_select_delay_seconds"]
+        assert histogram["count"] == 5
+        assert histogram["sum"] == pytest.approx(stats.total_delay)
+        # Server-side counters ride in the same registry.
+        ops = {
+            series["labels"]["op"]: series["value"]
+            for series in scrape["server_requests_total"]["series"]
+        }
+        assert ops["query"] == 5
+        assert ops["register"] == 1
+        assert scrape["server_in_flight_connections"]["value"] >= 1
+
+    def test_metrics_prometheus_exposition(self, server):
+        with DelayClient(*server.address) as client:
+            client.register("nils")
+            client.query("SELECT * FROM t WHERE id = 1", identity="nils")
+            response = client.metrics(format="prometheus")
+        text = response["text"]
+        assert response["content_type"].startswith("text/plain")
+        assert "# TYPE guard_select_delay_seconds histogram" in text
+        assert "guard_select_delay_seconds_count 1" in text
+        assert 'guard_select_delay_seconds_bucket{le="+Inf"} 1' in text
+        assert "guard_queries_total 1" in text
+        assert "# TYPE server_requests_total counter" in text
+
+    def test_metrics_unknown_format_refused(self, server):
+        with DelayClient(*server.address) as client:
+            with pytest.raises(ServerError, match="unknown metrics format"):
+                client.metrics(format="xml")
+
+    def test_trace_op_returns_lifecycle_spans(self, server):
+        with DelayClient(*server.address) as client:
+            client.register("olga")
+            client.query("SELECT * FROM t WHERE id = 7", identity="olga")
+            response = client.traces(limit=5)
+        assert response["finished_total"] >= 1
+        query_traces = [
+            trace for trace in response["traces"] if trace["status"] == "ok"
+        ]
+        assert query_traces, response["traces"]
+        newest = query_traces[0]
+        assert newest["identity"] == "olga"
+        assert "SELECT" in newest["sql"]
+        stages = {span["name"] for span in newest["spans"]}
+        # The server serves the sleep outside its statement lock and
+        # appends that stage to the guard's finished trace, so a
+        # delayed SELECT's recorded lifecycle is complete end to end.
+        assert {
+            "parse", "authorize", "engine", "delay", "record", "sleep"
+        } <= stages
+        assert newest["delay"] > 0
+        span_total = sum(span["duration"] for span in newest["spans"])
+        assert span_total == pytest.approx(newest["duration"], abs=0.01)
+
+    def test_trace_limit_validated(self, server):
+        with DelayClient(*server.address) as client:
+            with pytest.raises(ServerError, match="limit"):
+                client.traces(limit=0)
+
+    def test_denials_counted_by_reason(self, service, server):
+        with DelayClient(*server.address) as client:
+            client.register("pia")
+            for i in range(100):
+                client.query(
+                    f"SELECT * FROM t WHERE id = {1 + i % 20}",
+                    identity="pia",
+                )
+            with pytest.raises(ServerError):
+                client.query(
+                    "SELECT * FROM t WHERE id = 1", identity="pia"
+                )
+            scrape = client.metrics()["metrics"]
+        denied = {
+            series["labels"]["reason"]: series["value"]
+            for series in scrape["server_denied_total"]["series"]
+        }
+        assert denied["query_quota"] == 1
+        assert service.guard.stats.denied == 1
+
+    def test_handler_errors_bounded_with_exact_total(
+        self, service, monkeypatch
+    ):
+        def boom(*args, **kwargs):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(service.guard, "execute", boom)
+        with DelayServer(service, max_handler_errors=3) as server:
+            with DelayClient(*server.address) as client:
+                client.register("quin")
+                for _ in range(7):
+                    with pytest.raises(ServerError, match="internal"):
+                        client.query(
+                            "SELECT * FROM t WHERE id = 1", identity="quin"
+                        )
+                scrape = client.metrics()["metrics"]
+            # The ring keeps only the newest 3; the exact lifetime count
+            # survives in the attribute and the registry counter.
+            assert len(server.handler_errors) == 3
+            assert server.handler_errors_total == 7
+            assert scrape["server_handler_errors_total"]["value"] == 7
+
+    def test_concurrent_scrapes_during_query_traffic(self, server):
+        with DelayClient(*server.address) as admin:
+            admin.register("rex")
+
+        errors = []
+        scrapes = []
+
+        def query_worker():
+            try:
+                with DelayClient(*server.address) as client:
+                    for item in range(1, 21):
+                        client.query(
+                            f"SELECT * FROM t WHERE id = {1 + item % 20}",
+                            identity="rex",
+                        )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def scrape_worker():
+            try:
+                with DelayClient(*server.address) as client:
+                    for _ in range(10):
+                        scrapes.append(client.metrics()["metrics"])
+                        client.metrics(format="prometheus")
+                        client.traces(limit=5)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=query_worker) for _ in range(3)]
+        threads += [threading.Thread(target=scrape_worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors, errors
+        assert list(server.handler_errors) == []
+        # Scrapes taken mid-traffic are internally consistent: the
+        # histogram count can never exceed the queries counter.
+        for scrape in scrapes:
+            assert (
+                scrape["guard_select_delay_seconds"]["count"]
+                <= scrape["guard_queries_total"]["value"]
+            )
+        with DelayClient(*server.address) as client:
+            final = client.metrics()["metrics"]
+        assert final["guard_queries_total"]["value"] == 60
+        assert final["guard_select_delay_seconds"]["count"] == 60
+
+
 class TestLifecycle:
     def test_double_start_rejected(self, service):
         server = DelayServer(service)

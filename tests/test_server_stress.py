@@ -67,7 +67,10 @@ class TestConcurrentStress:
             for thread in threads:
                 thread.join(timeout=60)
             assert not errors, errors
-            assert server.handler_errors == []
+            assert list(server.handler_errors) == []
+            with DelayClient(*server.address) as client:
+                scrape = client.metrics()["metrics"]
+                prometheus = client.metrics(format="prometheus")["text"]
 
         stats = service.guard.stats
         expected = THREADS * QUERIES
@@ -75,6 +78,21 @@ class TestConcurrentStress:
         assert stats.queries == expected
         assert stats.selects == expected
         assert len(served) == expected
+        # The scraped registry reconciles exactly with the guard stats:
+        # the histogram IS stats.delay_histogram, the counters were fed
+        # by the same code path.
+        assert scrape["guard_queries_total"]["value"] == expected
+        assert scrape["guard_selects_total"]["value"] == expected
+        histogram = scrape["guard_select_delay_seconds"]
+        assert histogram["count"] == expected
+        assert histogram["sum"] == pytest.approx(stats.total_delay)
+        requests_by_op = {
+            tuple(series["labels"].values()): series["value"]
+            for series in scrape["server_requests_total"]["series"]
+        }
+        assert requests_by_op[("query",)] == expected
+        assert f"guard_queries_total {expected}" in prometheus
+        assert f"guard_select_delay_seconds_count {expected}" in prometheus
         # Single-tuple SELECTs: popularity totals equal tuples charged.
         assert stats.tuples_charged == expected
         assert service.guard.popularity.total_requests == expected
@@ -107,7 +125,7 @@ class TestConcurrentStress:
                 thread.join(timeout=60)
             with DelayClient(host, port) as client:
                 report = client.report()
-            assert server.handler_errors == []
+            assert list(server.handler_errors) == []
 
         # The reported extraction cost is a pure function of the counts:
         # recomputing it after the fact gives the same answer, and it is
