@@ -37,6 +37,7 @@ from .delay_policy import (
 )
 from .errors import AccessDenied, ConfigError, DelayDefenseError, UnknownAccount
 from .guard import DelayGuard, GuardedResult, GuardStats, TupleKey
+from .pipeline import QueryContext, QueryPipeline, Stage
 from .popularity import AdaptiveTracker, PopularityTracker
 from .ratelimit import FixedIntervalGate, TokenBucket
 from .staleness import (
@@ -74,7 +75,10 @@ __all__ = [
     "NoDelayPolicy",
     "PopularityDelayPolicy",
     "PopularityTracker",
+    "QueryContext",
+    "QueryPipeline",
     "RealClock",
+    "Stage",
     "Snapshot",
     "SpaceSavingStore",
     "StalenessReport",

@@ -19,6 +19,7 @@ well.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -66,7 +67,14 @@ class AccountPolicy:
 
 
 class AccountManager:
-    """Registers identities and authorizes their queries."""
+    """Registers identities and authorizes their queries.
+
+    Thread-safe: the server's old global statement lock used to be the
+    only thing serialising concurrent handlers through here, so the
+    manager now takes its own reentrant lock around every operation
+    that reads or mutates account state. The gate/bucket primitives are
+    only ever touched through the manager, so they are covered too.
+    """
 
     DAY_SECONDS = 86400.0
 
@@ -87,6 +95,8 @@ class AccountManager:
         self._user_buckets: Dict[str, TokenBucket] = {}
         self._subnet_buckets: Dict[str, TokenBucket] = {}
         self._quota_windows: Dict[str, tuple] = {}  # identity -> (start, used)
+        # Reentrant: authorize_query -> account() nests.
+        self._lock = threading.RLock()
 
     # -- registration ------------------------------------------------------
 
@@ -96,21 +106,22 @@ class AccountManager:
         Raises :class:`AccessDenied` (reason ``registration_rate``) if
         the gate is closed, with ``retry_after`` set.
         """
-        if identity in self.accounts:
-            raise ConfigError(f"identity {identity!r} already registered")
-        if self._registration_gate is not None:
-            wait = self._registration_gate.try_admit()
-            if wait > 0:
-                raise AccessDenied("registration_rate", retry_after=wait)
-        account = Account(
-            identity=identity,
-            subnet=subnet,
-            registered_at=self.clock.now(),
-            fee_paid=self.policy.registration_fee,
-        )
-        self.fees_collected += self.policy.registration_fee
-        self.accounts[identity] = account
-        return account
+        with self._lock:
+            if identity in self.accounts:
+                raise ConfigError(f"identity {identity!r} already registered")
+            if self._registration_gate is not None:
+                wait = self._registration_gate.try_admit()
+                if wait > 0:
+                    raise AccessDenied("registration_rate", retry_after=wait)
+            account = Account(
+                identity=identity,
+                subnet=subnet,
+                registered_at=self.clock.now(),
+                fee_paid=self.policy.registration_fee,
+            )
+            self.fees_collected += self.policy.registration_fee
+            self.accounts[identity] = account
+            return account
 
     def time_to_register(self, count: int) -> float:
         """Lower bound on seconds for ``count`` further registrations."""
@@ -126,10 +137,13 @@ class AccountManager:
 
     def account(self, identity: str) -> Account:
         """Look up a registered identity or raise UnknownAccount."""
-        try:
-            return self.accounts[identity]
-        except KeyError:
-            raise UnknownAccount(f"identity {identity!r} is not registered") from None
+        with self._lock:
+            try:
+                return self.accounts[identity]
+            except KeyError:
+                raise UnknownAccount(
+                    f"identity {identity!r} is not registered"
+                ) from None
 
     def authorize_query(self, identity: str) -> None:
         """Check every per-query limit for ``identity`` or raise.
@@ -137,27 +151,29 @@ class AccountManager:
         Enforcement order: daily quota, per-identity rate, subnet rate.
         On success the query is charged against all applicable limits.
         """
-        account = self.account(identity)
-        self._check_quota(account)
-        self._check_bucket(
-            self._user_buckets,
-            account.identity,
-            self.policy.user_query_rate,
-            self.policy.user_query_burst,
-            "user_rate",
-        )
-        self._check_bucket(
-            self._subnet_buckets,
-            account.subnet,
-            self.policy.subnet_query_rate,
-            self.policy.subnet_query_burst,
-            "subnet_rate",
-        )
-        account.queries_issued += 1
+        with self._lock:
+            account = self.account(identity)
+            self._check_quota(account)
+            self._check_bucket(
+                self._user_buckets,
+                account.identity,
+                self.policy.user_query_rate,
+                self.policy.user_query_burst,
+                "user_rate",
+            )
+            self._check_bucket(
+                self._subnet_buckets,
+                account.subnet,
+                self.policy.subnet_query_rate,
+                self.policy.subnet_query_burst,
+                "subnet_rate",
+            )
+            account.queries_issued += 1
 
     def record_retrieval(self, identity: str, tuples: int) -> None:
         """Account for tuples returned to ``identity`` (bookkeeping)."""
-        self.account(identity).tuples_retrieved += tuples
+        with self._lock:
+            self.account(identity).tuples_retrieved += tuples
 
     def _check_quota(self, account: Account) -> None:
         quota = self.policy.daily_query_quota
@@ -194,4 +210,7 @@ class AccountManager:
 
     def subnet_accounts(self, subnet: str) -> int:
         """How many identities are registered from ``subnet``."""
-        return sum(1 for a in self.accounts.values() if a.subnet == subnet)
+        with self._lock:
+            return sum(
+                1 for a in self.accounts.values() if a.subnet == subnet
+            )

@@ -34,6 +34,19 @@ class Clock:
         """Block (or simulate blocking) for ``seconds`` (>= 0)."""
         raise NotImplementedError
 
+    def sleep_until(self, deadline: float) -> float:
+        """Block until ``deadline``; returns the seconds actually waited.
+
+        Unlike :meth:`sleep`, concurrent sleepers with overlapping
+        deadlines *coalesce*: a deadline already in the past waits zero
+        seconds. Returns 0.0 when no wait was needed. The default just
+        sleeps the remaining duration measured at call time.
+        """
+        remaining = max(0.0, deadline - self.now())
+        if remaining:
+            self.sleep(remaining)
+        return remaining
+
 
 class RealClock(Clock):
     """Wall-clock implementation backed by ``time.monotonic``/``time.sleep``.
@@ -59,10 +72,24 @@ class VirtualClock(Clock):
     guards the timeline and the sleep log, so ``self._now += seconds``
     from many threads never loses an advance and ``total_slept`` always
     equals the simulated time that has passed through ``sleep``.
+
+    **Semantics under parallel sleepers.** ``sleep(d)`` models *charged*
+    time: each call advances the timeline by its full duration, so with
+    k threads sleeping d seconds "simultaneously" the clock moves k·d —
+    the sum of what every caller was charged, exactly matching
+    ``GuardStats.total_delay`` (the invariant the stress suite checks).
+    That is the right model for *cost* accounting but not for
+    *makespan*: k parallel real-world sleepers would finish after d
+    wall seconds, not k·d. For makespan-style questions use
+    :meth:`sleep_until`, which coalesces overlapping waits (a deadline
+    already reached waits zero), or compare :attr:`elapsed` against the
+    event-driven schedule of :mod:`repro.sim.concurrent`, which models
+    true overlap explicitly.
     """
 
     def __init__(self, start: float = 0.0):
         self._lock = threading.Lock()
+        self._start = float(start)
         self._now = float(start)
         #: every sleep duration requested, in order.
         self.sleeps: List[float] = []
@@ -78,6 +105,22 @@ class VirtualClock(Clock):
             self._now += seconds
             self.sleeps.append(seconds)
 
+    def sleep_until(self, deadline: float) -> float:
+        """Advance to ``deadline`` if it is ahead; returns seconds waited.
+
+        Atomic: the remaining wait is computed and applied under the
+        timeline lock, so two threads racing toward one deadline wait
+        the *combined* gap exactly once between them (overlap
+        coalesces), unlike two ``sleep`` calls which would both charge
+        their full duration.
+        """
+        with self._lock:
+            waited = max(0.0, deadline - self._now)
+            if waited:
+                self._now = deadline
+                self.sleeps.append(waited)
+            return waited
+
     def advance(self, seconds: float) -> None:
         """Advance time without recording a sleep (e.g. think time)."""
         if seconds < 0:
@@ -87,6 +130,22 @@ class VirtualClock(Clock):
 
     @property
     def total_slept(self) -> float:
-        """Sum of all sleeps so far."""
+        """Sum of all sleeps so far: the *charged* total.
+
+        With parallel sleepers this exceeds the wall time a real
+        deployment would observe (see the class docstring); it is the
+        number to compare against ``GuardStats.total_delay``.
+        """
         with self._lock:
             return sum(self.sleeps)
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds since construction (makespan-style).
+
+        ``now() - start``: how far the timeline has moved through
+        sleeps *and* advances, the closest virtual analogue of
+        wall-clock makespan.
+        """
+        with self._lock:
+            return self._now - self._start

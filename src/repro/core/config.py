@@ -43,6 +43,11 @@ class GuardConfig:
             selective queries"). None disables. Kept as a baseline: the
             paper's point is that a robot trivially defeats it with
             many selective queries, which the tests demonstrate.
+        parse_cache_size: capacity of the SQL statement parse cache
+            used by the guard's parse stage. None keeps the current
+            (process-default) size. Note the cache is process-global —
+            configuring it on one guard resizes it for every guard in
+            the process and clears the cached statements.
     """
 
     policy: str = "popularity"
@@ -61,6 +66,7 @@ class GuardConfig:
     record_accesses: bool = True
     record_updates: bool = True
     max_result_rows: Optional[int] = None
+    parse_cache_size: Optional[int] = None
 
     _POLICIES = ("popularity", "update", "both", "fixed", "none")
     _STORES = ("memory", "write_behind", "space_saving", "counting_sample")
@@ -94,5 +100,9 @@ class GuardConfig:
         if self.max_result_rows is not None and self.max_result_rows < 1:
             raise ConfigError(
                 f"max_result_rows must be >= 1, got {self.max_result_rows}"
+            )
+        if self.parse_cache_size is not None and self.parse_cache_size < 1:
+            raise ConfigError(
+                f"parse_cache_size must be >= 1, got {self.parse_cache_size}"
             )
         return self

@@ -37,6 +37,17 @@ class DelayPolicy:
         """Seconds of delay to charge for retrieving ``key``."""
         raise NotImplementedError
 
+    def delays_for(self, keys: Sequence[Key]) -> List[float]:
+        """Per-key delays for a whole result set in one call.
+
+        Subclasses backed by a tracker override this to read every
+        count under one lock acquisition and resolve the population
+        once, so a multi-tuple query is priced against a consistent
+        snapshot even while other threads record accesses. The default
+        just loops :meth:`delay_for`.
+        """
+        return [self.delay_for(key) for key in keys]
+
     def describe(self) -> str:
         """One-line human-readable description."""
         return type(self).__name__
@@ -125,9 +136,29 @@ class PopularityDelayPolicy(DelayPolicy):
 
     def delay_for(self, key: Key) -> float:
         popularity = self.tracker.popularity(key, self.mode)
+        n = _resolve_population(self.population)
+        return self._price(key, popularity, n)
+
+    def delays_for(self, keys: Sequence[Key]) -> List[float]:
+        """Batch pricing against one consistent popularity snapshot.
+
+        All counts are read under a single tracker lock acquisition and
+        the population N is resolved once, so every tuple in a result
+        set is priced against the same state — a concurrent recorder
+        can't make two tuples of one query see different totals.
+        """
+        if not keys:
+            return []
+        popularities = self.tracker.popularity_many(keys, self.mode)
+        n = _resolve_population(self.population)
+        return [
+            self._price(key, popularity, n)
+            for key, popularity in zip(keys, popularities)
+        ]
+
+    def _price(self, key: Key, popularity: float, n: int) -> float:
         if popularity <= 0.0:
             return self.cap if self.cap is not None else self.uncapped_cold
-        n = _resolve_population(self.population)
         delay = self.unit / (n * popularity)
         if self.beta:
             delay *= self.tracker.rank(key) ** self.beta
@@ -174,9 +205,20 @@ class UpdateRateDelayPolicy(DelayPolicy):
 
     def delay_for(self, key: Key) -> float:
         rate = self.tracker.rate(key)
+        n = _resolve_population(self.population)
+        return self._price(rate, n)
+
+    def delays_for(self, keys: Sequence[Key]) -> List[float]:
+        """Batch pricing against one consistent rate snapshot."""
+        if not keys:
+            return []
+        rates = self.tracker.rate_many(keys)
+        n = _resolve_population(self.population)
+        return [self._price(rate, n) for rate in rates]
+
+    def _price(self, rate: float, n: int) -> float:
         if rate <= 0.0:
             return self.cap if self.cap is not None else math.inf
-        n = _resolve_population(self.population)
         delay = self.c / (n * rate)
         if self.cap is not None:
             delay = min(delay, self.cap)
@@ -206,6 +248,16 @@ class CompositeDelayPolicy(DelayPolicy):
 
     def delay_for(self, key: Key) -> float:
         delays = [policy.delay_for(key) for policy in self.policies]
+        return self._combine(delays)
+
+    def delays_for(self, keys: Sequence[Key]) -> List[float]:
+        """Batch each inner policy once, then combine column-wise."""
+        if not keys:
+            return []
+        columns = [policy.delays_for(keys) for policy in self.policies]
+        return [self._combine(values) for values in zip(*columns)]
+
+    def _combine(self, delays: Sequence[float]) -> float:
         if self.combine == "max":
             return max(delays)
         if self.combine == "sum":

@@ -12,18 +12,23 @@ modifying it. Every query passes through the guard, which
 
 Delays are computed from the counts *as they were before the query*, so
 a tuple's first-ever retrieval is always charged the cold-start cap.
+
+The lifecycle itself runs as an explicit staged pipeline
+(:mod:`repro.core.pipeline`): admit → parse → authorize → execute →
+account → price → record → sleep. Only the *execute* stage touches the
+engine lock (shared for reads, exclusive for writes), so concurrent
+queries overlap everywhere else — there is no statement-level gate.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..engine.database import Database
 from ..engine.executor import ResultSet
-from ..engine.parser.parser import parse_cached
+from ..engine.parser.parser import configure_parse_cache, parse_cache_info
 from ..obs import Histogram, Observability, QueryTrace
 from .accounts import AccountManager
 from .clock import Clock, VirtualClock
@@ -44,6 +49,7 @@ from .delay_policy import (
     UpdateRateDelayPolicy,
 )
 from .errors import AccessDenied, ConfigError
+from .pipeline import QueryContext, QueryPipeline
 from .popularity import PopularityTracker
 from .update_tracker import UpdateRateTracker
 
@@ -222,11 +228,18 @@ class DelayGuard:
             clock=self.clock, time_constant=self.config.update_time_constant
         )
         #: key -> clock time of last update (for staleness evaluation).
+        #: Guarded by ``_updates_lock`` — the old server statement lock
+        #: used to serialise writers to this dict; without that gate the
+        #: guard must protect it itself.
         self.last_update_times: Dict[TupleKey, float] = {}
+        self._updates_lock = threading.Lock()
         self.policy = policy if policy is not None else self._build_policy()
         self.obs = obs if obs is not None else Observability()
+        if self.config.parse_cache_size is not None:
+            configure_parse_cache(self.config.parse_cache_size)
         if self.obs.enabled:
             self._register_metrics()
+        self.pipeline = QueryPipeline(self)
 
     # -- construction helpers ----------------------------------------------
 
@@ -306,6 +319,32 @@ class DelayGuard:
                 f"guard_count_store_{stat}",
                 f"Count-store backend statistic: {stat}",
             ).set_function(lambda name=stat: store.metrics()[name])
+        rwlock = self.database.rwlock
+        registry.gauge(
+            "engine_read_lock_waiters",
+            "Threads currently waiting for the engine's shared read lock",
+        ).set_function(lambda: rwlock.waiting_readers)
+        registry.gauge(
+            "engine_write_lock_waiters",
+            "Threads currently waiting for the engine's exclusive "
+            "write lock",
+        ).set_function(lambda: rwlock.waiting_writers)
+        registry.gauge(
+            "engine_write_lock_hold_seconds",
+            "Cumulative seconds the engine write lock has been held",
+        ).set_function(lambda: rwlock.write_hold_seconds)
+        registry.gauge(
+            "guard_parse_cache_hits", "Statement parse-cache hits"
+        ).set_function(lambda: parse_cache_info().hits)
+        registry.gauge(
+            "guard_parse_cache_misses", "Statement parse-cache misses"
+        ).set_function(lambda: parse_cache_info().misses)
+        registry.gauge(
+            "guard_parse_cache_entries", "Statements currently cached"
+        ).set_function(lambda: parse_cache_info().currsize)
+        registry.gauge(
+            "guard_parse_cache_capacity", "Parse-cache maximum size"
+        ).set_function(lambda: parse_cache_info().maxsize or 0)
 
     def _build_store(self) -> CountStore:
         kind = self.config.count_store
@@ -348,11 +387,18 @@ class DelayGuard:
     # -- sizing ----------------------------------------------------------------
 
     def population(self) -> int:
-        """Total protected tuples (N in the paper's formulas)."""
-        total = 0
-        for name in self.database.catalog.table_names():
-            total += len(self.database.catalog.table(name))
-        return max(total, 1)
+        """Total protected tuples (N in the paper's formulas).
+
+        Reads the catalog under the engine's shared read lock so a
+        concurrent DDL/DML writer can't change the table set mid-sum.
+        The read lock is reentrant, so this is safe to call from inside
+        the pipeline's price stage or another read section.
+        """
+        with self.database.read_view():
+            total = 0
+            for name in self.database.catalog.table_names():
+                total += len(self.database.catalog.table(name))
+            return max(total, 1)
 
     # -- the front door -----------------------------------------------------
 
@@ -365,11 +411,17 @@ class DelayGuard:
     ) -> GuardedResult:
         """Execute a statement, charging and applying its delay.
 
-        When the guard's :class:`~repro.obs.Observability` is enabled,
-        each query also emits a lifecycle trace (spans: parse →
-        authorize → engine → delay → record → sleep) and updates the
+        Runs the staged pipeline (admit → parse → authorize → execute →
+        account → price → record → sleep). When the guard's
+        :class:`~repro.obs.Observability` is enabled, each query also
+        emits a lifecycle trace with one span per stage and updates the
         metrics registry; both stay exactly consistent with
         :attr:`stats`.
+
+        Thread-safe with no statement-level gate: only the execute
+        stage takes the engine lock (shared for SELECT/EXPLAIN,
+        exclusive for DML/DDL), so concurrent callers overlap in every
+        other stage.
 
         Args:
             sql_or_statement: SQL text or a pre-parsed statement.
@@ -379,17 +431,30 @@ class DelayGuard:
                 counts (experiments replaying an adversary against a
                 frozen distribution pass False).
             sleep: whether to apply the delay on the guard's clock. The
-                concurrent simulator passes False and schedules each
-                session's own completion instead — with a single shared
-                clock, sleeping inline would serialise the sessions.
+                server and the concurrent simulator pass False and
+                serve each caller's delay themselves — per connection
+                or by event scheduling — so one penalised query never
+                blocks another.
 
         Raises:
             AccessDenied: if an account-level limit refuses the query.
         """
+        ctx = QueryContext(
+            sql_or_statement=sql_or_statement,
+            identity=identity,
+            record=record,
+            sleep=sleep,
+        )
         if not self.obs.enabled:
-            return self._serve(sql_or_statement, identity, record, sleep, None)
+            self.pipeline.run(ctx)
+            return GuardedResult(
+                result=ctx.result,
+                delay=ctx.delay,
+                per_tuple_delays=ctx.per_tuple,
+                identity=identity,
+            )
         tracer = self.obs.tracer
-        trace = QueryTrace(
+        ctx.trace = QueryTrace(
             "query",
             identity=identity,
             sql=sql_or_statement
@@ -397,156 +462,24 @@ class DelayGuard:
             else None,
         )
         try:
-            served = self._serve(
-                sql_or_statement, identity, record, sleep, trace
-            )
+            self.pipeline.run(ctx)
         except AccessDenied as denied:
-            tracer.finish(trace.finish("denied", reason=denied.reason))
+            tracer.finish(ctx.trace.finish("denied", reason=denied.reason))
             raise
         except Exception as error:
-            tracer.finish(trace.finish("error", reason=str(error)))
+            tracer.finish(ctx.trace.finish("error", reason=str(error)))
             raise
         tracer.finish(
-            trace.finish(
-                "ok", delay=served.delay, rows=served.result.rowcount
+            ctx.trace.finish(
+                "ok", delay=ctx.delay, rows=ctx.result.rowcount
             )
         )
-        served.trace = trace
-        return served
-
-    def _serve(
-        self,
-        sql_or_statement: Union[str, object],
-        identity: Optional[str],
-        record: bool,
-        sleep: bool,
-        trace: Optional[QueryTrace],
-    ) -> GuardedResult:
-        """The lifecycle body; ``trace`` is None when obs is disabled."""
-        stage_start = time.perf_counter()
-        engine_seconds = 0.0
-        statement = sql_or_statement
-        if isinstance(sql_or_statement, str):
-            statement = parse_cached(sql_or_statement)
-            now = time.perf_counter()
-            # Parsing used to happen inside Database.execute and so
-            # landed in the engine bucket; keep it there so Table 5
-            # comparisons stay stable across this refactor.
-            engine_seconds += now - stage_start
-            if trace is not None:
-                trace.add_span("parse", stage_start, now)
-            stage_start = now
-
-        accounting = 0.0
-        if self.accounts is not None:
-            if identity is None:
-                raise ConfigError(
-                    "this guard requires an identity for every query"
-                )
-            try:
-                self.accounts.authorize_query(identity)
-            except Exception as error:
-                self.stats.note_denied()
-                if trace is not None:
-                    trace.add_span(
-                        "authorize", stage_start, time.perf_counter()
-                    )
-                    self._m_denied.inc(
-                        reason=getattr(error, "reason", None)
-                        or type(error).__name__
-                    )
-                raise
-            now = time.perf_counter()
-            accounting += now - stage_start
-            if trace is not None:
-                trace.add_span("authorize", stage_start, now)
-            stage_start = now
-
-        result = self.database.execute(statement)
-        now = time.perf_counter()
-        engine_seconds += now - stage_start
-        if trace is not None:
-            trace.add_span("engine", stage_start, now)
-        stage_start = now
-
-        delay = 0.0
-        per_tuple: List[float] = []
-        if result.statement_kind == "select" and result.table is not None:
-            # §1.1's strawman result-size limit, kept as a baseline.
-            # Enforced post-execution (the engine has already read the
-            # rows) but pre-recording/charging: the caller gets nothing.
-            limit = self.config.max_result_rows
-            if limit is not None and len(result.rows) > limit:
-                # The engine already did the work; fold its time (and the
-                # accounting spent so far) into the Table 5 buckets even
-                # though the caller gets nothing back.
-                accounting += time.perf_counter() - stage_start
-                self.stats.note_denied()
-                self.stats.note_query(0.0, engine_seconds, accounting)
-                if trace is not None:
-                    self._m_denied.inc(reason="result_limit")
-                raise AccessDenied("result_limit")
-            # `touched` covers every contributing base tuple, across
-            # joined tables; fall back to the driving table's rowids for
-            # result sets produced without it.
-            if result.touched:
-                keys = list(result.touched)
-            else:
-                keys = [
-                    (result.table.lower(), rowid) for rowid in result.rowids
-                ]
-            per_tuple = [self.policy.delay_for(key) for key in keys]
-            if self.config.charge_returned_tuples:
-                delay = sum(per_tuple)
-            else:
-                delay = max(per_tuple, default=0.0)
-            now = time.perf_counter()
-            accounting += now - stage_start
-            if trace is not None:
-                trace.add_span("delay", stage_start, now)
-            stage_start = now
-
-            if record and self.config.record_accesses:
-                for key in keys:
-                    self.popularity.record(key)
-            if self.accounts is not None and identity is not None:
-                self.accounts.record_retrieval(identity, len(keys))
-            self.stats.note_select(delay, len(keys))
-            if trace is not None and identity is not None and delay > 0:
-                self._m_identity_delay.inc(delay, identity=identity)
-            now = time.perf_counter()
-            accounting += now - stage_start
-            if trace is not None:
-                trace.add_span("record", stage_start, now)
-            stage_start = now
-        elif result.statement_kind in ("insert", "update", "delete"):
-            if self.config.record_updates and result.table is not None:
-                clock_now = self.clock.now()
-                table_key = result.table.lower()
-                for rowid in result.rowids:
-                    key = (table_key, rowid)
-                    self.update_rates.record_update(key)
-                    self.last_update_times[key] = clock_now
-            now = time.perf_counter()
-            accounting += now - stage_start
-            if trace is not None:
-                trace.add_span("record", stage_start, now)
-            stage_start = now
-        else:
-            accounting += time.perf_counter() - stage_start
-
-        self.stats.note_query(delay, engine_seconds, accounting)
-
-        if delay > 0 and sleep:
-            sleep_start = time.perf_counter()
-            self.clock.sleep(delay)
-            if trace is not None:
-                trace.add_span("sleep", sleep_start, time.perf_counter())
         return GuardedResult(
-            result=result,
-            delay=delay,
-            per_tuple_delays=per_tuple,
+            result=ctx.result,
+            delay=ctx.delay,
+            per_tuple_delays=ctx.per_tuple,
             identity=identity,
+            trace=ctx.trace,
         )
 
     # -- analysis hooks ----------------------------------------------------------
@@ -563,21 +496,24 @@ class DelayGuard:
         adversary's extracted snapshot. Tables without a primary key
         are keyed by rowid.
         """
-        heap = self.database.catalog.table(table)
-        prefix = heap.name.lower()
-        pk = heap.schema.primary_key
-        pk_position = heap.schema.position(pk) if pk else None
-        translated: Dict = {}
-        for (name, rowid), when in self.last_update_times.items():
-            if name != prefix:
-                continue
-            if pk_position is None:
-                translated[rowid] = when
-                continue
-            row = heap.get(rowid)
-            if row is not None:
-                translated[row[pk_position]] = when
-        return translated
+        with self._updates_lock:
+            updates = list(self.last_update_times.items())
+        with self.database.read_view():
+            heap = self.database.catalog.table(table)
+            prefix = heap.name.lower()
+            pk = heap.schema.primary_key
+            pk_position = heap.schema.position(pk) if pk else None
+            translated: Dict = {}
+            for (name, rowid), when in updates:
+                if name != prefix:
+                    continue
+                if pk_position is None:
+                    translated[rowid] = when
+                    continue
+                row = heap.get(rowid)
+                if row is not None:
+                    translated[row[pk_position]] = when
+            return translated
 
     def extraction_cost(self, table: Optional[str] = None) -> float:
         """Total delay an adversary would pay to extract everything now.
@@ -586,25 +522,27 @@ class DelayGuard:
         adversary delay this way in §4.1: "by examining the access
         counts after the trace was replayed"). Does not mutate state.
         """
-        names = (
-            [table]
-            if table is not None
-            else self.database.catalog.table_names()
-        )
-        total = 0.0
-        for name in names:
-            heap = self.database.catalog.table(name)
-            key_prefix = heap.name.lower()
-            for rowid in heap.rowids():
-                total += self.policy.delay_for((key_prefix, rowid))
-        return total
+        with self.database.read_view():
+            names = (
+                [table]
+                if table is not None
+                else self.database.catalog.table_names()
+            )
+            keyed = []
+            for name in names:
+                heap = self.database.catalog.table(name)
+                key_prefix = heap.name.lower()
+                keyed.extend((key_prefix, rowid) for rowid in heap.rowids())
+        # Price outside the read lock: the policy only reads trackers.
+        return sum(self.policy.delays_for(keyed))
 
     def max_extraction_cost(self, table: Optional[str] = None) -> float:
         """The N·d_max bound: every tuple at the cap (needs a cap)."""
         if self.config.cap is None:
             raise ConfigError("max_extraction_cost requires a delay cap")
         if table is not None:
-            n = len(self.database.catalog.table(table))
+            with self.database.read_view():
+                n = len(self.database.catalog.table(table))
         else:
             n = self.population()
         return n * self.config.cap
@@ -623,10 +561,11 @@ class DelayGuard:
             [f"{table}:{rowid}", weight]
             for (table, rowid), weight in self.popularity.store.items()
         ]
-        updates = [
-            [f"{table}:{rowid}", when]
-            for (table, rowid), when in self.last_update_times.items()
-        ]
+        with self._updates_lock:
+            updates = [
+                [f"{table}:{rowid}", when]
+                for (table, rowid), when in self.last_update_times.items()
+            ]
         return {
             "format": "repro-guard-v1",
             "decay_rate": self.popularity.decay_rate,
@@ -659,10 +598,11 @@ class DelayGuard:
         for key_text, weight in payload["counts"]:
             table, _, rowid = key_text.partition(":")
             self.popularity.store.add((table, int(rowid)), weight)
-        self.last_update_times.clear()
-        for key_text, when in payload["last_update_times"]:
-            table, _, rowid = key_text.partition(":")
-            self.last_update_times[(table, int(rowid))] = when
+        with self._updates_lock:
+            self.last_update_times.clear()
+            for key_text, when in payload["last_update_times"]:
+                table, _, rowid = key_text.partition(":")
+                self.last_update_times[(table, int(rowid))] = when
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,368 @@
+"""The guard lifecycle as an explicit staged pipeline.
+
+Historically the whole query lifecycle lived in one ~250-line
+``DelayGuard._serve`` method, and the server wrapped every call in a
+global statement lock. This module decomposes the lifecycle into small
+stage objects run in a fixed order:
+
+    admit → parse → authorize → execute → account → price → record → sleep
+
+Each stage owns one concern, times itself (a trace span plus a
+``guard_stage_<name>_seconds`` histogram when observability is on), and
+declares which Table 5 cost bucket its time lands in: *parse* and
+*execute* feed ``engine_seconds``, the accounting stages feed
+``accounting_seconds``, and *sleep* is the product, charged to neither.
+
+Concurrency: no stage holds the engine lock except *execute*, which
+delegates to :meth:`repro.engine.database.Database.execute` — the engine
+takes its own read/write lock there (shared for SELECT/EXPLAIN,
+exclusive for DML/DDL). Everything else synchronises on the component
+it touches (tracker locks, the account manager's lock, the guard's
+update-times lock), so concurrent queries overlap everywhere except
+inside conflicting engine statements. *price* reads each tuple's counts
+through the policy's :meth:`~repro.core.delay_policy.DelayPolicy.delays_for`,
+which resolves the whole key list against one consistent tracker
+snapshot instead of re-locking per tuple.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
+
+from ..engine.parser.parser import parse_cached
+from ..obs import QueryTrace, delay_buckets
+from .errors import AccessDenied, ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..engine.executor import ResultSet
+    from .guard import DelayGuard
+
+#: Bucket bounds for the per-stage latency histograms: stages run in
+#: microseconds (accounting) up to tens of seconds (sleep).
+_STAGE_BUCKETS = delay_buckets(low=1e-6, high=1e2, per_decade=3)
+
+
+@dataclass
+class QueryContext:
+    """Mutable state threaded through the pipeline for one query."""
+
+    sql_or_statement: Union[str, object]
+    identity: Optional[str] = None
+    record: bool = True
+    sleep: bool = True
+    trace: Optional[QueryTrace] = None
+    #: the parsed statement (set by *parse*, or directly for pre-parsed
+    #: input).
+    statement: object = None
+    #: the engine result (set by *execute*).
+    result: Optional["ResultSet"] = None
+    #: base tuples charged for a SELECT (set by *account*).
+    keys: List[Tuple[str, int]] = field(default_factory=list)
+    per_tuple: List[float] = field(default_factory=list)
+    delay: float = 0.0
+    engine_seconds: float = 0.0
+    accounting_seconds: float = 0.0
+    #: set when a denial should still count the query's timing buckets
+    #: (the result-limit strawman denies *after* the engine did the
+    #: work, so its cost must not vanish from Table 5).
+    count_query_on_denial: bool = False
+
+
+class Stage:
+    """One pipeline step.
+
+    Attributes:
+        name: span and histogram label.
+        bucket: which :class:`~repro.core.guard.GuardStats` timing
+            bucket this stage's wall time lands in — ``"engine"``,
+            ``"accounting"``, or None (the sleep itself is the charged
+            product, not overhead).
+    """
+
+    name = "stage"
+    bucket: Optional[str] = None
+
+    def __init__(self, guard: "DelayGuard"):
+        self.guard = guard
+
+    def applies(self, ctx: QueryContext) -> bool:
+        """Whether this stage runs for this query (skipped silently)."""
+        return True
+
+    def run(self, ctx: QueryContext) -> None:
+        raise NotImplementedError
+
+
+class AdmitStage(Stage):
+    """Reject unidentified callers when the guard enforces accounts."""
+
+    name = "admit"
+    bucket = "accounting"
+
+    def applies(self, ctx: QueryContext) -> bool:
+        return self.guard.accounts is not None
+
+    def run(self, ctx: QueryContext) -> None:
+        if ctx.identity is None:
+            raise ConfigError(
+                "this guard requires an identity for every query"
+            )
+
+
+class ParseStage(Stage):
+    """Parse SQL text (cached); pre-parsed statements skip this stage.
+
+    Parsing lands in the engine bucket: it used to happen inside
+    ``Database.execute``, and keeping it there keeps Table 5
+    comparisons stable across refactors.
+    """
+
+    name = "parse"
+    bucket = "engine"
+
+    def applies(self, ctx: QueryContext) -> bool:
+        return isinstance(ctx.sql_or_statement, str)
+
+    def run(self, ctx: QueryContext) -> None:
+        ctx.statement = parse_cached(ctx.sql_or_statement)
+
+
+class AuthorizeStage(Stage):
+    """Charge the query against every account-level limit (§2.4)."""
+
+    name = "authorize"
+    bucket = "accounting"
+
+    def applies(self, ctx: QueryContext) -> bool:
+        return self.guard.accounts is not None
+
+    def run(self, ctx: QueryContext) -> None:
+        guard = self.guard
+        try:
+            guard.accounts.authorize_query(ctx.identity)
+        except Exception as error:
+            guard.stats.note_denied()
+            if ctx.trace is not None:
+                guard._m_denied.inc(
+                    reason=getattr(error, "reason", None)
+                    or type(error).__name__
+                )
+            raise
+
+
+class ExecuteStage(Stage):
+    """Run the statement on the engine.
+
+    The only stage that touches the engine lock: ``Database.execute``
+    classifies the statement and takes the shared read side for
+    SELECT/EXPLAIN or the exclusive write side for everything else.
+    """
+
+    name = "execute"
+    bucket = "engine"
+
+    def run(self, ctx: QueryContext) -> None:
+        ctx.result = self.guard.database.execute(ctx.statement)
+
+
+class AccountStage(Stage):
+    """Result-limit strawman, charged-key extraction, per-identity use."""
+
+    name = "account"
+    bucket = "accounting"
+
+    def applies(self, ctx: QueryContext) -> bool:
+        result = ctx.result
+        return (
+            result is not None
+            and result.statement_kind == "select"
+            and result.table is not None
+        )
+
+    def run(self, ctx: QueryContext) -> None:
+        guard = self.guard
+        result = ctx.result
+        # §1.1's strawman result-size limit, kept as a baseline.
+        # Enforced post-execution (the engine has already read the rows)
+        # but pre-recording/charging: the caller gets nothing.
+        limit = guard.config.max_result_rows
+        if limit is not None and len(result.rows) > limit:
+            guard.stats.note_denied()
+            if ctx.trace is not None:
+                guard._m_denied.inc(reason="result_limit")
+            ctx.count_query_on_denial = True
+            raise AccessDenied("result_limit")
+        # `touched` covers every contributing base tuple, across joined
+        # tables; fall back to the driving table's rowids for result
+        # sets produced without it.
+        if result.touched:
+            ctx.keys = list(result.touched)
+        else:
+            ctx.keys = [
+                (result.table.lower(), rowid) for rowid in result.rowids
+            ]
+        if guard.accounts is not None and ctx.identity is not None:
+            guard.accounts.record_retrieval(ctx.identity, len(ctx.keys))
+
+
+class PriceStage(Stage):
+    """Compute per-tuple delays from one consistent count snapshot."""
+
+    name = "price"
+    bucket = "accounting"
+
+    def applies(self, ctx: QueryContext) -> bool:
+        result = ctx.result
+        return (
+            result is not None
+            and result.statement_kind == "select"
+            and result.table is not None
+        )
+
+    def run(self, ctx: QueryContext) -> None:
+        guard = self.guard
+        ctx.per_tuple = guard.policy.delays_for(ctx.keys)
+        if guard.config.charge_returned_tuples:
+            ctx.delay = sum(ctx.per_tuple)
+        else:
+            ctx.delay = max(ctx.per_tuple, default=0.0)
+
+
+class RecordStage(Stage):
+    """Feed the trackers: popularity for reads, rates for updates."""
+
+    name = "record"
+    bucket = "accounting"
+
+    def applies(self, ctx: QueryContext) -> bool:
+        result = ctx.result
+        if result is None:
+            return False
+        if result.statement_kind == "select":
+            return result.table is not None
+        return result.statement_kind in ("insert", "update", "delete")
+
+    def run(self, ctx: QueryContext) -> None:
+        guard = self.guard
+        result = ctx.result
+        if result.statement_kind == "select":
+            if ctx.record and guard.config.record_accesses:
+                guard.popularity.record_many(ctx.keys)
+            guard.stats.note_select(ctx.delay, len(ctx.keys))
+            if (
+                ctx.trace is not None
+                and ctx.identity is not None
+                and ctx.delay > 0
+            ):
+                guard._m_identity_delay.inc(ctx.delay, identity=ctx.identity)
+            return
+        if guard.config.record_updates and result.table is not None:
+            clock_now = guard.clock.now()
+            table_key = result.table.lower()
+            with guard._updates_lock:
+                for rowid in result.rowids:
+                    key = (table_key, rowid)
+                    guard.update_rates.record_update(key)
+                    guard.last_update_times[key] = clock_now
+
+
+class SleepStage(Stage):
+    """Serve the computed delay on the guard's clock.
+
+    Unbucketed: the sleep is the defense's product, not overhead. The
+    server and the concurrent simulator pass ``sleep=False`` and serve
+    the delay themselves (per-connection / event-scheduled), so only
+    that one caller blocks — never the pipeline of another query.
+    """
+
+    name = "sleep"
+    bucket = None
+
+    def applies(self, ctx: QueryContext) -> bool:
+        return ctx.delay > 0 and ctx.sleep
+
+    def run(self, ctx: QueryContext) -> None:
+        self.guard.clock.sleep(ctx.delay)
+
+
+class QueryPipeline:
+    """Runs the staged lifecycle for one guard.
+
+    Stateless between queries: all per-query state lives in the
+    :class:`QueryContext`, so one pipeline instance serves any number
+    of concurrent callers.
+    """
+
+    STAGES = (
+        AdmitStage,
+        ParseStage,
+        AuthorizeStage,
+        ExecuteStage,
+        AccountStage,
+        PriceStage,
+        RecordStage,
+        SleepStage,
+    )
+
+    def __init__(self, guard: "DelayGuard"):
+        self.guard = guard
+        self.stages = [stage_class(guard) for stage_class in self.STAGES]
+        self._histograms = {}
+        if guard.obs.enabled:
+            for stage in self.stages:
+                self._histograms[stage.name] = guard.obs.registry.histogram(
+                    f"guard_stage_{stage.name}_seconds",
+                    f"Wall time in the {stage.name!r} pipeline stage "
+                    "(seconds)",
+                    buckets=_STAGE_BUCKETS,
+                )
+
+    def run(self, ctx: QueryContext) -> QueryContext:
+        """Run every applicable stage in order; returns the context.
+
+        A stage that raises still gets its span and bucket time
+        recorded (partial work costs real time). Denials flagged with
+        ``count_query_on_denial`` contribute their timing buckets to
+        :class:`~repro.core.guard.GuardStats` before propagating.
+        """
+        if not isinstance(ctx.sql_or_statement, str):
+            ctx.statement = ctx.sql_or_statement
+        for stage in self.stages:
+            if not stage.applies(ctx):
+                continue
+            start = time.perf_counter()
+            try:
+                stage.run(ctx)
+            except Exception:
+                self._finish_stage(stage, ctx, start)
+                if ctx.count_query_on_denial:
+                    self.guard.stats.note_query(
+                        0.0, ctx.engine_seconds, ctx.accounting_seconds
+                    )
+                raise
+            self._finish_stage(stage, ctx, start)
+        self.guard.stats.note_query(
+            ctx.delay, ctx.engine_seconds, ctx.accounting_seconds
+        )
+        return ctx
+
+    def _finish_stage(
+        self, stage: Stage, ctx: QueryContext, start: float
+    ) -> None:
+        now = time.perf_counter()
+        elapsed = now - start
+        if stage.bucket == "engine":
+            ctx.engine_seconds += elapsed
+        elif stage.bucket == "accounting":
+            ctx.accounting_seconds += elapsed
+        if ctx.trace is not None:
+            ctx.trace.add_span(stage.name, start, now)
+        histogram = self._histograms.get(stage.name)
+        if histogram is not None:
+            histogram.observe(elapsed)
+
+    def stage_names(self) -> List[str]:
+        """The configured stage order (introspection/docs)."""
+        return [stage.name for stage in self.stages]

@@ -94,9 +94,15 @@ class PopularityTracker:
                 self._rescale()
 
     def record_many(self, keys: Iterable[Key]) -> None:
-        """Record a sequence of accesses in order."""
-        for key in keys:
-            self.record(key)
+        """Record a sequence of accesses in order, as one atomic batch.
+
+        Holding the (reentrant) lock across the batch means a
+        concurrent :meth:`popularity_many` snapshot sees either none or
+        all of a query's recordings — never a half-recorded result set.
+        """
+        with self._lock:
+            for key in keys:
+                self.record(key)
 
     def _rescale(self) -> None:
         """Divide all state by the current increment (overflow guard)."""
@@ -178,6 +184,18 @@ class PopularityTracker:
                     return 0.0
                 return count / self._decayed_total
         raise ConfigError(f"unknown popularity mode {mode!r}")
+
+    def popularity_many(
+        self, keys: Sequence[Key], mode: str = "raw"
+    ) -> List[float]:
+        """Popularities for ``keys`` from one consistent snapshot.
+
+        One lock acquisition covers the whole batch, so all returned
+        estimates share the same counts and totals — the property the
+        guard's price stage relies on for multi-tuple queries.
+        """
+        with self._lock:
+            return [self.popularity(key, mode) for key in keys]
 
     def max_popularity(self, mode: str = "raw") -> float:
         """Popularity of the most popular tracked key (0 if none)."""
@@ -310,9 +328,20 @@ class AdaptiveTracker:
     # Delegate the query interface to the active tracker so an
     # AdaptiveTracker can stand in wherever a PopularityTracker is used.
 
+    def record_many(self, keys: Iterable[Key]) -> None:
+        """Record a sequence of accesses in order."""
+        for key in keys:
+            self.record(key)
+
     def popularity(self, key: Key, mode: str = "raw") -> float:
         """Popularity under the currently best decay rate."""
         return self.active.popularity(key, mode)
+
+    def popularity_many(
+        self, keys: Sequence[Key], mode: str = "raw"
+    ) -> List[float]:
+        """Batch popularities under the currently best decay rate."""
+        return self.active.popularity_many(keys, mode)
 
     def rank(self, key: Key) -> int:
         """Rank under the currently best decay rate."""

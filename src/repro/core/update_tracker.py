@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .clock import Clock, VirtualClock
 from .counts import Key
@@ -126,6 +126,16 @@ class UpdateRateTracker:
                 # All updates happened "now"; report a large finite rate.
                 return count
             return count / elapsed
+
+    def rate_many(self, keys: Sequence[Key]) -> List[float]:
+        """Rates for ``keys`` from one consistent snapshot.
+
+        One (reentrant) lock acquisition covers the whole batch, so a
+        concurrent ``record_update`` can't land between two keys of one
+        priced result set.
+        """
+        with self._lock:
+            return [self.rate(key) for key in keys]
 
     def max_rate(self) -> float:
         """Largest estimated rate across tracked keys (0 if none)."""

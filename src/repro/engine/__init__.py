@@ -30,6 +30,7 @@ from .persistence import (
     save_database,
 )
 from .planner import AccessPath, candidate_rowids, choose_access_path
+from .rwlock import LockError, ReadWriteLock
 from .schema import Column, TableSchema, schema
 from .table import HeapTable
 from .transactions import TransactionError, UndoLog

@@ -1,4 +1,11 @@
-"""Catalog: the collection of tables and indexes forming a database."""
+"""Catalog: the collection of tables and indexes forming a database.
+
+Concurrency audit: lookups (``table``, ``indexes_for``, ``index_on``,
+``table_names``) never mutate catalog state, so any number may run under
+the engine's shared read lock; ``create_*``/``drop_*`` mutate the name
+maps and run only under the write side (CREATE/DROP statements are
+classified as writers by :meth:`repro.engine.database.Database.execute`).
+"""
 
 from __future__ import annotations
 

@@ -4,13 +4,24 @@ This is the layer the delay guard wraps. It accepts SQL text or
 pre-parsed statements, collects simple execution statistics, and offers
 convenience helpers (``insert_rows``, ``explain``) used throughout the
 workload generators and benchmarks.
+
+Concurrency: the database owns a writer-preferring, reentrant
+:class:`~repro.engine.rwlock.ReadWriteLock`. SELECT and EXPLAIN execute
+under the shared read side (:meth:`Database.read_view`), so concurrent
+readers proceed in parallel; DML, DDL, and transaction control take the
+exclusive write side (:meth:`Database.write_txn`). Reads never mutate
+engine state — scans, planner decisions, index lookups, and subquery
+binding are pure; the only read-path bookkeeping is
+:class:`EngineStats`, which takes its own small lock.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .catalog import Catalog
 from .executor import Executor, ResultSet
@@ -28,6 +39,7 @@ from .parser.ast import (
 from .expr import ColumnRef, Comparison
 from .parser.parser import parse, parse_cached
 from .planner import choose_access_path
+from .rwlock import ReadWriteLock
 from .schema import TableSchema
 from .table import HeapTable
 from .transactions import TransactionError, UndoLog
@@ -36,25 +48,34 @@ from .types import SQLValue
 
 @dataclass
 class EngineStats:
-    """Aggregate execution statistics, by statement kind."""
+    """Aggregate execution statistics, by statement kind.
+
+    ``record`` takes an internal lock: statistics are the one piece of
+    shared state the *read* path mutates, and concurrent SELECTs under
+    the shared engine lock would otherwise lose increments.
+    """
 
     statements: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
     rows_returned: int = 0
     rows_written: int = 0
     total_execution_seconds: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, result: ResultSet, elapsed: float) -> None:
-        """Fold one statement's outcome into the totals."""
-        self.statements += 1
-        self.by_kind[result.statement_kind] = (
-            self.by_kind.get(result.statement_kind, 0) + 1
-        )
-        if result.statement_kind == "select":
-            self.rows_returned += len(result.rows)
-        else:
-            self.rows_written += result.rowcount
-        self.total_execution_seconds += elapsed
+        """Fold one statement's outcome into the totals (atomically)."""
+        with self._lock:
+            self.statements += 1
+            self.by_kind[result.statement_kind] = (
+                self.by_kind.get(result.statement_kind, 0) + 1
+            )
+            if result.statement_kind == "select":
+                self.rows_returned += len(result.rows)
+            else:
+                self.rows_written += result.rowcount
+            self.total_execution_seconds += elapsed
 
 
 class Database:
@@ -71,7 +92,39 @@ class Database:
         self.catalog = Catalog()
         self.executor = Executor(self.catalog)
         self.stats = EngineStats()
+        #: Engine-level reader/writer lock: SELECT/EXPLAIN share the
+        #: read side, everything that mutates takes the write side.
+        self.rwlock = ReadWriteLock()
         self._transaction: Optional[UndoLog] = None
+
+    # -- concurrency ---------------------------------------------------------
+
+    @contextmanager
+    def read_view(self) -> Iterator["Database"]:
+        """Shared read access: a stable database for scans and lookups.
+
+        Reentrant (a reader may nest further read views), and a thread
+        holding :meth:`write_txn` may open read views over its own
+        uncommitted state.
+        """
+        self.rwlock.acquire_read()
+        try:
+            yield self
+        finally:
+            self.rwlock.release_read()
+
+    @contextmanager
+    def write_txn(self) -> Iterator["Database"]:
+        """Exclusive write access; excludes readers and other writers.
+
+        Reentrant for the owning thread, so statement execution may
+        nest inside an explicit-transaction scope.
+        """
+        self.rwlock.acquire_write()
+        try:
+            yield self
+        finally:
+            self.rwlock.release_write()
 
     # -- transactions -------------------------------------------------------
 
@@ -82,35 +135,42 @@ class Database:
 
     def begin(self) -> None:
         """Open an explicit transaction (no nesting)."""
-        if self._transaction is not None:
-            raise TransactionError("a transaction is already open")
-        self._transaction = UndoLog()
+        with self.write_txn():
+            if self._transaction is not None:
+                raise TransactionError("a transaction is already open")
+            self._transaction = UndoLog()
 
     def commit(self) -> int:
         """Commit the open transaction; returns mutations kept."""
-        if self._transaction is None:
-            raise TransactionError("no transaction to commit")
-        count = self._transaction.commit()
-        self._transaction = None
-        return count
+        with self.write_txn():
+            if self._transaction is None:
+                raise TransactionError("no transaction to commit")
+            count = self._transaction.commit()
+            self._transaction = None
+            return count
 
     def rollback(self) -> int:
         """Roll back the open transaction; returns mutations undone."""
-        if self._transaction is None:
-            raise TransactionError("no transaction to roll back")
-        count = self._transaction.rollback()
-        self._transaction = None
-        return count
+        with self.write_txn():
+            if self._transaction is None:
+                raise TransactionError("no transaction to roll back")
+            count = self._transaction.rollback()
+            self._transaction = None
+            return count
 
     # -- statement execution ---------------------------------------------
 
     def execute(self, sql_or_statement: Union[str, object]) -> ResultSet:
         """Execute one SQL string or pre-parsed statement.
 
-        DML statements are atomic: a statement that fails part-way
-        (e.g. a multi-row INSERT hitting a duplicate key) leaves no
-        effects. Inside an explicit transaction its effects are instead
-        queued for COMMIT/ROLLBACK. DDL is rejected inside transactions.
+        SELECT and EXPLAIN run under the shared read side of the engine
+        lock, so any number of them proceed in parallel; everything
+        else (DML, DDL, transaction control) takes the exclusive write
+        side. DML statements are atomic: a statement that fails
+        part-way (e.g. a multi-row INSERT hitting a duplicate key)
+        leaves no effects. Inside an explicit transaction its effects
+        are instead queued for COMMIT/ROLLBACK. DDL is rejected inside
+        transactions.
         """
         statement = (
             parse_cached(sql_or_statement)
@@ -118,9 +178,22 @@ class Database:
             else sql_or_statement
         )
         if isinstance(statement, TransactionStatement):
-            return self._execute_transaction_control(statement)
+            with self.write_txn():
+                return self._execute_transaction_control(statement)
         if isinstance(statement, ExplainStatement):
-            return self._execute_explain(statement)
+            with self.read_view():
+                return self._execute_explain(statement)
+        if isinstance(statement, SelectStatement):
+            with self.read_view():
+                started = time.perf_counter()
+                result = self.executor.execute(statement)
+                self.stats.record(result, time.perf_counter() - started)
+                return result
+        with self.write_txn():
+            return self._execute_write(statement)
+
+    def _execute_write(self, statement) -> ResultSet:
+        """Run a mutating statement; caller holds the write side."""
         if self._transaction is not None and isinstance(
             statement,
             (CreateTableStatement, CreateIndexStatement, DropTableStatement),
@@ -128,7 +201,6 @@ class Database:
             raise TransactionError(
                 "DDL is not transactional; COMMIT or ROLLBACK first"
             )
-
         scope = self._statement_scope(statement)
         started = time.perf_counter()
         try:
@@ -222,7 +294,8 @@ class Database:
 
     def create_table(self, schema: TableSchema) -> HeapTable:
         """Create a table from a pre-built schema object."""
-        return self.catalog.create_table(schema)
+        with self.write_txn():
+            return self.catalog.create_table(schema)
 
     def table(self, name: str) -> HeapTable:
         """Direct access to a heap table (bypasses SQL)."""
@@ -236,8 +309,9 @@ class Database:
         This is the fast path used when loading large synthetic datasets
         for benchmarks; it performs the same validation as INSERT.
         """
-        table = self.catalog.table(table_name)
-        return [table.insert(row) for row in rows]
+        with self.write_txn():
+            table = self.catalog.table(table_name)
+            return [table.insert(row) for row in rows]
 
     # -- introspection --------------------------------------------------------
 
@@ -246,15 +320,17 @@ class Database:
         statement = parse(sql)
         where = getattr(statement, "where", None)
         table_name = getattr(statement, "table", None)
-        if table_name is None or not self.catalog.has_table(table_name):
-            return "NO PLAN (not a table statement)"
-        table = self.catalog.table(table_name)
-        path = choose_access_path(self.catalog, table, where)
-        return path.describe()
+        with self.read_view():
+            if table_name is None or not self.catalog.has_table(table_name):
+                return "NO PLAN (not a table statement)"
+            table = self.catalog.table(table_name)
+            path = choose_access_path(self.catalog, table, where)
+            return path.describe()
 
     def row_count(self, table_name: str) -> int:
         """Number of rows currently in a table."""
-        return len(self.catalog.table(table_name))
+        with self.read_view():
+            return len(self.catalog.table(table_name))
 
     def __repr__(self) -> str:
         tables = ", ".join(self.catalog.table_names()) or "<empty>"

@@ -6,6 +6,14 @@ base-table rows that contributed to the result — the hook the delay
 layer uses to charge per-tuple delays and maintain popularity counts
 without modifying the engine. For joined queries, ``touched`` lists
 every contributing ``(table, rowid)`` pair across all joined tables.
+
+Concurrency audit: the executor is stateless between calls (it holds
+only the catalog reference), and the whole SELECT path — planning,
+subquery binding, scans, joins, aggregation — allocates its intermediate
+state per call and never writes through to tables, indexes, or the
+catalog. Concurrent SELECTs under the engine's shared read lock are
+therefore safe; the mutating handlers (``execute_insert`` etc.) run only
+under the exclusive write side.
 """
 
 from __future__ import annotations

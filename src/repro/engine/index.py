@@ -5,6 +5,12 @@ consistent automatically. The ordered index keeps a sorted key list with
 binary-search insertion — O(log n) search, O(n) insert worst case — which
 is ample for the workloads in this reproduction while remaining simple
 and correct.
+
+Concurrency audit: ``lookup``/``lookup_in``/``range`` are pure reads.
+Indexes are built eagerly in ``__init__`` (CREATE INDEX runs under the
+engine's exclusive write side) and updated only via the mutation stream,
+which also fires under the write side — there is no lazily-built state
+for a reader to trip over, so no read-to-write lock upgrade is needed.
 """
 
 from __future__ import annotations

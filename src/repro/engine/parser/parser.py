@@ -585,12 +585,38 @@ def parse(sql: str) -> Statement:
     return Parser(sql).parse_statement()
 
 
-@lru_cache(maxsize=4096)
+#: Default capacity of the process-global statement cache.
+PARSE_CACHE_DEFAULT_SIZE = 4096
+
+_parse_cache = lru_cache(maxsize=PARSE_CACHE_DEFAULT_SIZE)(parse)
+
+
 def parse_cached(sql: str) -> Statement:
     """Like :func:`parse`, with an LRU statement cache.
 
     Statement nodes are immutable (frozen dataclasses), so callers may
     share them freely. Use for hot paths that re-issue the same SQL
     text (the guard, the SQLite proxy); parse errors are not cached.
+    The cache is process-global and thread-safe (``functools.lru_cache``
+    takes its own lock); resize it with :func:`configure_parse_cache`
+    and read hit/miss counters with :func:`parse_cache_info`.
     """
-    return parse(sql)
+    return _parse_cache(sql)
+
+
+def configure_parse_cache(maxsize: int) -> None:
+    """Resize the statement cache (rebuilds it, dropping cached entries).
+
+    Process-global: every ``parse_cached`` caller shares one cache, so
+    the last configuration wins. Hit/miss counters restart from zero.
+    """
+    global _parse_cache
+    _parse_cache = lru_cache(maxsize=maxsize)(parse)
+
+
+def parse_cache_info():
+    """Current statement-cache counters (``functools`` CacheInfo).
+
+    Fields: ``hits``, ``misses``, ``maxsize``, ``currsize``.
+    """
+    return _parse_cache.cache_info()

@@ -52,35 +52,43 @@ def _column_from_dict(payload: Dict) -> Column:
 
 
 def dump_database(database: Database) -> Dict:
-    """Serialise a database to a JSON-compatible dictionary."""
-    tables = []
-    for name in database.catalog.table_names():
-        heap = database.catalog.table(name)
-        tables.append(
-            {
-                "name": heap.schema.name,
-                "columns": [
-                    _column_to_dict(column) for column in heap.schema.columns
-                ],
-                "rows": [
-                    {"rowid": rowid, "values": list(row)}
-                    for rowid, row in heap.scan()
-                ],
-                "next_rowid": heap._next_rowid,
-            }
-        )
-    indexes = []
-    for name in database.catalog.table_names():
-        for index in database.catalog.indexes_for(name):
-            indexes.append(
+    """Serialise a database to a JSON-compatible dictionary.
+
+    Takes the write side of the engine lock: the dump must be a
+    point-in-time snapshot, and taking the exclusive side (rather than
+    a shared read view) lets the writer-preference guarantee it starts
+    promptly even under a steady stream of readers.
+    """
+    with database.write_txn():
+        tables = []
+        for name in database.catalog.table_names():
+            heap = database.catalog.table(name)
+            tables.append(
                 {
-                    "name": index.name,
-                    "table": index.table.name,
-                    "column": index.column,
-                    "kind": index.kind,
+                    "name": heap.schema.name,
+                    "columns": [
+                        _column_to_dict(column)
+                        for column in heap.schema.columns
+                    ],
+                    "rows": [
+                        {"rowid": rowid, "values": list(row)}
+                        for rowid, row in heap.scan()
+                    ],
+                    "next_rowid": heap._next_rowid,
                 }
             )
-    return {"format": FORMAT, "tables": tables, "indexes": indexes}
+        indexes = []
+        for name in database.catalog.table_names():
+            for index in database.catalog.indexes_for(name):
+                indexes.append(
+                    {
+                        "name": index.name,
+                        "table": index.table.name,
+                        "column": index.column,
+                        "kind": index.kind,
+                    }
+                )
+        return {"format": FORMAT, "tables": tables, "indexes": indexes}
 
 
 def load_database(payload: Dict) -> Database:
@@ -95,6 +103,12 @@ def load_database(payload: Dict) -> Database:
             f"expected {FORMAT!r}"
         )
     database = Database()
+    with database.write_txn():
+        return _load_into(database, payload)
+
+
+def _load_into(database: Database, payload: Dict) -> Database:
+    """Populate ``database`` from a payload; caller holds its write side."""
     for table_payload in payload.get("tables", []):
         schema = TableSchema(
             table_payload["name"],

@@ -1,0 +1,236 @@
+"""A writer-preferring, reentrant read/write lock for the engine.
+
+The serve path wants many concurrent SELECTs against a stable database
+while INSERT/UPDATE/DELETE/DDL exclude everyone: exactly a
+reader-writer lock. This one is tailored to how :class:`Database` uses
+it:
+
+* **Writer-preferring.** A thread waiting to write blocks *new* readers
+  from entering, so a steady stream of cheap SELECTs can never starve a
+  writer indefinitely.
+* **Reentrant for the owning thread.** A thread already holding the
+  read side may re-acquire it even while writers queue (refusing would
+  self-deadlock — e.g. pricing a result re-enters the catalog), a
+  thread holding the write side may nest further writes *and* reads
+  (DML handlers read the catalog and indexes they are mutating), and a
+  write holder keeps exclusive access until its outermost release.
+* **Sole-reader upgrade.** The single current reader may upgrade to the
+  write side (used by callers that discover mid-read that they must
+  build something — the "upgrade or pre-build" rule for lazily
+  constructed structures). A *shared* read lock refuses to upgrade with
+  :class:`LockError` instead of deadlocking: two readers upgrading
+  would each wait for the other forever.
+* **Telemetry.** Waiter counts and cumulative write-side hold time are
+  exposed so the guard can publish ``engine_read_lock_waiters`` /
+  ``engine_write_lock_hold_seconds`` without wrapping the hot path.
+
+The lock is intentionally not fair among writers (whichever waiting
+writer wakes first wins); the engine has no ordering requirement
+between concurrent writers beyond mutual exclusion.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from .errors import EngineError
+
+
+class LockError(EngineError):
+    """An unsupported lock transition (e.g. a shared-read upgrade)."""
+
+
+class ReadWriteLock:
+    """Writer-preferring, thread-reentrant reader/writer lock.
+
+    >>> lock = ReadWriteLock()
+    >>> with lock.read_locked():
+    ...     pass  # shared with other readers
+    >>> with lock.write_locked():
+    ...     with lock.read_locked():
+    ...         pass  # the writer may read its own view
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        #: thread ident -> reentrant read depth.
+        self._readers: Dict[int, int] = {}
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+        self._waiting_writers = 0
+        self._waiting_readers = 0
+        self._read_acquisitions = 0
+        self._write_acquisitions = 0
+        self._write_hold_seconds = 0.0
+        self._write_acquired_at = 0.0
+
+    # -- read side ----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Acquire shared access; blocks while a writer holds or waits."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or me in self._readers:
+                # Reentrant entry: never blocks, even with writers
+                # queued — waiting on ourselves would deadlock.
+                self._readers[me] = self._readers.get(me, 0) + 1
+                self._read_acquisitions += 1
+                return
+            while self._writer is not None or self._waiting_writers:
+                self._waiting_readers += 1
+                try:
+                    self._cond.wait()
+                finally:
+                    self._waiting_readers -= 1
+            self._readers[me] = 1
+            self._read_acquisitions += 1
+
+    def release_read(self) -> None:
+        """Release one level of shared access."""
+        me = threading.get_ident()
+        with self._cond:
+            depth = self._readers.get(me, 0)
+            if depth == 0:
+                raise LockError(
+                    "release_read without a matching acquire_read"
+                )
+            if depth == 1:
+                del self._readers[me]
+                if not self._readers:
+                    self._cond.notify_all()
+            else:
+                self._readers[me] = depth - 1
+
+    # -- write side ---------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Acquire exclusive access; reentrant for the current writer.
+
+        Raises:
+            LockError: if this thread holds a *shared* read lock (other
+                readers are active) — upgrading would deadlock when two
+                readers try it simultaneously, so it is refused.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._writer_depth += 1
+                return
+            if me in self._readers:
+                # Upgrade path: legal only as the sole reader. A writer
+                # cannot be active while we hold the read side, so no
+                # wait is needed — either we convert now or we refuse.
+                if len(self._readers) > 1:
+                    raise LockError(
+                        "cannot upgrade a shared read lock to a write "
+                        "lock; release the read side or pre-build "
+                        "under the write side"
+                    )
+                self._writer = me
+                self._writer_depth = 1
+            else:
+                self._waiting_writers += 1
+                try:
+                    while self._writer is not None or self._readers:
+                        self._cond.wait()
+                finally:
+                    self._waiting_writers -= 1
+                self._writer = me
+                self._writer_depth = 1
+            self._write_acquisitions += 1
+            self._write_acquired_at = time.perf_counter()
+
+    def release_write(self) -> None:
+        """Release one level of exclusive access."""
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise LockError(
+                    "release_write by a thread that does not hold the "
+                    "write lock"
+                )
+            self._writer_depth -= 1
+            if self._writer_depth == 0:
+                self._write_hold_seconds += (
+                    time.perf_counter() - self._write_acquired_at
+                )
+                self._writer = None
+                # An upgraded thread may still hold its read entry; it
+                # keeps excluding other writers (a natural downgrade)
+                # but readers may join it.
+                self._cond.notify_all()
+
+    # -- context managers ----------------------------------------------------
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with``-style shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with``-style exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- telemetry -----------------------------------------------------------
+
+    @property
+    def active_readers(self) -> int:
+        """Threads currently holding the read side."""
+        with self._cond:
+            return len(self._readers)
+
+    @property
+    def write_locked_now(self) -> bool:
+        """Whether any thread currently holds the write side."""
+        with self._cond:
+            return self._writer is not None
+
+    @property
+    def waiting_readers(self) -> int:
+        """Threads blocked waiting for the read side."""
+        with self._cond:
+            return self._waiting_readers
+
+    @property
+    def waiting_writers(self) -> int:
+        """Threads blocked waiting for the write side."""
+        with self._cond:
+            return self._waiting_writers
+
+    @property
+    def read_acquisitions(self) -> int:
+        """Lifetime read-side acquisitions (including reentries)."""
+        with self._cond:
+            return self._read_acquisitions
+
+    @property
+    def write_acquisitions(self) -> int:
+        """Lifetime outermost write-side acquisitions."""
+        with self._cond:
+            return self._write_acquisitions
+
+    @property
+    def write_hold_seconds(self) -> float:
+        """Cumulative seconds the write side was held (completed holds)."""
+        with self._cond:
+            return self._write_hold_seconds
+
+    def __repr__(self) -> str:
+        with self._cond:
+            return (
+                f"ReadWriteLock(readers={len(self._readers)}, "
+                f"writer={self._writer is not None}, "
+                f"waiting_writers={self._waiting_writers})"
+            )

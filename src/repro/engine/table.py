@@ -4,6 +4,12 @@ A :class:`HeapTable` stores validated row tuples keyed by a monotonically
 increasing row id. Row ids are stable across updates (an UPDATE keeps the
 row id), which is what lets the delay layer track per-tuple popularity
 and update counts without caring about value churn.
+
+Concurrency audit: ``scan``/``get``/``lookup_pk``/``rowids`` never
+mutate table state — reads under the engine's shared read lock are safe
+against each other. ``scan`` iterates the live row dict, so it must not
+interleave with a mutator: the engine guarantees that by running
+INSERT/UPDATE/DELETE/DDL under the exclusive write side.
 """
 
 from __future__ import annotations

@@ -22,22 +22,35 @@ Responses are ``{"ok": true, ...}`` or
 The ``metrics`` and ``trace`` ops expose the service's shared
 :class:`~repro.obs.Observability` bundle: one scrape returns guard
 counters/histograms and server counters together, as JSON or as
-Prometheus text exposition. Scrapes read the registry directly and do
-*not* take the server's statement lock, so monitoring stays responsive
-while a penalised query is being served.
+Prometheus text exposition. Scrapes read the registry directly and
+never block behind query traffic, so monitoring stays responsive while
+a penalised query is being served.
 
 Concurrency model
 -----------------
 
-Each connection gets its own handler thread. The service is guarded by
-one server lock (one statement at a time): authorization, engine
-execution, and tracker recording all happen under it, so the counts the
-delay formula (eq. 1) reads are never mid-update. The *sleep* that
-serves the delay happens outside the lock — with a
-:class:`~repro.core.clock.RealClock` each connection blocks only itself,
-and with a :class:`~repro.core.clock.VirtualClock` the (thread-safe)
-clock advances atomically — so slow (penalised) queries never stall
-other clients.
+Each connection gets its own handler thread, and there is **no global
+statement lock**: queries flow straight into the guard's staged
+pipeline (:mod:`repro.core.pipeline`), whose stages synchronise on the
+component each touches. The engine itself arbitrates data access with
+a writer-preferring read/write lock
+(:class:`~repro.engine.rwlock.ReadWriteLock`): SELECT/EXPLAIN run
+concurrently under the shared read side, while DML/DDL/transaction
+control take the exclusive write side. Trackers, the account manager,
+and the stats/metrics objects carry their own internal locks, so the
+counts the delay formula (eq. 1) reads are never mid-update — a
+multi-tuple query is priced against one consistent tracker snapshot.
+
+The *sleep* that serves a delay happens on the connection's own
+handler thread (the guard is called with ``sleep=False``): with a
+:class:`~repro.core.clock.RealClock` each connection blocks only
+itself, and with a :class:`~repro.core.clock.VirtualClock` the
+(thread-safe) clock advances atomically. A penalised query therefore
+never stalls other clients — only its own connection waits.
+
+The server's remaining lock covers registration only, keeping the
+registration throttle's gate ordering deterministic; statements never
+pass through it.
 
 Per-connection robustness: reads are bounded by ``read_timeout`` and
 ``max_request_bytes``; a handler crash is recorded in
@@ -191,6 +204,9 @@ class DelayServer:
         #: exact lifetime count of handler errors (survives ring wrap).
         self.handler_errors_total = 0
         self.obs = service.obs
+        # Registration only. Queries are NOT serialised here: the
+        # guard's pipeline and the engine's read/write lock provide all
+        # statement-level synchronisation.
         self._lock = threading.Lock()
         self._draining = threading.Event()
         self._conn_cond = threading.Condition()
@@ -366,16 +382,16 @@ class DelayServer:
         sql = request.get("sql")
         if not sql:
             return {"ok": False, "error": "query needs sql"}
-        with self._lock:
-            # Compute + record under the lock, but do NOT serve the
-            # sleep while holding it: other clients must progress.
-            result = self.service.guard.execute(
-                sql, identity=request.get("identity"), sleep=False
-            )
+        # No statement gate: the pipeline stages and the engine's
+        # read/write lock synchronise everything, so concurrent
+        # handlers overlap except inside conflicting engine statements.
+        result = self.service.guard.execute(
+            sql, identity=request.get("identity"), sleep=False
+        )
         if result.delay > 0:
-            # Outside the lock the shared clock must be thread-safe:
-            # RealClock blocks only this connection, VirtualClock
-            # advances its timeline atomically.
+            # The shared clock must be thread-safe: RealClock blocks
+            # only this connection, VirtualClock advances its timeline
+            # atomically.
             sleep_start = time.perf_counter()
             self.service.clock.sleep(result.delay)
             if result.trace is not None:
@@ -394,8 +410,9 @@ class DelayServer:
         }
 
     def _handle_report(self) -> Dict:
-        with self._lock:
-            report = self.service.report()
+        # Lock-free: report() reads the engine under its read lock and
+        # the trackers/stats under their own locks.
+        report = self.service.report()
         return {
             "ok": True,
             "users": report.users,
@@ -407,9 +424,8 @@ class DelayServer:
         }
 
     def _handle_metrics(self, request: Dict) -> Dict:
-        # Registry reads take only per-metric locks, never the server's
-        # statement lock: a scrape during a long penalised query returns
-        # immediately.
+        # Registry reads take only per-metric locks: a scrape during a
+        # long penalised query returns immediately.
         fmt = request.get("format", "json")
         if fmt == "json":
             return {"ok": True, "metrics": self.obs.registry.to_json()}

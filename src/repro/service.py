@@ -7,6 +7,13 @@ manager; exposes user-facing ``register``/``query``; and gives the
 operator an admin report plus full state save/load (schema, data, *and*
 learned popularity, so delays survive restarts).
 
+Thread-safe without external serialisation: queries run the guard's
+staged pipeline, data access is arbitrated by the engine's read/write
+lock (concurrent readers, exclusive writers), and ``save``/``load``
+take the write side so a snapshot is a consistent point in time.
+Callers — including :class:`~repro.server.DelayServer` — need no
+statement-level lock of their own.
+
 >>> from repro.core import AccountPolicy
 >>> service = DataProviderService(account_policy=AccountPolicy())
 >>> _ = service.database.execute(

@@ -7,6 +7,18 @@ event-driven: each session's next query is scheduled at the moment its
 previous delay (plus think time) elapses, so sessions genuinely overlap
 in simulated time instead of serialising on the shared clock.
 
+Every statement runs the guard's *real* staged pipeline (admit → parse
+→ authorize → execute → account → price → record) via
+``guard.execute(..., sleep=False)`` — only the final sleep stage is
+replaced by event scheduling, because with one shared virtual clock an
+inline ``clock.sleep`` would charge every session's delay to the global
+timeline (see the charged-vs-makespan note on
+:class:`~repro.core.clock.VirtualClock`). The simulator instead resumes
+each session ``delay`` seconds later, so overlap is modelled exactly:
+:attr:`SimulationReport.makespan` is the wall-style completion time
+while :attr:`SimulationReport.total_charged_delay` is the per-stream
+cost sum the paper's formulas reason about.
+
 Sessions are scripts — iterables of :class:`SimStep` — and helpers build
 the common ones (trace replays, key-space extractions).
 """
@@ -101,6 +113,20 @@ class SimulationReport:
         return max(
             (report.finished_at for report in self.sessions.values()),
             default=0.0,
+        )
+
+    @property
+    def total_charged_delay(self) -> float:
+        """Sum of delay charged across all sessions (per-stream cost).
+
+        With k overlapping sessions this exceeds :attr:`makespan` —
+        parallel streams each pay their own delay but wait them out
+        simultaneously. The ratio ``total_charged_delay / makespan`` is
+        the parallel speedup a §2.4 adversary extracts, which is what
+        the parallel-attack ablation plots.
+        """
+        return sum(
+            report.total_delay for report in self.sessions.values()
         )
 
 

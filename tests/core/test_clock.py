@@ -1,5 +1,6 @@
 """Tests for clocks."""
 
+import threading
 import time
 
 import pytest
@@ -43,6 +44,61 @@ class TestVirtualClock:
         clock.sleep(0.0)
         assert clock.now() == 0.0
 
+    def test_parallel_sleeps_are_charged_not_overlapped(self):
+        """sleep(d) models *charged* time: k threads sleeping d seconds
+        move the clock k*d, matching GuardStats.total_delay."""
+        clock = VirtualClock()
+        threads = [
+            threading.Thread(target=clock.sleep, args=(2.0,))
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert clock.now() == 8.0
+        assert clock.total_slept == 8.0
+
+    def test_sleep_until_future_deadline_advances(self):
+        clock = VirtualClock(start=10.0)
+        waited = clock.sleep_until(12.5)
+        assert waited == 2.5
+        assert clock.now() == 12.5
+        assert clock.sleeps == [2.5]
+
+    def test_sleep_until_past_deadline_waits_zero(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        assert clock.sleep_until(3.0) == 0.0
+        assert clock.now() == 5.0
+        assert clock.sleeps == []
+
+    def test_sleep_until_coalesces_overlapping_waiters(self):
+        """Two threads racing toward one deadline charge the gap once
+        between them (makespan semantics), unlike two sleep() calls."""
+        clock = VirtualClock()
+        waited = []
+
+        def waiter():
+            waited.append(clock.sleep_until(4.0))
+
+        threads = [threading.Thread(target=waiter) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert clock.now() == 4.0
+        assert sorted(waited) == [0.0, 4.0]
+        assert clock.total_slept == 4.0
+
+    def test_elapsed_is_makespan_style(self):
+        clock = VirtualClock(start=100.0)
+        assert clock.elapsed == 0.0
+        clock.sleep(3.0)
+        clock.advance(2.0)
+        assert clock.elapsed == 5.0
+        assert clock.now() == 105.0
+
 
 class TestRealClock:
     def test_now_is_monotonic(self):
@@ -65,3 +121,16 @@ class TestRealClock:
     def test_negative_sleep_rejected(self):
         with pytest.raises(ValueError):
             RealClock().sleep(-0.1)
+
+    def test_sleep_until_past_deadline_returns_immediately(self):
+        clock = RealClock()
+        started = time.monotonic()
+        assert clock.sleep_until(clock.now() - 1.0) == 0.0
+        assert time.monotonic() - started < 0.01
+
+    def test_sleep_until_future_deadline_blocks(self):
+        clock = RealClock()
+        started = time.monotonic()
+        waited = clock.sleep_until(clock.now() + 0.02)
+        assert waited > 0.0
+        assert time.monotonic() - started >= 0.015

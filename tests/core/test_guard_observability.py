@@ -133,9 +133,11 @@ class TestGuardTracing:
         assert trace.rows == 1
         assert trace.sql == "SELECT * FROM t WHERE id = 1"
         stages = [span.name for span in trace.spans]
-        # No accounts → no authorize stage; virtual clock → sleep span
-        # still recorded (the sleep itself is instantaneous).
-        assert stages == ["parse", "engine", "delay", "record", "sleep"]
+        # No accounts → no admit/authorize stages; virtual clock →
+        # sleep span still recorded (the sleep itself is instantaneous).
+        assert stages == [
+            "parse", "execute", "account", "price", "record", "sleep"
+        ]
 
     def test_denied_query_traced_with_reason(self):
         clock = VirtualClock()
@@ -151,7 +153,9 @@ class TestGuardTracing:
         assert ok.status == "ok"
         assert denied.status == "denied"
         assert denied.reason == "query_quota"
-        assert [span.name for span in denied.spans] == ["parse", "authorize"]
+        assert [span.name for span in denied.spans] == [
+            "admit", "parse", "authorize"
+        ]
 
     def test_error_query_traced(self):
         guard, _ = make_guard()
@@ -169,7 +173,7 @@ class TestGuardTracing:
         guard.execute(statement)
         [trace] = guard.obs.tracer.recent(limit=1)
         assert trace.sql is None
-        assert trace.spans[0].name == "engine"
+        assert trace.spans[0].name == "execute"
 
     def test_delayed_select_span_durations_match_wall_clock(self):
         """Acceptance: stage durations ≈ observed wall-clock delay."""

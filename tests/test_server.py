@@ -320,11 +320,12 @@ class TestObservabilityOps:
         assert newest["identity"] == "olga"
         assert "SELECT" in newest["sql"]
         stages = {span["name"] for span in newest["spans"]}
-        # The server serves the sleep outside its statement lock and
+        # The server serves the sleep on its own connection thread and
         # appends that stage to the guard's finished trace, so a
         # delayed SELECT's recorded lifecycle is complete end to end.
         assert {
-            "parse", "authorize", "engine", "delay", "record", "sleep"
+            "admit", "parse", "authorize", "execute", "account",
+            "price", "record", "sleep",
         } <= stages
         assert newest["delay"] > 0
         span_total = sum(span["duration"] for span in newest["spans"])
