@@ -206,6 +206,79 @@ class AccountManager:
         if wait > 0:
             raise AccessDenied(reason, retry_after=wait)
 
+    # -- persistence -------------------------------------------------------------
+
+    def dump_state(self) -> Dict:
+        """Serialise registered identities and quota windows.
+
+        Token-bucket levels are deliberately *not* persisted: they refill
+        within seconds of restart, and carrying stale levels across a
+        recovery whose wall-clock gap is unknown would be wrong more
+        often than right. Daily quota windows and the registration
+        gate's history *are* kept — those are the defenses an adversary
+        could otherwise reset by crashing the service.
+        """
+        with self._lock:
+            return {
+                "accounts": [
+                    {
+                        "identity": a.identity,
+                        "subnet": a.subnet,
+                        "registered_at": a.registered_at,
+                        "fee_paid": a.fee_paid,
+                        "queries_issued": a.queries_issued,
+                        "tuples_retrieved": a.tuples_retrieved,
+                    }
+                    for a in self.accounts.values()
+                ],
+                "fees_collected": self.fees_collected,
+                "quota_windows": {
+                    identity: list(window)
+                    for identity, window in self._quota_windows.items()
+                },
+                "registration_gate": (
+                    {
+                        "last": self._registration_gate._last,
+                        "admitted": self._registration_gate.admitted,
+                    }
+                    if self._registration_gate is not None
+                    else None
+                ),
+            }
+
+    def load_state(self, payload: Dict) -> None:
+        """Restore :meth:`dump_state` output, replacing current state.
+
+        The policy itself is configuration, not state — it comes from
+        the service's constructor, and this method only restores what
+        accumulated under it.
+        """
+        with self._lock:
+            self.accounts = {
+                entry["identity"]: Account(
+                    identity=entry["identity"],
+                    subnet=entry["subnet"],
+                    registered_at=entry["registered_at"],
+                    fee_paid=entry["fee_paid"],
+                    queries_issued=entry["queries_issued"],
+                    tuples_retrieved=entry["tuples_retrieved"],
+                )
+                for entry in payload["accounts"]
+            }
+            self.fees_collected = float(payload["fees_collected"])
+            self._quota_windows = {
+                identity: tuple(window)
+                for identity, window in payload.get(
+                    "quota_windows", {}
+                ).items()
+            }
+            gate_state = payload.get("registration_gate")
+            if gate_state is not None and self._registration_gate is not None:
+                self._registration_gate._last = gate_state["last"]
+                self._registration_gate.admitted = gate_state["admitted"]
+            self._user_buckets = {}
+            self._subnet_buckets = {}
+
     # -- reporting --------------------------------------------------------------
 
     def subnet_accounts(self, subnet: str) -> int:

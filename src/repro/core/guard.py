@@ -567,22 +567,26 @@ class DelayGuard:
                 for (table, rowid), when in self.last_update_times.items()
             ]
         return {
-            "format": "repro-guard-v1",
+            "format": "repro-guard-v2",
             "decay_rate": self.popularity.decay_rate,
             "increment": self.popularity._increment,
             "raw_total": self.popularity._raw_total,
             "decayed_total": self.popularity._decayed_total,
             "counts": counts,
             "last_update_times": updates,
+            "update_rates": self.update_rates.dump_state(),
         }
 
     def load_state(self, payload: Dict) -> None:
         """Restore state produced by :meth:`dump_state`.
 
-        The guard's configured decay rate must match the saved one
-        (delays would silently change otherwise).
+        Accepts the current ``repro-guard-v2`` format and the older v1
+        (which predates update-rate persistence — a v1 restore leaves
+        the update tracker empty). The guard's configured decay rate
+        must match the saved one (delays would silently change
+        otherwise).
         """
-        if payload.get("format") != "repro-guard-v1":
+        if payload.get("format") not in ("repro-guard-v1", "repro-guard-v2"):
             raise ConfigError(
                 f"unsupported guard state format {payload.get('format')!r}"
             )
@@ -603,6 +607,29 @@ class DelayGuard:
             for key_text, when in payload["last_update_times"]:
                 table, _, rowid = key_text.partition(":")
                 self.last_update_times[(table, int(rowid))] = when
+        if "update_rates" in payload:
+            self.update_rates.load_state(payload["update_rates"])
+
+    def record_replayed_updates(
+        self, table: str, rowids, when: Optional[float] = None
+    ) -> None:
+        """Re-record journalled updates during crash recovery.
+
+        Mirrors what the pipeline's execute stage does for a live DML
+        statement, but stamps the tracker with ``when`` — the service
+        clock time the statement originally committed at (from its
+        journal record) — so recovered update rates decay from the
+        right instant instead of clustering at recovery time.
+        """
+        if not self.config.record_updates:
+            return
+        table_key = table.lower()
+        stamp = when if when is not None else self.clock.now()
+        with self._updates_lock:
+            for rowid in rowids:
+                key = (table_key, rowid)
+                self.update_rates.record_update(key, at=stamp)
+                self.last_update_times[key] = stamp
 
     def __repr__(self) -> str:
         return (

@@ -164,7 +164,17 @@ class ExecuteStage(Stage):
     bucket = "engine"
 
     def run(self, ctx: QueryContext) -> None:
-        ctx.result = self.guard.database.execute(ctx.statement)
+        # Pass the original SQL text through when we have it: an
+        # attached write-ahead journal records committed statements as
+        # text, and a pre-parsed statement carries none.
+        source = (
+            ctx.sql_or_statement
+            if isinstance(ctx.sql_or_statement, str)
+            else None
+        )
+        ctx.result = self.guard.database.execute(
+            ctx.statement, source=source, tracked=True
+        )
 
 
 class AccountStage(Stage):

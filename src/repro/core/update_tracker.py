@@ -52,9 +52,15 @@ class UpdateRateTracker:
 
     # -- recording ---------------------------------------------------------
 
-    def record_update(self, key: Key) -> None:
-        """Record one update to ``key`` at the current clock time."""
-        now = self.clock.now()
+    def record_update(self, key: Key, at: Optional[float] = None) -> None:
+        """Record one update to ``key``.
+
+        ``at`` overrides the clock time — used by crash recovery, which
+        replays journalled updates with the timestamps they originally
+        committed at so decayed counts come out the same as if the
+        process had never died.
+        """
+        now = self.clock.now() if at is None else at
         with self._lock:
             current = self._decayed_count(key, now)
             self._counts[key] = current + 1.0
@@ -171,3 +177,41 @@ class UpdateRateTracker:
             self._last_seen.clear()
             self._started = self.clock.now()
             self._total_updates = 0
+
+    # -- persistence --------------------------------------------------------
+
+    def dump_state(self) -> Dict:
+        """Serialise decayed counts and timing for a snapshot.
+
+        Keys are stored as lists (JSON has no tuples) and restored as
+        tuples by :meth:`load_state`.
+        """
+        with self._lock:
+            return {
+                "time_constant": self.time_constant,
+                "started": self._started,
+                "total_updates": self._total_updates,
+                "entries": [
+                    [list(key), count, self._last_seen.get(key)]
+                    for key, count in self._counts.items()
+                ],
+            }
+
+    def load_state(self, payload: Dict) -> None:
+        """Restore :meth:`dump_state` output, replacing current state.
+
+        Counts resume decaying from their saved ``last_seen`` times, so
+        a tracker restored mid-experiment produces the same rates as one
+        that never stopped.
+        """
+        with self._lock:
+            self.time_constant = payload.get("time_constant")
+            self._started = float(payload["started"])
+            self._total_updates = int(payload["total_updates"])
+            self._counts = {}
+            self._last_seen = {}
+            for raw_key, count, last_seen in payload["entries"]:
+                key = tuple(raw_key) if isinstance(raw_key, list) else raw_key
+                self._counts[key] = float(count)
+                if last_seen is not None:
+                    self._last_seen[key] = float(last_seen)

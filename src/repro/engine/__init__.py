@@ -10,18 +10,34 @@ without modifying it.
 
 from .catalog import Catalog
 from .database import Database, EngineStats
+from .durability import (
+    RecoveryReport,
+    ReplayedEntry,
+    checkpoint_database,
+    recover_database,
+    replay_entry,
+    replay_journal,
+)
 from .errors import (
     CatalogError,
     ConstraintError,
     EngineError,
     ExecutionError,
+    JournalError,
     ParseError,
     TypeMismatchError,
 )
 from .executor import Executor, ResultSet
 from .index import HashIndex, Index, OrderedIndex, create_index
+from .journal import (
+    JournalRecord,
+    JournalScan,
+    WriteAheadJournal,
+    scan_journal,
+)
 from .persistence import (
     PersistenceError,
+    atomic_write_json,
     dump_database,
     export_csv,
     import_csv,
@@ -51,16 +67,24 @@ __all__ = [
     "HashIndex",
     "HeapTable",
     "Index",
+    "JournalError",
+    "JournalRecord",
+    "JournalScan",
     "OrderedIndex",
     "ParseError",
     "PersistenceError",
+    "RecoveryReport",
+    "ReplayedEntry",
     "ResultSet",
     "SQLValue",
     "TableSchema",
     "TransactionError",
     "TypeMismatchError",
     "UndoLog",
+    "WriteAheadJournal",
+    "atomic_write_json",
     "candidate_rowids",
+    "checkpoint_database",
     "choose_access_path",
     "create_index",
     "dump_database",
@@ -68,6 +92,10 @@ __all__ = [
     "import_csv",
     "load_database",
     "open_database",
+    "recover_database",
+    "replay_entry",
+    "replay_journal",
     "save_database",
+    "scan_journal",
     "schema",
 ]

@@ -13,6 +13,18 @@ exclusive write side (:meth:`Database.write_txn`). Reads never mutate
 engine state — scans, planner decisions, index lookups, and subquery
 binding are pure; the only read-path bookkeeping is
 :class:`EngineStats`, which takes its own small lock.
+
+Durability: :meth:`Database.attach_journal` connects a
+:class:`~repro.engine.journal.WriteAheadJournal`. Every committed
+mutating operation that flows through the database's public surface —
+SQL DML/DDL, :meth:`Database.create_table`, :meth:`Database.insert_rows`
+— is appended (and fsync'd) before the call returns, under the same
+exclusive write lock that applied it. Statements inside an explicit
+transaction are buffered and appended as one batch at COMMIT, so the
+journal only ever contains committed work; a crash mid-transaction
+loses exactly the uncommitted statements. Direct ``catalog``/heap
+access bypasses the journal by design (that is how snapshot *loading*
+avoids re-journalling itself).
 """
 
 from __future__ import annotations
@@ -24,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .catalog import Catalog
+from .errors import JournalError
 from .executor import Executor, ResultSet
 from .parser.ast import (
     CreateIndexStatement,
@@ -96,6 +109,40 @@ class Database:
         #: read side, everything that mutates takes the write side.
         self.rwlock = ReadWriteLock()
         self._transaction: Optional[UndoLog] = None
+        #: write-ahead journal, when durability is enabled.
+        self._journal = None
+        #: journal entries of the open explicit transaction, appended as
+        #: one batch at COMMIT and discarded at ROLLBACK.
+        self._txn_journal: List[Dict] = []
+
+    # -- durability ----------------------------------------------------------
+
+    @property
+    def journal(self):
+        """The attached write-ahead journal, or None."""
+        return self._journal
+
+    def attach_journal(self, journal) -> None:
+        """Journal every committed mutating operation from now on.
+
+        Attach *after* loading a snapshot (and after replay): loading
+        goes through the catalog directly precisely so restored rows are
+        not re-journalled.
+        """
+        with self.write_txn():
+            self._journal = journal
+
+    def detach_journal(self) -> None:
+        """Stop journalling (the journal itself is left open)."""
+        with self.write_txn():
+            self._journal = None
+
+    def _journal_entry(self, entry: Dict) -> None:
+        """Record one committed mutation; caller holds the write side."""
+        if self._transaction is not None:
+            self._txn_journal.append(entry)
+        else:
+            self._journal.append(entry)
 
     # -- concurrency ---------------------------------------------------------
 
@@ -147,6 +194,11 @@ class Database:
                 raise TransactionError("no transaction to commit")
             count = self._transaction.commit()
             self._transaction = None
+            if self._journal is not None and self._txn_journal:
+                # One append batch (one fsync) for the whole transaction;
+                # only committed statements ever reach the journal.
+                self._journal.append_many(self._txn_journal)
+            self._txn_journal = []
             return count
 
     def rollback(self) -> int:
@@ -156,11 +208,17 @@ class Database:
                 raise TransactionError("no transaction to roll back")
             count = self._transaction.rollback()
             self._transaction = None
+            self._txn_journal = []
             return count
 
     # -- statement execution ---------------------------------------------
 
-    def execute(self, sql_or_statement: Union[str, object]) -> ResultSet:
+    def execute(
+        self,
+        sql_or_statement: Union[str, object],
+        source: Optional[str] = None,
+        tracked: bool = False,
+    ) -> ResultSet:
         """Execute one SQL string or pre-parsed statement.
 
         SELECT and EXPLAIN run under the shared read side of the engine
@@ -171,12 +229,25 @@ class Database:
         leaves no effects. Inside an explicit transaction its effects
         are instead queued for COMMIT/ROLLBACK. DDL is rejected inside
         transactions.
+
+        Args:
+            source: the SQL text a pre-parsed statement came from. Only
+                needed when a journal is attached — the journal records
+                statements as text — and ignored for reads. Callers
+                passing SQL text directly never need it.
+            tracked: mark the journal record as having passed through
+                the delay guard. On recovery, only tracked statements
+                re-feed the guard's update trackers — replaying an
+                operator's direct engine write into them would invent
+                tracker state the live run never had.
         """
         statement = (
             parse_cached(sql_or_statement)
             if isinstance(sql_or_statement, str)
             else sql_or_statement
         )
+        if isinstance(sql_or_statement, str):
+            source = sql_or_statement
         if isinstance(statement, TransactionStatement):
             with self.write_txn():
                 return self._execute_transaction_control(statement)
@@ -190,9 +261,14 @@ class Database:
                 self.stats.record(result, time.perf_counter() - started)
                 return result
         with self.write_txn():
-            return self._execute_write(statement)
+            return self._execute_write(statement, source, tracked)
 
-    def _execute_write(self, statement) -> ResultSet:
+    def _execute_write(
+        self,
+        statement,
+        source: Optional[str] = None,
+        tracked: bool = False,
+    ) -> ResultSet:
         """Run a mutating statement; caller holds the write side."""
         if self._transaction is not None and isinstance(
             statement,
@@ -214,8 +290,34 @@ class Database:
                 scope.merge_into(self._transaction)
             else:
                 scope.commit()
+        self._journal_statement(result, source, tracked)
         self.stats.record(result, time.perf_counter() - started)
         return result
+
+    def _journal_statement(
+        self, result: ResultSet, source: Optional[str], tracked: bool = False
+    ) -> None:
+        """Append a committed statement to the journal, if one is attached.
+
+        DML that affected zero rows is skipped (replay would be a
+        no-op); DDL is always recorded. Raises
+        :class:`~repro.engine.errors.JournalError` for a pre-parsed
+        statement without its SQL text — silently skipping it would make
+        recovery diverge.
+        """
+        if self._journal is None:
+            return
+        if result.statement_kind != "ddl" and result.rowcount == 0:
+            return
+        if source is None:
+            raise JournalError(
+                "cannot journal a pre-parsed statement without its SQL "
+                "text; pass execute(..., source=sql)"
+            )
+        entry = {"k": "sql", "sql": source}
+        if tracked:
+            entry["g"] = True
+        self._journal_entry(entry)
 
     def _statement_scope(self, statement) -> Optional[UndoLog]:
         """An undo scope covering the statement's target table, if DML."""
@@ -295,7 +397,16 @@ class Database:
     def create_table(self, schema: TableSchema) -> HeapTable:
         """Create a table from a pre-built schema object."""
         with self.write_txn():
-            return self.catalog.create_table(schema)
+            table = self.catalog.create_table(schema)
+            if self._journal is not None:
+                self._journal_entry(
+                    {
+                        "k": "schema",
+                        "table": schema.name,
+                        "columns": [c.to_dict() for c in schema.columns],
+                    }
+                )
+            return table
 
     def table(self, name: str) -> HeapTable:
         """Direct access to a heap table (bypasses SQL)."""
@@ -307,11 +418,30 @@ class Database:
         """Bulk-insert positional rows without SQL parsing overhead.
 
         This is the fast path used when loading large synthetic datasets
-        for benchmarks; it performs the same validation as INSERT.
+        for benchmarks; it performs the same validation as INSERT, and
+        — like INSERT — is atomic: a row failing validation part-way
+        (e.g. a duplicate key) rolls back the whole batch, so the heap
+        never holds, and the journal never records, a partial load.
         """
+        materialized = [list(row) for row in rows]
         with self.write_txn():
             table = self.catalog.table(table_name)
-            return [table.insert(row) for row in rows]
+            scope = UndoLog()
+            scope.attach(table)
+            try:
+                rowids = [table.insert(row) for row in materialized]
+            except Exception:
+                scope.rollback()
+                raise
+            if self._transaction is not None:
+                scope.merge_into(self._transaction)
+            else:
+                scope.commit()
+            if self._journal is not None and materialized:
+                self._journal_entry(
+                    {"k": "rows", "table": table_name, "rows": materialized}
+                )
+            return rowids
 
     # -- introspection --------------------------------------------------------
 

@@ -45,3 +45,10 @@ class ConstraintError(EngineError):
 
 class ExecutionError(EngineError):
     """Raised when a plan fails during execution (bad expression, etc.)."""
+
+
+class JournalError(EngineError):
+    """Raised on write-ahead-journal problems: a bad file header, an
+    unjournalable statement (no SQL source available), or an unknown
+    record kind during replay. Torn or corrupt *tails* are not errors —
+    recovery truncates them by design."""

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -33,22 +35,51 @@ class PersistenceError(EngineError):
     """Raised when a save file is missing, malformed, or incompatible."""
 
 
+def atomic_write_json(
+    path: Union[str, Path], payload: Dict, indent: Optional[int] = None
+) -> None:
+    """Write JSON so that ``path`` always holds a complete document.
+
+    The payload is written to a temporary file *in the same directory*
+    (so the final rename cannot cross filesystems), fsync'd, and moved
+    into place with :func:`os.replace` — atomic on POSIX. A crash at any
+    point leaves either the previous file or the new one, never a torn
+    mix; the directory is fsync'd afterwards so the rename itself is
+    durable.
+    """
+    target = Path(path)
+    directory = target.parent if str(target.parent) else Path(".")
+    handle_fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=str(directory)
+    )
+    try:
+        with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds; rename is still atomic
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
 def _column_to_dict(column: Column) -> Dict:
-    return {
-        "name": column.name,
-        "type": column.dtype.value,
-        "nullable": column.nullable,
-        "primary_key": column.primary_key,
-    }
+    return column.to_dict()
 
 
 def _column_from_dict(payload: Dict) -> Column:
-    return Column(
-        name=payload["name"],
-        dtype=DataType.from_name(payload["type"]),
-        nullable=payload["nullable"],
-        primary_key=payload["primary_key"],
-    )
+    return Column.from_dict(payload)
 
 
 def dump_database(database: Database) -> Dict:
@@ -159,9 +190,13 @@ def _rekey(heap, saved_ids: List[int], next_rowid: Optional[int]) -> None:
 
 
 def save_database(database: Database, path: Union[str, Path]) -> None:
-    """Write a database to ``path`` as JSON."""
+    """Write a database to ``path`` as JSON, atomically.
+
+    Uses :func:`atomic_write_json`: a crash mid-save leaves the previous
+    good snapshot intact rather than a truncated JSON document.
+    """
     payload = dump_database(database)
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write_json(path, payload, indent=1)
 
 
 def open_database(path: Union[str, Path]) -> Database:
@@ -184,21 +219,24 @@ def export_csv(
 ) -> int:
     """Write one table to CSV (header row + data); returns row count.
 
-    NULLs are written as empty fields; a TEXT value that is itself an
-    empty string round-trips as empty too — use the JSON format when
-    that distinction matters.
+    The scan runs under the engine's shared read lock, so the exported
+    file is a consistent point-in-time view even with concurrent
+    writers. NULLs are written as empty fields; a TEXT value that is
+    itself an empty string round-trips as empty too — use the JSON
+    format when that distinction matters.
     """
-    heap = database.catalog.table(table)
-    count = 0
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(heap.schema.column_names())
-        for _rowid, row in heap.scan():
-            writer.writerow(
-                ["" if value is None else value for value in row]
-            )
-            count += 1
-    return count
+    with database.read_view():
+        heap = database.catalog.table(table)
+        count = 0
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(heap.schema.column_names())
+            for _rowid, row in heap.scan():
+                writer.writerow(
+                    ["" if value is None else value for value in row]
+                )
+                count += 1
+        return count
 
 
 def import_csv(
@@ -212,6 +250,15 @@ def import_csv(
     With ``create=True`` a new all-TEXT table is created from the
     header. Otherwise the target table must exist and values are parsed
     into each column's declared type (empty fields become NULL).
+
+    Every record is checked and parsed *before* anything is inserted: a
+    ragged record (fewer or more fields than the header) or an
+    unparsable value raises :class:`PersistenceError` naming the line,
+    and the table is untouched. The inserts then run as one atomic bulk
+    load through :meth:`~repro.engine.database.Database.insert_rows` —
+    under the engine's exclusive write lock, maintaining secondary
+    indexes through the ordinary mutation stream, and journalled when a
+    write-ahead journal is attached.
     """
     file_path = Path(path)
     if not file_path.exists():
@@ -222,13 +269,23 @@ def import_csv(
             header = next(reader)
         except StopIteration:
             raise PersistenceError("CSV file is empty") from None
+        records = []
+        for line, record in enumerate(reader, start=2):
+            if len(record) != len(header):
+                raise PersistenceError(
+                    f"CSV line {line} has {len(record)} field(s), "
+                    f"header has {len(header)}"
+                )
+            records.append((line, record))
+    with database.write_txn():
         if create:
             if database.catalog.has_table(table):
                 raise CatalogError(f"table {table!r} already exists")
-            schema = TableSchema(
-                table, [Column(name, DataType.TEXT) for name in header]
+            database.create_table(
+                TableSchema(
+                    table, [Column(name, DataType.TEXT) for name in header]
+                )
             )
-            database.catalog.create_table(schema)
         heap = database.catalog.table(table)
         schema = heap.schema
         if len(header) != len(schema):
@@ -236,15 +293,21 @@ def import_csv(
                 f"CSV has {len(header)} columns, table {table!r} has "
                 f"{len(schema)}"
             )
-        count = 0
-        for record in reader:
-            values = [
-                _parse_csv_value(text, schema.columns[position].dtype)
-                for position, text in enumerate(record)
-            ]
-            heap.insert(values)
-            count += 1
-        return count
+        rows = []
+        for line, record in records:
+            try:
+                rows.append(
+                    [
+                        _parse_csv_value(text, schema.columns[position].dtype)
+                        for position, text in enumerate(record)
+                    ]
+                )
+            except (ValueError, PersistenceError) as error:
+                raise PersistenceError(
+                    f"CSV line {line}: {error}"
+                ) from error
+        database.insert_rows(table, rows)
+        return len(rows)
 
 
 def _parse_csv_value(text: str, dtype: DataType) -> SQLValue:

@@ -34,6 +34,25 @@ class Column:
             return None
         return self.dtype.validate(value, self.name)
 
+    def to_dict(self) -> Dict:
+        """JSON-compatible form, used by snapshots and journal records."""
+        return {
+            "name": self.name,
+            "type": self.dtype.value,
+            "nullable": self.nullable,
+            "primary_key": self.primary_key,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Column":
+        """Rebuild a column from :meth:`to_dict` output."""
+        return cls(
+            name=payload["name"],
+            dtype=DataType.from_name(payload["type"]),
+            nullable=payload["nullable"],
+            primary_key=payload["primary_key"],
+        )
+
 
 class TableSchema:
     """An ordered collection of :class:`Column` objects.

@@ -14,6 +14,7 @@ Protocol requests::
     {"op": "report"}
     {"op": "metrics", "format": "json" | "prometheus"}
     {"op": "trace", "limit": 20}
+    {"op": "checkpoint"}
     {"op": "ping"}
 
 Responses are ``{"ok": true, ...}`` or
@@ -75,7 +76,16 @@ from .service import DataProviderService
 
 #: Ops the server dispatches; anything else counts as "unknown" in the
 #: per-op request metric so adversarial op names cannot mint series.
-KNOWN_OPS = ("ping", "bye", "register", "query", "report", "metrics", "trace")
+KNOWN_OPS = (
+    "ping",
+    "bye",
+    "register",
+    "query",
+    "report",
+    "metrics",
+    "trace",
+    "checkpoint",
+)
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -216,6 +226,7 @@ class DelayServer:
         self._tcp = _TcpServer((host, port), _Handler)
         self._tcp.delay_server = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._stopped = False
 
     def _register_metrics(self) -> None:
         """Create the server's metric handles in the shared registry."""
@@ -252,9 +263,20 @@ class DelayServer:
             return len(self._connections)
 
     def start(self) -> None:
-        """Serve in a background thread until :meth:`stop`."""
+        """Serve in a background thread until :meth:`stop`.
+
+        A stopped server may be started again: :meth:`stop` closed the
+        listening socket, so a fresh one is bound to the same address
+        (silently serving on the closed socket would accept nothing and
+        every client would see connection refused).
+        """
         if self._thread is not None:
             raise ConfigError("server already started")
+        if self._stopped:
+            address = self._tcp.server_address
+            self._tcp = _TcpServer(address, _Handler)
+            self._tcp.delay_server = self  # type: ignore[attr-defined]
+            self._stopped = False
         self._draining.clear()
         self._thread = threading.Thread(
             target=self._tcp.serve_forever, daemon=True
@@ -292,6 +314,7 @@ class DelayServer:
                     break
                 self._conn_cond.wait(remaining)
         self._tcp.server_close()
+        self._stopped = True
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
@@ -351,6 +374,8 @@ class DelayServer:
                 return self._handle_metrics(request)
             if op == "trace":
                 return self._handle_trace(request)
+            if op == "checkpoint":
+                return self._handle_checkpoint()
             return {"ok": False, "error": f"unknown op {op!r}"}
         except AccessDenied as denied:
             if self.obs.enabled:
@@ -441,6 +466,22 @@ class DelayServer:
             "use 'json' or 'prometheus'",
         }
 
+    def _handle_checkpoint(self) -> Dict:
+        """Snapshot service state and truncate the journal.
+
+        The target is always the service's configured ``snapshot_path``
+        — a client-supplied path would let any remote peer write files
+        wherever the server process can. A service without a configured
+        path answers with a :class:`~repro.core.errors.ConfigError`
+        message.
+        """
+        seq = self.service.checkpoint()
+        return {
+            "ok": True,
+            "journal_seq": seq,
+            "checkpoints_completed": self.service.checkpoints_completed,
+        }
+
     def _handle_trace(self, request: Dict) -> Dict:
         limit = request.get("limit", 20)
         if not isinstance(limit, int) or limit < 1:
@@ -504,7 +545,20 @@ class DelayClient:
             raise ConnectionClosed(f"transport failure: {error}") from error
         if not line:
             raise ConnectionClosed()
-        response = json.loads(line.decode("utf-8"))
+        try:
+            response = json.loads(line.decode("utf-8", errors="replace"))
+        except json.JSONDecodeError as error:
+            # A half-written line (server died mid-response) is a
+            # transport failure, not an application denial: the caller
+            # cannot know whether the request took effect.
+            raise ConnectionClosed(
+                f"garbled server response: {error}"
+            ) from error
+        if not isinstance(response, dict):
+            raise ConnectionClosed(
+                f"garbled server response: expected an object, "
+                f"got {type(response).__name__}"
+            )
         if not response.get("ok"):
             error = ServerError(response)
             self.last_retry_after = error.retry_after
@@ -562,6 +616,10 @@ class DelayClient:
     def report(self) -> Dict:
         """Fetch the operator report."""
         return self._call({"op": "report"})
+
+    def checkpoint(self) -> Dict:
+        """Ask the server to snapshot its state and truncate its journal."""
+        return self._call({"op": "checkpoint"})
 
     def metrics(self, format: str = "json") -> Dict:
         """Scrape the server's metrics registry.

@@ -27,6 +27,7 @@ statement-level lock of their own.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -37,16 +38,22 @@ from .core.config import GuardConfig
 from .core.errors import ConfigError
 from .core.guard import DelayGuard, GuardedResult
 from .engine.database import Database
+from .engine.durability import RecoveryReport, replay_journal
+from .engine.journal import WriteAheadJournal
 from .engine.persistence import (
     PersistenceError,
+    atomic_write_json,
     dump_database,
     load_database,
 )
 from .obs import Observability
 from .sim.metrics import format_seconds
 
-#: Format identifier for full-service save files.
-SERVICE_FORMAT = "repro-service-v1"
+#: Format identifier for full-service save files. v2 adds account state
+#: and the journal high-water mark (``journal_seq``); v1 files are still
+#: loadable.
+SERVICE_FORMAT = "repro-service-v2"
+_LEGACY_FORMATS = ("repro-service-v1",)
 
 
 @dataclass
@@ -125,6 +132,18 @@ class DataProviderService:
             service is wrapped in a :class:`~repro.server.DelayServer`,
             with the server), so one scrape covers every layer. A fresh
             enabled bundle by default.
+        snapshot_path: default file for :meth:`checkpoint` and the
+            recovery entry point. Optional; :meth:`save` still takes an
+            explicit path.
+        journal_path: when set, a write-ahead journal is opened there
+            and attached to the engine — every committed mutation is
+            fsync'd before its caller is told it succeeded. On a fresh
+            start this is correct on its own; after a crash use
+            :meth:`recover`, which replays the journal *before*
+            re-attaching it.
+        journal_sync: fsync the journal on every commit (default).
+            Turning it off trades the durability of the newest commits
+            for write throughput.
     """
 
     def __init__(
@@ -134,6 +153,9 @@ class DataProviderService:
         account_policy: Optional[AccountPolicy] = None,
         clock: Optional[Clock] = None,
         obs: Optional[Observability] = None,
+        snapshot_path: Optional[Union[str, Path]] = None,
+        journal_path: Optional[Union[str, Path]] = None,
+        journal_sync: bool = True,
     ):
         self.database = database if database is not None else Database()
         self.clock = clock if clock is not None else VirtualClock()
@@ -149,6 +171,153 @@ class DataProviderService:
             clock=self.clock,
             accounts=self.accounts,
             obs=self.obs,
+        )
+        self.snapshot_path = Path(snapshot_path) if snapshot_path else None
+        #: report of the recovery pass that produced this service, when
+        #: it was built by :meth:`recover`.
+        self.last_recovery: Optional[RecoveryReport] = None
+        self.checkpoints_completed = 0
+        self._durability_metrics_registered = False
+        if journal_path is not None:
+            self.enable_journal(journal_path, sync=journal_sync)
+
+    # -- durability ----------------------------------------------------------
+
+    @property
+    def journal(self) -> Optional[WriteAheadJournal]:
+        """The engine's attached write-ahead journal, if any."""
+        return self.database.journal
+
+    def enable_journal(
+        self, path: Union[str, Path], sync: bool = True
+    ) -> WriteAheadJournal:
+        """Open a write-ahead journal at ``path`` and attach it.
+
+        Opening truncates any torn tail durably and continues sequence
+        numbering after the last surviving record. Statements committed
+        from here on are journalled (stamped with the service clock, so
+        recovery can rebuild update-rate state with original
+        timestamps). Call only on a state that already reflects the
+        journal's contents — a fresh service, or one built by
+        :meth:`recover`.
+        """
+        if self.database.journal is not None:
+            raise ConfigError("a journal is already attached")
+        journal = WriteAheadJournal(path, clock=self.clock, sync=sync)
+        self.database.attach_journal(journal)
+        if self.obs.enabled:
+            self._register_durability_metrics()
+        return journal
+
+    def checkpoint(self, path: Optional[Union[str, Path]] = None) -> int:
+        """Snapshot full service state, then truncate the journal.
+
+        Runs under one exclusive write lock: the snapshot, the
+        ``journal_seq`` it records, and the truncation are a single
+        point in time. A crash anywhere in between is safe — recovery
+        skips journal records the snapshot already covers. Returns the
+        journal sequence number the snapshot covers.
+        """
+        target = Path(path) if path is not None else self.snapshot_path
+        if target is None:
+            raise ConfigError(
+                "no checkpoint path: pass one or construct the service "
+                "with snapshot_path="
+            )
+        with self.database.write_txn():
+            journal = self.database.journal
+            payload = self._dump_service()
+            atomic_write_json(target, payload)
+            if journal is not None:
+                journal.truncate()
+            self.checkpoints_completed += 1
+            return payload["journal_seq"]
+
+    def _dump_service(self) -> Dict:
+        """Full service state as one JSON document (holds the write lock)."""
+        with self.database.write_txn():
+            journal = self.database.journal
+            return {
+                "format": SERVICE_FORMAT,
+                "database": dump_database(self.database),
+                "guard": self.guard.dump_state(),
+                "accounts": (
+                    self.accounts.dump_state()
+                    if self.accounts is not None
+                    else None
+                ),
+                "journal_seq": journal.last_seq if journal is not None else 0,
+                "clock": self.clock.now(),
+            }
+
+    def _register_durability_metrics(self) -> None:
+        """Expose journal and recovery health through the shared registry."""
+        if self._durability_metrics_registered:
+            return
+        self._durability_metrics_registered = True
+        registry = self.obs.registry
+        database = self.database
+
+        def journal_stat(attribute: str):
+            def read() -> float:
+                journal = database.journal
+                return getattr(journal, attribute) if journal else 0
+
+            return read
+
+        registry.counter(
+            "durability_journal_records_total",
+            "Statements appended to the write-ahead journal",
+        ).set_function(journal_stat("records_written"))
+        registry.counter(
+            "durability_journal_bytes_total",
+            "Bytes appended to the write-ahead journal",
+        ).set_function(journal_stat("bytes_written"))
+        registry.counter(
+            "durability_journal_fsyncs_total",
+            "fsync calls issued by the journal",
+        ).set_function(journal_stat("fsyncs"))
+        registry.gauge(
+            "durability_journal_size_bytes",
+            "Current journal file size (shrinks at checkpoints)",
+        ).set_function(journal_stat("size_bytes"))
+        registry.gauge(
+            "durability_journal_last_seq",
+            "Sequence number of the newest journalled statement",
+        ).set_function(journal_stat("last_seq"))
+        registry.counter(
+            "durability_checkpoints_total",
+            "Snapshots completed (journal truncations)",
+        ).set_function(lambda: self.checkpoints_completed)
+        registry.gauge(
+            "durability_recovery_seconds",
+            "Wall-clock duration of the last crash recovery",
+        ).set_function(
+            lambda: (
+                self.last_recovery.duration_seconds
+                if self.last_recovery
+                else 0.0
+            )
+        )
+        registry.gauge(
+            "durability_recovery_replayed_statements",
+            "Journal records re-applied by the last crash recovery",
+        ).set_function(
+            lambda: (
+                self.last_recovery.replayed_statements
+                if self.last_recovery
+                else 0
+            )
+        )
+        registry.gauge(
+            "durability_recovery_torn_bytes",
+            "Invalid trailing journal bytes dropped by the last recovery",
+        ).set_function(
+            lambda: (
+                self.last_recovery.torn_bytes_truncated
+                if self.last_recovery
+                else 0
+            )
         )
 
     # -- user-facing ---------------------------------------------------------
@@ -202,13 +371,52 @@ class DataProviderService:
     # -- state persistence ----------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
-        """Persist database *and* learned guard state to one file."""
-        payload = {
-            "format": SERVICE_FORMAT,
-            "database": dump_database(self.database),
-            "guard": self.guard.dump_state(),
-        }
-        Path(path).write_text(json.dumps(payload))
+        """Persist database, learned guard state, and accounts, atomically.
+
+        Unlike :meth:`checkpoint` this does not touch the journal — it
+        is a portable export, safe to point anywhere.
+        """
+        atomic_write_json(path, self._dump_service())
+
+    @staticmethod
+    def _read_service_payload(path: Union[str, Path]) -> Dict:
+        file_path = Path(path)
+        if not file_path.exists():
+            raise PersistenceError(f"no service save at {file_path}")
+        try:
+            payload = json.loads(file_path.read_text())
+        except json.JSONDecodeError as error:
+            raise PersistenceError(f"corrupt service save: {error}") from error
+        if (
+            payload.get("format") != SERVICE_FORMAT
+            and payload.get("format") not in _LEGACY_FORMATS
+        ):
+            raise PersistenceError(
+                f"unsupported service format {payload.get('format')!r}"
+            )
+        return payload
+
+    def _load_state_payload(self, payload: Dict) -> None:
+        """Restore guard and account state from a service payload."""
+        self.guard.load_state(payload["guard"])
+        accounts_state = payload.get("accounts")
+        if accounts_state is not None and self.accounts is not None:
+            self.accounts.load_state(accounts_state)
+        self._advance_clock_to(payload.get("clock"))
+
+    def _advance_clock_to(self, target: Optional[float]) -> None:
+        """Move a virtual clock forward to ``target``, never backward.
+
+        Restored tracker state carries timestamps from the previous
+        run's timeline; a virtual clock restarted at zero would sit
+        *before* them and mis-decay everything. Real clocks
+        (``time.monotonic``) are system-wide and need no restoration.
+        """
+        if target is None or not hasattr(self.clock, "advance"):
+            return
+        delta = target - self.clock.now()
+        if delta > 0:
+            self.clock.advance(delta)
 
     @classmethod
     def load(
@@ -222,25 +430,85 @@ class DataProviderService:
 
         The guard configuration is supplied by the caller (policy knobs
         are deployment configuration, not data); its decay rate must
-        match the saved state.
+        match the saved state. Both current (v2) and v1 save files are
+        accepted; v1 predates account persistence, so accounts start
+        empty.
         """
-        file_path = Path(path)
-        if not file_path.exists():
-            raise PersistenceError(f"no service save at {file_path}")
-        try:
-            payload = json.loads(file_path.read_text())
-        except json.JSONDecodeError as error:
-            raise PersistenceError(f"corrupt service save: {error}") from error
-        if payload.get("format") != SERVICE_FORMAT:
-            raise PersistenceError(
-                f"unsupported service format {payload.get('format')!r}"
-            )
-        database = load_database(payload["database"])
+        payload = cls._read_service_payload(path)
         service = cls(
-            database=database,
+            database=load_database(payload["database"]),
             guard_config=guard_config,
             account_policy=account_policy,
             clock=clock,
         )
-        service.guard.load_state(payload["guard"])
+        service._load_state_payload(payload)
+        return service
+
+    @classmethod
+    def recover(
+        cls,
+        snapshot_path: Optional[Union[str, Path]] = None,
+        journal_path: Optional[Union[str, Path]] = None,
+        guard_config: Optional[GuardConfig] = None,
+        account_policy: Optional[AccountPolicy] = None,
+        clock: Optional[Clock] = None,
+        obs: Optional[Observability] = None,
+        journal_sync: bool = True,
+    ) -> "DataProviderService":
+        """Rebuild a service after a crash: snapshot + journal replay.
+
+        Loads the latest snapshot if one exists (a missing file means
+        "never checkpointed" and is fine), replays journal records past
+        the snapshot's ``journal_seq`` — re-applying each statement to
+        the engine *and* re-recording its updates into the guard's
+        trackers with the timestamps they originally committed at — then
+        re-attaches the journal so new commits keep being logged. Torn
+        journal tails are truncated, not fatal. The result is stored in
+        :attr:`last_recovery`.
+        """
+        started = time.perf_counter()
+        payload = None
+        if snapshot_path is not None and Path(snapshot_path).exists():
+            payload = cls._read_service_payload(snapshot_path)
+        service = cls(
+            database=(
+                load_database(payload["database"])
+                if payload is not None
+                else None
+            ),
+            guard_config=guard_config,
+            account_policy=account_policy,
+            clock=clock,
+            obs=obs,
+            snapshot_path=snapshot_path,
+        )
+        report = RecoveryReport()
+        if payload is not None:
+            service._load_state_payload(payload)
+            report.snapshot_loaded = True
+            report.snapshot_seq = int(payload.get("journal_seq", 0))
+        if journal_path is not None:
+            entries, scan = replay_journal(
+                service.database, journal_path, after_seq=report.snapshot_seq
+            )
+            for entry in entries:
+                if entry.tracked and entry.table is not None and entry.rowids:
+                    service.guard.record_replayed_updates(
+                        entry.table, entry.rowids, entry.ts
+                    )
+                if entry.ts is not None:
+                    service._advance_clock_to(entry.ts)
+            report.entries = entries
+            report.replayed_statements = len(entries)
+            report.skipped_records = len(scan.records) - len(entries)
+            report.last_seq = max(scan.last_seq, report.snapshot_seq)
+            if scan.torn:
+                report.torn_bytes_truncated = (
+                    scan.total_bytes - scan.valid_bytes
+                )
+            service.enable_journal(journal_path, sync=journal_sync)
+        else:
+            report.last_seq = report.snapshot_seq
+        report.duration_seconds = time.perf_counter() - started
+        service.last_recovery = report
         return service

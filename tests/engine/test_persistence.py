@@ -192,3 +192,113 @@ class TestCsv:
         )
         with pytest.raises(PersistenceError, match="boolean"):
             import_csv(target, "t", path)
+
+    def test_ragged_row_rejected_with_line_number(self, db, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("id,name,score,ok\n1,a,1.0,true\n2,b\n")
+        target = Database()
+        target.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+            "score FLOAT, ok BOOLEAN)"
+        )
+        with pytest.raises(PersistenceError, match="line 3"):
+            import_csv(target, "t", path)
+        # Nothing imported: validation precedes any insert.
+        assert target.row_count("t") == 0
+
+    def test_extra_field_rejected(self, db, tmp_path):
+        path = tmp_path / "wide.csv"
+        path.write_text("id,name,score,ok\n1,a,1.0,true,EXTRA\n")
+        target = Database()
+        target.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+            "score FLOAT, ok BOOLEAN)"
+        )
+        with pytest.raises(PersistenceError, match="line 2"):
+            import_csv(target, "t", path)
+
+    def test_unparsable_value_names_line(self, db, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,name,score,ok\n1,a,1.0,true\nnope,b,2.0,false\n")
+        target = Database()
+        target.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+            "score FLOAT, ok BOOLEAN)"
+        )
+        with pytest.raises(PersistenceError, match="line 3"):
+            import_csv(target, "t", path)
+        assert target.row_count("t") == 0
+
+    def test_import_atomic_on_duplicate_key(self, db, tmp_path):
+        """A failing row part-way through rolls the whole import back."""
+        path = tmp_path / "dup.csv"
+        path.write_text(
+            "id,name,score,ok\n8,x,1.0,true\n8,y,2.0,false\n"
+        )
+        target = Database()
+        target.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+            "score FLOAT, ok BOOLEAN)"
+        )
+        with pytest.raises(Exception):
+            import_csv(target, "t", path)
+        assert target.row_count("t") == 0
+
+    def test_import_maintains_indexes(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        export_csv(db, "t", path)
+        target = Database()
+        target.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+            "score FLOAT, ok BOOLEAN)"
+        )
+        target.execute("CREATE INDEX iname ON t (name)")
+        import_csv(target, "t", path)
+        # The index answers queries over the imported rows.
+        assert "INDEX" in target.explain("SELECT * FROM t WHERE name = 'a'")
+        assert target.query("SELECT id FROM t WHERE name = 'a'") == [(1,)]
+
+
+class TestAtomicSave:
+    def test_save_replaces_atomically(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        first = path.read_text()
+        db.execute("INSERT INTO t VALUES (4, 'd', 4.0, TRUE)")
+        save_database(db, path)
+        assert path.read_text() != first
+        assert open_database(path).row_count("t") == 4
+
+    def test_failed_save_preserves_previous_file(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        before = path.read_text()
+
+        from repro.engine.persistence import atomic_write_json
+
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert path.read_text() == before
+
+    def test_failed_save_leaves_no_temp_files(self, db, tmp_path):
+        path = tmp_path / "db.json"
+        from repro.engine.persistence import atomic_write_json
+
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_rekey_after_deletions_keeps_pk_index(self, db, tmp_path):
+        """The rekey path must fix _pk_index too, not just rowids."""
+        db.execute("DELETE FROM t WHERE id = 1")
+        db.execute("INSERT INTO t VALUES (5, 'e', 5.0, TRUE)")
+        restored = load_database(dump_database(db))
+        # Point lookups go through the pk index; a stale index would
+        # miss or return the wrong row.
+        assert restored.query("SELECT name FROM t WHERE id = 5") == [("e",)]
+        assert restored.query("SELECT name FROM t WHERE id = 1") == []
+        heap = restored.catalog.table("t")
+        assert sorted(heap.rowids()) == sorted(db.catalog.table("t").rowids())
+        # Inserting a duplicate pk must still be caught by the index.
+        with pytest.raises(Exception):
+            heap.insert([5, "dup", 0.0, True])

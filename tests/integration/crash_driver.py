@@ -1,0 +1,141 @@
+"""Fault-injection driver: a deterministic journalled write workload.
+
+Run as a subprocess by ``test_crash_recovery.py``::
+
+    python crash_driver.py WORKDIR N_STATEMENTS
+
+Builds a journalled :class:`~repro.service.DataProviderService` in
+WORKDIR and pushes a deterministic write workload through the guard,
+appending each completed statement's index to ``WORKDIR/acks`` (fsync'd)
+*after* the service acknowledged it. The parent SIGKILLs this process at
+a random moment; the ack file then gives a durability lower bound — every
+acked statement was fsync'd to the journal before the ack was written,
+so it must survive recovery.
+
+The workload is a pure function of the statement index, so the test can
+rebuild the synchronous reference for any prefix and demand the
+recovered state match it exactly — database rows, rowids, update-rate
+trackers, and the delays eq. 1 derives from them.
+
+Every statement affects exactly one row (zero-row DML is skipped by the
+journal, which would make "statements executed" and "journal records"
+diverge and the prefix check ambiguous).
+"""
+
+import os
+import sys
+import time
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..", "src"
+)
+sys.path.insert(0, REPO_SRC)
+
+from repro.core.config import GuardConfig  # noqa: E402
+from repro.service import DataProviderService  # noqa: E402
+
+#: Seconds the virtual clock advances before each statement: makes the
+#: journal's ``ts`` stamps distinct so recovery exercises timestamped
+#: tracker replay, deterministically.
+TICK = 0.25
+
+#: ids 1..5 are seeded and never deleted; transient rows live at 100+.
+SEED_IDS = (1, 2, 3, 4, 5)
+
+
+def make_config() -> GuardConfig:
+    return GuardConfig(policy="both", update_time_constant=30.0, cap=10.0)
+
+
+def setup_statements():
+    """The schema/seed prefix, statements 0 and 1 of every run."""
+    seed = ", ".join(f"({i}, 'seed-{i}')" for i in SEED_IDS)
+    return [
+        "CREATE TABLE items (id INTEGER PRIMARY KEY, v TEXT)",
+        f"INSERT INTO items VALUES {seed}",
+    ]
+
+
+def workload_statement(index: int) -> str:
+    """Deterministic single-row statement for workload position ``index``."""
+    phase = index % 4
+    if phase == 0:
+        target = SEED_IDS[(index // 4) % len(SEED_IDS)]
+        return f"UPDATE items SET v = 'w{index}' WHERE id = {target}"
+    if phase == 1:
+        return f"INSERT INTO items VALUES ({100 + index}, 't{index}')"
+    if phase == 2:
+        return (
+            f"UPDATE items SET v = 'u{index}' WHERE id = {100 + index - 1}"
+        )
+    return f"DELETE FROM items WHERE id = {100 + index - 2}"
+
+
+def all_statements(count: int):
+    """Setup plus ``count`` workload statements, in execution order."""
+    return setup_statements() + [
+        workload_statement(index) for index in range(count)
+    ]
+
+
+def build_service(workdir, journal: bool = True) -> DataProviderService:
+    """A workload service; ``workdir=None`` builds an in-memory reference."""
+    if workdir is None:
+        return DataProviderService(guard_config=make_config())
+    return DataProviderService(
+        guard_config=make_config(),
+        snapshot_path=os.path.join(workdir, "snapshot.json"),
+        journal_path=(
+            os.path.join(workdir, "journal.bin") if journal else None
+        ),
+    )
+
+
+def apply_prefix(service: DataProviderService, statements) -> None:
+    """Run ``statements`` through the guard exactly as the driver does."""
+    for sql in statements:
+        service.clock.advance(TICK)
+        service.query(None, sql)
+
+
+def fingerprint(service: DataProviderService) -> str:
+    """Hashable digest of the durable database state."""
+    import hashlib
+    import json
+
+    if not service.database.catalog.has_table("items"):
+        return "empty"
+    heap = service.database.table("items")
+    payload = {
+        "rows": sorted(service.database.query("SELECT id, v FROM items")),
+        "rowids": heap.rowids(),
+        "next_rowid": heap._next_rowid,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def main() -> None:
+    workdir = sys.argv[1]
+    count = int(sys.argv[2])
+    pause = float(os.environ.get("CRASH_DRIVER_PAUSE", "0.004"))
+    service = build_service(workdir)
+    statements = all_statements(count)
+    ack_path = os.path.join(workdir, "acks")
+    with open(ack_path, "a", buffering=1) as acks:
+        for index, sql in enumerate(statements):
+            service.clock.advance(TICK)
+            service.query(None, sql)
+            # The ack goes to disk only after the service acknowledged
+            # the statement — so an acked statement is a durable one.
+            acks.write(f"{index}\n")
+            acks.flush()
+            os.fsync(acks.fileno())
+            time.sleep(pause)
+    with open(os.path.join(workdir, "done"), "w") as marker:
+        marker.write("ok")
+
+
+if __name__ == "__main__":
+    main()
