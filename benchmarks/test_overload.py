@@ -1,0 +1,305 @@
+"""Overload benchmarks: shed latency and goodput under 2x / 10x load.
+
+The bounded-admission refactor claims two things under overload, and
+these benchmarks measure both against a live RealClock server:
+
+1. **Sheds are fast.** A client the server cannot serve hears
+   ``{"ok": false, "reason": "overloaded", "retry_after": ...}`` in
+   well under 100 ms — it is never accepted and left to time out. This
+   holds at 2x and at 10x the connection capacity, because shedding
+   happens on the I/O loop and in the parking lot, never behind a
+   busy worker.
+2. **Degradation is asymmetric, the way the paper needs it.** Under
+   parking-lot pressure the server sheds the *largest priced delays*
+   first, so an adversary fleet issuing heavily-penalised range scans
+   is sacrificed while cheap legitimate point queries keep flowing:
+   cheap-query goodput at overload stays within 20% of its unloaded
+   baseline.
+
+Run with::
+
+    pytest benchmarks/test_overload.py --benchmark-only
+"""
+
+import threading
+import time
+
+from repro.core import GuardConfig, RealClock
+from repro.server import DelayClient, DelayServer, ServerError
+from repro.service import DataProviderService
+
+ROWS = 100
+#: Cheap per-tuple delay: a legitimate point query owes 10 ms.
+FIXED_DELAY = 0.01
+#: Tuples the adversarial range scan touches: 20 * 10 ms = 200 ms owed.
+ADVERSARY_TUPLES = 20
+#: Connection capacity for the shed-latency waves.
+WAVE_CONNECTIONS = 8
+#: The acceptance bar for answering a shed request.
+SHED_LATENCY_BUDGET = 0.1
+
+
+def build_service():
+    service = DataProviderService(
+        guard_config=GuardConfig(policy="fixed", fixed_delay=FIXED_DELAY),
+        clock=RealClock(),
+    )
+    service.database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"
+    )
+    service.database.insert_rows(
+        "t", [(i, f"v{i}") for i in range(1, ROWS + 1)]
+    )
+    return service
+
+
+def overload_wave(server, total_clients, hold_seconds=0.1):
+    """``total_clients`` connect at once; each runs one cheap query and
+    holds its connection briefly. Returns (served, shed_latencies)."""
+    outcomes = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(total_clients)
+
+    def one_client(index):
+        barrier.wait()
+        started = time.perf_counter()
+        try:
+            with DelayClient(*server.address) as client:
+                client.query(
+                    f"SELECT * FROM t WHERE id = {1 + index % ROWS}"
+                )
+                time.sleep(hold_seconds)
+                outcome = ("served", time.perf_counter() - started)
+        except ServerError as error:
+            kind = "shed" if error.reason == "overloaded" else "error"
+            outcome = (kind, time.perf_counter() - started)
+        with lock:
+            outcomes.append(outcome)
+
+    threads = [
+        threading.Thread(target=one_client, args=(index,))
+        for index in range(total_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert len(outcomes) == total_clients
+    assert not any(kind == "error" for kind, _ in outcomes)
+    served = [t for kind, t in outcomes if kind == "served"]
+    shed = [t for kind, t in outcomes if kind == "shed"]
+    return served, shed
+
+
+def test_shed_latency_at_2x_and_10x(benchmark):
+    """Overflow connections are answered in < 100 ms at 2x and 10x load.
+
+    Admitted clients hold their connection for 100 ms, so every wave
+    genuinely exceeds ``max_connections``; the overflow must hear the
+    overload answer from the I/O loop immediately — its latency must
+    not scale with the load factor.
+    """
+    service = build_service()
+    server = DelayServer(
+        service,
+        max_workers=4,
+        max_connections=WAVE_CONNECTIONS,
+    )
+    server.start()
+    try:
+        # Warm-up.
+        with DelayClient(*server.address) as client:
+            client.query("SELECT * FROM t WHERE id = 1")
+
+        served_2x, shed_2x = overload_wave(server, 2 * WAVE_CONNECTIONS)
+        assert shed_2x, "2x wave produced no sheds"
+
+        threads_before = threading.active_count()
+
+        def wave_10x():
+            return overload_wave(server, 10 * WAVE_CONNECTIONS)
+
+        served_10x, shed_10x = benchmark.pedantic(
+            wave_10x, rounds=1, iterations=1
+        )
+        assert shed_10x, "10x wave produced no sheds"
+        # Thread count did not balloon with 80 concurrent clients: the
+        # server side is the worker pool plus its fixed machinery.
+        assert threading.active_count() <= (
+            threads_before + server.max_workers + 4
+        )
+
+        for label, shed in (("2x", shed_2x), ("10x", shed_10x)):
+            worst = max(shed)
+            assert worst < SHED_LATENCY_BUDGET, (
+                f"{label} overload: slowest shed took {worst * 1000:.1f} ms"
+                f" (budget {SHED_LATENCY_BUDGET * 1000:.0f} ms)"
+            )
+
+        assert served_2x and served_10x  # admitted work still completed
+        assert server.shed_counts.get("connection_limit", 0) >= (
+            len(shed_2x) + len(shed_10x)
+        )
+        benchmark.extra_info["served_2x"] = len(served_2x)
+        benchmark.extra_info["shed_2x"] = len(shed_2x)
+        benchmark.extra_info["shed_2x_max_ms"] = round(
+            max(shed_2x) * 1000, 2
+        )
+        benchmark.extra_info["served_10x"] = len(served_10x)
+        benchmark.extra_info["shed_10x"] = len(shed_10x)
+        benchmark.extra_info["shed_10x_max_ms"] = round(
+            max(shed_10x) * 1000, 2
+        )
+        assert not server.handler_errors
+    finally:
+        server.stop()
+
+
+def test_cheap_goodput_survives_adversarial_overload(benchmark):
+    """Cheap-query goodput under adversary pressure stays within 20%.
+
+    Four legitimate clients issue 10 ms point queries continuously.
+    Then an adversary fleet floods the server with 200 ms range scans —
+    enough offered delay to oversubscribe the parking lot many times
+    over. The lot sheds the largest priced delay first, so the
+    adversaries absorb the shedding and the legitimate fleet's goodput
+    (completed queries per second) stays within 20% of its unloaded
+    baseline. No cheap query is ever shed.
+    """
+    service = build_service()
+    cheap_clients = 4
+    adversaries = 12
+    window = 1.2
+    server = DelayServer(
+        service,
+        max_workers=8,
+        max_connections=64,
+        # The lot fits exactly the legitimate fleet's in-flight delays:
+        # every adversarial park oversubscribes it.
+        max_parked=cheap_clients,
+    )
+    server.start()
+    try:
+        with DelayClient(*server.address) as client:
+            client.query("SELECT * FROM t WHERE id = 1")
+
+        def cheap_loop(duration, counts, index):
+            done = 0
+            shed = 0
+            deadline = time.monotonic() + duration
+            with DelayClient(*server.address) as client:
+                while time.monotonic() < deadline:
+                    try:
+                        client.query(
+                            f"SELECT * FROM t WHERE id = {1 + done % ROWS}"
+                        )
+                        done += 1
+                    except ServerError as error:
+                        if error.reason == "overloaded":
+                            shed += 1
+                        else:
+                            raise
+            counts[index] = (done, shed)
+
+        def run_cheap_fleet(duration):
+            counts = {}
+            threads = [
+                threading.Thread(
+                    target=cheap_loop, args=(duration, counts, index)
+                )
+                for index in range(cheap_clients)
+            ]
+            started = time.monotonic()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            elapsed = time.monotonic() - started
+            done = sum(done for done, _ in counts.values())
+            shed = sum(shed for _, shed in counts.values())
+            return done / elapsed, shed
+
+        # Unloaded baseline.
+        baseline_goodput, baseline_shed = run_cheap_fleet(window)
+        assert baseline_shed == 0
+
+        # Overload: the adversary fleet hammers range scans for the
+        # whole window; each shed answer is timed.
+        stop_adversaries = threading.Event()
+        adversary_stats = {"attempts": 0, "sheds": 0, "served": 0}
+        shed_latencies = []
+        stats_lock = threading.Lock()
+
+        def adversary_loop():
+            with DelayClient(*server.address) as client:
+                while not stop_adversaries.is_set():
+                    started = time.perf_counter()
+                    try:
+                        client.query(
+                            f"SELECT * FROM t WHERE id <= {ADVERSARY_TUPLES}"
+                        )
+                        outcome = "served"
+                    except ServerError as error:
+                        if error.reason != "overloaded":
+                            raise
+                        outcome = "sheds"
+                        with stats_lock:
+                            shed_latencies.append(
+                                time.perf_counter() - started
+                            )
+                    with stats_lock:
+                        adversary_stats["attempts"] += 1
+                        adversary_stats[outcome] += 1
+                    time.sleep(0.02)
+
+        adversary_threads = [
+            threading.Thread(target=adversary_loop)
+            for _ in range(adversaries)
+        ]
+        for thread in adversary_threads:
+            thread.start()
+        time.sleep(0.1)  # let the flood establish
+
+        def contended_fleet():
+            return run_cheap_fleet(window)
+
+        overload_goodput, cheap_sheds = benchmark.pedantic(
+            contended_fleet, rounds=1, iterations=1
+        )
+        stop_adversaries.set()
+        for thread in adversary_threads:
+            thread.join(timeout=30)
+
+        ratio = overload_goodput / baseline_goodput
+        benchmark.extra_info["baseline_goodput_qps"] = round(
+            baseline_goodput, 1
+        )
+        benchmark.extra_info["overload_goodput_qps"] = round(
+            overload_goodput, 1
+        )
+        benchmark.extra_info["goodput_ratio"] = round(ratio, 3)
+        benchmark.extra_info["adversary_attempts"] = adversary_stats[
+            "attempts"
+        ]
+        benchmark.extra_info["adversary_sheds"] = adversary_stats["sheds"]
+        if shed_latencies:
+            benchmark.extra_info["adversary_shed_max_ms"] = round(
+                max(shed_latencies) * 1000, 2
+            )
+
+        # The adversaries were genuinely shed, fast, and the shedding
+        # hit them — not the legitimate fleet.
+        assert adversary_stats["sheds"] > 0
+        assert max(shed_latencies) < 0.25
+        assert cheap_sheds == 0, (
+            f"{cheap_sheds} cheap queries were shed ahead of the "
+            "adversaries' larger delays"
+        )
+        assert ratio >= 0.8, (
+            f"cheap goodput degraded {100 * (1 - ratio):.0f}% under "
+            f"adversarial overload ({overload_goodput:.1f} vs "
+            f"{baseline_goodput:.1f} q/s)"
+        )
+        assert not server.handler_errors
+    finally:
+        server.stop()

@@ -40,6 +40,7 @@ from .guard import DelayGuard, GuardedResult, GuardStats, TupleKey
 from .pipeline import QueryContext, QueryPipeline, Stage
 from .popularity import AdaptiveTracker, PopularityTracker
 from .ratelimit import FixedIntervalGate, TokenBucket
+from .resilience import BackoffPolicy, BreakerOpen, CircuitBreaker
 from .staleness import (
     ExtractedTuple,
     Snapshot,
@@ -55,6 +56,9 @@ __all__ = [
     "AccountManager",
     "AccountPolicy",
     "AdaptiveTracker",
+    "BackoffPolicy",
+    "BreakerOpen",
+    "CircuitBreaker",
     "Clock",
     "CompositeDelayPolicy",
     "ConfigError",

@@ -111,6 +111,15 @@ class GuardStats:
     tuples_charged: int = 0
     total_delay: float = 0.0
     denied: int = 0
+    #: denials whose cause was an exhausted ``deadline_ms`` budget —
+    #: either mid-pipeline (budget ran out) or up front (the mandated
+    #: delay would not fit). A subset of :attr:`denied`.
+    deadline_aborts: int = 0
+    #: requests sacrificed by overload shedding (admission-queue
+    #: overflow or delay-parking eviction). Counted by the server's
+    #: shedding machinery, not by the pipeline — a shed query may have
+    #: been priced but was never answered.
+    shed: int = 0
     engine_seconds: float = 0.0
     accounting_seconds: float = 0.0
     delay_histogram: Histogram = field(
@@ -126,6 +135,17 @@ class GuardStats:
         """Count one refused query."""
         with self._lock:
             self.denied += 1
+
+    def note_deadline_abort(self) -> None:
+        """Count one refusal caused by an exhausted deadline budget."""
+        with self._lock:
+            self.denied += 1
+            self.deadline_aborts += 1
+
+    def note_shed(self) -> None:
+        """Count one request sacrificed by overload shedding."""
+        with self._lock:
+            self.shed += 1
 
     def note_select(self, delay: float, tuples: int) -> None:
         """Count one served SELECT and the tuples it was charged for."""
@@ -278,6 +298,14 @@ class DelayGuard:
             "guard_accounting_seconds_total",
             "Time spent on guard accounting (seconds)",
         ).set_function(lambda: stats.accounting_seconds)
+        registry.counter(
+            "guard_deadline_aborts_total",
+            "Queries refused because their deadline budget ran out",
+        ).set_function(lambda: stats.deadline_aborts)
+        registry.counter(
+            "guard_shed_total",
+            "Requests sacrificed by overload shedding",
+        ).set_function(lambda: stats.shed)
         self._m_identity_delay = registry.counter(
             "guard_identity_delay_seconds_total",
             "Delay charged per identity (seconds); extraction-detection "
@@ -408,6 +436,7 @@ class DelayGuard:
         identity: Optional[str] = None,
         record: bool = True,
         sleep: bool = True,
+        deadline_at: Optional[float] = None,
     ) -> GuardedResult:
         """Execute a statement, charging and applying its delay.
 
@@ -435,15 +464,23 @@ class DelayGuard:
                 serve each caller's delay themselves — per connection
                 or by event scheduling — so one penalised query never
                 blocks another.
+            deadline_at: absolute ``time.monotonic()`` deadline for the
+                caller's end-to-end budget. The pipeline aborts with
+                ``deadline_exceeded`` at the first stage boundary past
+                it, and rejects a mandated delay longer than the
+                remaining budget *before* recording or sleeping
+                (reporting the full delay as ``retry_after``).
 
         Raises:
-            AccessDenied: if an account-level limit refuses the query.
+            AccessDenied: if an account-level limit refuses the query,
+                or the deadline budget cannot be met.
         """
         ctx = QueryContext(
             sql_or_statement=sql_or_statement,
             identity=identity,
             record=record,
             sleep=sleep,
+            deadline_at=deadline_at,
         )
         if not self.obs.enabled:
             self.pipeline.run(ctx)

@@ -52,6 +52,12 @@ class QueryContext:
     identity: Optional[str] = None
     record: bool = True
     sleep: bool = True
+    #: absolute ``time.monotonic()`` deadline for the whole request, or
+    #: None for no budget. Checked at every stage boundary, and by the
+    #: price stage against the mandated delay itself (a delay longer
+    #: than the remaining budget is rejected up front instead of
+    #: holding a thread in sleep).
+    deadline_at: Optional[float] = None
     trace: Optional[QueryTrace] = None
     #: the parsed statement (set by *parse*, or directly for pre-parsed
     #: input).
@@ -238,6 +244,19 @@ class PriceStage(Stage):
             ctx.delay = sum(ctx.per_tuple)
         else:
             ctx.delay = max(ctx.per_tuple, default=0.0)
+        if ctx.deadline_at is not None and ctx.delay > 0:
+            remaining = ctx.deadline_at - time.monotonic()
+            if ctx.delay > remaining:
+                # The mandated delay cannot fit the caller's budget:
+                # reject *before* the record/sleep stages, reporting
+                # the full delay so the caller knows the true price.
+                # Nothing is recorded — the tuples were never served.
+                guard.stats.note_deadline_abort()
+                if ctx.trace is not None:
+                    guard._m_denied.inc(reason="deadline_exceeded")
+                raise AccessDenied(
+                    "deadline_exceeded", retry_after=ctx.delay
+                )
 
 
 class RecordStage(Stage):
@@ -342,6 +361,7 @@ class QueryPipeline:
         for stage in self.stages:
             if not stage.applies(ctx):
                 continue
+            self._check_deadline(ctx)
             start = time.perf_counter()
             try:
                 stage.run(ctx)
@@ -357,6 +377,21 @@ class QueryPipeline:
             ctx.delay, ctx.engine_seconds, ctx.accounting_seconds
         )
         return ctx
+
+    def _check_deadline(self, ctx: QueryContext) -> None:
+        """Abort between stages once the caller's budget is spent.
+
+        Cheap (one clock read) and early: a request that can no longer
+        be answered in time should not consume engine or accounting
+        work it cannot finish.
+        """
+        if ctx.deadline_at is None:
+            return
+        if time.monotonic() >= ctx.deadline_at:
+            self.guard.stats.note_deadline_abort()
+            if ctx.trace is not None:
+                self.guard._m_denied.inc(reason="deadline_exceeded")
+            raise AccessDenied("deadline_exceeded")
 
     def _finish_stage(
         self, stage: Stage, ctx: QueryContext, start: float

@@ -1,0 +1,223 @@
+"""Client-side resilience: retry backoff and a circuit breaker.
+
+The delay defense prices adversaries into long waits, which makes the
+front door a natural choke point — and a natural *outage amplifier* if
+every client hammers it with immediate retries the moment it staggers.
+This module gives :class:`~repro.server.DelayClient` the two standard
+counter-measures:
+
+* :class:`BackoffPolicy` — capped exponential backoff with **full
+  jitter** (wait is drawn uniformly from ``[0, min(cap, base·2^n)]``),
+  so a fleet of clients that failed together does not retry together.
+* :class:`CircuitBreaker` — a per-endpoint closed → open → half-open
+  state machine: after ``failure_threshold`` consecutive transport or
+  overload failures the breaker *opens* and calls fail fast locally for
+  ``probe_interval`` seconds; then exactly one probe is let through
+  (*half-open*), and its outcome closes the breaker or re-opens it.
+
+Both are deliberately transport-agnostic (they never import the server
+module) so they can wrap any caller. Time is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from .errors import ConfigError, DelayDefenseError
+
+__all__ = ["BackoffPolicy", "BreakerOpen", "CircuitBreaker"]
+
+
+class BackoffPolicy:
+    """Capped exponential backoff with full jitter.
+
+    Args:
+        base: first-attempt ceiling in seconds (attempt 0 waits in
+            ``[0, base]``).
+        cap: largest possible wait, whatever the attempt number.
+        multiplier: growth factor per attempt.
+        rng: random source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        cap: float = 5.0,
+        multiplier: float = 2.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if base <= 0 or cap < base or multiplier < 1:
+            raise ConfigError(
+                f"need 0 < base <= cap and multiplier >= 1, got "
+                f"base={base} cap={cap} multiplier={multiplier}"
+            )
+        self.base = base
+        self.cap = cap
+        self.multiplier = multiplier
+        self._rng = rng if rng is not None else random.Random()
+
+    def ceiling(self, attempt: int) -> float:
+        """The un-jittered ceiling for retry number ``attempt`` (0-based)."""
+        return min(self.cap, self.base * self.multiplier ** attempt)
+
+    def wait(self, attempt: int) -> float:
+        """Draw the jittered wait for retry number ``attempt``."""
+        return self._rng.uniform(0.0, self.ceiling(attempt))
+
+
+class BreakerOpen(DelayDefenseError):
+    """Raised locally when the circuit breaker refuses to place a call.
+
+    Attributes:
+        retry_after: seconds until the breaker will allow a probe.
+    """
+
+    def __init__(self, endpoint: str, retry_after: float):
+        super().__init__(
+            f"circuit breaker open for {endpoint}; "
+            f"probe allowed in {retry_after:.3f}s"
+        )
+        self.reason = "circuit_open"
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker for one endpoint.
+
+    Failures are *consecutive*: any success resets the count. Only the
+    caller decides what counts as a failure — transport errors and
+    overload sheds should; semantic denials (bad SQL, quota) should
+    not, because the server answered them healthily.
+
+    States:
+
+    * ``closed`` — calls pass; ``failure_threshold`` consecutive
+      failures trip to open.
+    * ``open`` — calls raise :class:`BreakerOpen` immediately until
+      ``probe_interval`` seconds have passed since opening.
+    * ``half_open`` — exactly one call (the probe) passes; its success
+      closes the breaker, its failure re-opens it (restarting the
+      probe timer). Concurrent calls during the probe fail fast.
+
+    Thread-safe; ``time_source`` is injectable so tests can walk the
+    state machine without real waits.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        endpoint: str = "",
+        failure_threshold: int = 5,
+        probe_interval: float = 1.0,
+        time_source: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if probe_interval <= 0:
+            raise ConfigError(
+                f"probe_interval must be positive, got {probe_interval}"
+            )
+        self.endpoint = endpoint
+        self.failure_threshold = failure_threshold
+        self.probe_interval = probe_interval
+        self._now = time_source
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: lifetime transition counts, e.g. {"closed->open": 2, ...}.
+        self.transitions: Dict[str, int] = {}
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open when the probe
+        timer has expired."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def _advance(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._now() - self._opened_at >= self.probe_interval
+        ):
+            self._transition(self.HALF_OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        if new_state == self._state:
+            return
+        key = f"{self._state}->{new_state}"
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+        self._state = new_state
+        if new_state == self.HALF_OPEN:
+            self._probe_in_flight = False
+
+    # -- the caller protocol -------------------------------------------------
+
+    def before_call(self) -> None:
+        """Gate one outgoing call; raises :class:`BreakerOpen` if the
+        breaker refuses it. A permitted half-open call becomes *the*
+        probe; further calls fail fast until it reports back."""
+        with self._lock:
+            self._advance()
+            if self._state == self.CLOSED:
+                return
+            if self._state == self.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return
+            remaining = max(
+                0.0,
+                self._opened_at + self.probe_interval - self._now(),
+            )
+            raise BreakerOpen(self.endpoint, remaining)
+
+    def record_success(self) -> None:
+        """Report a healthy response for a permitted call."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state in (self.HALF_OPEN, self.OPEN):
+                self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        """Report a breaker-relevant failure for a permitted call."""
+        with self._lock:
+            self._advance()
+            self._consecutive_failures += 1
+            if self._state == self.HALF_OPEN:
+                # The probe failed: back to open, restart the timer.
+                self._opened_at = self._now()
+                self._transition(self.OPEN)
+            elif (
+                self._state == self.CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self._now()
+                self._transition(self.OPEN)
+
+    def snapshot(self) -> Dict:
+        """JSON-compatible view for metrics / debugging."""
+        with self._lock:
+            self._advance()
+            return {
+                "endpoint": self.endpoint,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "transitions": dict(self.transitions),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.endpoint!r}, state={self.state!r}, "
+            f"failures={self._consecutive_failures})"
+        )

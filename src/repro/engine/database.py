@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..testing.faults import fire
 from .catalog import Catalog
 from .errors import JournalError
 from .executor import Executor, ResultSet
@@ -241,6 +242,7 @@ class Database:
                 operator's direct engine write into them would invent
                 tracker state the live run never had.
         """
+        fire("engine.execute")
         statement = (
             parse_cached(sql_or_statement)
             if isinstance(sql_or_statement, str)

@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..testing.faults import fire
+
 from .errors import JournalError
 
 #: File magic; bumping it invalidates old journals explicitly.
@@ -283,6 +285,7 @@ class WriteAheadJournal:
             raise JournalError(f"journal {self.path} is closed")
 
     def _fsync(self) -> None:
+        fire("journal.fsync")
         os.fsync(self._file.fileno())
         self.fsyncs += 1
 

@@ -1,0 +1,25 @@
+"""Testing utilities: controlled fault injection for chaos testing.
+
+:mod:`repro.testing.faults` provides named failure points that
+production code calls through a zero-cost no-op default; chaos tests
+arm them to drive the serving stack through overload, partial-failure,
+and recovery scenarios without any real network outage.
+"""
+
+from .faults import (
+    FaultError,
+    FaultInjector,
+    FaultRule,
+    fire,
+    injector,
+    injected_faults,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultInjector",
+    "FaultRule",
+    "fire",
+    "injector",
+    "injected_faults",
+]

@@ -1,0 +1,201 @@
+"""Injectable failure points for chaos testing.
+
+Production code is sprinkled with named fault points::
+
+    from ..testing import faults
+    ...
+    faults.fire("journal.fsync")
+
+With no faults armed, :func:`fire` is a single attribute read plus a
+truthiness check — cheap enough to leave in hot paths permanently.
+Chaos tests arm points on the process-wide injector::
+
+    with faults.injected_faults():
+        faults.injector.fail("server.read", OSError("injected"), times=3)
+        faults.injector.stall("server.handler", 0.5)
+        ... drive traffic, assert degradation and recovery ...
+
+and every armed rule is disarmed again when the context exits, so a
+crashing test can never leak broken behaviour into the next one.
+
+Fault points currently wired into the stack:
+
+===================  =====================================================
+point                where it fires
+===================  =====================================================
+``server.accept``    :class:`~repro.server.DelayServer` accept path, per
+                     accepted socket (an ``OSError`` drops the connection)
+``server.read``      per socket read in the server's I/O loop
+``server.write``     per socket write in the server's I/O loop
+``server.handler``   in a worker thread, before dispatching a request
+``engine.execute``   :meth:`repro.engine.database.Database.execute`, before
+                     the statement is classified
+``journal.fsync``    :meth:`repro.engine.journal.WriteAheadJournal._fsync`
+===================  =====================================================
+
+A rule can *raise* an exception, *stall* (sleep real time, modelling a
+slow disk or a wedged handler), or run an arbitrary callback. Rules
+match by exact point name and expire after ``times`` firings
+(``times=None`` keeps firing until disarmed).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+
+class FaultError(RuntimeError):
+    """Default exception type raised by an armed ``fail`` rule."""
+
+
+class FaultRule:
+    """One armed fault: what happens when a matching point fires.
+
+    Exactly one of ``error``, ``stall_seconds``, or ``callback`` is set.
+    """
+
+    def __init__(
+        self,
+        point: str,
+        error: Optional[BaseException] = None,
+        stall_seconds: float = 0.0,
+        callback: Optional[Callable[[], None]] = None,
+        times: Optional[int] = None,
+    ):
+        self.point = point
+        self.error = error
+        self.stall_seconds = stall_seconds
+        self.callback = callback
+        #: remaining firings; None means unlimited.
+        self.remaining = times
+        #: how many times this rule has fired.
+        self.fired = 0
+
+    def spent(self) -> bool:
+        return self.remaining is not None and self.remaining <= 0
+
+    def __repr__(self) -> str:
+        action = (
+            f"raise {self.error!r}"
+            if self.error is not None
+            else f"stall {self.stall_seconds}s"
+            if self.stall_seconds
+            else "callback"
+        )
+        return f"FaultRule({self.point!r}, {action}, fired={self.fired})"
+
+
+class FaultInjector:
+    """Process-wide registry of armed fault rules.
+
+    Thread-safe: rules are armed from test threads and fired from
+    server worker/IO threads. ``active`` is read without the lock as a
+    fast-path gate — it only ever flips between armed states, and a
+    stale read merely delays one firing by one call.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rules: List[FaultRule] = []
+        #: fast-path gate: True whenever any rule is armed.
+        self.active = False
+        #: lifetime count of fired faults, by point name.
+        self.fired_by_point: Dict[str, int] = {}
+        #: lifetime count of fired faults across all points.
+        self.fired_total = 0
+
+    # -- arming --------------------------------------------------------------
+
+    def arm(self, rule: FaultRule) -> FaultRule:
+        """Register a rule; returns it for later inspection."""
+        with self._lock:
+            self._rules.append(rule)
+            self.active = True
+        return rule
+
+    def fail(
+        self,
+        point: str,
+        error: Optional[BaseException] = None,
+        times: Optional[int] = 1,
+    ) -> FaultRule:
+        """Arm ``point`` to raise ``error`` (a :class:`FaultError` by
+        default) for the next ``times`` firings."""
+        if error is None:
+            error = FaultError(f"injected fault at {point}")
+        return self.arm(FaultRule(point, error=error, times=times))
+
+    def stall(
+        self, point: str, seconds: float, times: Optional[int] = 1
+    ) -> FaultRule:
+        """Arm ``point`` to sleep ``seconds`` of real time when fired."""
+        return self.arm(FaultRule(point, stall_seconds=seconds, times=times))
+
+    def on_fire(
+        self, point: str, callback: Callable[[], None],
+        times: Optional[int] = 1,
+    ) -> FaultRule:
+        """Arm ``point`` to invoke ``callback`` when fired."""
+        return self.arm(FaultRule(point, callback=callback, times=times))
+
+    def disarm_all(self) -> None:
+        """Remove every rule; :func:`fire` becomes a no-op again."""
+        with self._lock:
+            self._rules.clear()
+            self.active = False
+
+    # -- firing --------------------------------------------------------------
+
+    def fire(self, point: str) -> None:
+        """Run the first live rule matching ``point``, if any.
+
+        Raises the rule's error, sleeps its stall, or runs its
+        callback. Spent rules are pruned; when the last rule goes, the
+        fast-path gate closes.
+        """
+        with self._lock:
+            rule = None
+            for candidate in self._rules:
+                if candidate.point == point and not candidate.spent():
+                    rule = candidate
+                    break
+            if rule is None:
+                return
+            if rule.remaining is not None:
+                rule.remaining -= 1
+            rule.fired += 1
+            self.fired_total += 1
+            self.fired_by_point[point] = (
+                self.fired_by_point.get(point, 0) + 1
+            )
+            self._rules = [r for r in self._rules if not r.spent()]
+            if not self._rules:
+                self.active = False
+        if rule.stall_seconds:
+            time.sleep(rule.stall_seconds)
+        if rule.callback is not None:
+            rule.callback()
+        if rule.error is not None:
+            raise rule.error
+
+
+#: The process-wide injector every fault point fires against.
+injector = FaultInjector()
+
+
+def fire(point: str) -> None:
+    """Fire one fault point (no-op unless a matching rule is armed)."""
+    if injector.active:
+        injector.fire(point)
+
+
+@contextmanager
+def injected_faults():
+    """Scope for a chaos test: disarms every rule on exit, always."""
+    try:
+        yield injector
+    finally:
+        injector.disarm_all()

@@ -1,0 +1,168 @@
+"""Unit tests for the client-side resilience primitives.
+
+The breaker is driven with a fake time source so every state
+transition — closed → open → half-open → closed, and the half-open
+re-trip — is exercised deterministically, without sleeping.
+"""
+
+import random
+
+import pytest
+
+from repro.core.resilience import BackoffPolicy, BreakerOpen, CircuitBreaker
+
+
+class FakeTime:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# BackoffPolicy
+# ---------------------------------------------------------------------------
+
+
+class TestBackoffPolicy:
+    def test_ceiling_grows_exponentially(self):
+        policy = BackoffPolicy(base=0.1, cap=100.0, multiplier=2.0)
+        assert policy.ceiling(0) == pytest.approx(0.1)
+        assert policy.ceiling(1) == pytest.approx(0.2)
+        assert policy.ceiling(3) == pytest.approx(0.8)
+
+    def test_ceiling_is_capped(self):
+        policy = BackoffPolicy(base=1.0, cap=5.0, multiplier=10.0)
+        assert policy.ceiling(10) == 5.0
+
+    def test_wait_is_full_jitter_within_ceiling(self):
+        policy = BackoffPolicy(
+            base=0.5, cap=4.0, multiplier=2.0, rng=random.Random(7)
+        )
+        for attempt in range(8):
+            for _ in range(50):
+                wait = policy.wait(attempt)
+                assert 0.0 <= wait <= policy.ceiling(attempt)
+
+    def test_wait_varies_between_draws(self):
+        policy = BackoffPolicy(base=1.0, cap=8.0, rng=random.Random(3))
+        draws = {policy.wait(3) for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_invalid_config_rejected(self):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            BackoffPolicy(base=0.0)
+        with pytest.raises(ConfigError):
+            BackoffPolicy(cap=-1.0)
+        with pytest.raises(ConfigError):
+            BackoffPolicy(multiplier=0.5)
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, probe=10.0):
+        clock = FakeTime()
+        breaker = CircuitBreaker(
+            endpoint="test:1",
+            failure_threshold=threshold,
+            probe_interval=probe,
+            time_source=clock,
+        )
+        return breaker, clock
+
+    def test_starts_closed_and_permits_calls(self):
+        breaker, _ = self.make()
+        assert breaker.state == "closed"
+        breaker.before_call()  # does not raise
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self.make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.transitions.get("closed->open") == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_open_breaker_fails_fast_with_retry_after(self):
+        breaker, clock = self.make(threshold=1, probe=10.0)
+        breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(BreakerOpen) as excinfo:
+            breaker.before_call()
+        assert excinfo.value.reason == "circuit_open"
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+
+    def test_half_open_after_probe_interval(self):
+        breaker, clock = self.make(threshold=1, probe=10.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(10.1)
+        assert breaker.state == "half_open"
+
+    def test_half_open_permits_exactly_one_probe(self):
+        breaker, clock = self.make(threshold=1, probe=10.0)
+        breaker.record_failure()
+        clock.advance(10.1)
+        breaker.before_call()  # the probe is admitted
+        with pytest.raises(BreakerOpen):
+            breaker.before_call()  # concurrent second call is not
+
+    def test_successful_probe_closes_the_breaker(self):
+        breaker, clock = self.make(threshold=1, probe=10.0)
+        breaker.record_failure()
+        clock.advance(10.1)
+        breaker.before_call()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.transitions.get("half_open->closed") == 1
+        breaker.before_call()  # fully recovered
+
+    def test_failed_probe_reopens_and_restarts_the_timer(self):
+        breaker, clock = self.make(threshold=1, probe=10.0)
+        breaker.record_failure()
+        clock.advance(10.1)
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.transitions.get("half_open->open") == 1
+        clock.advance(5.0)
+        with pytest.raises(BreakerOpen):
+            breaker.before_call()
+        clock.advance(5.1)
+        assert breaker.state == "half_open"
+
+    def test_snapshot_reports_state(self):
+        breaker, _ = self.make(threshold=1)
+        breaker.record_failure()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == "open"
+        assert snapshot["endpoint"] == "test:1"
+        assert snapshot["transitions"]["closed->open"] == 1
+
+    def test_invalid_config_rejected(self):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(probe_interval=0)

@@ -1,0 +1,119 @@
+"""Unit tests for the fault-injection layer (:mod:`repro.testing.faults`)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.testing import (
+    FaultError,
+    FaultInjector,
+    fire,
+    injected_faults,
+    injector,
+)
+
+
+class TestFaultInjector:
+    def test_inactive_injector_is_a_noop(self):
+        local = FaultInjector()
+        assert not local.active
+        local.fire("anything")  # nothing armed: does not raise
+
+    def test_fail_raises_default_fault_error(self):
+        local = FaultInjector()
+        local.fail("db.read")
+        with pytest.raises(FaultError):
+            local.fire("db.read")
+
+    def test_fail_raises_custom_error(self):
+        local = FaultInjector()
+        local.fail("db.read", error=OSError("disk on fire"))
+        with pytest.raises(OSError, match="disk on fire"):
+            local.fire("db.read")
+
+    def test_rule_expires_after_times_firings(self):
+        local = FaultInjector()
+        local.fail("p", times=2)
+        with pytest.raises(FaultError):
+            local.fire("p")
+        with pytest.raises(FaultError):
+            local.fire("p")
+        local.fire("p")  # spent: no longer raises
+        assert not local.active
+
+    def test_stall_sleeps(self):
+        local = FaultInjector()
+        local.stall("slow", seconds=0.05)
+        start = time.perf_counter()
+        local.fire("slow")
+        assert time.perf_counter() - start >= 0.05
+
+    def test_callback_rule(self):
+        local = FaultInjector()
+        seen = []
+        local.on_fire("cb", lambda: seen.append("cb"))
+        local.fire("cb")
+        assert seen == ["cb"]
+
+    def test_counts_by_point(self):
+        local = FaultInjector()
+        local.fail("a", times=3)
+        for _ in range(3):
+            with pytest.raises(FaultError):
+                local.fire("a")
+        assert local.fired_by_point["a"] == 3
+        assert local.fired_total == 3
+
+    def test_disarm_all_clears_rules(self):
+        local = FaultInjector()
+        local.fail("x", times=100)
+        local.disarm_all()
+        assert not local.active
+        local.fire("x")
+
+    def test_unmatched_point_passes_through(self):
+        local = FaultInjector()
+        local.fail("only.this")
+        local.fire("something.else")  # armed but different point
+
+    def test_concurrent_firing_respects_times(self):
+        local = FaultInjector()
+        local.fail("race", times=10)
+        errors = []
+
+        def worker():
+            for _ in range(20):
+                try:
+                    local.fire("race")
+                except FaultError:
+                    errors.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(errors) == 10
+
+
+class TestProcessWideInjector:
+    def test_module_fire_uses_shared_injector(self):
+        with injected_faults() as faults:
+            assert faults is injector
+            faults.fail("module.point")
+            with pytest.raises(FaultError):
+                fire("module.point")
+
+    def test_context_manager_disarms_on_exit(self):
+        with injected_faults() as faults:
+            faults.fail("leaky", times=1000)
+        assert not injector.active
+        fire("leaky")  # disarmed
+
+    def test_context_manager_disarms_on_error(self):
+        with pytest.raises(RuntimeError):
+            with injected_faults() as faults:
+                faults.fail("leaky2", times=1000)
+                raise RuntimeError("test escape")
+        assert not injector.active

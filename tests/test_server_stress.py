@@ -134,3 +134,85 @@ class TestConcurrentStress:
         assert report["extraction_cost"] == pytest.approx(recomputed)
         assert recomputed <= service.guard.max_extraction_cost() + 1e-9
         assert report["queries"] == THREADS * QUERIES
+
+
+@pytest.mark.stress
+class TestOverloadStress:
+    """Drive the server past every admission limit at once.
+
+    max_connections + OVERFLOW clients connect simultaneously; the
+    overflow must be shed in well under 100 ms each, the process thread
+    count must stay bounded by the worker pool (not connection count),
+    and every *accepted* request must still complete correctly.
+    """
+
+    OVERFLOW = 6
+
+    def test_overflow_is_shed_fast_and_admitted_work_completes(
+        self, service
+    ):
+        import time as _time
+
+        from repro.server import ServerError
+
+        max_connections = max(4, THREADS)
+        before_threads = threading.active_count()
+        results = []
+        lock = threading.Lock()
+
+        def worker(index):
+            outcome = None
+            started = _time.perf_counter()
+            try:
+                with DelayClient(*server.address) as client:
+                    response = client.query(
+                        f"SELECT * FROM t WHERE id = {1 + index % ROWS}",
+                        retries=0,
+                    )
+                    assert response["ok"] is True
+                    outcome = ("served", _time.perf_counter() - started)
+            except ServerError as error:
+                outcome = (
+                    "shed" if error.reason in ("overloaded", None) else "error",
+                    _time.perf_counter() - started,
+                )
+            except BaseException as error:  # pragma: no cover - failure
+                outcome = ("crash", error)
+            with lock:
+                results.append(outcome)
+
+        with DelayServer(
+            service,
+            max_workers=4,
+            max_connections=max_connections,
+        ) as server:
+            total = max_connections + self.OVERFLOW
+            threads = [
+                threading.Thread(target=worker, args=(index,))
+                for index in range(total)
+            ]
+            for thread in threads:
+                thread.start()
+            # Thread bound: worker pool + I/O loop + scheduler + main
+            # machinery, *independent of how many clients piled in*.
+            during_threads = threading.active_count()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not any(kind == "crash" for kind, _ in results), results
+            assert list(server.handler_errors) == []
+            server_side_threads = during_threads - total - before_threads
+            assert server_side_threads <= server.max_workers + 4
+
+        served = [t for kind, t in results if kind == "served"]
+        shed = [t for kind, t in results if kind == "shed"]
+        assert len(results) == total
+        # Everyone got an answer, and whoever was admitted was served.
+        assert len(served) >= 1
+        assert len(served) + len(shed) == total
+        # Sheds are fast — the whole point of bounded admission. Allow
+        # generous scheduler slack over the 100 ms budget on loaded CI.
+        for elapsed in shed:
+            assert elapsed < 1.0
+        if shed:
+            assert min(shed) < 0.1
+            assert server.shed_counts.get("connection_limit", 0) >= 1
