@@ -1,0 +1,243 @@
+"""Result-cache benchmarks: priced hits save engine CPU, nothing else.
+
+Two claims, measured separately:
+
+1. **Equivalence** (simulated clock, guard-level): for the same
+   (identity, SQL) stream, per-query mandated delays, popularity
+   counts, and account charges are bit-identical between a cache-on
+   and a cache-off guard. A hit replaces only the engine's work.
+2. **Goodput** (RealClock, live server): with an adversary fleet
+   flooding distinct full-scan queries, a legitimate fleet repeating
+   one cheap query completes measurably more queries per second with
+   the cache on — its hits dodge the GIL-serialised engine scans while
+   still sleeping their full mandated delay.
+
+Run with::
+
+    pytest benchmarks/test_result_cache.py --benchmark-only
+"""
+
+import threading
+import time
+
+from repro.core import (
+    AccountManager,
+    AccountPolicy,
+    DelayGuard,
+    GuardConfig,
+    RealClock,
+    VirtualClock,
+)
+from repro.engine import Database
+from repro.server import DelayClient, DelayServer, ServerError
+from repro.service import DataProviderService
+
+#: Table size: big enough that a full scan costs real interpreter time.
+ROWS = 4000
+#: Rows matching the legitimate fleet's repeated query.
+HOT_ROWS = 2
+#: Per-tuple mandated delay (fixed policy keeps the arithmetic exact).
+FIXED_DELAY = 0.01
+#: Legitimate / adversary fleet sizes for the goodput phase.
+CHEAP_CLIENTS = 3
+ADVERSARIES = 5
+#: Seconds each goodput window runs.
+WINDOW = 2.0
+
+CHEAP_SQL = "SELECT * FROM t WHERE v = 'hot'"
+
+
+def fill(db):
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    rows = [
+        (i, "hot" if i <= HOT_ROWS else f"cold-{i}")
+        for i in range(1, ROWS + 1)
+    ]
+    db.insert_rows("t", rows)
+
+
+def build_service(cache_entries):
+    service = DataProviderService(
+        guard_config=GuardConfig(
+            policy="fixed",
+            fixed_delay=FIXED_DELAY,
+            result_cache_size=cache_entries,
+        ),
+        clock=RealClock(),
+    )
+    fill(service.database)
+    return service
+
+
+# -- phase 1: hit/miss equivalence -------------------------------------------
+
+
+PROBE_STREAM = [CHEAP_SQL] * 6 + [
+    "SELECT * FROM t WHERE id <= 10",
+    CHEAP_SQL,
+    "SELECT v FROM t WHERE id = 3",
+    CHEAP_SQL,
+]
+
+
+def run_guard_stream(cache_entries):
+    clock = VirtualClock()
+    accounts = AccountManager(policy=AccountPolicy(), clock=clock)
+    accounts.register("probe")
+    db = Database()
+    fill(db)
+    guard = DelayGuard(
+        db,
+        config=GuardConfig(
+            policy="fixed",
+            fixed_delay=FIXED_DELAY,
+            result_cache_size=cache_entries,
+        ),
+        clock=clock,
+        accounts=accounts,
+    )
+    results = [
+        guard.execute(sql, identity="probe", sleep=False)
+        for sql in PROBE_STREAM
+    ]
+    return guard, accounts, results
+
+
+def test_hit_and_miss_priced_identically(benchmark):
+    """Delays, popularity, and charges match with the cache on or off."""
+
+    def both_streams():
+        return run_guard_stream(64), run_guard_stream(None)
+
+    (on_guard, on_accounts, on), (off_guard, off_accounts, off) = (
+        benchmark.pedantic(both_streams, rounds=1, iterations=1)
+    )
+    assert on_guard.result_cache.info()["hits"] >= 7
+    assert [r.delay for r in on] == [r.delay for r in off]
+    assert [r.result.rows for r in on] == [r.result.rows for r in off]
+    assert dict(on_guard.popularity.store.items()) == dict(
+        off_guard.popularity.store.items()
+    )
+    assert (
+        on_accounts.account("probe").tuples_retrieved
+        == off_accounts.account("probe").tuples_retrieved
+    )
+    assert on_guard.stats.total_delay == off_guard.stats.total_delay
+    assert on_guard.stats.tuples_charged == off_guard.stats.tuples_charged
+    # The saving shows up in the only place it should: engine selects.
+    on_selects = on_guard.database.stats.by_kind.get("select", 0)
+    off_selects = off_guard.database.stats.by_kind.get("select", 0)
+    assert off_selects == len(PROBE_STREAM)
+    assert on_selects == 3  # one per distinct statement
+    benchmark.extra_info["cache_hits"] = on_guard.result_cache.info()["hits"]
+    benchmark.extra_info["engine_selects_on"] = on_selects
+    benchmark.extra_info["engine_selects_off"] = off_selects
+
+
+# -- phase 2: goodput under adversarial flood --------------------------------
+
+
+def goodput_window(server, stop_event, served, delays):
+    """One legitimate client repeating the cheap query until stopped."""
+    count = 0
+    with DelayClient(*server.address) as client:
+        while not stop_event.is_set():
+            try:
+                response = client.query(CHEAP_SQL)
+            except ServerError:
+                continue
+            count += 1
+            delays.add(response["delay"])
+    served.append(count)
+
+
+def adversary_window(server, stop_event, index):
+    """Distinct full scans every iteration: cache-busting engine load."""
+    step = 0
+    with DelayClient(*server.address) as client:
+        while not stop_event.is_set():
+            try:
+                client.query(
+                    f"SELECT * FROM t WHERE v = 'cold-{10 + (step % 50)}' "
+                    f"AND id >= {index}"
+                )
+            except ServerError:
+                continue
+            step += 1
+
+
+def run_flood(service):
+    server = DelayServer(service, max_workers=8, max_connections=64)
+    server.start()
+    try:
+        with DelayClient(*server.address) as client:
+            client.query(CHEAP_SQL)  # warm-up (and cache fill when on)
+        stop_event = threading.Event()
+        served = []
+        delays = set()
+        threads = [
+            threading.Thread(
+                target=goodput_window,
+                args=(server, stop_event, served, delays),
+            )
+            for _ in range(CHEAP_CLIENTS)
+        ] + [
+            threading.Thread(
+                target=adversary_window, args=(server, stop_event, index)
+            )
+            for index in range(ADVERSARIES)
+        ]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        time.sleep(WINDOW)
+        stop_event.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        elapsed = time.monotonic() - started
+        assert not server.handler_errors
+        return sum(served) / elapsed, delays
+    finally:
+        server.stop()
+
+
+def test_cache_goodput_under_adversarial_flood(benchmark):
+    """Cache-on cheap goodput beats cache-off; delays stay identical."""
+    service_off = build_service(None)
+    service_on = build_service(256)
+
+    def both_floods():
+        off = run_flood(service_off)
+        on = run_flood(service_on)
+        return off, on
+
+    (goodput_off, delays_off), (goodput_on, delays_on) = benchmark.pedantic(
+        both_floods, rounds=1, iterations=1
+    )
+    # The mandated delay for the cheap query is a fixed-policy constant;
+    # hit or miss, every completion owed exactly the same seconds.
+    assert delays_off == {HOT_ROWS * FIXED_DELAY}
+    assert delays_on == delays_off
+    # The cache genuinely engaged.
+    cache = service_on.guard.result_cache
+    assert cache is not None and cache.info()["hits"] > 0
+    assert service_off.guard.result_cache is None
+    # Popularity still accrues per completion with the cache on: the
+    # hot tuples' counts move with served queries, not engine scans.
+    hot_counts = [
+        count
+        for (table, _rowid), count in (
+            service_on.guard.popularity.store.items()
+        )
+        if table == "t"
+    ]
+    assert max(hot_counts) >= cache.info()["hits"]
+    # The measured claim: cheap goodput improves by a real margin.
+    assert goodput_on > goodput_off * 1.1, (
+        f"cache-on goodput {goodput_on:.1f}/s not >10% over "
+        f"cache-off {goodput_off:.1f}/s"
+    )
+    benchmark.extra_info["goodput_off_per_s"] = round(goodput_off, 2)
+    benchmark.extra_info["goodput_on_per_s"] = round(goodput_on, 2)
+    benchmark.extra_info["speedup"] = round(goodput_on / goodput_off, 3)
+    benchmark.extra_info["cache_hits"] = cache.info()["hits"]

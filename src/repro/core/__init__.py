@@ -41,6 +41,7 @@ from .pipeline import QueryContext, QueryPipeline, Stage
 from .popularity import AdaptiveTracker, PopularityTracker
 from .ratelimit import FixedIntervalGate, TokenBucket
 from .resilience import BackoffPolicy, BreakerOpen, CircuitBreaker
+from .result_cache import CachedResult, ResultCache
 from .staleness import (
     ExtractedTuple,
     Snapshot,
@@ -58,6 +59,7 @@ __all__ = [
     "AdaptiveTracker",
     "BackoffPolicy",
     "BreakerOpen",
+    "CachedResult",
     "CircuitBreaker",
     "Clock",
     "CompositeDelayPolicy",
@@ -82,6 +84,7 @@ __all__ = [
     "QueryContext",
     "QueryPipeline",
     "RealClock",
+    "ResultCache",
     "Stage",
     "Snapshot",
     "SpaceSavingStore",

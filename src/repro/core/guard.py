@@ -51,6 +51,7 @@ from .delay_policy import (
 from .errors import AccessDenied, ConfigError
 from .pipeline import QueryContext, QueryPipeline
 from .popularity import PopularityTracker
+from .result_cache import ResultCache
 from .update_tracker import UpdateRateTracker
 
 #: Guard-level tuple key: (lower-cased table name, rowid).
@@ -65,6 +66,10 @@ class GuardedResult:
     delay: float
     per_tuple_delays: List[float] = field(default_factory=list)
     identity: Optional[str] = None
+    #: True when the result came from the guard's result cache. The
+    #: delay, charges, and popularity counts are identical either way
+    #: — a cached answer only skipped the engine, never the price.
+    cached: bool = False
     #: The lifecycle trace recorded for this query (None when the
     #: guard's observability is disabled). Lets callers that serve the
     #: sleep themselves (the server does, outside its statement lock)
@@ -254,6 +259,17 @@ class DelayGuard:
         self.last_update_times: Dict[TupleKey, float] = {}
         self._updates_lock = threading.Lock()
         self.policy = policy if policy is not None else self._build_policy()
+        #: delay-aware result cache (None unless configured): hits skip
+        #: only the execute stage; pricing and recording always run.
+        self.result_cache = (
+            ResultCache(
+                maxsize=self.config.result_cache_size,
+                ttl=self.config.result_cache_ttl,
+                clock=self.clock.now,
+            )
+            if self.config.result_cache_size is not None
+            else None
+        )
         self.obs = obs if obs is not None else Observability()
         if self.config.parse_cache_size is not None:
             configure_parse_cache(self.config.parse_cache_size)
@@ -373,6 +389,26 @@ class DelayGuard:
         registry.gauge(
             "guard_parse_cache_capacity", "Parse-cache maximum size"
         ).set_function(lambda: parse_cache_info().maxsize or 0)
+        cache = self.result_cache
+        if cache is not None:
+            descriptions = {
+                "hits": "Result-cache hits (priced and recorded like "
+                "misses; only engine CPU was saved)",
+                "misses": "Result-cache misses",
+                "evictions": "Result-cache LRU evictions",
+                "invalidations": "Entries swept because a committed "
+                "mutation advanced the snapshot epoch",
+                "expirations": "Entries dropped by the TTL freshness "
+                "bound",
+                "entries": "Results currently cached",
+                "capacity": "Result-cache maximum size",
+                "epoch": "Highest engine mutation epoch the cache has "
+                "observed",
+            }
+            for stat, help_text in descriptions.items():
+                registry.gauge(
+                    f"guard_result_cache_{stat}", help_text
+                ).set_function(lambda name=stat: cache.info()[name])
 
     def _build_store(self) -> CountStore:
         kind = self.config.count_store
@@ -489,6 +525,7 @@ class DelayGuard:
                 delay=ctx.delay,
                 per_tuple_delays=ctx.per_tuple,
                 identity=identity,
+                cached=ctx.cache_hit,
             )
         tracer = self.obs.tracer
         ctx.trace = QueryTrace(
@@ -517,6 +554,7 @@ class DelayGuard:
             per_tuple_delays=ctx.per_tuple,
             identity=identity,
             trace=ctx.trace,
+            cached=ctx.cache_hit,
         )
 
     # -- analysis hooks ----------------------------------------------------------

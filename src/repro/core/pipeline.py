@@ -5,7 +5,8 @@ Historically the whole query lifecycle lived in one ~250-line
 global statement lock. This module decomposes the lifecycle into small
 stage objects run in a fixed order:
 
-    admit → parse → authorize → execute → account → price → record → sleep
+    admit → parse → authorize → cache → execute → cache_store
+          → account → price → record → sleep
 
 Each stage owns one concern, times itself (a trace span plus a
 ``guard_stage_<name>_seconds`` histogram when observability is on), and
@@ -23,6 +24,14 @@ inside conflicting engine statements. *price* reads each tuple's counts
 through the policy's :meth:`~repro.core.delay_policy.DelayPolicy.delays_for`,
 which resolves the whole key list against one consistent tracker
 snapshot instead of re-locking per tuple.
+
+The *cache* / *cache_store* pair (skipped entirely unless the guard has
+a :class:`~repro.core.result_cache.ResultCache`) serves repeated
+SELECTs without touching the engine. Deliberately, a hit replaces
+**only** the execute stage: account, price, record, and sleep still run
+on the cached result's ``touched`` set, so a hit and a miss are
+indistinguishable in popularity counts, account charges, and mandated
+delay — the cache saves engine CPU, never the defense's price.
 """
 
 from __future__ import annotations
@@ -31,9 +40,12 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple, Union
 
+from ..engine.parser.ast import SelectStatement
+from ..engine.parser.normalize import normalize_sql
 from ..engine.parser.parser import parse_cached
 from ..obs import QueryTrace, delay_buckets
 from .errors import AccessDenied, ConfigError
+from .result_cache import CachedResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine.executor import ResultSet
@@ -62,6 +74,13 @@ class QueryContext:
     #: the parsed statement (set by *parse*, or directly for pre-parsed
     #: input).
     statement: object = None
+    #: canonical SQL text (set by *parse*; None for pre-parsed input,
+    #: which the result cache therefore never serves).
+    normalized_sql: Optional[str] = None
+    #: the engine snapshot epoch the cache stage observed, and whether
+    #: it served the result (execute is skipped on a hit).
+    cache_epoch: Optional[int] = None
+    cache_hit: bool = False
     #: the engine result (set by *execute*).
     result: Optional["ResultSet"] = None
     #: base tuples charged for a SELECT (set by *account*).
@@ -132,7 +151,8 @@ class ParseStage(Stage):
         return isinstance(ctx.sql_or_statement, str)
 
     def run(self, ctx: QueryContext) -> None:
-        ctx.statement = parse_cached(ctx.sql_or_statement)
+        ctx.normalized_sql = normalize_sql(ctx.sql_or_statement)
+        ctx.statement = parse_cached(ctx.normalized_sql)
 
 
 class AuthorizeStage(Stage):
@@ -158,16 +178,53 @@ class AuthorizeStage(Stage):
             raise
 
 
+class CacheLookupStage(Stage):
+    """Serve a repeated SELECT from the result cache — still priced.
+
+    Runs *after* admit/authorize (an unauthorized caller never sees a
+    cached byte) and replaces only the execute stage on a hit: the
+    account, price, record, and sleep stages run on the cached result's
+    ``touched`` set exactly as they would on a miss, so popularity
+    counts, account charges, and the mandated delay are identical
+    either way. The key is ``(normalized SQL, snapshot epoch)`` —
+    identity-independent by design, and bumped past every committed
+    mutation by the engine's epoch counter. An adversary's probes are
+    priced whether they hit or miss; only engine CPU is ever saved.
+    """
+
+    name = "cache"
+    bucket = "accounting"
+
+    def applies(self, ctx: QueryContext) -> bool:
+        return (
+            self.guard.result_cache is not None
+            and ctx.normalized_sql is not None
+            and isinstance(ctx.statement, SelectStatement)
+        )
+
+    def run(self, ctx: QueryContext) -> None:
+        guard = self.guard
+        ctx.cache_epoch = guard.database.mutation_epoch
+        frozen = guard.result_cache.get(ctx.normalized_sql, ctx.cache_epoch)
+        if frozen is not None:
+            ctx.result = frozen.thaw()
+            ctx.cache_hit = True
+
+
 class ExecuteStage(Stage):
     """Run the statement on the engine.
 
     The only stage that touches the engine lock: ``Database.execute``
     classifies the statement and takes the shared read side for
     SELECT/EXPLAIN or the exclusive write side for everything else.
+    Skipped when the cache stage already produced the result.
     """
 
     name = "execute"
     bucket = "engine"
+
+    def applies(self, ctx: QueryContext) -> bool:
+        return not ctx.cache_hit
 
     def run(self, ctx: QueryContext) -> None:
         # Pass the original SQL text through when we have it: an
@@ -180,6 +237,40 @@ class ExecuteStage(Stage):
         )
         ctx.result = self.guard.database.execute(
             ctx.statement, source=source, tracked=True
+        )
+
+
+class CacheStoreStage(Stage):
+    """Freeze a freshly-executed SELECT into the result cache.
+
+    Only sound when no commit landed during execution: the stage
+    re-reads the engine epoch and skips the store if it moved past the
+    one the lookup observed (and the cache itself refuses stale-epoch
+    writes, so the check is belt *and* suspenders).
+    """
+
+    name = "cache_store"
+    bucket = "accounting"
+
+    def applies(self, ctx: QueryContext) -> bool:
+        result = ctx.result
+        return (
+            self.guard.result_cache is not None
+            and not ctx.cache_hit
+            and ctx.cache_epoch is not None
+            and result is not None
+            and result.statement_kind == "select"
+            and result.table is not None
+        )
+
+    def run(self, ctx: QueryContext) -> None:
+        guard = self.guard
+        if guard.database.mutation_epoch != ctx.cache_epoch:
+            return
+        guard.result_cache.put(
+            ctx.normalized_sql,
+            ctx.cache_epoch,
+            CachedResult.freeze(ctx.result),
         )
 
 
@@ -328,7 +419,9 @@ class QueryPipeline:
         AdmitStage,
         ParseStage,
         AuthorizeStage,
+        CacheLookupStage,
         ExecuteStage,
+        CacheStoreStage,
         AccountStage,
         PriceStage,
         RecordStage,

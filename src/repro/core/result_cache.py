@@ -1,0 +1,236 @@
+"""The delay-aware result cache: priced hits, epoch invalidation.
+
+A production front door caches its Zipf head — exactly the popular
+queries the paper's Eq. 1 says the legitimate workload concentrates on.
+A *naive* cache would break the defense: serving popular tuples for
+free both erases the small delays legitimate users are supposed to pay
+and lets an adversary launder repeated probes past the guard. This
+cache is built so that can't happen, by construction:
+
+* **Hits are priced and recorded.** The cache replaces only the
+  pipeline's execute stage (:mod:`repro.core.pipeline`). The account,
+  price, record, and sleep stages still run against the cached result's
+  ``touched`` set, so popularity counts, account charges, and the
+  mandated delay are bit-identical between a hit and a miss. Only
+  engine CPU is saved.
+* **Keys are identity-independent.** Entries are keyed on
+  ``(normalized SQL, snapshot epoch)`` — never on who asked. Admission
+  and authorization run *before* the lookup, and pricing after it, so
+  sharing results across identities leaks nothing the guard wasn't
+  already willing to serve each of them at full price.
+* **Any committed change invalidates.** The epoch is the engine's
+  :attr:`~repro.engine.database.Database.mutation_epoch` — a monotonic
+  counter bumped at every committed DML/DDL (and aligned with the
+  write-ahead journal's ``last_seq`` when durability is on), so a
+  cached result can never survive a change to the data it came from.
+  The "Conjunctive Queries … under Updates" line of work motivates
+  tracking the update stream this way; the optional TTL bounds
+  staleness in *time* as well, the freshness-versus-delay tradeoff
+  "Timely Private Information Retrieval" frames.
+* **Entries are deep-frozen.** Rows are stored as tuples of tuples and
+  every hit materialises fresh lists, so a caller mutating a returned
+  result can never poison later hits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..engine.executor import ResultSet
+from .errors import ConfigError
+
+__all__ = ["CachedResult", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """One SELECT result, deep-frozen for safe sharing across callers.
+
+    Everything the downstream pipeline stages need survives the freeze:
+    ``touched``/``rowids`` drive accounting and pricing, ``rows`` and
+    ``columns`` the answer itself. Rows are tuples of scalar SQL values,
+    so the structure is immutable all the way down.
+    """
+
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple, ...]
+    rowids: Tuple[int, ...]
+    touched: Tuple[Tuple[str, int], ...]
+    table: Optional[str]
+    rowcount: int
+
+    @classmethod
+    def freeze(cls, result: ResultSet) -> "CachedResult":
+        """Deep-copy a live result set into immutable storage form."""
+        return cls(
+            columns=tuple(result.columns),
+            rows=tuple(tuple(row) for row in result.rows),
+            rowids=tuple(result.rowids),
+            touched=tuple(
+                (table, rowid) for table, rowid in result.touched
+            ),
+            table=result.table,
+            rowcount=result.rowcount,
+        )
+
+    def thaw(self) -> ResultSet:
+        """A fresh :class:`ResultSet` for one caller.
+
+        Builds new list containers on every call: the caller may append
+        to or reorder its result freely without reaching the cache, and
+        the rows themselves are immutable tuples.
+        """
+        return ResultSet(
+            columns=list(self.columns),
+            rows=list(self.rows),
+            rowids=list(self.rowids),
+            touched=list(self.touched),
+            table=self.table,
+            rowcount=self.rowcount,
+            statement_kind="select",
+        )
+
+
+class ResultCache:
+    """Thread-safe, size-bounded LRU of frozen SELECT results.
+
+    Args:
+        maxsize: maximum entries; the least-recently-used is evicted
+            beyond it.
+        ttl: seconds an entry stays servable, on the cache's clock.
+            None disables time-based expiry (epoch invalidation still
+            applies — TTL only matters for data that never changes).
+        clock: time source for TTL stamps, a callable returning seconds
+            (the guard passes its own clock so virtual-time tests and
+            simulations expire deterministically). ``time.monotonic``
+            by default.
+
+    Epoch discipline: every :meth:`get`/:meth:`put` carries the
+    caller's observed snapshot epoch. The cache remembers the highest
+    epoch it has seen; observing a newer one sweeps every entry keyed
+    below it (counted in ``invalidations``), and a :meth:`put` against
+    an epoch older than the high-water mark is refused — the writer
+    raced with a commit and its result may not describe any current
+    snapshot.
+
+    Counters (``hits``/``misses``/``evictions``/``invalidations``/
+    ``expirations``) are cumulative and read via :meth:`info`.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 256,
+        ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if maxsize < 1:
+            raise ConfigError(f"cache maxsize must be >= 1, got {maxsize}")
+        if ttl is not None and ttl <= 0:
+            raise ConfigError(f"cache ttl must be positive, got {ttl}")
+        self.maxsize = maxsize
+        self.ttl = ttl
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        #: (normalized sql, epoch) -> (frozen result, stored-at stamp)
+        self._entries: "OrderedDict[Tuple[str, int], Tuple[CachedResult, float]]" = (
+            OrderedDict()
+        )
+        self._epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.expirations = 0
+
+    # -- the hot path --------------------------------------------------------
+
+    def get(self, sql: str, epoch: int) -> Optional[CachedResult]:
+        """The frozen result for ``(sql, epoch)``, or None on a miss."""
+        with self._lock:
+            self._observe_epoch(epoch)
+            key = (sql, epoch)
+            item = self._entries.get(key)
+            if item is not None and self.ttl is not None:
+                if self._clock() - item[1] > self.ttl:
+                    del self._entries[key]
+                    self.expirations += 1
+                    item = None
+            if item is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return item[0]
+
+    def put(self, sql: str, epoch: int, frozen: CachedResult) -> bool:
+        """Store a result; returns False when refused as stale.
+
+        A put against an epoch below the cache's high-water mark means a
+        commit landed between the caller's epoch read and now — the
+        result may describe either snapshot, so it is not cached.
+        """
+        with self._lock:
+            self._observe_epoch(epoch)
+            if epoch < self._epoch:
+                return False
+            key = (sql, epoch)
+            self._entries[key] = (frozen, self._clock())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return True
+
+    def _observe_epoch(self, epoch: int) -> None:
+        """Advance the high-water epoch, sweeping superseded entries.
+
+        The key already separates epochs — a stale entry can never be
+        *served* — so the sweep is memory hygiene plus the
+        ``invalidations`` signal operators watch to see the update
+        stream hitting the cache. O(entries), paid once per committed
+        mutation, not per query.
+        """
+        if epoch <= self._epoch:
+            return
+        self._epoch = epoch
+        stale = [key for key in self._entries if key[1] < epoch]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry; counters and the epoch mark are kept."""
+        with self._lock:
+            self._entries.clear()
+
+    def info(self) -> Dict[str, float]:
+        """Counters and occupancy, for metrics export and tests."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "expirations": self.expirations,
+                "entries": len(self._entries),
+                "capacity": self.maxsize,
+                "epoch": self._epoch,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        info = self.info()
+        return (
+            f"ResultCache(entries={info['entries']}/{self.maxsize}, "
+            f"hits={info['hits']}, misses={info['misses']}, "
+            f"epoch={info['epoch']})"
+        )

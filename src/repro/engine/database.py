@@ -115,6 +115,46 @@ class Database:
         #: journal entries of the open explicit transaction, appended as
         #: one batch at COMMIT and discarded at ROLLBACK.
         self._txn_journal: List[Dict] = []
+        #: monotonic commit counter: bumped once per committed mutation
+        #: (statement, bulk load, DDL, or explicit-transaction COMMIT).
+        #: Caches key entries on it, so any committed change invalidates
+        #: everything cached against the previous value. Aligned with
+        #: the journal's ``last_seq`` whenever one is attached, so the
+        #: epoch survives checkpoints and crash recovery. Like the
+        #: journal, direct catalog/heap access bypasses it by design.
+        self._mutation_epoch = 0
+
+    # -- snapshot epoch ------------------------------------------------------
+
+    @property
+    def mutation_epoch(self) -> int:
+        """The current snapshot epoch (monotonic committed-mutation count).
+
+        Reading is lock-free: a plain int read is atomic, and cache
+        users tolerate observing the value an instant early or late —
+        they re-check it around execution.
+        """
+        return self._mutation_epoch
+
+    def bump_mutation_epoch(self, floor: int) -> int:
+        """Raise the epoch to at least ``floor``; returns the new epoch.
+
+        Used when restoring state: a recovered process must start its
+        epoch at (or past) the snapshot's journal high-water mark so no
+        cache entry keyed before the crash can ever be current again.
+        Never moves the epoch backward.
+        """
+        with self.write_txn():
+            if floor > self._mutation_epoch:
+                self._mutation_epoch = floor
+            return self._mutation_epoch
+
+    def _advance_mutation_epoch(self) -> None:
+        """Bump the epoch for one committed mutation (write lock held)."""
+        epoch = self._mutation_epoch + 1
+        if self._journal is not None:
+            epoch = max(epoch, self._journal.last_seq)
+        self._mutation_epoch = epoch
 
     # -- durability ----------------------------------------------------------
 
@@ -200,6 +240,10 @@ class Database:
                 # only committed statements ever reach the journal.
                 self._journal.append_many(self._txn_journal)
             self._txn_journal = []
+            if count > 0:
+                # One epoch bump for the whole transaction: its effects
+                # become visible atomically at COMMIT.
+                self._advance_mutation_epoch()
             return count
 
     def rollback(self) -> int:
@@ -293,6 +337,12 @@ class Database:
             else:
                 scope.commit()
         self._journal_statement(result, source, tracked)
+        if self._transaction is None and (
+            result.statement_kind == "ddl" or result.rowcount > 0
+        ):
+            # Zero-row DML changed nothing — the journal skips it and
+            # caches keyed on the old epoch stay exactly correct.
+            self._advance_mutation_epoch()
         self.stats.record(result, time.perf_counter() - started)
         return result
 
@@ -408,6 +458,8 @@ class Database:
                         "columns": [c.to_dict() for c in schema.columns],
                     }
                 )
+            if self._transaction is None:
+                self._advance_mutation_epoch()
             return table
 
     def table(self, name: str) -> HeapTable:
@@ -443,6 +495,8 @@ class Database:
                 self._journal_entry(
                     {"k": "rows", "table": table_name, "rows": materialized}
                 )
+            if self._transaction is None and materialized:
+                self._advance_mutation_epoch()
             return rowids
 
     # -- introspection --------------------------------------------------------

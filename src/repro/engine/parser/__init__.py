@@ -15,7 +15,14 @@ from .ast import (
     UpdateStatement,
 )
 from .lexer import Token, tokenize
-from .parser import Parser, parse
+from .normalize import normalize_cache_info, normalize_sql
+from .parser import (
+    Parser,
+    configure_parse_cache,
+    parse,
+    parse_cache_info,
+    parse_cached,
+)
 
 __all__ = [
     "CreateIndexStatement",
@@ -32,6 +39,11 @@ __all__ = [
     "Token",
     "JoinClause",
     "UpdateStatement",
+    "configure_parse_cache",
+    "normalize_cache_info",
+    "normalize_sql",
     "parse",
+    "parse_cache_info",
+    "parse_cached",
     "tokenize",
 ]

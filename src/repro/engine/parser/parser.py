@@ -60,6 +60,7 @@ from .ast import (
     UpdateStatement,
 )
 from .lexer import Token, tokenize
+from .normalize import normalize_sql
 
 AGGREGATES = ("COUNT", "SUM", "AVG", "MIN", "MAX")
 
@@ -597,11 +598,15 @@ def parse_cached(sql: str) -> Statement:
     Statement nodes are immutable (frozen dataclasses), so callers may
     share them freely. Use for hot paths that re-issue the same SQL
     text (the guard, the SQLite proxy); parse errors are not cached.
+    The cache is keyed on :func:`normalize_sql` of the text, so
+    whitespace-, comment-, and keyword-case-permuted variants of one
+    statement share a single slot (and a single parse) instead of
+    letting an adversary thrash the LRU with textual noise.
     The cache is process-global and thread-safe (``functools.lru_cache``
     takes its own lock); resize it with :func:`configure_parse_cache`
     and read hit/miss counters with :func:`parse_cache_info`.
     """
-    return _parse_cache(sql)
+    return _parse_cache(normalize_sql(sql))
 
 
 def configure_parse_cache(maxsize: int) -> None:

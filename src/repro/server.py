@@ -1257,6 +1257,7 @@ class DelayServer:
             "rows": [list(row) for row in result.result.rows],
             "delay": result.delay,
             "rowcount": result.result.rowcount,
+            "cached": result.cached,
         }
         if result.delay <= 0:
             return response
@@ -1380,6 +1381,7 @@ class DelayServer:
             "rows": [list(row) for row in result.result.rows],
             "delay": result.delay,
             "rowcount": result.result.rowcount,
+            "cached": result.cached,
         }
 
     def _handle_report(self) -> Dict:

@@ -247,6 +247,7 @@ class DataProviderService:
                     else None
                 ),
                 "journal_seq": journal.last_seq if journal is not None else 0,
+                "mutation_epoch": self.database.mutation_epoch,
                 "clock": self.clock.now(),
             }
 
@@ -402,6 +403,16 @@ class DataProviderService:
         accounts_state = payload.get("accounts")
         if accounts_state is not None and self.accounts is not None:
             self.accounts.load_state(accounts_state)
+        # Restore the snapshot epoch so nothing cached against the
+        # previous run's epochs (result-cache entries, or any persisted
+        # derivative of them) can ever be current again: the epoch
+        # resumes at the snapshot's high-water mark instead of zero.
+        self.database.bump_mutation_epoch(
+            max(
+                int(payload.get("journal_seq") or 0),
+                int(payload.get("mutation_epoch") or 0),
+            )
+        )
         self._advance_clock_to(payload.get("clock"))
 
     def _advance_clock_to(self, target: Optional[float]) -> None:
@@ -509,6 +520,10 @@ class DataProviderService:
             service.enable_journal(journal_path, sync=journal_sync)
         else:
             report.last_seq = report.snapshot_seq
+        # Re-anchor the mutation epoch at the journal high-water mark so
+        # it is never behind where the pre-crash process left it: any
+        # result cached against a pre-crash epoch stays invisible.
+        service.database.bump_mutation_epoch(report.last_seq)
         report.duration_seconds = time.perf_counter() - started
         service.last_recovery = report
         return service

@@ -1,0 +1,133 @@
+"""The database's snapshot epoch — the result cache's invalidation key.
+
+`Database.mutation_epoch` is a monotonic counter of committed mutations:
+any cache entry keyed on an older epoch can never describe current
+data. These tests pin exactly when it moves (committed DML, DDL, bulk
+loads, explicit-transaction COMMIT) and when it must not (reads,
+rollbacks, zero-row DML), plus its alignment with the write-ahead
+journal's sequence numbers.
+"""
+
+import pytest
+
+from repro.engine import Database, WriteAheadJournal
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    database.execute("INSERT INTO t (id, v) VALUES (1, 'a')")
+    database.execute("INSERT INTO t (id, v) VALUES (2, 'b')")
+    return database
+
+
+class TestEpochAdvances:
+    def test_starts_at_zero(self):
+        assert Database().mutation_epoch == 0
+
+    def test_ddl_bumps(self):
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        assert database.mutation_epoch == 1
+
+    def test_each_committed_write_bumps_once(self, db):
+        before = db.mutation_epoch
+        db.execute("INSERT INTO t (id, v) VALUES (3, 'c')")
+        assert db.mutation_epoch == before + 1
+        db.execute("UPDATE t SET v = 'z' WHERE id = 1")
+        assert db.mutation_epoch == before + 2
+        db.execute("DELETE FROM t WHERE id = 2")
+        assert db.mutation_epoch == before + 3
+
+    def test_bulk_insert_rows_bumps(self, db):
+        before = db.mutation_epoch
+        db.insert_rows("t", [(7, "g"), (8, "h")])
+        assert db.mutation_epoch == before + 1
+
+    def test_reads_never_bump(self, db):
+        before = db.mutation_epoch
+        db.query("SELECT * FROM t")
+        db.query("SELECT v FROM t WHERE id = 1")
+        assert db.mutation_epoch == before
+
+    def test_zero_row_dml_does_not_bump(self, db):
+        # Mirrors the journal: a statement that changed nothing is not
+        # a mutation, so cached results stay valid across it.
+        before = db.mutation_epoch
+        db.execute("UPDATE t SET v = 'x' WHERE id = 999")
+        db.execute("DELETE FROM t WHERE id = 999")
+        assert db.mutation_epoch == before
+
+
+class TestEpochTransactions:
+    def test_commit_bumps_once_for_whole_transaction(self, db):
+        before = db.mutation_epoch
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t (id, v) VALUES (3, 'c')")
+        db.execute("UPDATE t SET v = 'z' WHERE id = 1")
+        # Buffered writes are invisible, and so is the epoch move.
+        assert db.mutation_epoch == before
+        db.execute("COMMIT")
+        assert db.mutation_epoch == before + 1
+
+    def test_rollback_does_not_bump(self, db):
+        before = db.mutation_epoch
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t (id, v) VALUES (3, 'c')")
+        db.execute("ROLLBACK")
+        assert db.mutation_epoch == before
+
+    def test_empty_commit_does_not_bump(self, db):
+        before = db.mutation_epoch
+        db.execute("BEGIN")
+        db.execute("COMMIT")
+        assert db.mutation_epoch == before
+
+
+class TestEpochJournalAlignment:
+    def test_epoch_tracks_journal_seq(self, tmp_path):
+        # Journal attached from the first statement (what the service
+        # does): the epoch rides the journal's sequence numbers exactly.
+        database = Database()
+        journal = WriteAheadJournal(tmp_path / "wal.log")
+        database.attach_journal(journal)
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        database.execute("INSERT INTO t (id, v) VALUES (1, 'a')")
+        database.execute("UPDATE t SET v = 'z' WHERE id = 1")
+        assert database.mutation_epoch == journal.last_seq
+        database.execute("BEGIN")
+        database.execute("INSERT INTO t (id, v) VALUES (4, 'd')")
+        database.execute("INSERT INTO t (id, v) VALUES (5, 'e')")
+        database.execute("COMMIT")
+        # A multi-statement transaction appends several journal records
+        # but one COMMIT: the epoch jumps to the high-water mark.
+        assert database.mutation_epoch == journal.last_seq
+        journal.close()
+
+    def test_epoch_catches_up_after_late_attach(self, db, tmp_path):
+        # Mutations before the journal existed keep the epoch ahead of
+        # the sequence numbers; it must stay monotonic regardless.
+        journal = WriteAheadJournal(tmp_path / "wal.log")
+        db.attach_journal(journal)
+        before = db.mutation_epoch
+        db.execute("INSERT INTO t (id, v) VALUES (3, 'c')")
+        assert db.mutation_epoch == before + 1
+        journal.close()
+
+
+class TestBumpFloor:
+    def test_bump_raises_to_floor(self, db):
+        raised = db.bump_mutation_epoch(1000)
+        assert raised == 1000
+        assert db.mutation_epoch == 1000
+
+    def test_bump_never_lowers(self, db):
+        current = db.mutation_epoch
+        assert db.bump_mutation_epoch(0) == current
+        assert db.mutation_epoch == current
+
+    def test_writes_continue_past_floor(self, db):
+        db.bump_mutation_epoch(50)
+        db.execute("INSERT INTO t (id, v) VALUES (3, 'c')")
+        assert db.mutation_epoch == 51

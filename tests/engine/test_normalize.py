@@ -1,0 +1,115 @@
+"""Canonical SQL text (`normalize_sql`) and parse-cache keying.
+
+The parse cache used to be keyed on raw SQL text, so `SELECT 1` and
+`select  1 ;` occupied two slots and an adversary could thrash the LRU
+with whitespace noise. Both the parse cache and the result cache now
+key on :func:`normalize_sql`; these tests pin the normalization rules
+and prove textual variants collapse to one cache slot.
+"""
+
+import pytest
+
+from repro.engine.parser import (
+    configure_parse_cache,
+    normalize_cache_info,
+    normalize_sql,
+    parse_cache_info,
+    parse_cached,
+)
+from repro.engine.parser.parser import PARSE_CACHE_DEFAULT_SIZE
+
+
+@pytest.fixture(autouse=True)
+def fresh_parse_cache():
+    """Reset the process-global parse cache around each test."""
+    configure_parse_cache(PARSE_CACHE_DEFAULT_SIZE)
+    yield
+    configure_parse_cache(PARSE_CACHE_DEFAULT_SIZE)
+
+
+class TestNormalizeSql:
+    def test_whitespace_collapses(self):
+        assert (
+            normalize_sql("SELECT   *\n\tFROM t")
+            == normalize_sql("SELECT * FROM t")
+        )
+
+    def test_keywords_uppercased(self):
+        assert normalize_sql("select * from t where id = 1") == (
+            "SELECT * FROM t WHERE id = 1"
+        )
+
+    def test_comments_stripped(self):
+        assert normalize_sql(
+            "SELECT * FROM t -- trailing comment\nWHERE id = 1"
+        ) == "SELECT * FROM t WHERE id = 1"
+
+    def test_trailing_semicolon_dropped(self):
+        assert normalize_sql("SELECT * FROM t;") == normalize_sql(
+            "SELECT * FROM t"
+        )
+
+    def test_identifier_case_preserved(self):
+        # Result column labels preserve source case, so normalization
+        # must NOT fold identifier case: a cached result for
+        # `SELECT V FROM t` cannot answer `SELECT v FROM t`.
+        assert "V" in normalize_sql("SELECT V FROM t")
+        assert normalize_sql("SELECT V FROM t") != normalize_sql(
+            "SELECT v FROM t"
+        )
+
+    def test_string_literals_preserved_exactly(self):
+        out = normalize_sql("SELECT * FROM t WHERE v = 'It''s'")
+        assert "'It''s'" in out
+        # Case inside strings is data, never folded.
+        assert normalize_sql(
+            "select * from t where v = 'Mixed Case'"
+        ).endswith("'Mixed Case'")
+
+    def test_not_equals_canonicalized(self):
+        assert normalize_sql("SELECT * FROM t WHERE a <> 1") == (
+            normalize_sql("SELECT * FROM t WHERE a != 1")
+        )
+
+    def test_unparseable_text_passes_through(self):
+        garbage = "NOT SQL @ ALL !!!"
+        assert normalize_sql(garbage) == garbage
+
+    def test_numbers_and_operators_survive(self):
+        out = normalize_sql("SELECT a+1 FROM t WHERE b >= 2.5")
+        assert "2.5" in out and ">=" in out
+
+    def test_memoized(self):
+        before = normalize_cache_info().hits
+        normalize_sql("SELECT 12345 FROM memo_probe")
+        normalize_sql("SELECT 12345 FROM memo_probe")
+        assert normalize_cache_info().hits > before
+
+
+class TestParseCacheKeying:
+    VARIANTS = [
+        "SELECT * FROM t WHERE id = 1",
+        "select * from t where id = 1",
+        "SELECT  *  FROM  t  WHERE  id  =  1",
+        "SELECT * FROM t WHERE id = 1;",
+        "SELECT * FROM t -- noise\nWHERE id = 1",
+        "select\t*\nfrom t where id=1 ;",
+    ]
+
+    def test_variants_share_one_cache_slot(self):
+        for sql in self.VARIANTS:
+            parse_cached(sql)
+        info = parse_cache_info()
+        # One miss for the canonical form, the rest are hits.
+        assert info.misses == 1
+        assert info.hits == len(self.VARIANTS) - 1
+        assert info.currsize == 1
+
+    def test_variants_parse_identically(self):
+        statements = [parse_cached(sql) for sql in self.VARIANTS]
+        assert all(stmt is statements[0] for stmt in statements)
+
+    def test_distinct_statements_get_distinct_slots(self):
+        parse_cached("SELECT * FROM t WHERE id = 1")
+        parse_cached("SELECT * FROM t WHERE id = 2")
+        assert parse_cache_info().currsize == 2

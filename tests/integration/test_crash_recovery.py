@@ -37,11 +37,27 @@ ITERATIONS = int(os.environ.get("CRASH_ITERATIONS", "3"))
 
 
 def recover(workdir) -> DataProviderService:
-    return DataProviderService.recover(
+    recovered = DataProviderService.recover(
         snapshot_path=os.path.join(workdir, "snapshot.json"),
         journal_path=os.path.join(workdir, "journal.bin"),
         guard_config=crash_driver.make_config(),
     )
+    assert_epoch_restored(recovered)
+    return recovered
+
+
+def assert_epoch_restored(recovered):
+    """The result-cache epoch resumes at the journal high-water mark.
+
+    A rewound epoch would let results cached against pre-crash epochs
+    be keyed current after recovery; the epoch must land exactly on the
+    replayed journal's last sequence number, and strictly past the
+    snapshot's when the journal tail replayed anything.
+    """
+    report = recovered.last_recovery
+    assert recovered.database.mutation_epoch == report.last_seq
+    if report.replayed_statements > 0:
+        assert recovered.database.mutation_epoch > report.snapshot_seq
 
 
 def reference_fingerprints(statements):

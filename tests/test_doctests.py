@@ -13,6 +13,7 @@ MODULE_NAMES = [
     "repro.core.analysis",
     "repro.core.guard",
     "repro.engine.database",
+    "repro.engine.parser.normalize",
     "repro.engine.schema",
     "repro.engine.types",
     "repro.service",

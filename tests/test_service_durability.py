@@ -304,3 +304,56 @@ class TestDurabilityMetrics:
 
         with pytest.raises(ConfigError, match="already attached"):
             service.enable_journal(tmp_path / "other.bin")
+
+
+class TestMutationEpochDurability:
+    """The result cache's epoch must survive crashes without rewinding.
+
+    If recovery restarted the epoch at zero, a result cached against a
+    pre-crash epoch could later be keyed current and serve pre-crash
+    bytes for post-crash data.
+    """
+
+    def test_epoch_tracks_journal_during_run(self, tmp_path):
+        service = build_service(tmp_path)
+        run_workload(service)
+        assert service.database.mutation_epoch == service.journal.last_seq
+
+    def test_checkpoint_records_epoch(self, tmp_path):
+        service = build_service(tmp_path)
+        run_workload(service)
+        service.checkpoint()
+        payload = json.loads(
+            (tmp_path / "snapshot.json").read_text()
+        )
+        assert payload["mutation_epoch"] == service.database.mutation_epoch
+
+    def test_recovered_epoch_not_behind_crash_point(self, tmp_path):
+        service = build_service(tmp_path)
+        run_workload(service)
+        service.checkpoint()
+        service.query("bob", "UPDATE items SET v = 'post' WHERE id = 2")
+        pre_crash = service.database.mutation_epoch
+        recovered = DataProviderService.recover(
+            snapshot_path=tmp_path / "snapshot.json",
+            journal_path=tmp_path / "journal.bin",
+            guard_config=make_config(),
+            account_policy=make_policy(),
+        )
+        assert recovered.database.mutation_epoch >= pre_crash
+        assert (
+            recovered.database.mutation_epoch
+            == recovered.last_recovery.last_seq
+        )
+
+    def test_snapshot_only_recovery_restores_epoch(self, tmp_path):
+        service = build_service(tmp_path)
+        run_workload(service)
+        service.checkpoint()
+        epoch = service.database.mutation_epoch
+        recovered = DataProviderService.recover(
+            snapshot_path=tmp_path / "snapshot.json",
+            guard_config=make_config(),
+            account_policy=make_policy(),
+        )
+        assert recovered.database.mutation_epoch >= epoch
