@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Eight subcommands::
 
     python -m repro sql        # run SQL against a (persisted) database
     python -m repro csv        # import/export CSV
@@ -8,6 +8,8 @@ Six subcommands::
     python -m repro experiments  # regenerate the paper's tables/figures
     python -m repro metrics    # scrape a live server's metrics
     python -m repro trace      # fetch a live server's recent traces
+    python -m repro top        # live health + extraction-risk ranking
+    python -m repro audit      # read a server's audit event log
 
 Examples::
 
@@ -19,6 +21,8 @@ Examples::
     python -m repro experiments table3 --scale 0.05
     python -m repro metrics --port 7007 --prometheus
     python -m repro trace --port 7007 --limit 5
+    python -m repro top --port 7007 --watch --interval 2
+    python -m repro audit audit.jsonl --kind forensic_flag --limit 50
 """
 
 from __future__ import annotations
@@ -227,6 +231,142 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_top(health: dict, forensics: Optional[dict]) -> str:
+    """Format one health + forensics snapshot for the terminal."""
+    lines = []
+    build = health.get("build", {})
+    lines.append(
+        f"repro {build.get('version', '?')} "
+        f"(python {build.get('python', '?')}) "
+        f"{health['status']}, up {format_seconds(health['uptime_seconds'])}"
+    )
+    server = health["server"]
+    lines.append(
+        f"queue {server['queue_depth']}/{server['queue_capacity']}  "
+        f"parked {server['parked_delays']}/{server['max_parked']}  "
+        f"workers {server['workers_busy']}/{server['workers']}  "
+        f"conns {server['connections']}/{server['max_connections']}  "
+        f"errors {server['handler_errors_total']}"
+    )
+    if server["shed_counts"]:
+        shed = ", ".join(
+            f"{point}={count}"
+            for point, count in sorted(server["shed_counts"].items())
+        )
+        lines.append(f"shed: {shed}")
+    for window, slo in sorted(
+        health["slo"]["windows"].items(), key=lambda kv: int(kv[0])
+    ):
+        lines.append(
+            f"slo[{window}s]: avail={slo['availability']:.4f} "
+            f"burn={slo['burn_rate']:.2f} "
+            f"goodput={slo['goodput_per_second']:.2f}/s "
+            f"p_mean={slo['mean_latency_seconds'] * 1e3:.2f}ms "
+            f"slow={slo['slow_fraction']:.1%} "
+            f"({slo['requests']} reqs)"
+        )
+    durability = health.get("durability") or {}
+    if durability.get("journal_attached"):
+        lines.append(
+            f"journal: seq={durability['journal_last_seq']} "
+            f"lag={durability['journal_lag']} since checkpoint "
+            f"#{durability['checkpoints_completed']}"
+        )
+    staleness = health.get("staleness") or {}
+    for table, stale in sorted(staleness.items()):
+        lines.append(
+            f"staleness[{table}]: S_max={stale['smax_fraction']:.2%} "
+            f"T={format_seconds(stale['extraction_seconds'])} "
+            f"rate={stale['update_rate_per_second']:.4g}/s"
+        )
+    if forensics is not None:
+        lines.append(
+            f"forensics: {forensics['flagged_identities']} flagged / "
+            f"{forensics['tracked_identities']} tracked "
+            f"(raised {forensics['flags_raised_total']}, "
+            f"cleared {forensics['flags_cleared_total']})"
+        )
+        for entry in forensics.get("identities", []):
+            flag = " FLAGGED" if entry["flagged"] else ""
+            lines.append(
+                f"  {entry['identity']:<20} risk={entry['risk']:.3f} "
+                f"cov={entry['coverage']:.1%} nov={entry['novelty']:.1%} "
+                f"reqs={entry['requests']} "
+                f"eta={format_seconds(entry['eta_seconds'])}{flag}"
+            )
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live health + extraction-risk view of a running DelayServer."""
+    import json as json_module
+    import time as time_module
+
+    from .server import DelayClient, ServerError
+
+    try:
+        with DelayClient(args.host, args.port, timeout=args.timeout) as client:
+            while True:
+                health = client.health()
+                forensics = None
+                try:
+                    forensics = client.forensics(limit=args.limit)
+                except ServerError as error:
+                    if error.reason != "not_enabled":
+                        raise
+                if args.json:
+                    print(
+                        json_module.dumps(
+                            {"health": health, "forensics": forensics},
+                            indent=2,
+                        )
+                    )
+                else:
+                    print(_render_top(health, forensics))
+                if not args.watch:
+                    return 0
+                time_module.sleep(args.interval)
+                print()
+    except KeyboardInterrupt:
+        return 0
+    except (ServerError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Read a server's audit event log (including rotated segments)."""
+    import json as json_module
+    from collections import deque
+
+    from .obs import iter_audit_events
+
+    if not Path(args.path).exists():
+        print(f"error: no audit log at {args.path}", file=sys.stderr)
+        return 1
+    events = iter_audit_events(args.path)
+    if args.kind:
+        events = (
+            event for event in events if event.get("event") in args.kind
+        )
+    selected = deque(events, maxlen=args.limit)
+    for event in selected:
+        if args.json:
+            print(json_module.dumps(event))
+            continue
+        ts = event.get("ts")
+        stamp = f"{ts:.3f}" if isinstance(ts, (int, float)) else "-"
+        kind = event.get("event", "?")
+        trace_id = event.get("trace_id") or "-"
+        detail = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(event.items())
+            if key not in ("v", "ts", "event", "trace_id")
+        )
+        print(f"{stamp} {kind:<22} trace={trace_id:<12} {detail}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -309,6 +449,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print raw JSON traces"
     )
     trace.set_defaults(handler=cmd_trace)
+
+    top = commands.add_parser(
+        "top",
+        help="live health + extraction-risk ranking from a server",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True)
+    top.add_argument("--timeout", type=float, default=10.0)
+    top.add_argument(
+        "--limit", type=int, default=10,
+        help="how many risk-ranked identities to show",
+    )
+    top.add_argument(
+        "--watch", action="store_true",
+        help="refresh every --interval seconds until interrupted",
+    )
+    top.add_argument("--interval", type=float, default=2.0)
+    top.add_argument(
+        "--json", action="store_true", help="print raw JSON snapshots"
+    )
+    top.set_defaults(handler=cmd_top)
+
+    audit = commands.add_parser(
+        "audit", help="read an audit event log written by a server"
+    )
+    audit.add_argument("path", help="audit log path (rotations included)")
+    audit.add_argument(
+        "--limit", type=int, default=50, help="show the newest N events"
+    )
+    audit.add_argument(
+        "--kind", action="append",
+        help="only these event kinds (repeatable), e.g. forensic_flag",
+    )
+    audit.add_argument(
+        "--json", action="store_true", help="print raw JSONL events"
+    )
+    audit.set_defaults(handler=cmd_audit)
 
     return parser
 

@@ -62,6 +62,23 @@ class GuardConfig:
             None never expires by time — epoch invalidation alone
             already guarantees no stale data is served; a TTL adds a
             freshness bound for deployments that also want one.
+        forensics: enable live extraction forensics — a
+            :class:`~repro.core.detection.CoverageMonitor` fed by a
+            pipeline stage after record, scored and exported by
+            :class:`repro.obs.forensics.ForensicsMonitor` (per-identity
+            coverage/novelty/extraction-ETA, audit flag events, the
+            server's ``forensics`` op). Off by default: it adds a
+            per-SELECT accounting cost and the replication experiments
+            drive the monitor offline.
+        forensics_coverage_threshold / forensics_novelty_threshold /
+            forensics_window / forensics_min_requests: monitor
+            thresholds (see :class:`CoverageMonitor`).
+        forensics_max_identities: identities profiled individually
+            before the long tail folds into the ``_other`` aggregate
+            (memory bound for million-user deployments).
+        forensics_max_keys_per_identity: cap on each identity's
+            retrieved-key set (memory bound; coverage saturates at
+            cap / population).
     """
 
     policy: str = "popularity"
@@ -83,6 +100,13 @@ class GuardConfig:
     parse_cache_size: Optional[int] = None
     result_cache_size: Optional[int] = None
     result_cache_ttl: Optional[float] = None
+    forensics: bool = False
+    forensics_coverage_threshold: float = 0.5
+    forensics_novelty_threshold: float = 0.9
+    forensics_window: int = 200
+    forensics_min_requests: int = 100
+    forensics_max_identities: int = 4096
+    forensics_max_keys_per_identity: int = 100_000
 
     _POLICIES = ("popularity", "update", "both", "fixed", "none")
     _STORES = ("memory", "write_behind", "space_saving", "counting_sample")
@@ -138,5 +162,34 @@ class GuardConfig:
             raise ConfigError(
                 "result_cache_ttl without result_cache_size has no "
                 "effect; set a cache size to enable the cache"
+            )
+        if not 0 < self.forensics_coverage_threshold <= 1:
+            raise ConfigError(
+                f"forensics_coverage_threshold must be in (0, 1], got "
+                f"{self.forensics_coverage_threshold}"
+            )
+        if not 0 < self.forensics_novelty_threshold <= 1:
+            raise ConfigError(
+                f"forensics_novelty_threshold must be in (0, 1], got "
+                f"{self.forensics_novelty_threshold}"
+            )
+        if self.forensics_window < 1:
+            raise ConfigError(
+                f"forensics_window must be >= 1, got {self.forensics_window}"
+            )
+        if self.forensics_min_requests < 1:
+            raise ConfigError(
+                f"forensics_min_requests must be >= 1, got "
+                f"{self.forensics_min_requests}"
+            )
+        if self.forensics_max_identities < 1:
+            raise ConfigError(
+                f"forensics_max_identities must be >= 1, got "
+                f"{self.forensics_max_identities}"
+            )
+        if self.forensics_max_keys_per_identity < 1:
+            raise ConfigError(
+                f"forensics_max_keys_per_identity must be >= 1, got "
+                f"{self.forensics_max_keys_per_identity}"
             )
         return self

@@ -16,19 +16,36 @@ cleanly separate extraction from legitimate browsing:
   dominated by repeats (low novelty); a key-space walker is ~100% novel
   by construction.
 
-:class:`CoverageMonitor` tracks both online (O(1) per retrieval) and
-flags identities exceeding thresholds, so an operator can feed suspects
-into the §2.4 quota/limit machinery.
+:class:`CoverageMonitor` tracks both online (O(1) per retrieval, one
+internal lock — safe to feed from concurrent server workers) and flags
+identities exceeding thresholds, so an operator can feed suspects into
+the §2.4 quota/limit machinery. It also accumulates per-identity delay
+paid and tuples charged, which is what lets the forensics layer
+evaluate the paper's §2.2 extraction cost model *online*: remaining
+population × observed per-tuple price = seconds to finish the theft.
+
+Memory is boundable for production use: ``max_identities`` folds the
+long tail of identities into one aggregate :data:`OVERFLOW_IDENTITY`
+profile (tracked for volume, never flagged — an aggregate would
+trivially trip coverage), and ``max_keys_per_identity`` caps each
+retrieved-key set (at the cap, repeats of *uncapped* keys still look
+novel, so novelty saturates high — acceptable, since any identity at
+the cap has long since tripped the coverage signal).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from .counts import Key
 from .errors import ConfigError
+
+#: Aggregate profile absorbing identities beyond ``max_identities``.
+#: Matches the metrics layer's overflow label; never flagged.
+OVERFLOW_IDENTITY = "_other"
 
 
 @dataclass
@@ -38,8 +55,14 @@ class IdentityProfile:
     identity: str
     retrieved: Set[Key] = field(default_factory=set)
     requests: int = 0
+    #: total tuples this identity has been charged for (with repeats)
+    tuples: int = 0
+    #: cumulative mandated delay this identity has paid, in seconds
+    delay_paid: float = 0.0
     #: sliding window of "was this retrieval novel?" flags
     recent_novelty: Deque[bool] = field(default_factory=deque)
+    #: running count of True flags in ``recent_novelty`` (O(1) rate)
+    novel_in_window: int = 0
 
     def coverage(self, population: int) -> float:
         """Fraction of the population this identity has retrieved."""
@@ -51,7 +74,7 @@ class IdentityProfile:
         """Fraction of recent retrievals that were first-time tuples."""
         if not self.recent_novelty:
             return 0.0
-        return sum(self.recent_novelty) / len(self.recent_novelty)
+        return self.novel_in_window / len(self.recent_novelty)
 
 
 @dataclass(frozen=True)
@@ -78,6 +101,11 @@ class CoverageMonitor:
             ``min_requests`` requests (young accounts are all-novel).
         window: size of the recent-novelty sliding window.
         min_requests: grace period before novelty can flag anyone.
+        max_identities: profiles tracked individually; beyond this the
+            long tail folds into :data:`OVERFLOW_IDENTITY` (None =
+            unbounded, the historical behaviour).
+        max_keys_per_identity: cap on each profile's retrieved-key set
+            (None = unbounded).
     """
 
     def __init__(
@@ -87,6 +115,8 @@ class CoverageMonitor:
         novelty_threshold: float = 0.9,
         window: int = 200,
         min_requests: int = 100,
+        max_identities: Optional[int] = None,
+        max_keys_per_identity: Optional[int] = None,
     ):
         if not 0 < coverage_threshold <= 1:
             raise ConfigError(
@@ -104,12 +134,25 @@ class CoverageMonitor:
             raise ConfigError(
                 f"min_requests must be >= 1, got {min_requests}"
             )
+        if max_identities is not None and max_identities < 1:
+            raise ConfigError(
+                f"max_identities must be >= 1, got {max_identities}"
+            )
+        if max_keys_per_identity is not None and max_keys_per_identity < 1:
+            raise ConfigError(
+                f"max_keys_per_identity must be >= 1, got "
+                f"{max_keys_per_identity}"
+            )
         self._population = population
         self.coverage_threshold = coverage_threshold
         self.novelty_threshold = novelty_threshold
         self.window = window
         self.min_requests = min_requests
+        self.max_identities = max_identities
+        self.max_keys_per_identity = max_keys_per_identity
         self.profiles: Dict[str, IdentityProfile] = {}
+        self.overflowed_identities = 0
+        self._lock = threading.RLock()
 
     @property
     def population(self) -> int:
@@ -123,28 +166,56 @@ class CoverageMonitor:
 
     # -- recording ---------------------------------------------------------
 
-    def record(self, identity: str, keys: Iterable[Key]) -> None:
-        """Record the tuples one query returned to ``identity``."""
-        profile = self.profiles.get(identity)
-        if profile is None:
-            profile = IdentityProfile(identity=identity)
-            self.profiles[identity] = profile
-        profile.requests += 1
-        for key in keys:
-            novel = key not in profile.retrieved
-            if novel:
-                profile.retrieved.add(key)
-            profile.recent_novelty.append(novel)
-            while len(profile.recent_novelty) > self.window:
-                profile.recent_novelty.popleft()
+    def record(
+        self, identity: str, keys: Iterable[Key], delay: float = 0.0
+    ) -> None:
+        """Record the tuples (and delay paid) of one query.
+
+        Args:
+            identity: the requesting identity.
+            keys: the tuple keys the query touched.
+            delay: the mandated delay the query was charged (seconds);
+                accumulated per identity so the forensics layer can
+                price the §2.2 cost model from observed behaviour.
+        """
+        with self._lock:
+            profile = self.profiles.get(identity)
+            if profile is None:
+                if (
+                    self.max_identities is not None
+                    and len(self.profiles) >= self.max_identities
+                    and identity != OVERFLOW_IDENTITY
+                ):
+                    self.overflowed_identities += 1
+                    self.record(OVERFLOW_IDENTITY, keys, delay)
+                    return
+                profile = IdentityProfile(identity=identity)
+                self.profiles[identity] = profile
+            profile.requests += 1
+            profile.delay_paid += delay
+            key_cap = self.max_keys_per_identity
+            for key in keys:
+                profile.tuples += 1
+                novel = key not in profile.retrieved
+                if novel and (
+                    key_cap is None or len(profile.retrieved) < key_cap
+                ):
+                    profile.retrieved.add(key)
+                profile.recent_novelty.append(novel)
+                profile.novel_in_window += novel
+                while len(profile.recent_novelty) > self.window:
+                    profile.novel_in_window -= (
+                        profile.recent_novelty.popleft()
+                    )
 
     # -- queries ------------------------------------------------------------
 
     def profile(self, identity: str) -> IdentityProfile:
         """The profile for ``identity`` (empty if never seen)."""
-        return self.profiles.get(
-            identity, IdentityProfile(identity=identity)
-        )
+        with self._lock:
+            return self.profiles.get(
+                identity, IdentityProfile(identity=identity)
+            )
 
     def coverage(self, identity: str) -> float:
         """Coverage of one identity."""
@@ -155,40 +226,77 @@ class CoverageMonitor:
         return self.profile(identity).novelty_rate()
 
     def evaluate(self, identity: str) -> Optional[Suspect]:
-        """Evaluate one identity against the thresholds."""
-        profile = self.profiles.get(identity)
-        if profile is None:
+        """Evaluate one identity against the thresholds.
+
+        The :data:`OVERFLOW_IDENTITY` aggregate is never flagged — it
+        pools unrelated users, so its coverage is meaningless.
+        """
+        if identity == OVERFLOW_IDENTITY:
             return None
-        population = self.population
-        reasons: List[str] = []
-        coverage = profile.coverage(population)
-        if coverage >= self.coverage_threshold:
-            reasons.append("coverage")
-        novelty = profile.novelty_rate()
-        if (
-            profile.requests >= self.min_requests
-            and novelty >= self.novelty_threshold
-        ):
-            reasons.append("novelty")
-        if not reasons:
-            return None
-        return Suspect(
-            identity=identity,
-            coverage=coverage,
-            novelty_rate=novelty,
-            requests=profile.requests,
-            reasons=tuple(reasons),
-        )
+        with self._lock:
+            profile = self.profiles.get(identity)
+            if profile is None:
+                return None
+            population = self.population
+            reasons: List[str] = []
+            coverage = profile.coverage(population)
+            if coverage >= self.coverage_threshold:
+                reasons.append("coverage")
+            novelty = profile.novelty_rate()
+            if (
+                profile.requests >= self.min_requests
+                and novelty >= self.novelty_threshold
+            ):
+                reasons.append("novelty")
+            if not reasons:
+                return None
+            return Suspect(
+                identity=identity,
+                coverage=coverage,
+                novelty_rate=novelty,
+                requests=profile.requests,
+                reasons=tuple(reasons),
+            )
 
     def suspects(self) -> List[Suspect]:
         """Every currently flagged identity, highest coverage first."""
+        with self._lock:
+            identities = list(self.profiles)
         flagged = [
             suspect
-            for identity in self.profiles
+            for identity in identities
             if (suspect := self.evaluate(identity)) is not None
         ]
         flagged.sort(key=lambda suspect: suspect.coverage, reverse=True)
         return flagged
+
+    def summaries(self) -> List[Dict]:
+        """Per-identity statistics as plain dicts, one consistent cut.
+
+        This is the boundary the observability layer consumes
+        (``repro.obs.forensics`` is duck-typed over it): no domain
+        objects cross, just numbers. Keys per entry: ``identity``,
+        ``coverage``, ``novelty``, ``requests``, ``tuples``,
+        ``delay_paid``, ``distinct_keys``.
+        """
+        with self._lock:
+            population = self.population
+            return [
+                {
+                    "identity": profile.identity,
+                    "coverage": profile.coverage(population),
+                    "novelty": profile.novelty_rate(),
+                    "requests": profile.requests,
+                    "tuples": profile.tuples,
+                    "delay_paid": profile.delay_paid,
+                    "distinct_keys": len(profile.retrieved),
+                }
+                for profile in self.profiles.values()
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.profiles)
 
 
 def attach_monitor(guard, monitor: CoverageMonitor) -> Callable:
@@ -209,7 +317,7 @@ def attach_monitor(guard, monitor: CoverageMonitor) -> Callable:
                 (result.result.table.lower(), rowid)
                 for rowid in result.result.rowids
             ]
-            monitor.record(identity, keys)
+            monitor.record(identity, keys, delay=result.delay)
         return result
 
     guard.execute = monitored_execute

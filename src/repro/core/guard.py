@@ -22,6 +22,7 @@ queries overlap everywhere else — there is no statement-level gate.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
@@ -29,10 +30,11 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..engine.database import Database
 from ..engine.executor import ResultSet
 from ..engine.parser.parser import configure_parse_cache, parse_cache_info
-from ..obs import Histogram, Observability, QueryTrace
+from ..obs import ForensicsMonitor, Histogram, Observability, QueryTrace
 from .accounts import AccountManager
 from .clock import Clock, VirtualClock
 from .config import GuardConfig
+from .detection import CoverageMonitor
 from .counts import (
     CountingSampleStore,
     CountStore,
@@ -56,6 +58,21 @@ from .update_tracker import UpdateRateTracker
 
 #: Guard-level tuple key: (lower-cased table name, rowid).
 TupleKey = Tuple[str, int]
+
+
+def _stale_probability(rate: float, horizon: float) -> float:
+    """P(stale) for one tuple under the paper's §3 Poisson model.
+
+    A tuple updated at Poisson rate ``rate`` and extracted at a
+    uniformly random instant of a ``horizon``-second scan is stale by
+    scan end with probability ``1 - (1 - e^(-rT)) / (rT)`` (the
+    integral behind eqs. 8-12). Uses ``expm1`` so tiny ``rT`` doesn't
+    cancel catastrophically; limits at ``rT -> 0`` are 0.
+    """
+    x = rate * horizon
+    if x <= 0:
+        return 0.0
+    return 1.0 + math.expm1(-x) / x
 
 
 @dataclass
@@ -271,6 +288,29 @@ class DelayGuard:
             else None
         )
         self.obs = obs if obs is not None else Observability()
+        #: live extraction forensics (None unless configured): a
+        #: CoverageMonitor fed by the pipeline's forensics stage,
+        #: risk-scored and exported by the obs-layer ForensicsMonitor.
+        self.forensics: Optional[ForensicsMonitor] = None
+        if self.config.forensics:
+            self.forensics = ForensicsMonitor(
+                CoverageMonitor(
+                    population=self.population,
+                    coverage_threshold=(
+                        self.config.forensics_coverage_threshold
+                    ),
+                    novelty_threshold=(
+                        self.config.forensics_novelty_threshold
+                    ),
+                    window=self.config.forensics_window,
+                    min_requests=self.config.forensics_min_requests,
+                    max_identities=self.config.forensics_max_identities,
+                    max_keys_per_identity=(
+                        self.config.forensics_max_keys_per_identity
+                    ),
+                ),
+                audit=self.obs.audit if self.obs.enabled else None,
+            )
         if self.config.parse_cache_size is not None:
             configure_parse_cache(self.config.parse_cache_size)
         if self.obs.enabled:
@@ -409,6 +449,28 @@ class DelayGuard:
                 registry.gauge(
                     f"guard_result_cache_{stat}", help_text
                 ).set_function(lambda name=stat: cache.info()[name])
+        if self.forensics is not None:
+            self.forensics.register_metrics(registry)
+        # Per-table staleness-guarantee gauges. Labelled gauges cannot
+        # be callback-backed, so they are refreshed on demand by
+        # refresh_staleness_gauges() (the server's health op does).
+        self._m_stale_extraction = registry.gauge(
+            "staleness_extraction_seconds",
+            "Seconds a full extraction of this table would take at "
+            "today's prices (T in eqs. 8-12)",
+            ("table",),
+        )
+        self._m_stale_rate = registry.gauge(
+            "staleness_update_rate_per_second",
+            "Summed estimated update rate across this table's tuples",
+            ("table",),
+        )
+        self._m_stale_smax = registry.gauge(
+            "staleness_smax_fraction",
+            "Live S_max: expected stale fraction of an extraction "
+            "spread over the table's current extraction time",
+            ("table",),
+        )
 
     def _build_store(self) -> CountStore:
         kind = self.config.count_store
@@ -535,10 +597,21 @@ class DelayGuard:
             if isinstance(sql_or_statement, str)
             else None,
         )
+        audit = self.obs.audit
         try:
             self.pipeline.run(ctx)
         except AccessDenied as denied:
             tracer.finish(ctx.trace.finish("denied", reason=denied.reason))
+            if audit is not None:
+                audit.emit(
+                    "query_deadline_aborted"
+                    if denied.reason == "deadline_exceeded"
+                    else "query_denied",
+                    trace_id=ctx.trace.trace_id,
+                    identity=identity,
+                    reason=denied.reason,
+                    retry_after=getattr(denied, "retry_after", None),
+                )
             raise
         except Exception as error:
             tracer.finish(ctx.trace.finish("error", reason=str(error)))
@@ -548,6 +621,23 @@ class DelayGuard:
                 "ok", delay=ctx.delay, rows=ctx.result.rowcount
             )
         )
+        if audit is not None:
+            audit.emit(
+                "query_cached" if ctx.cache_hit else "query_served",
+                trace_id=ctx.trace.trace_id,
+                identity=identity,
+                delay=ctx.delay,
+                rows=ctx.result.rowcount,
+                table=ctx.result.table,
+            )
+            if ctx.delay > 0:
+                audit.emit(
+                    "delay_priced",
+                    trace_id=ctx.trace.trace_id,
+                    identity=identity,
+                    delay=ctx.delay,
+                    tuples=len(ctx.keys),
+                )
         return GuardedResult(
             result=ctx.result,
             delay=ctx.delay,
@@ -610,6 +700,66 @@ class DelayGuard:
                 keyed.extend((key_prefix, rowid) for rowid in heap.rowids())
         # Price outside the read lock: the policy only reads trackers.
         return sum(self.policy.delays_for(keyed))
+
+    def staleness_report(self) -> Dict[str, Dict]:
+        """Per-table live staleness guarantee (§3, eqs. 8-12).
+
+        For each table, prices today's full-extraction time T from the
+        current counts (:meth:`extraction_cost`) and evaluates the
+        paper's Poisson staleness model against the live update-rate
+        estimates: a tuple updated at rate r, extracted at a uniformly
+        random instant of a T-second scan, is stale with probability
+        ``1 - (1 - e^(-rT)) / (rT)``. The reported ``smax_fraction``
+        is the expected stale fraction of a full extraction *started
+        now* — the guarantee the defense is currently delivering, live
+        (tuples with no recorded updates contribute zero).
+        """
+        snapshot = self.update_rates.snapshot()
+        per_table_rates: Dict[str, List[float]] = {}
+        for (table, _rowid), rate in snapshot:
+            per_table_rates.setdefault(table, []).append(rate)
+        with self.database.read_view():
+            tables = [
+                (name, len(self.database.catalog.table(name)))
+                for name in self.database.catalog.table_names()
+            ]
+        report: Dict[str, Dict] = {}
+        for name, population in tables:
+            horizon = self.extraction_cost(name)
+            rates = per_table_rates.get(name.lower(), [])
+            expected_stale = sum(
+                _stale_probability(rate, horizon) for rate in rates
+            )
+            report[name.lower()] = {
+                "population": population,
+                "extraction_seconds": horizon,
+                "update_rate_per_second": sum(rates),
+                "updated_keys": len(rates),
+                "smax_fraction": expected_stale / max(population, 1),
+            }
+        return report
+
+    def refresh_staleness_gauges(self) -> Dict[str, Dict]:
+        """Recompute :meth:`staleness_report` and push it to the gauges.
+
+        Labelled gauges cannot be callback-backed, so something must
+        pump them; the server's ``health`` op calls this on every
+        request, which makes a scrape-after-health always current.
+        Returns the report it pushed.
+        """
+        report = self.staleness_report()
+        if self.obs.enabled:
+            for table, entry in report.items():
+                self._m_stale_extraction.set(
+                    entry["extraction_seconds"], table=table
+                )
+                self._m_stale_rate.set(
+                    entry["update_rate_per_second"], table=table
+                )
+                self._m_stale_smax.set(
+                    entry["smax_fraction"], table=table
+                )
+        return report
 
     def max_extraction_cost(self, table: Optional[str] = None) -> float:
         """The N·d_max bound: every tuple at the cap (needs a cap)."""

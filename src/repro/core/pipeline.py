@@ -6,7 +6,7 @@ global statement lock. This module decomposes the lifecycle into small
 stage objects run in a fixed order:
 
     admit → parse → authorize → cache → execute → cache_store
-          → account → price → record → sleep
+          → account → price → record → forensics → sleep
 
 Each stage owns one concern, times itself (a trace span plus a
 ``guard_stage_<name>_seconds`` histogram when observability is on), and
@@ -388,6 +388,38 @@ class RecordStage(Stage):
                     guard.last_update_times[key] = clock_now
 
 
+class ForensicsStage(Stage):
+    """Feed the live extraction-risk monitor (§2.4 "notice the robot").
+
+    Runs after *record* (the served tuples and the priced delay are
+    final) and before *sleep* (the caller's mandated delay should not
+    postpone their own risk evaluation). Skipped entirely unless the
+    guard was built with ``GuardConfig.forensics`` — the monitor's
+    record+evaluate is an extra accounting cost per identified SELECT.
+    """
+
+    name = "forensics"
+    bucket = "accounting"
+
+    def applies(self, ctx: QueryContext) -> bool:
+        result = ctx.result
+        return (
+            self.guard.forensics is not None
+            and ctx.identity is not None
+            and result is not None
+            and result.statement_kind == "select"
+            and result.table is not None
+        )
+
+    def run(self, ctx: QueryContext) -> None:
+        self.guard.forensics.observe(
+            ctx.identity,
+            ctx.keys,
+            delay=ctx.delay,
+            trace_id=ctx.trace.trace_id if ctx.trace is not None else None,
+        )
+
+
 class SleepStage(Stage):
     """Serve the computed delay on the guard's clock.
 
@@ -425,6 +457,7 @@ class QueryPipeline:
         AccountStage,
         PriceStage,
         RecordStage,
+        ForensicsStage,
         SleepStage,
     )
 

@@ -1,4 +1,4 @@
-"""repro.obs — the observability layer: metrics, tracing, exposition.
+"""repro.obs — the observability layer: metrics, tracing, audit, health.
 
 The paper's defense is an argument about *measured time*: median user
 delay in milliseconds against extraction cost in hours. This package
@@ -6,23 +6,46 @@ makes a running deployment show those numbers continuously:
 
 * :mod:`repro.obs.metrics` — a thread-safe registry of counters,
   gauges, and bounded streaming histograms, with JSON and
-  Prometheus-text exposition.
+  Prometheus-text exposition (histograms in native cumulative
+  ``_bucket``/``le`` form).
 * :mod:`repro.obs.tracing` — per-stage query-lifecycle spans collected
-  into a bounded ring buffer, optionally mirrored to a JSON-lines sink.
+  into a bounded ring buffer, optionally mirrored to a JSON-lines sink
+  through a non-blocking background writer.
+* :mod:`repro.obs.audit` — schema-versioned structured audit events
+  (served/denied/shed/cached, delays priced, checkpoints, forensic
+  flags) with correlation ids, a bounded-queue rotating background
+  writer, and replayable readers.
+* :mod:`repro.obs.forensics` — live extraction-risk scoring over an
+  injected coverage monitor: per-identity coverage/novelty/delay-paid,
+  extraction-ETA from the paper's §2.2 cost model evaluated online,
+  flag-transition audit events, bounded-cardinality metrics.
+* :mod:`repro.obs.health` — build info and a rolling per-second SLO
+  tracker (goodput, availability, burn rate, latency) feeding the
+  server's ``health`` op.
 * :class:`Observability` — the bundle a guard/service/server shares:
-  one registry + one tracer + an enable switch, so instrumentation can
-  be turned off wholesale for overhead-sensitive runs (the
-  ``benchmarks/test_metrics_overhead.py`` acceptance is < 5%
-  single-threaded cost when enabled).
+  one registry + one tracer + an optional audit log + an enable
+  switch, so instrumentation can be turned off wholesale for
+  overhead-sensitive runs.
 
-Everything here is dependency-free and imports nothing from the rest of
-the library, so any layer can depend on it without cycles.
+This package never imports ``repro.core``/``repro.engine`` (they import
+*it*); its only inward dependency is the stdlib-only fault-injection
+seam ``repro.testing.faults``, so any layer can depend on it without
+cycles. Domain objects such as the coverage monitor are injected, not
+imported.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from .audit import (
+    AUDIT_SCHEMA_VERSION,
+    AuditLog,
+    BackgroundJsonlWriter,
+    iter_audit_events,
+)
+from .forensics import ForensicsMonitor
+from .health import SloTracker, build_info
 from .metrics import (
     Counter,
     Gauge,
@@ -35,7 +58,11 @@ from .metrics import (
 from .tracing import QueryTrace, Span, Tracer
 
 __all__ = [
+    "AUDIT_SCHEMA_VERSION",
+    "AuditLog",
+    "BackgroundJsonlWriter",
     "Counter",
+    "ForensicsMonitor",
     "Gauge",
     "Histogram",
     "Metric",
@@ -43,20 +70,25 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "QueryTrace",
+    "SloTracker",
     "Span",
     "Tracer",
+    "build_info",
     "delay_buckets",
+    "iter_audit_events",
 ]
 
 
 class Observability:
-    """One registry + one tracer, shared by every instrumented layer.
+    """One registry + one tracer (+ optional audit log), shared by all.
 
     Args:
         registry: metrics registry (a fresh one by default).
         tracer: lifecycle tracer (a fresh ring of 256 by default).
-        enabled: when False, instrumented code paths skip all metric
-            and trace work (the registry/tracer stay usable directly).
+        audit: optional :class:`AuditLog`; when present, the guard and
+            server emit structured events for every defense decision.
+        enabled: when False, instrumented code paths skip all metric,
+            trace, and audit work (the objects stay usable directly).
 
     The guard, service, and server all accept an ``Observability`` and
     default to sharing the one owned by the service, so a server scrape
@@ -67,10 +99,12 @@ class Observability:
         self,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        audit: Optional[AuditLog] = None,
         enabled: bool = True,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        self.audit = audit
         self.enabled = enabled
 
     @classmethod
@@ -81,5 +115,6 @@ class Observability:
     def __repr__(self) -> str:
         return (
             f"Observability(enabled={self.enabled}, "
-            f"metrics={len(self.registry)}, traces={len(self.tracer)})"
+            f"metrics={len(self.registry)}, traces={len(self.tracer)}, "
+            f"audit={'on' if self.audit is not None else 'off'})"
         )

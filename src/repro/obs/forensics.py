@@ -1,0 +1,238 @@
+"""Live extraction-risk scoring over an injected coverage monitor.
+
+The paper argues in two places that the operator can win by *watching*:
+§2.4 ("we will notice the increased traffic") and §2.2, whose cost
+model says an extraction of N tuples at per-tuple delay d takes N·d
+seconds. This module evaluates both online, per identity:
+
+* **coverage / novelty** come from the injected monitor (the guard's
+  :class:`repro.core.detection.CoverageMonitor` in practice — but this
+  module is duck-typed over ``record``/``evaluate``/``summaries``/
+  ``population`` so it never imports ``repro.core``).
+* **extraction ETA** is the §2.2 model priced from observed behaviour:
+  ``remaining population × (delay paid / tuples charged)`` — how many
+  seconds of mandated delay stand between this identity and the rest
+  of the database *at the price the defense is currently charging
+  them*. A browser's ETA stays astronomically high (cheap per-tuple
+  price, but no progress); a robot's ETA is exactly the paper's
+  deterrent, counting down.
+* **risk** ranks identities for the server's ``forensics`` op:
+  ``coverage + novelty × min(requests / min_requests, 1)`` — coverage
+  dominates (it is the ground truth of extraction progress), novelty
+  breaks ties once an identity has enough history to trust it.
+
+Flag transitions (monitor verdict appearing or clearing) emit audit
+events and update bounded-cardinality per-identity gauges — only
+*flagged* identities get label series, so 10k browsing identities cost
+zero label cardinality.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ForensicsMonitor"]
+
+
+class ForensicsMonitor:
+    """Risk-scores identities and audits threshold crossings.
+
+    Args:
+        monitor: any object with ``record(identity, keys, delay)``,
+            ``evaluate(identity) -> suspect | None`` (suspect carries
+            ``coverage``/``novelty_rate``/``requests``/``reasons``),
+            ``summaries() -> [dict]``, and a ``population`` property.
+        audit: optional :class:`repro.obs.audit.AuditLog` receiving
+            ``forensic_flag`` / ``forensic_flag_cleared`` events.
+        max_flagged_series: label-cardinality cap for the per-identity
+            gauges (flagged identities only; overflow folds into the
+            registry's ``_other`` series).
+    """
+
+    def __init__(self, monitor, audit=None, max_flagged_series: int = 64):
+        self.monitor = monitor
+        self.audit = audit
+        self.max_flagged_series = max_flagged_series
+        self._lock = threading.Lock()
+        #: identity -> reasons currently flagged for
+        self._flagged: Dict[str, Tuple[str, ...]] = {}
+        self.flags_raised_total = 0
+        self.flags_cleared_total = 0
+        self._m_flags = None
+        self._m_coverage = None
+        self._m_novelty = None
+        self._m_eta = None
+
+    # -- recording (the guard's ForensicsStage calls this) ------------------
+
+    def observe(
+        self,
+        identity: str,
+        keys,
+        delay: float = 0.0,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Feed one served query and re-evaluate the identity's flag."""
+        self.monitor.record(identity, keys, delay=delay)
+        suspect = self.monitor.evaluate(identity)
+        with self._lock:
+            previous = self._flagged.get(identity)
+            if suspect is not None:
+                current = tuple(suspect.reasons)
+                self._flagged[identity] = current
+                if previous == current:
+                    return
+                self.flags_raised_total += previous is None
+            else:
+                if previous is None:
+                    return
+                del self._flagged[identity]
+                self.flags_cleared_total += 1
+        if suspect is not None:
+            self._on_flag(identity, suspect, previous=previous,
+                          trace_id=trace_id)
+        else:
+            self._on_clear(identity, trace_id=trace_id)
+
+    def _on_flag(self, identity, suspect, previous, trace_id):
+        if self._m_flags is not None:
+            seen = previous or ()
+            for reason in suspect.reasons:
+                if reason not in seen:
+                    self._m_flags.inc(reason=reason)
+        if self._m_coverage is not None:
+            self._m_coverage.set(suspect.coverage, identity=identity)
+            self._m_novelty.set(suspect.novelty_rate, identity=identity)
+            self._m_eta.set(
+                self._eta_for(identity), identity=identity
+            )
+        if self.audit is not None:
+            self.audit.emit(
+                "forensic_flag",
+                trace_id=trace_id,
+                identity=identity,
+                reasons=list(suspect.reasons),
+                coverage=suspect.coverage,
+                novelty=suspect.novelty_rate,
+                requests=suspect.requests,
+                eta_seconds=self._eta_for(identity),
+            )
+
+    def _on_clear(self, identity, trace_id):
+        if self._m_coverage is not None:
+            self._m_coverage.set(0.0, identity=identity)
+            self._m_novelty.set(0.0, identity=identity)
+            self._m_eta.set(0.0, identity=identity)
+        if self.audit is not None:
+            self.audit.emit(
+                "forensic_flag_cleared",
+                trace_id=trace_id,
+                identity=identity,
+            )
+
+    # -- reading -------------------------------------------------------------
+
+    def _eta_for(self, identity: str) -> float:
+        for entry in self.monitor.summaries():
+            if entry["identity"] == identity:
+                return self._eta(entry)
+        return 0.0
+
+    def _eta(self, entry: Dict) -> float:
+        """§2.2 online: remaining tuples × observed per-tuple price."""
+        if entry["tuples"] <= 0:
+            return 0.0
+        per_tuple = entry["delay_paid"] / entry["tuples"]
+        remaining = max(
+            self.monitor.population - entry["distinct_keys"], 0
+        )
+        return remaining * per_tuple
+
+    def _risk(self, entry: Dict) -> float:
+        maturity = min(
+            entry["requests"] / max(self.min_requests, 1), 1.0
+        )
+        return entry["coverage"] + entry["novelty"] * maturity
+
+    @property
+    def min_requests(self) -> int:
+        return getattr(self.monitor, "min_requests", 1)
+
+    def flagged(self) -> Dict[str, Tuple[str, ...]]:
+        """Currently flagged identities and their reasons."""
+        with self._lock:
+            return dict(self._flagged)
+
+    def top(self, k: int = 10) -> List[Dict]:
+        """The k highest-risk identities, risk-ranked, as plain dicts."""
+        with self._lock:
+            flagged = dict(self._flagged)
+        entries = []
+        for entry in self.monitor.summaries():
+            identity = entry["identity"]
+            entries.append(
+                {
+                    "identity": identity,
+                    "coverage": entry["coverage"],
+                    "novelty": entry["novelty"],
+                    "requests": entry["requests"],
+                    "tuples": entry["tuples"],
+                    "delay_paid_seconds": entry["delay_paid"],
+                    "eta_seconds": self._eta(entry),
+                    "risk": self._risk(entry),
+                    "flagged": identity in flagged,
+                    "reasons": list(flagged.get(identity, ())),
+                }
+            )
+        entries.sort(key=lambda item: item["risk"], reverse=True)
+        return entries[:k]
+
+    def summary(self) -> Dict:
+        """Aggregate counts for the ``health`` op."""
+        with self._lock:
+            flagged = len(self._flagged)
+        return {
+            "population": self.monitor.population,
+            "tracked_identities": len(self.monitor.summaries()),
+            "flagged_identities": flagged,
+            "flags_raised_total": self.flags_raised_total,
+            "flags_cleared_total": self.flags_cleared_total,
+        }
+
+    # -- metrics -------------------------------------------------------------
+
+    def register_metrics(self, registry) -> None:
+        """Export forensics state with bounded label cardinality."""
+        registry.gauge(
+            "forensics_tracked_identities",
+            "Identities with individual coverage profiles",
+        ).set_function(lambda: len(self.monitor.summaries()))
+        registry.gauge(
+            "forensics_flagged_identities",
+            "Identities currently flagged as extraction suspects",
+        ).set_function(lambda: len(self._flagged))
+        self._m_flags = registry.counter(
+            "forensics_flags_total",
+            "Forensic flags raised, by tripping signal",
+            ("reason",),
+        )
+        self._m_coverage = registry.gauge(
+            "forensics_identity_coverage",
+            "Population coverage of flagged identities",
+            ("identity",),
+            max_series=self.max_flagged_series,
+        )
+        self._m_novelty = registry.gauge(
+            "forensics_identity_novelty",
+            "Recent-window novelty rate of flagged identities",
+            ("identity",),
+            max_series=self.max_flagged_series,
+        )
+        self._m_eta = registry.gauge(
+            "forensics_identity_extraction_eta_seconds",
+            "§2.2 online extraction ETA of flagged identities "
+            "(remaining population x observed per-tuple delay)",
+            ("identity",),
+            max_series=self.max_flagged_series,
+        )

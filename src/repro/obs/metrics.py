@@ -510,14 +510,21 @@ class Histogram(Metric):
         return payload
 
     def render(self) -> List[str]:
+        # One lock acquisition for buckets, sum, and count together:
+        # a concurrent observe between two acquisitions would make the
+        # +Inf bucket disagree with _count in the same exposition.
+        with self._lock:
+            counts = list(self._counts)
+            total, count = self._sum, self._count
         lines = []
-        for bound, running in self.cumulative_buckets():
+        running = 0
+        for bound, bucket_count in zip(self._bounds + [math.inf], counts):
+            running += bucket_count
             lines.append(
                 f'{self.name}_bucket{{le="{_format(bound)}"}} {running}'
             )
-        with self._lock:
-            lines.append(f"{self.name}_sum {_format(self._sum)}")
-            lines.append(f"{self.name}_count {self._count}")
+        lines.append(f"{self.name}_sum {_format(total)}")
+        lines.append(f"{self.name}_count {count}")
         return lines
 
 

@@ -24,16 +24,31 @@ is what keeps the overhead benchmark inside its budget.
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import threading
 import time
 from collections import deque
 from typing import Dict, IO, List, Optional, Union
 
+from .audit import BackgroundJsonlWriter
+
 __all__ = ["Span", "QueryTrace", "Tracer"]
 
 #: SQL stored on a trace is truncated to this many characters.
 SQL_LIMIT = 200
+
+# Correlation ids: "<pid hex>-<counter hex>" is unique within a process
+# tree and cheap to mint (one atomic counter bump, no RNG, no clock).
+# Audit events carry the same id, so one query's trace and its audit
+# records can be joined offline.
+_TRACE_ID_PREFIX = f"{os.getpid():x}"
+_trace_counter = itertools.count(1)
+
+
+def _next_trace_id() -> str:
+    return f"{_TRACE_ID_PREFIX}-{next(_trace_counter):x}"
 
 
 class Span:
@@ -62,6 +77,8 @@ class QueryTrace:
 
     Attributes:
         kind: trace kind (``"query"``).
+        trace_id: process-unique correlation id; audit events carry the
+            same id so the trace and its audit records can be joined.
         identity: the requesting identity, when known.
         sql: the statement text (truncated), when given as text.
         started_at: wall-clock UNIX time when the trace began.
@@ -75,6 +92,7 @@ class QueryTrace:
 
     __slots__ = (
         "kind",
+        "trace_id",
         "identity",
         "sql",
         "started_at",
@@ -94,6 +112,7 @@ class QueryTrace:
         sql: Optional[str] = None,
     ):
         self.kind = kind
+        self.trace_id = _next_trace_id()
         self.identity = identity
         if sql is not None and len(sql) > SQL_LIMIT:
             sql = sql[:SQL_LIMIT]
@@ -169,6 +188,7 @@ class QueryTrace:
     def to_dict(self) -> Dict:
         payload: Dict = {
             "kind": self.kind,
+            "trace_id": self.trace_id,
             "status": self.status,
             "started_at": self.started_at,
             "duration": self.duration,
@@ -197,15 +217,27 @@ class Tracer:
     Args:
         capacity: how many recent traces to retain (older ones fall off
             the ring — memory stays bounded on a long-running server).
-        sink: optional JSON-lines destination — a path (opened lazily,
-            append mode) or any writable text file object. Every
-            finished trace is written as one JSON line.
+        sink: optional JSON-lines destination — a path or any writable
+            text file object. Every finished trace is written as one
+            JSON line. A *path* sink is served by a
+            :class:`~repro.obs.audit.BackgroundJsonlWriter`: the
+            serving thread only enqueues (bounded, non-blocking — a
+            slow or full disk drops traces and counts the drop instead
+            of stalling queries), and the file is size-rotated. A
+            *file-object* sink stays synchronous and unrotated — the
+            caller owns its lifecycle and flushing discipline (tests
+            pass ``io.StringIO``).
+        sink_max_bytes / sink_max_files / sink_max_queue: rotation and
+            queue bounds for a path sink (ignored for file objects).
     """
 
     def __init__(
         self,
         capacity: int = 256,
         sink: Optional[Union[str, IO[str]]] = None,
+        sink_max_bytes: int = 32 * 1024 * 1024,
+        sink_max_files: int = 4,
+        sink_max_queue: int = 4096,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -213,9 +245,18 @@ class Tracer:
         self._lock = threading.Lock()
         self._ring: "deque[QueryTrace]" = deque(maxlen=capacity)
         self._finished = 0
-        self._sink_path = sink if isinstance(sink, str) else None
         self._sink_file: Optional[IO[str]] = (
             sink if sink is not None and not isinstance(sink, str) else None
+        )
+        self.sink_writer: Optional[BackgroundJsonlWriter] = (
+            BackgroundJsonlWriter(
+                sink,
+                max_bytes=sink_max_bytes,
+                max_files=sink_max_files,
+                max_queue=sink_max_queue,
+            )
+            if isinstance(sink, str)
+            else None
         )
 
     # -- recording ---------------------------------------------------------
@@ -231,30 +272,21 @@ class Tracer:
 
     def finish(self, trace: QueryTrace) -> None:
         """Retain a finished trace and mirror it to the sink, if any."""
-        if self._sink_path is None and self._sink_file is None:
-            with self._lock:
-                self._ring.append(trace)
-                self._finished += 1
-            return
         with self._lock:
             self._ring.append(trace)
             self._finished += 1
-            sink = self._open_sink()
-            if sink is not None:
-                sink.write(json.dumps(trace.to_dict()) + "\n")
-                sink.flush()
-
-    def _open_sink(self) -> Optional[IO[str]]:
-        if self._sink_file is None and self._sink_path is not None:
-            self._sink_file = open(self._sink_path, "a", encoding="utf-8")
-        return self._sink_file
+            if self._sink_file is not None:
+                self._sink_file.write(json.dumps(trace.to_dict()) + "\n")
+                self._sink_file.flush()
+        # Outside the lock: submit is its own synchronisation and never
+        # blocks, so a stalled disk cannot hold the trace lock either.
+        if self.sink_writer is not None:
+            self.sink_writer.submit(trace.to_dict())
 
     def close(self) -> None:
-        """Close a path-opened sink (file-object sinks are the caller's)."""
-        with self._lock:
-            if self._sink_path is not None and self._sink_file is not None:
-                self._sink_file.close()
-                self._sink_file = None
+        """Flush and stop a path sink (file-object sinks are the caller's)."""
+        if self.sink_writer is not None:
+            self.sink_writer.close()
 
     # -- reading -----------------------------------------------------------
 

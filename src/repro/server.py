@@ -15,6 +15,8 @@ Protocol requests::
     {"op": "report"}
     {"op": "metrics", "format": "json" | "prometheus"}
     {"op": "trace", "limit": 20}
+    {"op": "forensics", "limit": 10}
+    {"op": "health"}
     {"op": "checkpoint"}
     {"op": "ping"}
 
@@ -97,6 +99,7 @@ from typing import Deque, Dict, List, Optional, Tuple, Union
 from .core.errors import AccessDenied, ConfigError, DelayDefenseError
 from .core.resilience import BackoffPolicy, BreakerOpen, CircuitBreaker
 from .engine.errors import EngineError
+from .obs import SloTracker, build_info
 from .service import DataProviderService
 from .testing.faults import fire, injector
 
@@ -111,6 +114,8 @@ KNOWN_OPS = (
     "metrics",
     "trace",
     "checkpoint",
+    "forensics",
+    "health",
 )
 
 #: Valid client priority range; higher is more important.
@@ -811,6 +816,11 @@ class DelayServer:
         self._workers: List[threading.Thread] = []
         self._started = False
         self._stopped = False
+        self._started_at: Optional[float] = None
+        #: rolling availability / latency SLO windows for the ``health``
+        #: op. Latencies recorded here exclude the priced delay: the
+        #: delay is the defense working, not service slowness.
+        self.slo = SloTracker()
         if self.obs.enabled:
             self._register_metrics()
 
@@ -871,6 +881,15 @@ class DelayServer:
             "faults_injected_total",
             "Faults fired by the chaos-testing injector",
         ).set_function(lambda: injector.fired_total)
+        registry.gauge(
+            "server_uptime_seconds",
+            "Seconds since the server last started serving",
+        ).set_function(lambda: self.uptime_seconds)
+        registry.gauge(
+            "repro_build_info",
+            "Build information; value is always 1",
+            ("version", "python"),
+        ).set(1, **build_info())
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -892,6 +911,13 @@ class DelayServer:
     def parked_delays(self) -> int:
         """Responses currently waiting out a priced delay."""
         return len(self._sleeper)
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the last :meth:`start` (0.0 before the first)."""
+        if self._started_at is None:
+            return 0.0
+        return max(0.0, time.monotonic() - self._started_at)
 
     def start(self) -> None:
         """Serve in background threads until :meth:`stop`.
@@ -922,6 +948,7 @@ class DelayServer:
         for worker in self._workers:
             worker.start()
         self._started = True
+        self._started_at = time.monotonic()
 
     def stop(self) -> None:
         """Stop accepting, drain in-flight work, then close.
@@ -1031,8 +1058,12 @@ class DelayServer:
         with self._conn_cond:
             self.shed_counts[point] = self.shed_counts.get(point, 0) + 1
         self.service.guard.stats.note_shed()
+        self.slo.note("shed")
         if self.obs.enabled:
             self._m_shed.inc(reason=point)
+        audit = self.obs.audit
+        if audit is not None:
+            audit.emit("query_shed", point=point)
 
     # -- request intake (I/O loop thread) --------------------------------------
 
@@ -1193,6 +1224,7 @@ class DelayServer:
                 # is a server bug. Record it (tests assert this list is
                 # empty) and keep the worker alive.
                 self._record_handler_error(error)
+                self.slo.note("error")
                 response = {
                     "ok": False,
                     "error": f"internal server error: {error}",
@@ -1224,6 +1256,7 @@ class DelayServer:
                 return self._handle_query_async(request)
             return self._route_op(request.payload)
         except AccessDenied as denied:
+            self.slo.note("denied")
             if self.obs.enabled:
                 self._m_denied.inc(reason=denied.reason or "denied")
             return {
@@ -1233,6 +1266,9 @@ class DelayServer:
                 "retry_after": denied.retry_after,
             }
         except (EngineError, DelayDefenseError) as error:
+            # A refused or malformed statement is the request's fault,
+            # not the server's: a denial for SLO purposes, not an error.
+            self.slo.note("denied")
             return {"ok": False, "error": str(error)}
 
     def _handle_query_async(self, request: _Request) -> Optional[Dict]:
@@ -1250,6 +1286,11 @@ class DelayServer:
             identity=payload.get("identity"),
             sleep=False,
             deadline_at=request.deadline_at,
+        )
+        # SLO latency deliberately excludes the priced delay served
+        # below: the delay is the defense working, not slowness.
+        self.slo.note(
+            "ok", latency=time.monotonic() - request.received_at
         )
         response = {
             "ok": True,
@@ -1304,6 +1345,7 @@ class DelayServer:
                 return self._handle_query_sync(request)
             return self._route_op(request)
         except AccessDenied as denied:
+            self.slo.note("denied")
             if self.obs.enabled:
                 self._m_denied.inc(reason=denied.reason or "denied")
             return {
@@ -1313,6 +1355,9 @@ class DelayServer:
                 "retry_after": denied.retry_after,
             }
         except (EngineError, DelayDefenseError) as error:
+            # A refused or malformed statement is the request's fault,
+            # not the server's: a denial for SLO purposes, not an error.
+            self.slo.note("denied")
             return {"ok": False, "error": str(error)}
 
     def _route_op(self, request: Dict) -> Dict:
@@ -1330,6 +1375,10 @@ class DelayServer:
             return self._handle_metrics(request)
         if op == "trace":
             return self._handle_trace(request)
+        if op == "forensics":
+            return self._handle_forensics(request)
+        if op == "health":
+            return self._handle_health()
         if op == "checkpoint":
             return self._handle_checkpoint()
         return {"ok": False, "error": f"unknown op {op!r}"}
@@ -1357,17 +1406,19 @@ class DelayServer:
                 "error": "query needs sql",
                 "reason": "bad_request",
             }
+        started = time.monotonic()
         deadline_at = None
         if request.get("deadline_ms") is not None:
-            deadline_at = (
-                time.monotonic() + request["deadline_ms"] / 1000.0
-            )
+            deadline_at = started + request["deadline_ms"] / 1000.0
         result = self.service.guard.execute(
             sql,
             identity=request.get("identity"),
             sleep=False,
             deadline_at=deadline_at,
         )
+        # Latency excludes the priced delay served below (see the
+        # async path).
+        self.slo.note("ok", latency=time.monotonic() - started)
         if result.delay > 0:
             sleep_start = time.perf_counter()
             self.service.clock.sleep(result.delay)
@@ -1440,6 +1491,79 @@ class DelayServer:
             "ok": True,
             "traces": self.obs.tracer.to_json(limit),
             "finished_total": self.obs.tracer.finished_total,
+        }
+
+    def _handle_forensics(self, request: Dict) -> Dict:
+        """Top risk-ranked identities from the live forensics monitor."""
+        forensics = self.service.guard.forensics
+        if forensics is None:
+            return {
+                "ok": False,
+                "error": (
+                    "forensics is not enabled on this guard; set "
+                    "GuardConfig(forensics=True)"
+                ),
+                "reason": "not_enabled",
+            }
+        limit = request.get("limit", 10)
+        if (
+            isinstance(limit, bool)
+            or not isinstance(limit, int)
+            or limit < 1
+        ):
+            return {"ok": False, "error": f"limit must be >= 1, got {limit}"}
+        payload = {"ok": True, "identities": forensics.top(limit)}
+        payload.update(forensics.summary())
+        return payload
+
+    def _handle_health(self) -> Dict:
+        """One self-describing operational snapshot for dashboards.
+
+        Everything an operator needs to answer "is the defense healthy
+        and holding?": saturation of every bounded resource, rolling
+        availability/latency SLO windows, durability (journal lag since
+        the last checkpoint), live per-table staleness guarantees
+        (S_max, eqs. 8-12), forensic flag counts, and the process-wide
+        client circuit breakers.
+        """
+        guard = self.service.guard
+        forensics = guard.forensics
+        with DelayClient._shared_breakers_lock:
+            breaker_items = list(DelayClient._shared_breakers.items())
+        queue_depth = len(self._queue)
+        return {
+            "ok": True,
+            "status": "draining" if self._draining.is_set() else "serving",
+            "build": build_info(),
+            "uptime_seconds": self.uptime_seconds,
+            "server": {
+                "queue_depth": queue_depth,
+                "queue_capacity": self.max_queue,
+                "queue_saturation": queue_depth / self.max_queue,
+                "parked_delays": len(self._sleeper),
+                "max_parked": self.max_parked,
+                "workers": self.max_workers,
+                "workers_busy": self._busy_workers,
+                "connections": self.active_connections,
+                "max_connections": self.max_connections,
+                "shed_counts": dict(self.shed_counts),
+                "handler_errors_total": self.handler_errors_total,
+            },
+            "slo": self.slo.report(),
+            "durability": self.service.durability_health(),
+            "staleness": guard.refresh_staleness_gauges(),
+            "forensics": (
+                forensics.summary() if forensics is not None else None
+            ),
+            "audit": (
+                self.obs.audit.stats()
+                if self.obs.audit is not None
+                else None
+            ),
+            "breakers": {
+                f"{host}:{port}": breaker.snapshot()
+                for (host, port), breaker in breaker_items
+            },
         }
 
 
@@ -1747,6 +1871,14 @@ class DelayClient:
     def traces(self, limit: int = 20) -> Dict:
         """Fetch the most recent query-lifecycle traces, newest first."""
         return self._call({"op": "trace", "limit": limit})
+
+    def forensics(self, limit: int = 10) -> Dict:
+        """Fetch the top risk-ranked identities from live forensics."""
+        return self._call({"op": "forensics", "limit": limit})
+
+    def health(self) -> Dict:
+        """Fetch the server's health / SLO / staleness snapshot."""
+        return self._call({"op": "health"})
 
     def resilience_stats(self) -> Dict:
         """Client-side resilience state: breaker + retry counters."""

@@ -46,7 +46,7 @@ from .engine.persistence import (
     dump_database,
     load_database,
 )
-from .obs import Observability
+from .obs import AuditLog, Observability
 from .sim.metrics import format_seconds
 
 #: Format identifier for full-service save files. v2 adds account state
@@ -144,6 +144,12 @@ class DataProviderService:
         journal_sync: fsync the journal on every commit (default).
             Turning it off trades the durability of the newest commits
             for write throughput.
+        audit_path: when set, an :class:`~repro.obs.AuditLog` is opened
+            there and attached to the observability bundle — the guard
+            and server emit structured defense events (served, denied,
+            shed, priced, checkpoint, recovery, forensic flags) through
+            a non-blocking background writer with size rotation. Only
+            attached when the bundle doesn't already carry one.
     """
 
     def __init__(
@@ -156,10 +162,15 @@ class DataProviderService:
         snapshot_path: Optional[Union[str, Path]] = None,
         journal_path: Optional[Union[str, Path]] = None,
         journal_sync: bool = True,
+        audit_path: Optional[Union[str, Path]] = None,
     ):
         self.database = database if database is not None else Database()
         self.clock = clock if clock is not None else VirtualClock()
         self.obs = obs if obs is not None else Observability()
+        if audit_path is not None and self.obs.audit is None:
+            self.obs.audit = AuditLog(str(audit_path))
+            if self.obs.enabled:
+                self.obs.audit.register_metrics(self.obs.registry)
         self.accounts = (
             AccountManager(policy=account_policy, clock=self.clock)
             if account_policy is not None
@@ -177,6 +188,9 @@ class DataProviderService:
         #: it was built by :meth:`recover`.
         self.last_recovery: Optional[RecoveryReport] = None
         self.checkpoints_completed = 0
+        #: journal seq covered by the newest checkpoint — the journal
+        #: lag reported by :meth:`durability_health` is measured from it.
+        self.last_checkpoint_seq = 0
         self._durability_metrics_registered = False
         if journal_path is not None:
             self.enable_journal(journal_path, sync=journal_sync)
@@ -231,7 +245,15 @@ class DataProviderService:
             if journal is not None:
                 journal.truncate()
             self.checkpoints_completed += 1
-            return payload["journal_seq"]
+            self.last_checkpoint_seq = payload["journal_seq"]
+        if self.obs.audit is not None:
+            self.obs.audit.emit(
+                "checkpoint",
+                path=str(target),
+                journal_seq=self.last_checkpoint_seq,
+                checkpoints_completed=self.checkpoints_completed,
+            )
+        return self.last_checkpoint_seq
 
     def _dump_service(self) -> Dict:
         """Full service state as one JSON document (holds the write lock)."""
@@ -369,6 +391,38 @@ class DataProviderService:
             top_tuples=top,
         )
 
+    def durability_health(self) -> Dict:
+        """Journal/checkpoint posture for the server's ``health`` op.
+
+        ``journal_lag`` is the number of committed statements the
+        newest checkpoint does *not* cover — what a crash right now
+        would have to replay.
+        """
+        journal = self.database.journal
+        payload: Dict = {
+            "journal_attached": journal is not None,
+            "checkpoints_completed": self.checkpoints_completed,
+            "last_checkpoint_seq": self.last_checkpoint_seq,
+        }
+        if journal is not None:
+            payload["journal_last_seq"] = journal.last_seq
+            payload["journal_size_bytes"] = journal.size_bytes
+            payload["journal_lag"] = max(
+                journal.last_seq - self.last_checkpoint_seq, 0
+            )
+        recovery = self.last_recovery
+        payload["last_recovery"] = (
+            {
+                "snapshot_loaded": recovery.snapshot_loaded,
+                "replayed_statements": recovery.replayed_statements,
+                "torn_bytes_truncated": recovery.torn_bytes_truncated,
+                "duration_seconds": recovery.duration_seconds,
+            }
+            if recovery is not None
+            else None
+        )
+        return payload
+
     # -- state persistence ----------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
@@ -465,6 +519,7 @@ class DataProviderService:
         clock: Optional[Clock] = None,
         obs: Optional[Observability] = None,
         journal_sync: bool = True,
+        audit_path: Optional[Union[str, Path]] = None,
     ) -> "DataProviderService":
         """Rebuild a service after a crash: snapshot + journal replay.
 
@@ -492,6 +547,7 @@ class DataProviderService:
             clock=clock,
             obs=obs,
             snapshot_path=snapshot_path,
+            audit_path=audit_path,
         )
         report = RecoveryReport()
         if payload is not None:
@@ -526,4 +582,14 @@ class DataProviderService:
         service.database.bump_mutation_epoch(report.last_seq)
         report.duration_seconds = time.perf_counter() - started
         service.last_recovery = report
+        service.last_checkpoint_seq = report.snapshot_seq
+        if service.obs.audit is not None:
+            service.obs.audit.emit(
+                "recovery",
+                snapshot_loaded=report.snapshot_loaded,
+                snapshot_seq=report.snapshot_seq,
+                replayed_statements=report.replayed_statements,
+                torn_bytes_truncated=report.torn_bytes_truncated,
+                duration_seconds=report.duration_seconds,
+            )
         return service

@@ -31,6 +31,9 @@ point                where it fires
 ``engine.execute``   :meth:`repro.engine.database.Database.execute`, before
                      the statement is classified
 ``journal.fsync``    :meth:`repro.engine.journal.WriteAheadJournal._fsync`
+``audit.write``      :class:`repro.obs.audit.BackgroundJsonlWriter`, on the
+                     writer thread before each record is written (a stall
+                     models a slow disk; serving must never block on it)
 ===================  =====================================================
 
 A rule can *raise* an exception, *stall* (sleep real time, modelling a

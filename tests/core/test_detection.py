@@ -3,7 +3,11 @@
 import pytest
 
 from repro.core import AccountManager, DelayGuard, GuardConfig, VirtualClock
-from repro.core.detection import CoverageMonitor, attach_monitor
+from repro.core.detection import (
+    OVERFLOW_IDENTITY,
+    CoverageMonitor,
+    attach_monitor,
+)
 from repro.core.errors import ConfigError
 from repro.engine import Database
 from repro.workloads.zipf import ZipfSampler
@@ -137,3 +141,67 @@ class TestGuardAttachment:
         attach_monitor(guard, monitor)
         guard.execute("SELECT * FROM t WHERE id = 1")
         assert monitor.profiles == {}
+
+
+class TestBoundedMemory:
+    def test_identity_cap_folds_tail_into_other(self):
+        monitor = CoverageMonitor(population=100, max_identities=3)
+        for index in range(10):
+            monitor.record(f"u{index}", [("t", index)])
+        assert len(monitor) == 4  # 3 individual + the aggregate
+        assert OVERFLOW_IDENTITY in monitor.profiles
+        assert monitor.overflowed_identities == 7
+        assert monitor.profiles[OVERFLOW_IDENTITY].requests == 7
+
+    def test_overflow_aggregate_is_never_flagged(self):
+        monitor = CoverageMonitor(
+            population=10, coverage_threshold=0.1, min_requests=1,
+            max_identities=1,
+        )
+        monitor.record("first", [("t", 1)])
+        for index in range(10):
+            monitor.record(f"late{index}", [("t", index)])
+        assert monitor.evaluate(OVERFLOW_IDENTITY) is None
+        assert all(
+            suspect.identity != OVERFLOW_IDENTITY
+            for suspect in monitor.suspects()
+        )
+
+    def test_key_cap_bounds_retrieved_set(self):
+        monitor = CoverageMonitor(
+            population=1000, max_keys_per_identity=5
+        )
+        feed(monitor, "u", range(20))
+        profile = monitor.profile("u")
+        assert len(profile.retrieved) == 5
+        assert profile.tuples == 20
+
+    def test_cap_validation(self):
+        with pytest.raises(ConfigError):
+            CoverageMonitor(population=10, max_identities=0)
+        with pytest.raises(ConfigError):
+            CoverageMonitor(population=10, max_keys_per_identity=0)
+
+
+class TestAccountingForForensics:
+    def test_delay_paid_and_tuples_accumulate(self):
+        monitor = CoverageMonitor(population=100)
+        monitor.record("u", [("t", 1), ("t", 2)], delay=0.5)
+        monitor.record("u", [("t", 2)], delay=0.25)
+        profile = monitor.profile("u")
+        assert profile.tuples == 3
+        assert profile.delay_paid == pytest.approx(0.75)
+
+    def test_summaries_are_plain_dicts(self):
+        monitor = CoverageMonitor(population=10)
+        monitor.record("u", [("t", 1)], delay=0.1)
+        (entry,) = monitor.summaries()
+        assert entry == {
+            "identity": "u",
+            "coverage": pytest.approx(0.1),
+            "novelty": 1.0,
+            "requests": 1,
+            "tuples": 1,
+            "delay_paid": pytest.approx(0.1),
+            "distinct_keys": 1,
+        }

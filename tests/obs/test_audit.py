@@ -1,0 +1,217 @@
+"""Tests for the audit event log and its background JSONL writer."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    AUDIT_SCHEMA_VERSION,
+    AuditLog,
+    BackgroundJsonlWriter,
+    iter_audit_events,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.testing import injected_faults
+
+
+class TestBackgroundJsonlWriter:
+    def test_writes_records_as_json_lines(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        writer = BackgroundJsonlWriter(str(path))
+        assert writer.submit({"a": 1})
+        assert writer.submit({"b": 2})
+        writer.close()
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(line) for line in lines] == [
+            {"a": 1}, {"b": 2},
+        ]
+        assert writer.written_total == 2
+        assert writer.dropped_total == 0
+
+    def test_flush_waits_for_pending_records(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        writer = BackgroundJsonlWriter(str(path))
+        for index in range(50):
+            writer.submit({"n": index})
+        assert writer.flush()
+        assert writer.written_total == 50
+        writer.close()
+
+    def test_submit_after_close_is_refused(self, tmp_path):
+        writer = BackgroundJsonlWriter(str(tmp_path / "a.jsonl"))
+        writer.close()
+        assert writer.submit({"late": True}) is False
+        writer.close()  # idempotent
+
+    def test_full_queue_drops_instead_of_blocking(self, tmp_path):
+        """A stalled disk bounds audit completeness, never submit()."""
+        path = tmp_path / "audit.jsonl"
+        with injected_faults() as faults:
+            faults.stall("audit.write", seconds=0.4, times=1)
+            writer = BackgroundJsonlWriter(str(path), max_queue=4)
+            writer.submit({"n": 0})  # the writer thread stalls on this
+            time.sleep(0.05)
+            started = time.perf_counter()
+            results = [writer.submit({"n": i}) for i in range(1, 10)]
+            elapsed = time.perf_counter() - started
+        # submit never waited on the stalled disk...
+        assert elapsed < 0.2
+        # ...and the overflow was counted, not silently lost.
+        assert results.count(False) == writer.dropped_total > 0
+        writer.close()
+        written = [
+            json.loads(line)
+            for line in path.read_text().strip().splitlines()
+        ]
+        assert len(written) == writer.written_total
+        assert writer.written_total + writer.dropped_total == 10
+
+    def test_write_errors_counted_and_recovered(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        writer = BackgroundJsonlWriter(str(path))
+        with injected_faults() as faults:
+            faults.fail("audit.write", times=1)
+            writer.submit({"lost": True})
+            writer.submit({"kept": True})
+            writer.flush()
+        assert writer.write_errors_total == 1
+        assert writer.written_total == 1
+        writer.close()
+        assert json.loads(path.read_text().strip()) == {"kept": True}
+
+    def test_rotation_keeps_max_files(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        writer = BackgroundJsonlWriter(
+            str(path), max_bytes=64, max_files=3
+        )
+        for index in range(40):
+            writer.submit({"n": index, "pad": "x" * 16})
+        writer.close()
+        assert writer.rotations_total > 2
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert len(files) <= 3
+        assert "audit.jsonl.1" in files
+        assert not (tmp_path / "audit.jsonl.3").exists()
+
+    def test_replay_is_oldest_first_across_rotations(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        writer = BackgroundJsonlWriter(
+            str(path), max_bytes=64, max_files=4
+        )
+        for index in range(12):
+            writer.submit({"n": index})
+        writer.close()
+        replayed = [
+            record["n"]
+            for record in iter_audit_events(str(path), max_files=4)
+        ]
+        assert replayed == sorted(replayed)
+        assert replayed[-1] == 11
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        path = str(tmp_path / "a.jsonl")
+        with pytest.raises(ValueError):
+            BackgroundJsonlWriter(path, max_bytes=0)
+        with pytest.raises(ValueError):
+            BackgroundJsonlWriter(path, max_files=0)
+        with pytest.raises(ValueError):
+            BackgroundJsonlWriter(path, max_queue=0)
+
+    def test_concurrent_read_while_rotating(self, tmp_path):
+        """A reader replaying during heavy rotation never crashes."""
+        path = tmp_path / "audit.jsonl"
+        writer = BackgroundJsonlWriter(
+            str(path), max_bytes=128, max_files=3
+        )
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    for record in iter_audit_events(str(path), max_files=3):
+                        assert isinstance(record, dict)
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for index in range(300):
+            writer.submit({"n": index, "pad": "y" * 24})
+        writer.flush()
+        stop.set()
+        thread.join(timeout=10)
+        writer.close()
+        assert not errors
+        assert writer.rotations_total > 0
+
+
+class TestIterAuditEvents:
+    def test_skips_corrupt_blank_and_non_dict_lines(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        path.write_text(
+            '{"n": 1}\n'
+            "\n"
+            '{"torn": tru\n'
+            "[1, 2, 3]\n"
+            '"just a string"\n'
+            '{"n": 2}\n'
+        )
+        assert [r["n"] for r in iter_audit_events(str(path))] == [1, 2]
+
+    def test_missing_files_are_tolerated(self, tmp_path):
+        assert list(iter_audit_events(str(tmp_path / "nope.jsonl"))) == []
+
+
+class TestAuditLog:
+    def test_emit_stamps_envelope(self, tmp_path):
+        log = AuditLog(
+            str(tmp_path / "audit.jsonl"), clock=lambda: 123.5
+        )
+        assert log.emit("query_served", trace_id="t-1", rows=3)
+        log.close()
+        (record,) = list(log.replay())
+        assert record["v"] == AUDIT_SCHEMA_VERSION
+        assert record["ts"] == 123.5
+        assert record["event"] == "query_served"
+        assert record["trace_id"] == "t-1"
+        assert record["rows"] == 3
+
+    def test_fields_cannot_clobber_envelope(self, tmp_path):
+        log = AuditLog(str(tmp_path / "audit.jsonl"), clock=lambda: 9.0)
+        log.emit("checkpoint", **{"v": 99, "ts": -1, "event": "spoofed"})
+        log.close()
+        (record,) = list(log.replay())
+        assert record["v"] == AUDIT_SCHEMA_VERSION
+        assert record["ts"] == 9.0
+        assert record["event"] == "checkpoint"
+
+    def test_per_kind_counts_and_stats(self, tmp_path):
+        log = AuditLog(str(tmp_path / "audit.jsonl"))
+        log.emit("query_served")
+        log.emit("query_served")
+        log.emit("query_denied")
+        log.flush()
+        stats = log.stats()
+        assert stats["by_kind"] == {
+            "query_served": 2, "query_denied": 1,
+        }
+        assert stats["written"] == 3
+        log.close()
+
+    def test_register_metrics_exports_writer_health(self, tmp_path):
+        registry = MetricsRegistry()
+        log = AuditLog(str(tmp_path / "audit.jsonl"))
+        log.register_metrics(registry)
+        log.emit("delay_priced", delay=1.5)
+        log.flush()
+        snapshot = registry.to_json()
+        assert snapshot["audit_records_written_total"]["value"] == 1
+        assert snapshot["audit_records_dropped_total"]["value"] == 0
+        series = snapshot["audit_events_total"]["series"]
+        assert series[0]["labels"] == {"kind": "delay_priced"}
+        assert series[0]["value"] == 1
+        log.close()

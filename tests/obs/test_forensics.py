@@ -1,0 +1,175 @@
+"""Tests for live extraction-risk scoring (ForensicsMonitor)."""
+
+import pytest
+
+from repro.core.detection import OVERFLOW_IDENTITY, CoverageMonitor
+from repro.obs import AuditLog, ForensicsMonitor
+from repro.obs.metrics import MetricsRegistry
+
+
+def build(population=100, **kwargs):
+    defaults = dict(
+        coverage_threshold=0.5,
+        novelty_threshold=0.9,
+        window=20,
+        min_requests=5,
+    )
+    defaults.update(kwargs)
+    return CoverageMonitor(population, **defaults)
+
+
+class TestFlagTransitions:
+    def test_robot_raises_one_flag(self):
+        forensics = ForensicsMonitor(build())
+        for key in range(60):
+            forensics.observe("robot", [("t", key)])
+        assert forensics.flagged() == {
+            "robot": ("coverage", "novelty"),
+        }
+        assert forensics.flags_raised_total == 1
+        assert forensics.flags_cleared_total == 0
+
+    def test_flag_clears_when_signals_subside(self):
+        monitor = build(
+            population=1000, coverage_threshold=0.99, window=10,
+        )
+        forensics = ForensicsMonitor(monitor)
+        for key in range(10):
+            forensics.observe("probe", [("t", key)])
+        assert "probe" in forensics.flagged()  # novelty tripped
+        # Re-reading known tuples floods the window with repeats.
+        for _ in range(3):
+            for key in range(10):
+                forensics.observe("probe", [("t", key)])
+        assert forensics.flagged() == {}
+        assert forensics.flags_raised_total == 1
+        assert forensics.flags_cleared_total == 1
+
+    def test_audit_events_on_raise_and_clear(self, tmp_path):
+        log = AuditLog(str(tmp_path / "audit.jsonl"))
+        monitor = build(
+            population=1000, coverage_threshold=0.99, window=10,
+        )
+        forensics = ForensicsMonitor(monitor, audit=log)
+        for key in range(10):
+            forensics.observe("probe", [("t", key)], trace_id=f"t-{key}")
+        for _ in range(3):
+            for key in range(10):
+                forensics.observe("probe", [("t", key)])
+        log.close()
+        kinds = [record["event"] for record in log.replay()]
+        assert "forensic_flag" in kinds
+        assert kinds[-1] == "forensic_flag_cleared"
+        first_flag = next(
+            record for record in log.replay()
+            if record["event"] == "forensic_flag"
+        )
+        assert first_flag["identity"] == "probe"
+        assert first_flag["reasons"] == ["novelty"]
+        assert first_flag["trace_id"].startswith("t-")
+
+
+class TestScoring:
+    def test_extraction_eta_prices_remaining_population(self):
+        forensics = ForensicsMonitor(build(population=100))
+        # 20 distinct tuples at 0.5 s each: per-tuple price 0.5.
+        for key in range(20):
+            forensics.observe("walker", [("t", key)], delay=0.5)
+        (entry,) = forensics.top(1)
+        assert entry["identity"] == "walker"
+        assert entry["delay_paid_seconds"] == pytest.approx(10.0)
+        # 80 tuples remain at 0.5 s observed price.
+        assert entry["eta_seconds"] == pytest.approx(80 * 0.5)
+
+    def test_eta_zero_without_charged_tuples(self):
+        forensics = ForensicsMonitor(build())
+        forensics.observe("ghost", [])
+        (entry,) = forensics.top(1)
+        assert entry["eta_seconds"] == 0.0
+
+    def test_top_ranks_robot_above_browser(self):
+        forensics = ForensicsMonitor(build(population=100))
+        for key in range(60):
+            forensics.observe("robot", [("t", key)], delay=0.1)
+        for _ in range(60):
+            forensics.observe("browser", [("t", 1)], delay=0.1)
+        ranked = forensics.top(2)
+        assert [entry["identity"] for entry in ranked] == [
+            "robot", "browser",
+        ]
+        assert ranked[0]["flagged"] and not ranked[1]["flagged"]
+        assert ranked[0]["risk"] > 1.0 > ranked[1]["risk"]
+
+    def test_summary_counts(self):
+        forensics = ForensicsMonitor(build(population=100))
+        for key in range(60):
+            forensics.observe("robot", [("t", key)])
+        forensics.observe("browser", [("t", 1)])
+        summary = forensics.summary()
+        assert summary["population"] == 100
+        assert summary["tracked_identities"] == 2
+        assert summary["flagged_identities"] == 1
+        assert summary["flags_raised_total"] == 1
+
+
+class TestBoundedCardinality:
+    def test_ten_thousand_identities_fold_into_other(self):
+        """Memory and metric cardinality stay bounded at scale."""
+        monitor = build(
+            population=1000, max_identities=100,
+            max_keys_per_identity=50,
+        )
+        registry = MetricsRegistry()
+        forensics = ForensicsMonitor(monitor, max_flagged_series=8)
+        forensics.register_metrics(registry)
+        for index in range(10_000):
+            forensics.observe(f"user-{index}", [("t", index % 500)])
+        # 100 individual profiles plus the _other aggregate.
+        assert len(monitor) == 101
+        assert OVERFLOW_IDENTITY in monitor.profiles
+        assert monitor.overflowed_identities == 9_900
+        # The aggregate is never flagged, whatever its totals look like.
+        assert forensics.flagged() == {}
+        assert monitor.evaluate(OVERFLOW_IDENTITY) is None
+        snapshot = registry.to_json()
+        assert (
+            snapshot["forensics_tracked_identities"]["value"] == 101
+        )
+
+    def test_key_cap_bounds_coverage(self):
+        monitor = build(population=1000, max_keys_per_identity=50)
+        forensics = ForensicsMonitor(monitor)
+        for key in range(200):
+            forensics.observe("walker", [("t", key)])
+        profile = monitor.profile("walker")
+        assert len(profile.retrieved) == 50
+        assert profile.tuples == 200
+        assert monitor.coverage("walker") == pytest.approx(0.05)
+
+    def test_flagged_gauges_overflow_label(self):
+        """Adversarial identity counts cannot mint unbounded series."""
+        registry = MetricsRegistry()
+        monitor = build(population=10, coverage_threshold=0.1,
+                        min_requests=1)
+        forensics = ForensicsMonitor(monitor, max_flagged_series=3)
+        forensics.register_metrics(registry)
+        for index in range(8):
+            forensics.observe(f"bot-{index}", [("t", index % 10)])
+        series = registry.to_json()["forensics_identity_coverage"][
+            "series"
+        ]
+        labels = {entry["labels"]["identity"] for entry in series}
+        assert len(labels) <= 4  # 3 real + "_other"
+        assert "_other" in labels
+
+    def test_flag_metrics_count_reasons(self):
+        registry = MetricsRegistry()
+        forensics = ForensicsMonitor(build(population=100))
+        forensics.register_metrics(registry)
+        for key in range(60):
+            forensics.observe("robot", [("t", key)])
+        series = registry.to_json()["forensics_flags_total"]["series"]
+        reasons = {
+            entry["labels"]["reason"]: entry["value"] for entry in series
+        }
+        assert reasons == {"coverage": 1, "novelty": 1}

@@ -1,0 +1,120 @@
+"""Tests for build info and the rolling SLO tracker."""
+
+import pytest
+
+from repro.obs import SloTracker, build_info
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBuildInfo:
+    def test_reports_version_and_python(self):
+        info = build_info()
+        assert set(info) == {"version", "python"}
+        assert info["version"]
+        assert info["python"].count(".") == 2
+
+
+class TestSloTracker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloTracker(horizon=0)
+        with pytest.raises(ValueError):
+            SloTracker(availability_target=1.0)
+        with pytest.raises(ValueError):
+            SloTracker(latency_threshold=0.0)
+        with pytest.raises(ValueError):
+            SloTracker().note("parked")
+
+    def test_denials_do_not_burn_the_error_budget(self):
+        clock = FakeClock()
+        tracker = SloTracker(availability_target=0.9, clock=clock)
+        for _ in range(8):
+            tracker.note("ok", latency=0.01)
+        tracker.note("denied")
+        tracker.note("denied")
+        summary = tracker.summary(60)
+        assert summary["requests"] == 10
+        assert summary["denied"] == 2
+        assert summary["availability"] == 1.0
+        assert summary["burn_rate"] == 0.0
+
+    def test_sheds_and_errors_burn(self):
+        clock = FakeClock()
+        tracker = SloTracker(availability_target=0.9, clock=clock)
+        for _ in range(8):
+            tracker.note("ok")
+        tracker.note("shed")
+        tracker.note("error")
+        summary = tracker.summary(60)
+        assert summary["availability"] == pytest.approx(0.8)
+        # 20% failure against a 10% budget: burning 2x.
+        assert summary["burn_rate"] == pytest.approx(2.0)
+
+    def test_latency_mean_and_slow_fraction(self):
+        clock = FakeClock()
+        tracker = SloTracker(latency_threshold=0.1, clock=clock)
+        tracker.note("ok", latency=0.05)
+        tracker.note("ok", latency=0.05)
+        tracker.note("ok", latency=0.5)
+        summary = tracker.summary(60)
+        assert summary["mean_latency_seconds"] == pytest.approx(0.2)
+        assert summary["slow_fraction"] == pytest.approx(1 / 3)
+
+    def test_goodput_is_ok_per_window_second(self):
+        clock = FakeClock()
+        tracker = SloTracker(clock=clock)
+        for _ in range(30):
+            tracker.note("ok")
+            clock.advance(1.0)
+        summary = tracker.summary(60)
+        assert summary["goodput_per_second"] == pytest.approx(0.5)
+
+    def test_old_slots_age_out_of_the_window(self):
+        clock = FakeClock()
+        tracker = SloTracker(horizon=3600, clock=clock)
+        tracker.note("error")
+        clock.advance(301)
+        tracker.note("ok")
+        recent = tracker.summary(300)
+        assert recent["requests"] == 1
+        assert recent["errors"] == 0
+        assert recent["availability"] == 1.0
+        full = tracker.summary(3600)
+        assert full["errors"] == 1
+
+    def test_ring_reuses_slots_beyond_horizon(self):
+        clock = FakeClock()
+        tracker = SloTracker(horizon=10, clock=clock)
+        for _ in range(25):
+            tracker.note("ok")
+            clock.advance(1.0)
+        # Notes landed at seconds 1000..1024; the ring retains the last
+        # 10 slots and the 10 s window (floor-exclusive) sees 9 of them.
+        summary = tracker.summary(10)
+        assert summary["requests"] == 9
+        assert tracker.noted_total == 25
+
+    def test_empty_window_is_healthy(self):
+        tracker = SloTracker(clock=FakeClock())
+        summary = tracker.summary(300)
+        assert summary["requests"] == 0
+        assert summary["availability"] == 1.0
+        assert summary["mean_latency_seconds"] == 0.0
+
+    def test_report_structure(self):
+        tracker = SloTracker(clock=FakeClock())
+        tracker.note("ok", latency=0.01)
+        report = tracker.report(windows=(60, 600))
+        assert set(report["windows"]) == {"60", "600"}
+        assert report["availability_target"] == 0.999
+        assert report["windows"]["60"]["ok"] == 1

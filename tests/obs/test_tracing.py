@@ -103,3 +103,35 @@ class TestTracer:
         time.sleep(0.01)
         trace.finish()
         assert trace.duration >= 0.01
+
+    def test_every_trace_carries_a_unique_id(self):
+        first, second = QueryTrace(), QueryTrace()
+        assert first.trace_id != second.trace_id
+        assert first.to_dict()["trace_id"] == first.trace_id
+
+    def test_slow_sink_disk_cannot_stall_tracing(self, tmp_path):
+        """Regression: the JSONL sink used to write synchronously on
+        the serving thread; a slow disk now only delays the background
+        writer, never ``finish``."""
+        from repro.testing import injected_faults
+
+        sink = tmp_path / "traces.jsonl"
+        tracer = Tracer(sink=str(sink), sink_max_queue=4)
+        with injected_faults() as faults:
+            faults.stall("audit.write", seconds=0.5, times=1)
+            started = time.perf_counter()
+            for index in range(12):
+                tracer.finish(
+                    tracer.start(identity=f"u{index}").finish()
+                )
+            elapsed = time.perf_counter() - started
+            # 12 finishes against a 0.5 s-per-record disk: synchronous
+            # writes would need ~0.5 s before the first one returned.
+            assert elapsed < 0.25
+            writer = tracer.sink_writer
+            assert writer.dropped_total > 0  # bounded, loss counted
+            tracer.close()
+        assert tracer.finished_total == 12
+        written = sink.read_text().strip().splitlines()
+        assert len(written) == writer.written_total
+        assert writer.written_total + writer.dropped_total == 12
