@@ -1,0 +1,231 @@
+"""Read-throughput scaling across shard processes.
+
+The tentpole claim: sharding the guarded store multiplies *read*
+throughput (each shard scans only its partition, in its own process)
+while the delay defense stays single-node-priced (see
+``tests/attacks/test_shard_spray.py`` for that half).
+
+**Why subprocesses.** CPython's GIL serialises engine bytecode, so an
+in-process "cluster" cannot show CPU scaling no matter how correct the
+sharding is. Each shard here is a real ``repro.cluster.procserver``
+process serving its hash-partition of the same logical table over TCP —
+the deployment shape the cluster is for.
+
+Two measurements, because scaling has two factors:
+
+1. **Partition speedup** (core-count independent): the sequential
+   latency of one shard's subscan vs the unsharded full scan. Hash
+   partitioning must cut per-shard work ~M-fold; this is the quantity
+   that multiplies across cores, and it is asserted at the full
+   ``0.625 x M`` floor on any machine.
+2. **Fleet throughput**: M shard processes driven concurrently by a
+   fixed client pool. Aggregate ``full-scan equivalents per second`` =
+   (subscans/s) / M. True process parallelism needs cores: the floor
+   is ``0.625 x min(M, cores)``, asserted only where the hardware can
+   express parallelism at all (>= 2 cores) — on a single-core box the
+   ratio is recorded but M processes time-sharing one core measure
+   the scheduler, not the sharding. On >= 4 cores the full >= 2.5x
+   aggregate ratio is demanded at 4 shards.
+
+Environment knobs (CI uses a smaller shape):
+
+- ``CLUSTER_BENCH_SHARDS``: comma list, baseline first, target last
+  (default ``1,4``).
+- ``CLUSTER_BENCH_ROWS``: total logical rows (default 1600).
+- ``CLUSTER_BENCH_QUERIES``: scans per client thread (default 25).
+
+Run with::
+
+    pytest benchmarks/test_cluster_throughput.py --benchmark-only
+"""
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.server import DelayClient
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SHARD_COUNTS = [
+    int(part)
+    for part in os.environ.get("CLUSTER_BENCH_SHARDS", "1,4").split(",")
+]
+TOTAL_ROWS = int(os.environ.get("CLUSTER_BENCH_ROWS", "1600"))
+QUERIES_PER_THREAD = int(os.environ.get("CLUSTER_BENCH_QUERIES", "25"))
+CLIENT_THREADS = 8  # total, split evenly across shards
+LATENCY_SCANS = 30  # sequential scans per latency sample
+SCAN_SQL = "SELECT COUNT(*) FROM items WHERE category = 3"
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def spawn_shards(shard_count, shards):
+    """Start procservers for ``shards`` (of ``shard_count``); returns
+    [(process, port), ...]."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    fleet = []
+    try:
+        for shard in shards:
+            process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cluster.procserver",
+                    "--shard",
+                    str(shard),
+                    "--shards",
+                    str(shard_count),
+                    "--rows",
+                    str(TOTAL_ROWS),
+                ],
+                env=env,
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+            )
+            line = process.stdout.readline().strip()
+            if not line.startswith("PORT "):
+                raise RuntimeError(
+                    f"shard {shard} failed to start (got {line!r})"
+                )
+            fleet.append((process, int(line.split()[1])))
+    except Exception:
+        stop_fleet(fleet)
+        raise
+    return fleet
+
+
+def stop_fleet(fleet):
+    for process, _port in fleet:
+        try:
+            process.stdin.close()  # procserver exits on stdin EOF
+        except OSError:
+            pass
+    deadline = time.monotonic() + 10.0
+    for process, _port in fleet:
+        try:
+            process.wait(timeout=max(0.1, deadline - time.monotonic()))
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+def run_scans(port, count, failures):
+    try:
+        with DelayClient("127.0.0.1", port) as client:
+            for _ in range(count):
+                response = client.query(SCAN_SQL)
+                assert response["rows"][0][0] > 0
+    except Exception as error:  # surfaced by the main thread
+        failures.append(error)
+
+
+def measure_subscan_latency(shard_count):
+    """Sequential seconds per subscan against one idle shard of M."""
+    fleet = spawn_shards(shard_count, [0])
+    try:
+        _process, port = fleet[0]
+        with DelayClient("127.0.0.1", port) as client:
+            for _ in range(3):  # warm parse caches and the connection
+                client.query(SCAN_SQL)
+            started = time.monotonic()
+            for _ in range(LATENCY_SCANS):
+                client.query(SCAN_SQL)
+            return (time.monotonic() - started) / LATENCY_SCANS
+    finally:
+        stop_fleet(fleet)
+
+
+def measure_fleet_qps(shard_count):
+    """Effective full-logical-table scans per second at ``shard_count``."""
+    fleet = spawn_shards(shard_count, range(shard_count))
+    try:
+        # Warm-up: connection setup, parse caches, first-scan costs.
+        for _process, port in fleet:
+            run_scans(port, 2, [])
+        threads_per_shard = max(1, CLIENT_THREADS // shard_count)
+        failures = []
+        threads = [
+            threading.Thread(
+                target=run_scans,
+                args=(port, QUERIES_PER_THREAD, failures),
+            )
+            for _process, port in fleet
+            for _ in range(threads_per_shard)
+        ]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - started
+        if failures:
+            raise failures[0]
+        subscans = len(threads) * QUERIES_PER_THREAD
+        return (subscans / elapsed) / shard_count
+    finally:
+        stop_fleet(fleet)
+
+
+def test_read_throughput_scales_with_shards(benchmark):
+    baseline, target = SHARD_COUNTS[0], SHARD_COUNTS[-1]
+    cores = available_cores()
+
+    base_latency = measure_subscan_latency(baseline)
+    target_latency = measure_subscan_latency(target)
+    base_qps = measure_fleet_qps(baseline)
+    target_qps = benchmark.pedantic(
+        measure_fleet_qps, args=(target,), rounds=1, iterations=1
+    )
+
+    partition_speedup = base_latency / target_latency
+    fleet_ratio = target_qps / base_qps
+    benchmark.extra_info.update(
+        {
+            "cores": cores,
+            "total_rows": TOTAL_ROWS,
+            f"subscan_ms_{baseline}_shards": round(base_latency * 1e3, 3),
+            f"subscan_ms_{target}_shards": round(target_latency * 1e3, 3),
+            f"fleet_full_scan_qps_{baseline}_shards": round(base_qps, 2),
+            f"fleet_full_scan_qps_{target}_shards": round(target_qps, 2),
+            "partition_speedup": round(partition_speedup, 2),
+            "fleet_ratio": round(fleet_ratio, 2),
+        }
+    )
+
+    # Factor 1: partitioning cuts per-shard scan work ~M-fold. This is
+    # the machine-independent half of the scaling claim.
+    partition_floor = 0.625 * (target / baseline)
+    assert partition_speedup >= partition_floor, (
+        f"a 1/{target} partition subscan ran only "
+        f"{partition_speedup:.2f}x faster than the 1/{baseline} scan "
+        f"(floor {partition_floor:.2f}x) — partitioning is not cutting "
+        "per-shard work"
+    )
+
+    # Factor 2: the process fleet turns that into aggregate throughput,
+    # bounded by the cores actually present to run the shards. On a
+    # box with no spare cores (parallelism == 1) there is no aggregate
+    # claim to assert — M processes time-sharing one core measure the
+    # scheduler, not the sharding — so the ratio is recorded but only
+    # enforced where the hardware can express it.
+    parallelism = min(target, max(1, cores)) / min(
+        baseline, max(1, cores)
+    )
+    if parallelism > 1:
+        fleet_floor = 0.625 * parallelism
+        assert fleet_ratio >= fleet_floor, (
+            f"{target}-shard fleet scanned only {fleet_ratio:.2f}x the "
+            f"{baseline}-shard rate (floor {fleet_floor:.2f}x on "
+            f"{cores} cores) — shards are not scaling reads"
+        )

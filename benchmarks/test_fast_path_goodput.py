@@ -1,0 +1,161 @@
+"""Goodput of the I/O-loop fast path for result-cache hits.
+
+``benchmarks/test_result_cache.py`` shows a result cache beats no cache.
+This benchmark isolates the *next* step: with the cache already on, does
+serving hits on the I/O loop (``cache_fast_path=True``, skipping the
+admission queue and the worker pool) buy additional goodput when the
+workers are saturated?
+
+The shape that makes the difference visible: a deliberately small
+worker pool, an adversary fleet flooding distinct full scans (always
+cache misses — they own the workers), and a legitimate fleet repeating
+one cached query. With the fast path off, every cached hit still queues
+behind the adversaries' scans for a worker slot; with it on, hits are
+priced and answered straight off the loop and only sleep their mandated
+delay. Same cache, same prices — the only variable is *where* hits are
+served.
+
+Run with::
+
+    pytest benchmarks/test_fast_path_goodput.py --benchmark-only
+"""
+
+import threading
+import time
+
+from repro.core import GuardConfig, RealClock
+from repro.server import DelayClient, DelayServer, ServerError
+from repro.service import DataProviderService
+
+ROWS = 4000
+HOT_ROWS = 2
+FIXED_DELAY = 0.01
+CHEAP_CLIENTS = 3
+ADVERSARIES = 5
+#: Small on purpose: the fast path's win is precisely "hits do not need
+#: one of these".
+WORKERS = 2
+WINDOW = 2.0
+
+CHEAP_SQL = "SELECT * FROM t WHERE v = 'hot'"
+
+
+def build_service():
+    service = DataProviderService(
+        guard_config=GuardConfig(
+            policy="fixed",
+            fixed_delay=FIXED_DELAY,
+            result_cache_size=256,
+        ),
+        clock=RealClock(),
+    )
+    service.database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)"
+    )
+    service.database.insert_rows(
+        "t",
+        [
+            (i, "hot" if i <= HOT_ROWS else f"cold-{i}")
+            for i in range(1, ROWS + 1)
+        ],
+    )
+    return service
+
+
+def cheap_client(server, stop_event, served, delays):
+    count = 0
+    with DelayClient(*server.address) as client:
+        while not stop_event.is_set():
+            try:
+                response = client.query(CHEAP_SQL)
+            except ServerError:
+                continue
+            count += 1
+            delays.add(response["delay"])
+    served.append(count)
+
+
+def adversary_client(server, stop_event, index):
+    step = 0
+    with DelayClient(*server.address) as client:
+        while not stop_event.is_set():
+            try:
+                client.query(
+                    f"SELECT * FROM t WHERE v = 'cold-{10 + (step % 50)}' "
+                    f"AND id >= {index}"
+                )
+            except ServerError:
+                continue
+            step += 1
+
+
+def run_flood(fast_path):
+    service = build_service()
+    server = DelayServer(
+        service,
+        max_workers=WORKERS,
+        max_connections=64,
+        cache_fast_path=fast_path,
+    )
+    server.start()
+    try:
+        with DelayClient(*server.address) as client:
+            client.query(CHEAP_SQL)  # warm-up: fills the cache
+        stop_event = threading.Event()
+        served = []
+        delays = set()
+        threads = [
+            threading.Thread(
+                target=cheap_client,
+                args=(server, stop_event, served, delays),
+            )
+            for _ in range(CHEAP_CLIENTS)
+        ] + [
+            threading.Thread(
+                target=adversary_client, args=(server, stop_event, index)
+            )
+            for index in range(ADVERSARIES)
+        ]
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        time.sleep(WINDOW)
+        stop_event.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        elapsed = time.monotonic() - started
+        assert not server.handler_errors
+        return sum(served) / elapsed, delays, server.cache_fast_path_hits
+    finally:
+        server.stop()
+
+
+def test_fast_path_goodput_with_saturated_workers(benchmark):
+    """Loop-served hits beat queue-served hits; prices are unchanged."""
+
+    def both_floods():
+        off = run_flood(fast_path=False)
+        on = run_flood(fast_path=True)
+        return off, on
+
+    (
+        (goodput_off, delays_off, hits_off),
+        (goodput_on, delays_on, hits_on),
+    ) = benchmark.pedantic(both_floods, rounds=1, iterations=1)
+
+    # Same mandated price either way: the fixed-policy constant.
+    assert delays_off == {HOT_ROWS * FIXED_DELAY}
+    assert delays_on == delays_off
+    # The toggle really selected the serving path.
+    assert hits_off == 0
+    assert hits_on > 0
+
+    benchmark.extra_info["goodput_off_per_s"] = round(goodput_off, 2)
+    benchmark.extra_info["goodput_on_per_s"] = round(goodput_on, 2)
+    benchmark.extra_info["speedup"] = round(goodput_on / goodput_off, 3)
+    benchmark.extra_info["fast_path_hits"] = hits_on
+    assert goodput_on > goodput_off * 1.2, (
+        f"fast-path goodput {goodput_on:.1f}/s not >20% over "
+        f"queued-hit goodput {goodput_off:.1f}/s with {WORKERS} workers "
+        f"saturated by {ADVERSARIES} adversaries"
+    )

@@ -266,12 +266,45 @@ def _render_top(health: dict, forensics: Optional[dict]) -> str:
             f"({slo['requests']} reqs)"
         )
     durability = health.get("durability") or {}
-    if durability.get("journal_attached"):
+    if "shards" in durability:
+        # A cluster aggregates shard journals; there is no single seq.
+        if durability.get("journal_attached"):
+            lines.append(
+                f"journal: {len(durability['shards'])} shard journals, "
+                f"lag={durability['journal_lag']} since checkpoint "
+                f"#{durability['checkpoints_completed']}"
+            )
+    elif durability.get("journal_attached"):
         lines.append(
             f"journal: seq={durability['journal_last_seq']} "
             f"lag={durability['journal_lag']} since checkpoint "
             f"#{durability['checkpoints_completed']}"
         )
+    cluster = health.get("cluster")
+    if cluster is not None:
+        routing = cluster.get("routing") or {}
+        lines.append(
+            f"cluster: {cluster['shard_count']} shards "
+            f"N={cluster['population']}  "
+            f"routed fast={routing.get('single_shard_queries', 0)} "
+            f"scatter={routing.get('scatter_queries', 0)} "
+            f"broadcast={routing.get('broadcast_statements', 0)}"
+        )
+        gossip = cluster.get("gossip")
+        if gossip is not None:
+            lags = ",".join(str(lag) for lag in gossip["shard_lags"])
+            lines.append(
+                f"gossip: rounds={gossip['rounds_total']} "
+                f"adopted={gossip['entries_adopted_total']} "
+                f"lag=[{lags}] "
+                f"divergence={gossip['count_divergence']:.2f}"
+            )
+        for entry in cluster.get("shards", []):
+            journal = "yes" if entry.get("journal_attached") else "no"
+            lines.append(
+                f"  shard {entry['shard']}: rows={entry['rows']} "
+                f"epoch={entry['mutation_epoch']} journal={journal}"
+            )
     staleness = health.get("staleness") or {}
     for table, stale in sorted(staleness.items()):
         lines.append(

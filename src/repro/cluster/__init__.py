@@ -1,0 +1,39 @@
+"""Horizontal sharding for the delay defense.
+
+The cluster layer splits the protected dataset across M shards — each a
+full :class:`~repro.service.DataProviderService` with its own engine,
+journal, and snapshot — while keeping the *defense* globally coherent:
+
+- :mod:`repro.cluster.sharding` — the hash partitioner mapping
+  (table, partition key) and rowids to owning shards.
+- :mod:`repro.cluster.gossip` — anti-entropy rounds exchanging
+  versioned tracker deltas so every shard converges on the same
+  popularity and update-rate view (the counts merge commutatively and
+  idempotently, so rounds can repeat or reorder freely).
+- :mod:`repro.cluster.router` — scatter-gather statement routing with
+  one globally-priced delay per query (never per-shard sleeps).
+- :mod:`repro.cluster.service` — :class:`ClusterService`, the
+  deployable composition quacking like a single
+  :class:`~repro.service.DataProviderService` so the TCP server and
+  CLI work unchanged.
+
+Why gossip matters here: the paper's §2.3 delays are priced from
+*global* popularity. If each shard priced from only its local counts,
+an adversary spraying queries across shards would see each tuple's
+count — and the raw request total — divided by M, cutting every warm
+delay by roughly the shard count. The attack test in
+``tests/attacks/test_shard_spray.py`` demonstrates exactly that
+failure with gossip disabled.
+"""
+
+from .gossip import GossipCoordinator
+from .router import ClusterRouter
+from .service import ClusterService
+from .sharding import ShardMap
+
+__all__ = [
+    "ClusterRouter",
+    "ClusterService",
+    "GossipCoordinator",
+    "ShardMap",
+]

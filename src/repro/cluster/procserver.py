@@ -1,0 +1,87 @@
+"""A single-shard server subprocess for cluster benchmarks.
+
+CPython's GIL means in-process shards cannot demonstrate CPU scaling —
+every shard's engine bytecode would serialise on one interpreter lock.
+The cluster throughput benchmark therefore runs each shard as its own
+process::
+
+    python -m repro.cluster.procserver --shard 2 --shards 4 --rows 1600
+
+The process builds shard 2 of 4: strided rowid allocation, the
+benchmark schema, and only the rows whose partition key hashes to this
+shard (the same :func:`~repro.cluster.sharding.hash_partition` the
+router uses, so client-side routing agrees with server-side placement).
+It prints ``PORT <n>`` on stdout once it is serving, then runs until
+its stdin closes (the parent exiting tears the whole fleet down, even
+if it crashed before cleanup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.clock import RealClock
+from ..core.config import GuardConfig
+from ..engine.database import Database
+from ..server import DelayServer
+from ..service import DataProviderService
+from .sharding import hash_partition
+
+TABLE = "items"
+CATEGORIES = 8
+
+
+def build_service(
+    shard: int, shards: int, rows: int, policy: str, unit: float
+) -> DataProviderService:
+    """Shard ``shard``'s service: its partition of a ``rows``-row table."""
+    database = Database()
+    database.set_rowid_allocation(shard, shards)
+    database.execute(
+        f"CREATE TABLE {TABLE} ("
+        "id INTEGER PRIMARY KEY, category INTEGER, v TEXT)"
+    )
+    owned = [
+        (i, i % CATEGORIES, f"value-{i}")
+        for i in range(1, rows + 1)
+        if hash_partition(TABLE, i, shards) == shard
+    ]
+    if owned:
+        database.insert_rows(TABLE, owned)
+    return DataProviderService(
+        database=database,
+        guard_config=GuardConfig(policy=policy, unit=unit),
+        clock=RealClock(),
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shard", type=int, required=True)
+    parser.add_argument("--shards", type=int, required=True)
+    parser.add_argument("--rows", type=int, default=1600)
+    parser.add_argument("--policy", default="none")
+    parser.add_argument("--unit", type=float, default=1.0)
+    parser.add_argument("--host", default="127.0.0.1")
+    args = parser.parse_args(argv)
+    if not 0 <= args.shard < args.shards:
+        parser.error(f"--shard must be in [0, {args.shards})")
+    service = build_service(
+        args.shard, args.shards, args.rows, args.policy, args.unit
+    )
+    server = DelayServer(service, host=args.host, port=0)
+    server.start()
+    print(f"PORT {server.address[1]}", flush=True)
+    try:
+        # Serve until the parent closes our stdin (or we are killed).
+        sys.stdin.read()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,479 @@
+"""The deployable M-shard cluster, quacking like one service.
+
+:class:`ClusterService` owns M :class:`~repro.service.DataProviderService`
+shards — each with its own engine, journal, and snapshot — plus the
+glue that keeps the *defense* single-node-equivalent:
+
+- every shard's guard prices against the **global** population (a
+  shared provider summing all shards, cached per mutation-epoch
+  vector);
+- a :class:`~repro.cluster.gossip.GossipCoordinator` keeps the
+  popularity/update-rate trackers convergent, so a single-shard
+  fast-path query is priced from (boundedly stale) global counts;
+- a :class:`~repro.cluster.router.ClusterRouter` serves every
+  statement with exactly one globally-priced delay;
+- accounts live at the router, never at the shards, so per-identity
+  budgets cannot be multiplied by spraying shards.
+
+The whole composition exposes the :class:`DataProviderService` surface
+(``guard``/``query``/``register``/``report``/``checkpoint``/
+``durability_health``), so :class:`~repro.server.DelayServer` and the
+CLI serve a cluster unchanged; ``cluster_health()`` additionally feeds
+the server's ``health`` op a shard-level view (per-shard lag, gossip
+round-trips, count divergence).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.accounts import Account, AccountManager, AccountPolicy
+from ..core.clock import Clock, VirtualClock
+from ..core.config import GuardConfig
+from ..core.errors import ConfigError
+from ..core.guard import GuardedResult
+from ..engine.database import Database
+from ..obs import Observability
+from ..service import DataProviderService, ServiceReport
+from .gossip import GossipCoordinator
+from .router import ClusterRouter
+from .sharding import ShardMap
+
+
+class ClusterGuard:
+    """The router dressed in :class:`~repro.core.guard.DelayGuard`'s API.
+
+    :class:`~repro.server.DelayServer` and the CLI talk to
+    ``service.guard``; this adapter forwards queries to the router and
+    aggregates the read-only surfaces (stats, forensics, staleness,
+    extraction cost) cluster-wide. ``result_cache`` is None: the
+    server's I/O-loop fast path is a single-guard optimisation and
+    simply stays off for clusters.
+    """
+
+    result_cache = None
+
+    def __init__(self, cluster: "ClusterService"):
+        self._cluster = cluster
+        self.config = cluster.config
+
+    # -- the server's query surface -----------------------------------------
+
+    def execute(
+        self,
+        sql_or_statement,
+        identity: Optional[str] = None,
+        record: bool = True,
+        sleep: bool = True,
+        deadline_at: Optional[float] = None,
+    ) -> GuardedResult:
+        return self._cluster.router.execute(
+            sql_or_statement,
+            identity=identity,
+            record=record,
+            sleep=sleep,
+            deadline_at=deadline_at,
+        )
+
+    @property
+    def stats(self):
+        return self._cluster.router.stats
+
+    @property
+    def forensics(self):
+        return self._cluster.router.forensics
+
+    @property
+    def popularity(self):
+        """The coordinator shard's gossip-merged popularity view."""
+        return self._cluster.guards[0].popularity
+
+    # -- aggregated read-only surfaces --------------------------------------
+
+    def population(self) -> int:
+        return self._cluster.population()
+
+    def extraction_cost(self, table: Optional[str] = None) -> float:
+        """Global extraction cost: the sum over every shard's tuples.
+
+        Each shard prices its own partition against the merged trackers
+        and the global N, so the sum equals the single-node figure up
+        to gossip staleness.
+        """
+        return sum(
+            guard.extraction_cost(table) for guard in self._cluster.guards
+        )
+
+    def max_extraction_cost(self, table: Optional[str] = None) -> float:
+        if self.config.cap is None:
+            raise ConfigError("max_extraction_cost requires a delay cap")
+        if table is not None:
+            total = 0
+            for shard in self._cluster.shards:
+                with shard.database.read_view():
+                    total += len(shard.database.catalog.table(table))
+            return total * self.config.cap
+        return self.population() * self.config.cap
+
+    def staleness_report(self) -> Dict[str, Dict]:
+        """Per-table staleness, merged across shards.
+
+        Extraction horizons, update rates, and populations add; the
+        stale fraction is the population-weighted mean (it is an
+        expected count divided by a population, and both sum).
+        """
+        merged: Dict[str, Dict] = {}
+        for guard in self._cluster.guards:
+            for table, entry in guard.staleness_report().items():
+                slot = merged.setdefault(
+                    table,
+                    {
+                        "population": 0,
+                        "extraction_seconds": 0.0,
+                        "update_rate_per_second": 0.0,
+                        "updated_keys": 0,
+                        "_expected_stale": 0.0,
+                    },
+                )
+                slot["population"] += entry["population"]
+                slot["extraction_seconds"] += entry["extraction_seconds"]
+                slot["update_rate_per_second"] += entry[
+                    "update_rate_per_second"
+                ]
+                slot["updated_keys"] += entry["updated_keys"]
+                slot["_expected_stale"] += (
+                    entry["smax_fraction"] * entry["population"]
+                )
+        for slot in merged.values():
+            slot["smax_fraction"] = slot.pop("_expected_stale") / max(
+                slot["population"], 1
+            )
+        return merged
+
+    def refresh_staleness_gauges(self) -> Dict[str, Dict]:
+        """The server's health op calls this; clusters just report.
+
+        Shard guards run with observability disabled, so there are no
+        per-shard gauges to pump — the merged report is the product.
+        """
+        return self.staleness_report()
+
+
+class ClusterService:
+    """M shards + gossip + router, exposing one service surface.
+
+    Args:
+        shard_count: number of shards (M).
+        guard_config: the cluster-wide defense configuration. Each
+            shard runs a copy with ``node_id="shard-i"`` (its stable
+            gossip origin) and forensics off — extraction forensics
+            watches *global* coverage and runs once, at the router.
+        account_policy: §2.4 account defenses, enforced at the router
+            (shards never see identities, so budgets are global).
+        clock: the shared cluster clock (virtual by default). All
+            shards, the accounts, and the router's single served delay
+            use this one clock.
+        obs: the router-level observability bundle (enabled by
+            default); shard services always run with observability
+            disabled so their metric registrations don't collide.
+        data_dir: when set, shard ``i`` checkpoints to
+            ``shard-i.snapshot.json`` and journals to
+            ``shard-i.journal`` under this directory. Required for
+            :meth:`checkpoint` and :meth:`recover`.
+        journal_sync: fsync shard journals on every commit.
+        gossip: run anti-entropy at all. Exists so the attack test can
+            demonstrate the vulnerability gossip closes; leave True.
+        gossip_interval: seconds between background anti-entropy
+            rounds; None means manual (call
+            ``service.gossip.run_round()`` — virtual-clock tests do).
+    """
+
+    def __init__(
+        self,
+        shard_count: int = 2,
+        guard_config: Optional[GuardConfig] = None,
+        account_policy: Optional[AccountPolicy] = None,
+        clock: Optional[Clock] = None,
+        obs: Optional[Observability] = None,
+        data_dir: Optional[Union[str, Path]] = None,
+        journal_sync: bool = True,
+        gossip: bool = True,
+        gossip_interval: Optional[float] = None,
+        _shards: Optional[List[DataProviderService]] = None,
+    ):
+        if shard_count < 1:
+            raise ConfigError(
+                f"shard_count must be >= 1, got {shard_count}"
+            )
+        self.shard_count = shard_count
+        self.config = (
+            guard_config if guard_config is not None else GuardConfig()
+        )
+        self.clock = clock if clock is not None else VirtualClock()
+        self.obs = obs if obs is not None else Observability()
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.accounts: Optional[AccountManager] = (
+            AccountManager(policy=account_policy, clock=self.clock)
+            if account_policy is not None
+            else None
+        )
+        if _shards is not None:
+            # recover() built the shards already (snapshot + replay).
+            self.shards = _shards
+        else:
+            self.shards = [
+                self._build_shard(index, journal_sync)
+                for index in range(shard_count)
+            ]
+        self.guards = [shard.guard for shard in self.shards]
+        self._pop_lock = threading.Lock()
+        self._pop_cache: Optional[Tuple[Tuple[int, ...], int]] = None
+        for guard in self.guards:
+            guard.set_population_provider(self.population)
+        self.shard_map = ShardMap(shard_count)
+        self.gossip: Optional[GossipCoordinator] = (
+            GossipCoordinator(self.guards, interval=gossip_interval)
+            if gossip
+            else None
+        )
+        self.router = ClusterRouter(
+            self.shards,
+            self.shard_map,
+            self.config,
+            self.clock,
+            population=self.population,
+            accounts=self.accounts,
+            obs=self.obs,
+        )
+        self.guard = ClusterGuard(self)
+        self.checkpoints_completed = 0
+        if self.gossip is not None and gossip_interval is not None:
+            self.gossip.start()
+
+    def _shard_config(self, index: int) -> GuardConfig:
+        return dataclasses.replace(
+            self.config, node_id=f"shard-{index}", forensics=False
+        )
+
+    def _shard_paths(
+        self, index: int
+    ) -> Tuple[Optional[Path], Optional[Path]]:
+        if self.data_dir is None:
+            return None, None
+        return (
+            self.data_dir / f"shard-{index}.snapshot.json",
+            self.data_dir / f"shard-{index}.journal",
+        )
+
+    def _build_shard(
+        self, index: int, journal_sync: bool
+    ) -> DataProviderService:
+        database = Database()
+        database.set_rowid_allocation(index, self.shard_count)
+        snapshot_path, journal_path = self._shard_paths(index)
+        return DataProviderService(
+            database=database,
+            guard_config=self._shard_config(index),
+            clock=self.clock,
+            obs=Observability.disabled(),
+            snapshot_path=snapshot_path,
+            journal_path=journal_path,
+            journal_sync=journal_sync,
+        )
+
+    # -- the service surface the server consumes ----------------------------
+
+    def register(self, identity: str, subnet: str = "0.0.0.0/0") -> Account:
+        """Register an identity with the cluster-wide account manager."""
+        if self.accounts is None:
+            raise ConfigError(
+                "this cluster runs without accounts; queries are anonymous"
+            )
+        return self.accounts.register(identity, subnet=subnet)
+
+    def query(
+        self, identity: Optional[str], sql: str, record: bool = True
+    ) -> GuardedResult:
+        """Serve one statement through the router."""
+        return self.router.execute(sql, identity=identity, record=record)
+
+    def report(self, top_k: int = 3) -> ServiceReport:
+        """Operator report over the *cluster*: router stats only.
+
+        Shard guards also keep stats internally, but every client query
+        passes through the router exactly once — counting shard-side
+        executions too would double-book scatter reads.
+        """
+        stats = self.router.stats
+        merged = self.guards[0].popularity
+        snapshot = merged.snapshot()[:top_k]
+        total = max(merged.decayed_total, 1.0)
+        top = [
+            (table, rowid, count / total)
+            for (table, rowid), count in snapshot
+        ]
+        max_cost = (
+            self.guard.max_extraction_cost()
+            if self.config.cap is not None
+            else None
+        )
+        return ServiceReport(
+            users=len(self.accounts.accounts) if self.accounts else 0,
+            queries=stats.queries,
+            denied=stats.denied,
+            median_user_delay=stats.median_delay(),
+            total_delay_charged=stats.total_delay,
+            extraction_cost=self.guard.extraction_cost(),
+            max_extraction_cost=max_cost,
+            top_tuples=top,
+        )
+
+    def checkpoint(self) -> int:
+        """Checkpoint every shard; returns the highest journal seq."""
+        if self.data_dir is None:
+            raise ConfigError(
+                "no checkpoint path: construct the cluster with data_dir="
+            )
+        seq = 0
+        for shard in self.shards:
+            seq = max(seq, shard.checkpoint())
+        self.checkpoints_completed += 1
+        return seq
+
+    def durability_health(self) -> Dict:
+        """Aggregate durability posture plus the per-shard detail."""
+        per_shard = [shard.durability_health() for shard in self.shards]
+        return {
+            "journal_attached": all(
+                entry["journal_attached"] for entry in per_shard
+            ),
+            "checkpoints_completed": self.checkpoints_completed,
+            "journal_lag": sum(
+                entry.get("journal_lag", 0) for entry in per_shard
+            ),
+            "shards": per_shard,
+        }
+
+    def cluster_health(self) -> Dict:
+        """The shard-level view the server's ``health`` op embeds."""
+        shards = []
+        for index, shard in enumerate(self.shards):
+            with shard.database.read_view():
+                rows = sum(
+                    len(shard.database.catalog.table(name))
+                    for name in shard.database.catalog.table_names()
+                )
+            shards.append(
+                {
+                    "shard": index,
+                    "rows": rows,
+                    "mutation_epoch": shard.database.mutation_epoch,
+                    "journal_attached": shard.journal is not None,
+                }
+            )
+        return {
+            "shard_count": self.shard_count,
+            "population": self.population(),
+            "shards": shards,
+            "gossip": (
+                self.gossip.stats() if self.gossip is not None else None
+            ),
+            "routing": self.router.routing_stats(),
+        }
+
+    def close(self) -> None:
+        """Stop the background gossip loop (idempotent)."""
+        if self.gossip is not None:
+            self.gossip.stop()
+
+    # -- sizing --------------------------------------------------------------
+
+    def population(self) -> int:
+        """Global tuple count, cached per cluster-wide epoch vector.
+
+        Every shard guard prices against this (see
+        :meth:`~repro.core.guard.DelayGuard.set_population_provider`):
+        a committed mutation on any shard moves that shard's epoch and
+        invalidates the cache, so the count is always exact.
+        """
+        epochs = tuple(
+            shard.database.mutation_epoch for shard in self.shards
+        )
+        with self._pop_lock:
+            cached = self._pop_cache
+            if cached is not None and cached[0] == epochs:
+                return cached[1]
+        total = 0
+        for shard in self.shards:
+            with shard.database.read_view():
+                for name in shard.database.catalog.table_names():
+                    total += len(shard.database.catalog.table(name))
+        value = max(total, 1)
+        with self._pop_lock:
+            self._pop_cache = (epochs, value)
+        return value
+
+    # -- crash recovery ------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        shard_count: int,
+        data_dir: Union[str, Path],
+        guard_config: Optional[GuardConfig] = None,
+        account_policy: Optional[AccountPolicy] = None,
+        clock: Optional[Clock] = None,
+        obs: Optional[Observability] = None,
+        journal_sync: bool = True,
+        gossip: bool = True,
+        gossip_interval: Optional[float] = None,
+    ) -> "ClusterService":
+        """Rebuild a cluster from each shard's snapshot + journal.
+
+        Each shard recovers independently — its own snapshot, its own
+        journal replay, with strided rowid allocation configured
+        *before* replay so re-applied INSERTs land on exactly the
+        rowids they held before the crash. Restored tracker state
+        includes each shard's mirrored view of its peers, and the next
+        anti-entropy round re-converges anything the crash lost.
+        """
+        placeholder = cls.__new__(cls)
+        placeholder.config = (
+            guard_config if guard_config is not None else GuardConfig()
+        )
+        placeholder.data_dir = Path(data_dir)
+        shared_clock = clock if clock is not None else VirtualClock()
+        placeholder.clock = shared_clock
+        shards: List[DataProviderService] = []
+        for index in range(shard_count):
+            snapshot_path, journal_path = placeholder._shard_paths(index)
+
+            def stride(db: Database, index: int = index) -> None:
+                db.set_rowid_allocation(index, shard_count)
+
+            shards.append(
+                DataProviderService.recover(
+                    snapshot_path=snapshot_path,
+                    journal_path=journal_path,
+                    guard_config=placeholder._shard_config(index),
+                    clock=shared_clock,
+                    obs=Observability.disabled(),
+                    journal_sync=journal_sync,
+                    database_setup=stride,
+                )
+            )
+        return cls(
+            shard_count=shard_count,
+            guard_config=guard_config,
+            account_policy=account_policy,
+            clock=shared_clock,
+            obs=obs,
+            data_dir=data_dir,
+            journal_sync=journal_sync,
+            gossip=gossip,
+            gossip_interval=gossip_interval,
+            _shards=shards,
+        )

@@ -1,0 +1,154 @@
+"""Hash partitioning: which shard owns which tuple.
+
+Two complementary mappings, chosen so they agree forever:
+
+- **Placement** hashes the partition key (the table's primary key
+  value) with CRC-32, so INSERTs and primary-key lookups route without
+  any directory state.
+- **Ownership of an existing rowid** is positional: shard ``s`` of an
+  ``M``-shard cluster allocates rowids from the residue class
+  ``s + 1 (mod M)`` (see
+  :meth:`repro.engine.table.HeapTable.configure_rowids`), so any layer
+  holding a (table, rowid) key — the trackers, the router's merged
+  touched-sets — recovers the owner as ``(rowid - 1) % M`` with no
+  lookup at all.
+
+The statement probes below are deliberately conservative: they only
+claim a single-shard route when the WHERE clause *proves* one (a
+top-level primary-key equality or IN over literals). Anything else
+scatters, which is always correct — just wider.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional, Sequence, Tuple
+
+from ..engine.expr import ColumnRef, Comparison, InList, Literal, conjuncts
+from ..engine.types import SQLValue
+
+Key = Tuple[str, int]
+
+
+def hash_partition(table: str, value: SQLValue, shard_count: int) -> int:
+    """Stable shard index for a (table, partition-key value) pair.
+
+    CRC-32 over a type-tagged rendering: ``1`` and ``"1"`` must land
+    deterministically but need not collide, and the mapping has to be
+    identical across processes and Python versions (unlike ``hash()``,
+    which is salted per process).
+    """
+    rendered = f"{table.lower()}\x00{type(value).__name__}\x00{value!r}"
+    return zlib.crc32(rendered.encode("utf-8")) % shard_count
+
+
+class ShardMap:
+    """The cluster's partitioning scheme: M shards, CRC placement."""
+
+    def __init__(self, shard_count: int):
+        if shard_count < 1:
+            raise ValueError(
+                f"shard_count must be >= 1, got {shard_count}"
+            )
+        self.shard_count = shard_count
+
+    def shard_for(self, table: str, pk_value: SQLValue) -> int:
+        """The shard that stores (and prices) this partition key."""
+        return hash_partition(table, pk_value, self.shard_count)
+
+    def owner_of_rowid(self, rowid: int) -> int:
+        """The shard whose allocator produced this global rowid."""
+        return (rowid - 1) % self.shard_count
+
+    def split_rows(
+        self,
+        table: str,
+        pk_position: int,
+        rows: Sequence[Sequence[object]],
+    ) -> List[List[Sequence[object]]]:
+        """Group INSERT value rows by owning shard (list per shard)."""
+        grouped: List[List[Sequence[object]]] = [
+            [] for _ in range(self.shard_count)
+        ]
+        for row in rows:
+            value = row[pk_position]
+            grouped[self.shard_for(table, value)].append(row)
+        return grouped
+
+
+def _column_matches(
+    ref: ColumnRef, pk: str, table: str, alias: Optional[str]
+) -> bool:
+    """True when a column reference names the partition key."""
+    name = ref.name.lower()
+    qualifier, _, bare = name.rpartition(".")
+    if bare != pk.lower():
+        return False
+    if not qualifier:
+        return True
+    accepted = {table.lower()}
+    if alias:
+        accepted.add(alias.lower())
+    return qualifier in accepted
+
+
+def pk_values_from_where(
+    where: Optional[object],
+    pk: Optional[str],
+    table: str,
+    alias: Optional[str] = None,
+) -> Optional[List[SQLValue]]:
+    """Partition-key values proven by a WHERE clause, else None.
+
+    Scans the top-level AND conjuncts for ``pk = <literal>`` (either
+    side) or ``pk IN (<literals>)``. Returns the literal values when
+    exactly such a conjunct exists; None means the statement gives no
+    single-shard proof and must scatter. OR trees, ranges, arithmetic,
+    and ``NOT IN`` all deliberately return None — conservative is
+    correct, just wider.
+    """
+    if pk is None or where is None:
+        return None
+    for conjunct in conjuncts(where):
+        if isinstance(conjunct, Comparison) and conjunct.op == "=":
+            left, right = conjunct.left, conjunct.right
+            if (
+                isinstance(left, ColumnRef)
+                and isinstance(right, Literal)
+                and _column_matches(left, pk, table, alias)
+            ):
+                return [right.value]
+            if (
+                isinstance(right, ColumnRef)
+                and isinstance(left, Literal)
+                and _column_matches(right, pk, table, alias)
+            ):
+                return [left.value]
+        if (
+            isinstance(conjunct, InList)
+            and not conjunct.negated
+            and isinstance(conjunct.operand, ColumnRef)
+            and _column_matches(conjunct.operand, pk, table, alias)
+            and all(isinstance(item, Literal) for item in conjunct.items)
+        ):
+            return [item.value for item in conjunct.items]
+    return None
+
+
+def render_insert_sql(
+    table: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Literal]],
+) -> str:
+    """Re-render an INSERT's shard-local row subset as SQL text.
+
+    Shards journal committed DML as SQL source, so a split INSERT must
+    arrive at each shard as text covering only that shard's rows. Rows
+    are required to be all-:class:`Literal` by the caller;
+    ``Literal.__str__`` renders SQL-escaped values.
+    """
+    column_list = f" ({', '.join(columns)})" if columns else ""
+    values = ", ".join(
+        "(" + ", ".join(str(value) for value in row) + ")" for row in rows
+    )
+    return f"INSERT INTO {table}{column_list} VALUES {values}"

@@ -79,6 +79,12 @@ class GuardConfig:
         forensics_max_keys_per_identity: cap on each identity's
             retrieved-key set (memory bound; coverage saturates at
             cap / population).
+        node_id: stable identity for this guard's trackers in a
+            cluster — the origin stamped on gossip deltas, so peers
+            can mirror this shard's counts and a recovered shard can
+            reclaim its own pre-crash entries. None (the default)
+            generates a fresh process-unique origin, which is correct
+            for every single-node deployment.
     """
 
     policy: str = "popularity"
@@ -107,6 +113,7 @@ class GuardConfig:
     forensics_min_requests: int = 100
     forensics_max_identities: int = 4096
     forensics_max_keys_per_identity: int = 100_000
+    node_id: Optional[str] = None
 
     _POLICIES = ("popularity", "update", "both", "fixed", "none")
     _STORES = ("memory", "write_behind", "space_saving", "counting_sample")

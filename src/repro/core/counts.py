@@ -25,6 +25,16 @@ snapshot taken under the lock so concurrent writers never invalidate an
 in-progress iteration. Read-modify-write sequences *across* calls (e.g.
 the popularity tracker's record bookkeeping) still need the caller's own
 lock on top.
+
+Replication: every store carries a monotonic *version* counter bumped on
+each mutation, remembers the version at which each key last changed, and
+exposes ``delta_since(version)`` / ``merge(delta)``. A delta carries the
+*current* value of every key changed after the requested version, tagged
+with its change version; merging adopts an entry only when its version
+is newer than the local one for that key. Within a single origin's
+history (versions totally ordered, value a function of version) this is
+a per-key join, so merge is commutative, associative, and idempotent —
+the property the cluster's anti-entropy gossip relies on.
 """
 
 from __future__ import annotations
@@ -44,6 +54,48 @@ class CountStore:
 
     #: True if get() returns exact accumulated weights.
     exact = True
+
+    def _init_versioning(self) -> None:
+        """Set up change tracking; concrete stores call this in __init__."""
+        self._version = 0
+        self._changed: Dict[Key, int] = {}
+
+    def _note_change(self, key: Key) -> None:
+        """Record one mutation of ``key``; caller holds the store lock."""
+        self._version += 1
+        self._changed[key] = self._version
+
+    def _note_rescale(self) -> None:
+        """Every key changed at once (one version); lock held by caller."""
+        self._version += 1
+        for key, _ in self.items():
+            self._changed[key] = self._version
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (grows by at least 1 per change)."""
+        return self._version
+
+    def mark_all_changed(self) -> None:
+        """Re-stamp every key at a fresh version (forces re-replication).
+
+        The popularity tracker calls this when the *interpretation* of
+        every stored weight changes at once (period-boundary decay): the
+        values did not move, but their present-scale masses did, so
+        peers must receive them again.
+        """
+        with self._lock:
+            self._note_rescale()
+
+    def advance_version(self, floor: int) -> None:
+        """Raise the version counter to at least ``floor`` (never lower).
+
+        Used after restoring a snapshot: post-recovery changes must
+        outrank anything a peer mirrors back from before the crash.
+        """
+        with self._lock:
+            if floor > self._version:
+                self._version = floor
 
     def add(self, key: Key, amount: float = 1.0) -> None:
         """Accumulate ``amount`` of weight onto ``key``."""
@@ -65,6 +117,42 @@ class CountStore:
         """Drop all counts."""
         raise NotImplementedError
 
+    def delta_since(self, version: int = 0) -> Dict:
+        """Current value + change version of every key changed after
+        ``version``, plus the store's own version high-water mark."""
+        with self._lock:
+            return {
+                "version": self._version,
+                "entries": [
+                    [key, self.get(key), changed_at]
+                    for key, changed_at in self._changed.items()
+                    if changed_at > version
+                ],
+            }
+
+    def merge(self, delta: Dict) -> int:
+        """Adopt every delta entry newer than the local copy of its key.
+
+        Entries carry absolute values, not increments, so re-merging the
+        same delta is a no-op (idempotent) and merge order between deltas
+        of one origin cannot matter (per-key last-version-wins join).
+        Returns the number of entries adopted.
+        """
+        adopted = 0
+        with self._lock:
+            for key, weight, changed_at in delta.get("entries", ()):
+                if isinstance(key, list):
+                    key = tuple(key)
+                if changed_at <= self._changed.get(key, 0):
+                    continue
+                self.add(key, weight - self.get(key))
+                # add() minted a fresh local version; pin the entry to the
+                # delta's version instead so the join stays idempotent.
+                self._changed[key] = changed_at
+                adopted += 1
+            self._version = max(self._version, delta.get("version", 0))
+        return adopted
+
     def metrics(self) -> Dict[str, float]:
         """Backend statistics for observability gauges.
 
@@ -84,10 +172,12 @@ class InMemoryCountStore(CountStore):
     def __init__(self) -> None:
         self._lock = threading.RLock()
         self._counts: Dict[Key, float] = {}
+        self._init_versioning()
 
     def add(self, key: Key, amount: float = 1.0) -> None:
         with self._lock:
             self._counts[key] = self._counts.get(key, 0.0) + amount
+            self._note_change(key)
 
     def get(self, key: Key) -> float:
         with self._lock:
@@ -101,10 +191,13 @@ class InMemoryCountStore(CountStore):
         with self._lock:
             for key in self._counts:
                 self._counts[key] *= factor
+            self._note_rescale()
 
     def clear(self) -> None:
         with self._lock:
             self._counts.clear()
+            self._version += 1
+            self._changed.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -129,6 +222,7 @@ class WriteBehindCountStore(CountStore):
         self._cache: "OrderedDict[Key, float]" = OrderedDict()
         self._dirty: Dict[Key, bool] = {}
         self._backing: Dict[Key, float] = {}
+        self._init_versioning()
         #: simulated I/O counters
         self.backing_reads = 0
         self.backing_writes = 0
@@ -158,6 +252,7 @@ class WriteBehindCountStore(CountStore):
             value = self._load(key)
             self._cache[key] = value + amount
             self._dirty[key] = True
+            self._note_change(key)
 
     def get(self, key: Key) -> float:
         with self._lock:
@@ -188,12 +283,15 @@ class WriteBehindCountStore(CountStore):
                 self._backing[key] *= factor
             for key in self._cache:
                 self._cache[key] *= factor
+            self._note_rescale()
 
     def clear(self) -> None:
         with self._lock:
             self._cache.clear()
             self._dirty.clear()
             self._backing.clear()
+            self._version += 1
+            self._changed.clear()
             # A cleared store must look factory-fresh: stale I/O counters
             # would report phantom cache traffic for the next experiment.
             self.backing_reads = 0
@@ -254,6 +352,7 @@ class CountingSampleStore(CountStore):
         self._lock = threading.RLock()
         self._counts: Dict[Key, float] = {}
         self._rng = random.Random(seed)
+        self._init_versioning()
 
     def add(self, key: Key, amount: float = 1.0) -> None:
         if amount != 1.0:
@@ -264,11 +363,14 @@ class CountingSampleStore(CountStore):
         with self._lock:
             if key in self._counts:
                 self._counts[key] += 1.0
+                self._note_change(key)
                 return
             if self._rng.random() < 1.0 / self.tau:
                 self._counts[key] = 1.0
+                self._note_change(key)
                 if len(self._counts) > self.capacity:
                     self._raise_threshold()
+                    self._note_rescale()
 
     def _raise_threshold(self) -> None:
         """Decimate the sample until it fits, raising ``tau`` each round."""
@@ -314,10 +416,18 @@ class CountingSampleStore(CountStore):
             "with decayed tracking"
         )
 
+    def merge(self, delta: Dict) -> int:
+        raise ConfigError(
+            "CountingSampleStore cannot merge deltas (entry coins do not "
+            "compose); use an exact store for clustered deployments"
+        )
+
     def clear(self) -> None:
         with self._lock:
             self._counts.clear()
             self.tau = 1.0
+            self._version += 1
+            self._changed.clear()
 
     def metrics(self) -> Dict[str, float]:
         with self._lock:
@@ -351,18 +461,23 @@ class SpaceSavingStore(CountStore):
         self.capacity = capacity
         self._lock = threading.RLock()
         self._counts: Dict[Key, float] = {}
+        self._init_versioning()
 
     def add(self, key: Key, amount: float = 1.0) -> None:
         with self._lock:
             if key in self._counts:
                 self._counts[key] += amount
+                self._note_change(key)
                 return
             if len(self._counts) < self.capacity:
                 self._counts[key] = amount
+                self._note_change(key)
                 return
             victim = min(self._counts, key=self._counts.get)  # type: ignore[arg-type]
             inherited = self._counts.pop(victim)
             self._counts[key] = inherited + amount
+            self._note_change(victim)
+            self._note_change(key)
 
     def get(self, key: Key) -> float:
         with self._lock:
@@ -376,10 +491,13 @@ class SpaceSavingStore(CountStore):
         with self._lock:
             for key in self._counts:
                 self._counts[key] *= factor
+            self._note_rescale()
 
     def clear(self) -> None:
         with self._lock:
             self._counts.clear()
+            self._version += 1
+            self._changed.clear()
 
     def metrics(self) -> Dict[str, float]:
         with self._lock:

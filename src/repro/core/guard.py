@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..engine.database import Database
 from ..engine.executor import ResultSet
@@ -257,17 +257,28 @@ class DelayGuard:
         policy: Optional[DelayPolicy] = None,
         accounts: Optional[AccountManager] = None,
         obs: Optional[Observability] = None,
+        population_provider: Optional[Callable[[], int]] = None,
     ):
         self.database = database
         self.config = (config if config is not None else GuardConfig()).validate()
         self.clock = clock if clock is not None else VirtualClock()
         self.accounts = accounts
         self.stats = GuardStats()
+        #: cluster hook: when set, :meth:`population` asks the provider
+        #: for the *global* tuple count instead of the local engine, so
+        #: a shard prices against N of the whole dataset (per-shard N
+        #: would divide every delay by the shard count).
+        self._population_provider = population_provider
+        self._population_cache: Optional[Tuple[int, int]] = None
         self.popularity = PopularityTracker(
-            store=self._build_store(), decay_rate=self.config.decay_rate
+            store=self._build_store(),
+            decay_rate=self.config.decay_rate,
+            origin=self.config.node_id,
         )
         self.update_rates = UpdateRateTracker(
-            clock=self.clock, time_constant=self.config.update_time_constant
+            clock=self.clock,
+            time_constant=self.config.update_time_constant,
+            origin=self.config.node_id,
         )
         #: key -> clock time of last update (for staleness evaluation).
         #: Guarded by ``_updates_lock`` — the old server statement lock
@@ -512,6 +523,18 @@ class DelayGuard:
 
     # -- sizing ----------------------------------------------------------------
 
+    def set_population_provider(self, provider: Callable[[], int]) -> None:
+        """Price against an external (global) population count.
+
+        Cluster shards call this so every delay formula uses the
+        cluster-wide N instead of the shard's local row count — with M
+        shards, pricing against N/M local rows would cut every delay by
+        roughly M. Takes effect immediately: the policies hold this
+        guard's bound :meth:`population` method.
+        """
+        self._population_provider = provider
+        self._population_cache = None
+
     def population(self) -> int:
         """Total protected tuples (N in the paper's formulas).
 
@@ -519,12 +542,28 @@ class DelayGuard:
         concurrent DDL/DML writer can't change the table set mid-sum.
         The read lock is reentrant, so this is safe to call from inside
         the pipeline's price stage or another read section.
+
+        The sum is cached per mutation epoch — the population can only
+        change through a committed mutation, and every commit advances
+        the epoch, so a cached value at the current epoch is exact.
+        That keeps lock-free callers (the server's I/O-loop cache fast
+        path) from queueing behind an engine writer. With a
+        ``population_provider`` (cluster shards), the provider's global
+        count is used instead.
         """
+        if self._population_provider is not None:
+            return max(int(self._population_provider()), 1)
+        cached = self._population_cache
+        if cached is not None and cached[0] == self.database.mutation_epoch:
+            return cached[1]
         with self.database.read_view():
+            epoch = self.database.mutation_epoch
             total = 0
             for name in self.database.catalog.table_names():
                 total += len(self.database.catalog.table(name))
-            return max(total, 1)
+        value = max(total, 1)
+        self._population_cache = (epoch, value)
+        return value
 
     # -- the front door -----------------------------------------------------
 
@@ -535,7 +574,8 @@ class DelayGuard:
         record: bool = True,
         sleep: bool = True,
         deadline_at: Optional[float] = None,
-    ) -> GuardedResult:
+        cache_only: bool = False,
+    ) -> Optional[GuardedResult]:
         """Execute a statement, charging and applying its delay.
 
         Runs the staged pipeline (admit → parse → authorize → execute →
@@ -568,6 +608,16 @@ class DelayGuard:
                 it, and rejects a mandated delay longer than the
                 remaining budget *before* recording or sleeping
                 (reporting the full delay as ``retry_after``).
+            cache_only: probe mode for the server's I/O-loop fast
+                path. The pipeline runs parse → cache lookup first; on
+                a miss it returns ``None`` immediately — before the
+                authorize stage, so the account is *not* charged (the
+                caller re-submits through the full pipeline, which
+                charges exactly once). On a hit the remaining stages
+                (admit, authorize, account, price, record, forensics,
+                sleep) run exactly as usual, so a fast-path hit is
+                indistinguishable from a worker-pool hit in counts,
+                charges, and mandated delay.
 
         Raises:
             AccessDenied: if an account-level limit refuses the query,
@@ -579,9 +629,12 @@ class DelayGuard:
             record=record,
             sleep=sleep,
             deadline_at=deadline_at,
+            cache_only=cache_only,
         )
         if not self.obs.enabled:
             self.pipeline.run(ctx)
+            if cache_only and not ctx.cache_hit:
+                return None
             return GuardedResult(
                 result=ctx.result,
                 delay=ctx.delay,
@@ -616,6 +669,11 @@ class DelayGuard:
         except Exception as error:
             tracer.finish(ctx.trace.finish("error", reason=str(error)))
             raise
+        if cache_only and not ctx.cache_hit:
+            # Fast-path probe missed: discard the probe trace (the full
+            # pipeline run that follows will record its own) and hand
+            # the query back unexecuted and uncharged.
+            return None
         tracer.finish(
             ctx.trace.finish(
                 "ok", delay=ctx.delay, rows=ctx.result.rowcount
@@ -772,32 +830,68 @@ class DelayGuard:
             n = self.population()
         return n * self.config.cap
 
+    # -- cluster gossip -------------------------------------------------------
+
+    def gossip_versions(self) -> Dict:
+        """Per-origin version marks for both trackers (anti-entropy)."""
+        return {
+            "popularity": self.popularity.versions(),
+            "update_rates": self.update_rates.versions(),
+        }
+
+    def gossip_digest(self, versions: Optional[Dict] = None) -> Dict:
+        """Tracker deltas newer than a peer's ``versions`` marks.
+
+        Feed a peer's :meth:`gossip_versions` in to get exactly what it
+        is missing; None produces a full digest (initial sync).
+        """
+        versions = versions if versions is not None else {}
+        return {
+            "popularity": self.popularity.delta_since(
+                versions.get("popularity")
+            ),
+            "update_rates": self.update_rates.delta_since(
+                versions.get("update_rates")
+            ),
+        }
+
+    def gossip_merge(self, digest: Dict) -> Dict[str, int]:
+        """Fold a peer's :meth:`gossip_digest` into this guard's trackers.
+
+        Commutative and idempotent (per-origin last-writer-wins joins),
+        so rounds may repeat, reorder, or overlap without double
+        counting. Returns entries adopted per tracker.
+        """
+        adopted = {"popularity": 0, "update_rates": 0}
+        popularity = digest.get("popularity")
+        if popularity is not None:
+            adopted["popularity"] = self.popularity.merge(popularity)
+        update_rates = digest.get("update_rates")
+        if update_rates is not None:
+            adopted["update_rates"] = self.update_rates.merge(update_rates)
+        return adopted
+
     # -- state persistence ---------------------------------------------------
 
     def dump_state(self) -> Dict:
         """Serialise learned state to a JSON-compatible dictionary.
 
-        Covers popularity counts (with their decay bookkeeping), the raw
-        request totals, and last-update times — everything needed for a
-        restarted guard to keep charging the same delays. Account state
-        and statistics are not included.
+        Covers popularity counts (with their decay bookkeeping, origin,
+        versions, and any gossip mirrors), the raw request totals, and
+        last-update times — everything needed for a restarted guard to
+        keep charging the same delays, and for a restarted *shard* to
+        reclaim its own entries from peers via anti-entropy. Account
+        state and statistics are not included.
         """
-        counts = [
-            [f"{table}:{rowid}", weight]
-            for (table, rowid), weight in self.popularity.store.items()
-        ]
         with self._updates_lock:
             updates = [
                 [f"{table}:{rowid}", when]
                 for (table, rowid), when in self.last_update_times.items()
             ]
         return {
-            "format": "repro-guard-v2",
+            "format": "repro-guard-v3",
             "decay_rate": self.popularity.decay_rate,
-            "increment": self.popularity._increment,
-            "raw_total": self.popularity._raw_total,
-            "decayed_total": self.popularity._decayed_total,
-            "counts": counts,
+            "popularity": self.popularity.dump_state(),
             "last_update_times": updates,
             "update_rates": self.update_rates.dump_state(),
         }
@@ -805,13 +899,14 @@ class DelayGuard:
     def load_state(self, payload: Dict) -> None:
         """Restore state produced by :meth:`dump_state`.
 
-        Accepts the current ``repro-guard-v2`` format and the older v1
-        (which predates update-rate persistence — a v1 restore leaves
-        the update tracker empty). The guard's configured decay rate
-        must match the saved one (delays would silently change
+        Accepts the current ``repro-guard-v3`` format plus v2 and v1
+        (which predate tracker-level persistence; v1 additionally
+        leaves the update tracker empty). The guard's configured decay
+        rate must match the saved one (delays would silently change
         otherwise).
         """
-        if payload.get("format") not in ("repro-guard-v1", "repro-guard-v2"):
+        fmt = payload.get("format")
+        if fmt not in ("repro-guard-v1", "repro-guard-v2", "repro-guard-v3"):
             raise ConfigError(
                 f"unsupported guard state format {payload.get('format')!r}"
             )
@@ -820,13 +915,18 @@ class DelayGuard:
                 f"saved decay rate {payload['decay_rate']} does not match "
                 f"configured {self.popularity.decay_rate}"
             )
-        self.popularity.reset()
-        self.popularity._increment = payload["increment"]
-        self.popularity._raw_total = payload["raw_total"]
-        self.popularity._decayed_total = payload["decayed_total"]
-        for key_text, weight in payload["counts"]:
-            table, _, rowid = key_text.partition(":")
-            self.popularity.store.add((table, int(rowid)), weight)
+        if fmt == "repro-guard-v3" or "popularity" in payload:
+            # v3 nests full tracker state; older tags carrying the
+            # nested shape (re-labelled exports) load the same way.
+            self.popularity.load_state(payload["popularity"])
+        else:
+            self.popularity.reset()
+            self.popularity._increment = payload["increment"]
+            self.popularity._raw_total = payload["raw_total"]
+            self.popularity._decayed_total = payload["decayed_total"]
+            for key_text, weight in payload["counts"]:
+                table, _, rowid = key_text.partition(":")
+                self.popularity.store.add((table, int(rowid)), weight)
         with self._updates_lock:
             self.last_update_times.clear()
             for key_text, when in payload["last_update_times"]:

@@ -64,6 +64,10 @@ class QueryContext:
     identity: Optional[str] = None
     record: bool = True
     sleep: bool = True
+    #: fast-path probe mode: run parse → cache lookup first and bail
+    #: out (before authorize charges the account) when the result
+    #: cache misses. See :meth:`QueryPipeline.run`.
+    cache_only: bool = False
     #: absolute ``time.monotonic()`` deadline for the whole request, or
     #: None for no budget. Checked at every stage boundary, and by the
     #: price stage against the mandated delay itself (a delay longer
@@ -464,6 +468,26 @@ class QueryPipeline:
     def __init__(self, guard: "DelayGuard"):
         self.guard = guard
         self.stages = [stage_class(guard) for stage_class in self.STAGES]
+        # Fast-path probe order (``ctx.cache_only``): the cache lookup
+        # runs *before* admit/authorize so a miss can bail out without
+        # charging the account — the full pipeline run that follows
+        # charges exactly once. A hit still authorizes before a single
+        # byte is returned (AccountStage runs after AuthorizeStage).
+        by_name = {stage.name: stage for stage in self.stages}
+        self._probe_stages = [
+            by_name[name]
+            for name in (
+                "parse",
+                "cache",
+                "admit",
+                "authorize",
+                "account",
+                "price",
+                "record",
+                "forensics",
+                "sleep",
+            )
+        ]
         self._histograms = {}
         if guard.obs.enabled:
             for stage in self.stages:
@@ -484,7 +508,13 @@ class QueryPipeline:
         """
         if not isinstance(ctx.sql_or_statement, str):
             ctx.statement = ctx.sql_or_statement
-        for stage in self.stages:
+        stages = self._probe_stages if ctx.cache_only else self.stages
+        for stage in stages:
+            if ctx.cache_only and not ctx.cache_hit and stage.name == "admit":
+                # Probe missed the cache: hand the query back untouched
+                # and uncharged — no engine work, no authorize charge,
+                # no query/timing stats (the full run counts it once).
+                return ctx
             if not stage.applies(ctx):
                 continue
             self._check_deadline(ctx)

@@ -16,16 +16,44 @@ Two popularity normalisations are offered:
   is what produces the decay sweeps of Tables 3 and 4.
 * ``"decayed"``: decayed count divided by the decayed total — a proper
   probability estimate over the effective window, useful as an ablation.
+
+Replication (the cluster's anti-entropy substrate): every tracker has an
+*origin* id and keeps, next to its own counts, a per-origin mirror of
+the masses other trackers have gossiped to it. :meth:`delta_since` emits
+versioned present-scale masses for the local origin *and* every mirrored
+origin (so gossip is transitive), and :meth:`merge` folds a delta in
+with per-(origin, key) last-version-wins adoption — commutative,
+associative, and idempotent, because each origin's versions are totally
+ordered and the shipped value is a function of the version. Effective
+queries (popularity, rank, snapshot, totals) sum local and mirrored
+mass; with ``decay_rate == 1.0`` the merged view is exact, and with
+decay the mirrors hold each origin's mass as of its last delta — a
+staleness bounded by the gossip interval, never an undercount an
+adversary could mint by spraying shards.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .counts import CountStore, InMemoryCountStore, Key
 from .errors import ConfigError
+
+#: process-unique default origins for trackers built without one.
+_ORIGIN_SEQ = itertools.count()
+
+
+def _freeze_key(key) -> Key:
+    """JSON round-trips tuple keys as lists; restore them."""
+    return tuple(key) if isinstance(key, list) else key
+
+
+def _thaw_key(key):
+    """Make a key JSON-serialisable (tuples become lists)."""
+    return list(key) if isinstance(key, tuple) else key
 
 
 class PopularityTracker:
@@ -41,7 +69,15 @@ class PopularityTracker:
         rank_refresh: recompute cached ranks after this many records
             (ranks are only needed by policies with β > 0; the cache
             bounds the cost of repeated sorting).
+        origin: replication identity for :meth:`delta_since` /
+            :meth:`merge` (e.g. ``"shard-0"``). Defaults to a
+            process-unique id; cluster deployments set it explicitly so
+            it survives restarts.
     """
+
+    #: version headroom added on :meth:`load_state`, so records made
+    #: after a recovery outrank pre-crash entries peers mirror back.
+    RECOVERY_VERSION_JUMP = 1 << 32
 
     def __init__(
         self,
@@ -49,6 +85,7 @@ class PopularityTracker:
         decay_rate: float = 1.0,
         rescale_threshold: float = 1e100,
         rank_refresh: int = 1000,
+        origin: Optional[str] = None,
     ):
         if decay_rate < 1.0:
             raise ConfigError(
@@ -74,6 +111,21 @@ class PopularityTracker:
         self._rescales = 0
         self._rank_cache: Optional[Dict[Key, int]] = None
         self._records_since_rank = 0
+        self.origin = (
+            origin if origin is not None else f"tracker-{next(_ORIGIN_SEQ)}"
+        )
+        #: origin -> key -> (present-scale mass, version): counts other
+        #: trackers have gossiped here. Empty outside cluster use, and
+        #: every query path skips the mirror work when it is empty.
+        self._remote: Dict[str, Dict[Key, Tuple[float, int]]] = {}
+        #: origin -> {"version", "raw_total", "decayed_total"}
+        self._remote_meta: Dict[str, Dict[str, float]] = {}
+        #: after load_state: the snapshot's data high-water mark. While
+        #: set, :meth:`versions` advertises it (not the jumped counter)
+        #: for the local origin, so peers reflect back own-origin mass
+        #: the crash destroyed; :meth:`_merge_self` ratchets it forward
+        #: as reflections arrive, ending the resends once caught up.
+        self._self_floor: Optional[int] = None
 
     # -- recording ---------------------------------------------------------
 
@@ -126,16 +178,40 @@ class PopularityTracker:
             raise ConfigError(f"decay factor must be >= 1.0, got {factor}")
         with self._lock:
             self._increment *= factor
+            # Every key's present-scale mass just changed; peers holding
+            # mirrored masses must be sent all of them again.
+            self.store.mark_all_changed()
             if self._increment > self.rescale_threshold:
                 self._rescale()
 
     # -- queries ------------------------------------------------------------
 
+    def _remote_count(self, key: Key) -> float:
+        """Mirrored present-scale mass of ``key``; lock held by caller."""
+        total = 0.0
+        for entries in self._remote.values():
+            entry = entries.get(key)
+            if entry is not None:
+                total += entry[0]
+        return total
+
+    def _remote_raw_total(self) -> float:
+        return sum(
+            meta["raw_total"] for meta in self._remote_meta.values()
+        )
+
+    def _remote_decayed_total(self) -> float:
+        return sum(
+            meta["decayed_total"] for meta in self._remote_meta.values()
+        )
+
     @property
     def total_requests(self) -> float:
-        """Undecayed number of recorded requests."""
+        """Undecayed number of recorded requests (all known origins)."""
         with self._lock:
-            return self._raw_total
+            if not self._remote_meta:
+                return self._raw_total
+            return self._raw_total + self._remote_raw_total()
 
     @property
     def decayed_total(self) -> float:
@@ -147,7 +223,10 @@ class PopularityTracker:
         'current' requests the surviving weight represents.
         """
         with self._lock:
-            return self._decayed_total / self._increment
+            local = self._decayed_total / self._increment
+            if not self._remote_meta:
+                return local
+            return local + self._remote_decayed_total()
 
     @property
     def rescales(self) -> int:
@@ -158,10 +237,14 @@ class PopularityTracker:
         """Decayed count of ``key`` on the latest-request weight scale.
 
         With no decay this is exactly the raw hit count; with decay it is
-        the equivalent number of 'current' requests.
+        the equivalent number of 'current' requests. Mirrored mass from
+        other origins is included.
         """
         with self._lock:
-            return self.store.get(key) / self._increment
+            count = self.store.get(key) / self._increment
+            if self._remote:
+                count += self._remote_count(key)
+            return count
 
     def popularity(self, key: Key, mode: str = "raw") -> float:
         """Normalised popularity estimate of ``key`` in [0, ~1].
@@ -169,20 +252,30 @@ class PopularityTracker:
         ``mode="raw"`` divides the decayed count by the raw request
         total (the paper's normalisation); ``mode="decayed"`` divides by
         the decayed total (a true frequency over the effective window).
-        Returns 0 for unseen keys or before any requests.
+        Returns 0 for unseen keys or before any requests. Both numerator
+        and denominator span every known origin, so a clustered tracker
+        prices against the *global* distribution.
         """
         with self._lock:
-            count = self.store.get(key)
+            count = self.store.get(key) / self._increment
+            if self._remote:
+                count += self._remote_count(key)
             if count <= 0:
                 return 0.0
             if mode == "raw":
-                if self._raw_total <= 0:
+                total = self._raw_total
+                if self._remote_meta:
+                    total += self._remote_raw_total()
+                if total <= 0:
                     return 0.0
-                return (count / self._increment) / self._raw_total
+                return count / total
             if mode == "decayed":
-                if self._decayed_total <= 0:
+                total = self._decayed_total / self._increment
+                if self._remote_meta:
+                    total += self._remote_decayed_total()
+                if total <= 0:
                     return 0.0
-                return count / self._decayed_total
+                return count / total
         raise ConfigError(f"unknown popularity mode {mode!r}")
 
     def popularity_many(
@@ -197,10 +290,25 @@ class PopularityTracker:
         with self._lock:
             return [self.popularity(key, mode) for key in keys]
 
+    def _merged_counts(self) -> Dict[Key, float]:
+        """All (key -> present-scale mass) across origins; lock held."""
+        merged = {
+            key: count / self._increment
+            for key, count in self.store.items()
+        }
+        for entries in self._remote.values():
+            for key, (mass, _version) in entries.items():
+                merged[key] = merged.get(key, 0.0) + mass
+        return merged
+
     def max_popularity(self, mode: str = "raw") -> float:
         """Popularity of the most popular tracked key (0 if none)."""
+        with self._lock:
+            keys = {key for key, _count in self.store.items()}
+            for entries in self._remote.values():
+                keys.update(entries)
         best = 0.0
-        for key, _count in self.store.items():
+        for key in keys:
             best = max(best, self.popularity(key, mode))
         return best
 
@@ -214,9 +322,18 @@ class PopularityTracker:
         """
         with self._lock:
             if self._rank_cache is None:
-                ordered = sorted(
-                    self.store.items(), key=lambda item: item[1], reverse=True
-                )
+                if self._remote:
+                    ordered = sorted(
+                        self._merged_counts().items(),
+                        key=lambda item: item[1],
+                        reverse=True,
+                    )
+                else:
+                    ordered = sorted(
+                        self.store.items(),
+                        key=lambda item: item[1],
+                        reverse=True,
+                    )
                 self._rank_cache = {
                     key_: position + 1
                     for position, (key_, _) in enumerate(ordered)
@@ -227,24 +344,274 @@ class PopularityTracker:
     def snapshot(self) -> List[Tuple[Key, float]]:
         """All (key, present_count) pairs, most popular first."""
         with self._lock:
-            pairs = [
-                (key, count / self._increment)
-                for key, count in self.store.items()
-            ]
+            if self._remote:
+                pairs = list(self._merged_counts().items())
+            else:
+                pairs = [
+                    (key, count / self._increment)
+                    for key, count in self.store.items()
+                ]
         pairs.sort(key=lambda item: item[1], reverse=True)
         return pairs
 
     def tracked_keys(self) -> int:
-        """Number of keys with a stored count."""
-        return len(self.store)
+        """Number of keys with a stored or mirrored count."""
+        with self._lock:
+            if not self._remote:
+                return len(self.store)
+            keys = {key for key, _count in self.store.items()}
+            for entries in self._remote.values():
+                keys.update(entries)
+            return len(keys)
 
     def reset(self) -> None:
-        """Forget all history."""
+        """Forget all history (mirrored origins included)."""
         with self._lock:
             self.store.clear()
             self._increment = 1.0
             self._raw_total = 0.0
             self._decayed_total = 0.0
+            self._rank_cache = None
+            self._records_since_rank = 0
+            self._remote = {}
+            self._remote_meta = {}
+            self._self_floor = None
+
+    # -- replication ---------------------------------------------------------
+
+    def versions(self) -> Dict[str, int]:
+        """Per-origin version high-water marks this tracker holds.
+
+        Feed a peer's :meth:`versions` into :meth:`delta_since` to get
+        exactly the entries that peer is missing.
+
+        For the local origin this is normally the store's counter; a
+        freshly recovered tracker instead advertises the snapshot's
+        high-water mark, because the counter was jumped far past it and
+        would make peers withhold the reflected entries recovery needs.
+        """
+        with self._lock:
+            own = (
+                self._self_floor
+                if self._self_floor is not None
+                else self.store.version
+            )
+            versions = {self.origin: own}
+            for origin, meta in self._remote_meta.items():
+                versions[origin] = int(meta["version"])
+            return versions
+
+    def delta_since(self, versions: Optional[Dict[str, int]] = None) -> Dict:
+        """Versioned present-scale masses newer than ``versions``.
+
+        The delta carries one payload per known origin — this tracker's
+        own counts *and* every mirrored origin — so gossip spreads
+        state transitively without all-pairs exchange. ``versions`` maps
+        origin ids to the receiver's high-water marks (missing origins
+        mean "send everything").
+        """
+        versions = dict(versions or {})
+        with self._lock:
+            store_delta = self.store.delta_since(
+                versions.get(self.origin, 0)
+            )
+            payloads = [
+                {
+                    "origin": self.origin,
+                    "version": store_delta["version"],
+                    "raw_total": self._raw_total,
+                    "decayed_total": self._decayed_total / self._increment,
+                    "entries": [
+                        [_thaw_key(key), weight / self._increment, changed]
+                        for key, weight, changed in store_delta["entries"]
+                    ],
+                }
+            ]
+            for origin, entries_map in self._remote.items():
+                since = versions.get(origin, 0)
+                meta = self._remote_meta[origin]
+                entries = [
+                    [_thaw_key(key), mass, version]
+                    for key, (mass, version) in entries_map.items()
+                    if version > since
+                ]
+                if not entries and meta["version"] <= since:
+                    continue
+                payloads.append(
+                    {
+                        "origin": origin,
+                        "version": int(meta["version"]),
+                        "raw_total": meta["raw_total"],
+                        "decayed_total": meta["decayed_total"],
+                        "entries": entries,
+                    }
+                )
+        return {"payloads": payloads}
+
+    def merge(self, delta: Dict) -> int:
+        """Fold a :meth:`delta_since` payload in; returns entries adopted.
+
+        Remote-origin entries land in per-origin mirrors with
+        last-version-wins adoption. Entries for *this* tracker's own
+        origin are reflections of its past self (a peer gossiping back
+        what it learned before this tracker crashed): they are adopted
+        into the local store only where the local version is older, which
+        restores popularity lost since the last snapshot without ever
+        clobbering post-recovery records.
+        """
+        payloads = delta.get("payloads", ())
+        adopted = 0
+        with self._lock:
+            for payload in payloads:
+                origin = payload.get("origin")
+                if origin == self.origin:
+                    adopted += self._merge_self(payload)
+                else:
+                    adopted += self._merge_remote(payload)
+            if adopted:
+                self._rank_cache = None
+        return adopted
+
+    def _merge_self(self, payload: Dict) -> int:
+        """Adopt reflected own-origin entries where newer; lock held."""
+        entries = [
+            [_freeze_key(key), float(mass) * self._increment, int(version)]
+            for key, mass, version in payload.get("entries", ())
+        ]
+        adopted = self.store.merge(
+            {"version": int(payload.get("version", 0)), "entries": entries}
+        )
+        if adopted:
+            # The store changed under us; the decayed total is, by
+            # construction, exactly the sum of stored masses.
+            self._decayed_total = sum(
+                weight for _key, weight in self.store.items()
+            )
+        self._raw_total = max(
+            self._raw_total, float(payload.get("raw_total", 0.0))
+        )
+        if self._self_floor is not None:
+            # Everything the peer mirrors up to its payload version has
+            # now been offered back; advertising past it stops the
+            # re-reflection without hiding genuinely newer entries.
+            self._self_floor = max(
+                self._self_floor, int(payload.get("version", 0))
+            )
+        return adopted
+
+    def _merge_remote(self, payload: Dict) -> int:
+        """Last-version-wins adoption into one origin mirror; lock held."""
+        origin = payload["origin"]
+        entries_map = self._remote.setdefault(origin, {})
+        meta = self._remote_meta.setdefault(
+            origin, {"version": 0, "raw_total": 0.0, "decayed_total": 0.0}
+        )
+        adopted = 0
+        for key, mass, version in payload.get("entries", ()):
+            key = _freeze_key(key)
+            current = entries_map.get(key)
+            if current is not None and current[1] >= version:
+                continue
+            entries_map[key] = (float(mass), int(version))
+            adopted += 1
+        version = int(payload.get("version", 0))
+        if version > meta["version"]:
+            meta["version"] = version
+            meta["raw_total"] = float(payload.get("raw_total", 0.0))
+            meta["decayed_total"] = float(payload.get("decayed_total", 0.0))
+        return adopted
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump_state(self) -> Dict:
+        """Serialise counts, totals, versions, and origin mirrors.
+
+        Masses are stored on the present-request scale, so the snapshot
+        is independent of the increment at dump time.
+        """
+        with self._lock:
+            store_delta = self.store.delta_since(0)
+            return {
+                "format": "repro-popularity-v1",
+                "origin": self.origin,
+                "decay_rate": self.decay_rate,
+                "raw_total": self._raw_total,
+                "decayed_total": self._decayed_total / self._increment,
+                "version": self.store.version,
+                "counts": [
+                    [_thaw_key(key), weight / self._increment, changed]
+                    for key, weight, changed in store_delta["entries"]
+                ],
+                "remote": {
+                    origin: {
+                        "version": int(meta["version"]),
+                        "raw_total": meta["raw_total"],
+                        "decayed_total": meta["decayed_total"],
+                        "entries": [
+                            [_thaw_key(key), mass, version]
+                            for key, (mass, version) in self._remote[
+                                origin
+                            ].items()
+                        ],
+                    }
+                    for origin, meta in self._remote_meta.items()
+                },
+            }
+
+    def load_state(self, payload: Dict) -> None:
+        """Restore :meth:`dump_state` output, replacing current state.
+
+        The store's version counter is advanced by
+        :data:`RECOVERY_VERSION_JUMP` past the snapshot's high-water
+        mark, so every record made after this load outranks any
+        pre-crash entry a peer may still mirror.
+        """
+        if payload.get("format") != "repro-popularity-v1":
+            raise ConfigError(
+                f"unknown popularity state format "
+                f"{payload.get('format')!r}"
+            )
+        decay_rate = float(payload.get("decay_rate", self.decay_rate))
+        if decay_rate != self.decay_rate:
+            raise ConfigError(
+                f"snapshot decay_rate {decay_rate} does not match "
+                f"tracker decay_rate {self.decay_rate}"
+            )
+        with self._lock:
+            self.store.clear()
+            self._increment = 1.0
+            self.store.merge(
+                {
+                    "version": int(payload.get("version", 0)),
+                    "entries": [
+                        [_freeze_key(key), float(mass), int(version)]
+                        for key, mass, version in payload.get("counts", ())
+                    ],
+                }
+            )
+            self.store.advance_version(
+                int(payload.get("version", 0)) + self.RECOVERY_VERSION_JUMP
+            )
+            self._self_floor = int(payload.get("version", 0))
+            self.origin = payload.get("origin", self.origin)
+            self._raw_total = float(payload.get("raw_total", 0.0))
+            self._decayed_total = sum(
+                weight for _key, weight in self.store.items()
+            )
+            self._remote = {}
+            self._remote_meta = {}
+            for origin, mirror in payload.get("remote", {}).items():
+                self._remote[origin] = {
+                    _freeze_key(key): (float(mass), int(version))
+                    for key, mass, version in mirror.get("entries", ())
+                }
+                self._remote_meta[origin] = {
+                    "version": int(mirror.get("version", 0)),
+                    "raw_total": float(mirror.get("raw_total", 0.0)),
+                    "decayed_total": float(
+                        mirror.get("decayed_total", 0.0)
+                    ),
+                }
             self._rank_cache = None
             self._records_since_rank = 0
 
@@ -264,6 +631,7 @@ class AdaptiveTracker:
         decay_rates: candidate γ values (must be unique, each >= 1).
         score_smoothing: EWMA factor in (0, 1]; smaller = slower switch.
         store_factory: builds a fresh count store per candidate.
+        origin: replication identity shared by every candidate tracker.
     """
 
     _EPSILON = 1e-12
@@ -273,6 +641,7 @@ class AdaptiveTracker:
         decay_rates: Sequence[float],
         score_smoothing: float = 0.02,
         store_factory=InMemoryCountStore,
+        origin: Optional[str] = None,
     ):
         if not decay_rates:
             raise ConfigError("need at least one decay rate")
@@ -280,8 +649,13 @@ class AdaptiveTracker:
             raise ConfigError("decay rates must be unique")
         if not 0 < score_smoothing <= 1:
             raise ConfigError("score_smoothing must be in (0, 1]")
+        if origin is None:
+            origin = f"tracker-{next(_ORIGIN_SEQ)}"
+        self.origin = origin
         self.trackers: Dict[float, PopularityTracker] = {
-            rate: PopularityTracker(store=store_factory(), decay_rate=rate)
+            rate: PopularityTracker(
+                store=store_factory(), decay_rate=rate, origin=origin
+            )
             for rate in decay_rates
         }
         self.score_smoothing = score_smoothing
@@ -355,3 +729,75 @@ class AdaptiveTracker:
     def total_requests(self) -> float:
         """Undecayed request total (same across candidates)."""
         return self.active.total_requests
+
+    # -- replication ---------------------------------------------------------
+
+    def versions(self) -> Dict[str, Dict[str, int]]:
+        """Per-candidate version maps, keyed by the decay rate's repr."""
+        return {
+            repr(rate): tracker.versions()
+            for rate, tracker in self.trackers.items()
+        }
+
+    def delta_since(
+        self, versions: Optional[Dict[str, Dict[str, int]]] = None
+    ) -> Dict:
+        """One delta per candidate tracker (matched by decay rate)."""
+        versions = versions or {}
+        return {
+            "rates": {
+                repr(rate): tracker.delta_since(versions.get(repr(rate)))
+                for rate, tracker in self.trackers.items()
+            }
+        }
+
+    def merge(self, delta: Dict) -> int:
+        """Merge per-rate deltas into the matching candidate trackers."""
+        adopted = 0
+        for rate_text, payload in delta.get("rates", {}).items():
+            tracker = self.trackers.get(float(rate_text))
+            if tracker is not None:
+                adopted += tracker.merge(payload)
+        return adopted
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump_state(self) -> Dict:
+        """Serialise every candidate tracker plus the selection scores."""
+        with self._lock:
+            return {
+                "format": "repro-adaptive-popularity-v1",
+                "origin": self.origin,
+                "seen_any": self._seen_any,
+                "scores": {
+                    repr(rate): score
+                    for rate, score in self._scores.items()
+                },
+                "trackers": {
+                    repr(rate): tracker.dump_state()
+                    for rate, tracker in self.trackers.items()
+                },
+            }
+
+    def load_state(self, payload: Dict) -> None:
+        """Restore :meth:`dump_state` output, replacing current state."""
+        if payload.get("format") != "repro-adaptive-popularity-v1":
+            raise ConfigError(
+                f"unknown adaptive tracker state format "
+                f"{payload.get('format')!r}"
+            )
+        snapshot_rates = {
+            float(rate_text) for rate_text in payload.get("trackers", {})
+        }
+        if snapshot_rates != set(self.trackers):
+            raise ConfigError(
+                f"snapshot decay rates {sorted(snapshot_rates)} do not "
+                f"match configured rates {sorted(self.trackers)}"
+            )
+        with self._lock:
+            self.origin = payload.get("origin", self.origin)
+            self._seen_any = bool(payload.get("seen_any", False))
+            for rate_text, score in payload.get("scores", {}).items():
+                self._scores[float(rate_text)] = float(score)
+            for rate_text, state in payload.get("trackers", {}).items():
+                self.trackers[float(rate_text)].load_state(state)

@@ -4,10 +4,18 @@ Where access patterns are uniform, the paper assigns delays inversely
 proportional to each tuple's *update* rate. This tracker estimates
 per-tuple update rates from the observed update stream, with optional
 exponential decay in time so shifting update behaviour is tracked.
+
+Replication mirrors :mod:`repro.core.popularity`: the tracker has an
+*origin* id, stamps each key's last change with a monotonic version, and
+exposes ``delta_since(versions)`` / ``merge(delta)``. Because every
+tuple is updated on exactly one owning shard, a remote entry is simply
+the owner's latest ``(count, last_seen)`` pair — per-key
+last-version-wins adoption is exact, and rates sum across origins.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -15,6 +23,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .clock import Clock, VirtualClock
 from .counts import Key
 from .errors import ConfigError
+
+_ORIGIN_SEQ = itertools.count()
 
 
 class UpdateRateTracker:
@@ -31,10 +41,14 @@ class UpdateRateTracker:
     O(1) regardless of table size.
     """
 
+    #: version headroom added on :meth:`load_state` (see popularity).
+    RECOVERY_VERSION_JUMP = 1 << 32
+
     def __init__(
         self,
         clock: Optional[Clock] = None,
         time_constant: Optional[float] = None,
+        origin: Optional[str] = None,
     ):
         if time_constant is not None and time_constant <= 0:
             raise ConfigError(
@@ -42,6 +56,9 @@ class UpdateRateTracker:
             )
         self.clock = clock if clock is not None else VirtualClock()
         self.time_constant = time_constant
+        self.origin = (
+            origin if origin is not None else f"updates-{next(_ORIGIN_SEQ)}"
+        )
         # Guards counts/last-seen/total as one unit: the lazy decay in
         # record_update is a read-modify-write over two dicts.
         self._lock = threading.RLock()
@@ -49,6 +66,17 @@ class UpdateRateTracker:
         self._last_seen: Dict[Key, float] = {}
         self._started = self.clock.now()
         self._total_updates = 0
+        self._version = 0
+        self._changed: Dict[Key, int] = {}
+        #: origin -> key -> (count-as-of-last-seen, last_seen, version)
+        self._remote: Dict[str, Dict[Key, Tuple[float, float, int]]] = {}
+        #: origin -> {"version", "total_updates"}
+        self._remote_meta: Dict[str, Dict[str, float]] = {}
+        #: after load_state: the snapshot's data high-water mark,
+        #: advertised in :meth:`versions` instead of the jumped counter
+        #: so peers reflect back own-origin entries the crash destroyed
+        #: (see the popularity tracker for the full story).
+        self._self_floor: Optional[int] = None
 
     # -- recording ---------------------------------------------------------
 
@@ -66,6 +94,8 @@ class UpdateRateTracker:
             self._counts[key] = current + 1.0
             self._last_seen[key] = now
             self._total_updates += 1
+            self._version += 1
+            self._changed[key] = self._version
 
     def _decayed_count(self, key: Key, now: float) -> float:
         with self._lock:
@@ -104,25 +134,52 @@ class UpdateRateTracker:
                 else:
                     self._counts[key] = rate * window
                 self._last_seen[key] = now
+                self._version += 1
+                self._changed[key] = self._version
             if self.time_constant is None:
                 self._started = min(self._started, now - window)
 
     # -- queries ------------------------------------------------------------
 
+    def _remote_count(self, key: Key, now: float) -> float:
+        """Mirrored decayed count of ``key`` as of ``now``; lock held."""
+        total = 0.0
+        for entries in self._remote.values():
+            entry = entries.get(key)
+            if entry is None:
+                continue
+            count, last_seen, _version = entry
+            if self.time_constant is not None and now > last_seen:
+                count *= math.exp((last_seen - now) / self.time_constant)
+            total += count
+        return total
+
+    def _effective_count(self, key: Key, now: float) -> float:
+        """Local + mirrored decayed count of ``key``; lock held."""
+        count = self._decayed_count(key, now)
+        if self._remote:
+            count += self._remote_count(key, now)
+        return count
+
     @property
     def total_updates(self) -> int:
-        """Number of updates recorded (undecayed)."""
-        return self._total_updates
+        """Number of updates recorded (undecayed, all known origins)."""
+        with self._lock:
+            total = self._total_updates
+            for meta in self._remote_meta.values():
+                total += int(meta["total_updates"])
+            return total
 
     def count(self, key: Key) -> float:
-        """Decayed update count of ``key`` as of now."""
-        return self._decayed_count(key, self.clock.now())
+        """Decayed update count of ``key`` as of now (all origins)."""
+        with self._lock:
+            return self._effective_count(key, self.clock.now())
 
     def rate(self, key: Key) -> float:
         """Estimated updates/second for ``key`` (0 for never-updated)."""
         now = self.clock.now()
         with self._lock:
-            count = self._decayed_count(key, now)
+            count = self._effective_count(key, now)
             if count <= 0:
                 return 0.0
             if self.time_constant is not None:
@@ -143,13 +200,20 @@ class UpdateRateTracker:
         with self._lock:
             return [self.rate(key) for key in keys]
 
+    def _all_keys(self) -> set:
+        """Every key with local or mirrored history; lock held."""
+        keys = set(self._counts)
+        for entries in self._remote.values():
+            keys.update(entries)
+        return keys
+
     def max_rate(self) -> float:
         """Largest estimated rate across tracked keys (0 if none)."""
         now = self.clock.now()
         best = 0.0
         with self._lock:
-            for key in self._counts:
-                count = self._decayed_count(key, now)
+            for key in self._all_keys():
+                count = self._effective_count(key, now)
                 if self.time_constant is not None:
                     rate = count / self.time_constant
                 else:
@@ -161,22 +225,161 @@ class UpdateRateTracker:
     def snapshot(self) -> List[Tuple[Key, float]]:
         """All (key, rate) pairs, fastest-updated first."""
         with self._lock:
-            pairs = [(key, self.rate(key)) for key in list(self._counts)]
+            pairs = [(key, self.rate(key)) for key in self._all_keys()]
         pairs.sort(key=lambda item: item[1], reverse=True)
         return pairs
 
     def tracked_keys(self) -> int:
-        """Number of keys ever updated."""
+        """Number of keys ever updated (all known origins)."""
         with self._lock:
-            return len(self._counts)
+            if not self._remote:
+                return len(self._counts)
+            return len(self._all_keys())
 
     def reset(self) -> None:
-        """Forget all update history."""
+        """Forget all update history (mirrored origins included)."""
         with self._lock:
             self._counts.clear()
             self._last_seen.clear()
             self._started = self.clock.now()
             self._total_updates = 0
+            self._version += 1
+            self._changed.clear()
+            self._remote = {}
+            self._remote_meta = {}
+            self._self_floor = None
+
+    # -- replication ---------------------------------------------------------
+
+    def versions(self) -> Dict[str, int]:
+        """Per-origin version high-water marks this tracker holds."""
+        with self._lock:
+            own = (
+                self._self_floor
+                if self._self_floor is not None
+                else self._version
+            )
+            versions = {self.origin: own}
+            for origin, meta in self._remote_meta.items():
+                versions[origin] = int(meta["version"])
+            return versions
+
+    def delta_since(self, versions: Optional[Dict[str, int]] = None) -> Dict:
+        """Entries newer than ``versions``, one payload per known origin.
+
+        Each entry is ``[key, count, last_seen, version]`` — the decayed
+        count as of its own ``last_seen``, so the receiver resumes the
+        decay without any clock exchange.
+        """
+        versions = dict(versions or {})
+        with self._lock:
+            since = versions.get(self.origin, 0)
+            payloads = [
+                {
+                    "origin": self.origin,
+                    "version": self._version,
+                    "total_updates": self._total_updates,
+                    "entries": [
+                        [
+                            list(key) if isinstance(key, tuple) else key,
+                            self._counts.get(key, 0.0),
+                            self._last_seen.get(key),
+                            changed,
+                        ]
+                        for key, changed in self._changed.items()
+                        if changed > since
+                    ],
+                }
+            ]
+            for origin, entries_map in self._remote.items():
+                since = versions.get(origin, 0)
+                meta = self._remote_meta[origin]
+                entries = [
+                    [
+                        list(key) if isinstance(key, tuple) else key,
+                        count,
+                        last_seen,
+                        version,
+                    ]
+                    for key, (count, last_seen, version) in
+                    entries_map.items()
+                    if version > since
+                ]
+                if not entries and meta["version"] <= since:
+                    continue
+                payloads.append(
+                    {
+                        "origin": origin,
+                        "version": int(meta["version"]),
+                        "total_updates": int(meta["total_updates"]),
+                        "entries": entries,
+                    }
+                )
+        return {"payloads": payloads}
+
+    def merge(self, delta: Dict) -> int:
+        """Fold a :meth:`delta_since` payload in; returns entries adopted.
+
+        Updates are owner-only (each tuple lives on one shard), so
+        per-(origin, key) last-version-wins adoption reproduces the
+        owner's state exactly.
+        """
+        adopted = 0
+        with self._lock:
+            for payload in delta.get("payloads", ()):
+                origin = payload.get("origin")
+                if origin == self.origin:
+                    adopted += self._merge_self(payload)
+                else:
+                    adopted += self._merge_remote(payload)
+        return adopted
+
+    def _merge_self(self, payload: Dict) -> int:
+        """Adopt reflected own-origin entries where newer; lock held."""
+        adopted = 0
+        for raw_key, count, last_seen, version in payload.get("entries", ()):
+            key = tuple(raw_key) if isinstance(raw_key, list) else raw_key
+            if version <= self._changed.get(key, 0):
+                continue
+            self._counts[key] = float(count)
+            if last_seen is not None:
+                self._last_seen[key] = float(last_seen)
+            self._changed[key] = int(version)
+            adopted += 1
+        self._version = max(self._version, int(payload.get("version", 0)))
+        self._total_updates = max(
+            self._total_updates, int(payload.get("total_updates", 0))
+        )
+        if self._self_floor is not None:
+            self._self_floor = max(
+                self._self_floor, int(payload.get("version", 0))
+            )
+        return adopted
+
+    def _merge_remote(self, payload: Dict) -> int:
+        """Last-version-wins adoption into one origin mirror; lock held."""
+        origin = payload["origin"]
+        entries_map = self._remote.setdefault(origin, {})
+        meta = self._remote_meta.setdefault(
+            origin, {"version": 0, "total_updates": 0}
+        )
+        adopted = 0
+        for raw_key, count, last_seen, version in payload.get("entries", ()):
+            key = tuple(raw_key) if isinstance(raw_key, list) else raw_key
+            current = entries_map.get(key)
+            if current is not None and current[2] >= version:
+                continue
+            entries_map[key] = (
+                float(count),
+                float(last_seen) if last_seen is not None else 0.0,
+                int(version),
+            )
+            adopted += 1
+        version = int(payload.get("version", 0))
+        if version > meta["version"]:
+            meta["version"] = version
+            meta["total_updates"] = int(payload.get("total_updates", 0))
+        return adopted
 
     # -- persistence --------------------------------------------------------
 
@@ -184,17 +387,43 @@ class UpdateRateTracker:
         """Serialise decayed counts and timing for a snapshot.
 
         Keys are stored as lists (JSON has no tuples) and restored as
-        tuples by :meth:`load_state`.
+        tuples by :meth:`load_state`. Entries carry their change
+        versions, and mirrored origins are saved alongside, so a
+        recovered shard re-enters gossip where it left off.
         """
         with self._lock:
             return {
                 "time_constant": self.time_constant,
                 "started": self._started,
                 "total_updates": self._total_updates,
+                "origin": self.origin,
+                "version": self._version,
                 "entries": [
-                    [list(key), count, self._last_seen.get(key)]
+                    [
+                        list(key) if isinstance(key, tuple) else key,
+                        count,
+                        self._last_seen.get(key),
+                        self._changed.get(key, 0),
+                    ]
                     for key, count in self._counts.items()
                 ],
+                "remote": {
+                    origin: {
+                        "version": int(meta["version"]),
+                        "total_updates": int(meta["total_updates"]),
+                        "entries": [
+                            [
+                                list(key) if isinstance(key, tuple) else key,
+                                count,
+                                last_seen,
+                                version,
+                            ]
+                            for key, (count, last_seen, version) in
+                            self._remote[origin].items()
+                        ],
+                    }
+                    for origin, meta in self._remote_meta.items()
+                },
             }
 
     def load_state(self, payload: Dict) -> None:
@@ -202,16 +431,50 @@ class UpdateRateTracker:
 
         Counts resume decaying from their saved ``last_seen`` times, so
         a tracker restored mid-experiment produces the same rates as one
-        that never stopped.
+        that never stopped. Accepts pre-cluster snapshots (3-element
+        entries, no versions) and stamps their entries at version 0. The
+        version counter jumps :data:`RECOVERY_VERSION_JUMP` past the
+        snapshot's high-water mark (see the popularity tracker).
         """
         with self._lock:
             self.time_constant = payload.get("time_constant")
             self._started = float(payload["started"])
             self._total_updates = int(payload["total_updates"])
+            self.origin = payload.get("origin", self.origin)
             self._counts = {}
             self._last_seen = {}
-            for raw_key, count, last_seen in payload["entries"]:
+            self._changed = {}
+            for entry in payload["entries"]:
+                raw_key, count, last_seen = entry[0], entry[1], entry[2]
+                version = int(entry[3]) if len(entry) > 3 else 0
                 key = tuple(raw_key) if isinstance(raw_key, list) else raw_key
                 self._counts[key] = float(count)
                 if last_seen is not None:
                     self._last_seen[key] = float(last_seen)
+                if version:
+                    self._changed[key] = version
+            self._version = (
+                int(payload.get("version", 0)) + self.RECOVERY_VERSION_JUMP
+            )
+            self._self_floor = int(payload.get("version", 0))
+            self._remote = {}
+            self._remote_meta = {}
+            for origin, mirror in payload.get("remote", {}).items():
+                self._remote[origin] = {
+                    (
+                        tuple(raw_key)
+                        if isinstance(raw_key, list)
+                        else raw_key
+                    ): (
+                        float(count),
+                        float(last_seen) if last_seen is not None else 0.0,
+                        int(version),
+                    )
+                    for raw_key, count, last_seen, version in mirror.get(
+                        "entries", ()
+                    )
+                }
+                self._remote_meta[origin] = {
+                    "version": int(mirror.get("version", 0)),
+                    "total_updates": int(mirror.get("total_updates", 0)),
+                }

@@ -28,6 +28,22 @@ class Catalog:
         self._tables: Dict[str, HeapTable] = {}
         self._indexes: Dict[str, Index] = {}
         self._indexes_by_table: Dict[str, List[Index]] = {}
+        self._rowid_offset = 0
+        self._rowid_stride = 1
+
+    def set_rowid_allocation(self, offset: int, stride: int) -> None:
+        """Configure strided rowid allocation for all (and future) tables.
+
+        Cluster shards call this once before serving traffic so each shard
+        hands out rowids from a disjoint residue class (see
+        :meth:`repro.engine.table.HeapTable.configure_rowids`). Applies to
+        every existing table and is inherited by tables created later —
+        including tables recreated during journal replay.
+        """
+        for table in self._tables.values():
+            table.configure_rowids(offset, stride)
+        self._rowid_offset = offset
+        self._rowid_stride = stride
 
     # -- tables ------------------------------------------------------------
 
@@ -41,6 +57,8 @@ class Catalog:
                 return self._tables[key]
             raise CatalogError(f"table {schema.name!r} already exists")
         table = HeapTable(schema)
+        if self._rowid_stride != 1:
+            table.configure_rowids(self._rowid_offset, self._rowid_stride)
         self._tables[key] = table
         self._indexes_by_table[key] = []
         return table

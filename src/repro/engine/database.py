@@ -156,6 +156,15 @@ class Database:
             epoch = max(epoch, self._journal.last_seq)
         self._mutation_epoch = epoch
 
+    def set_rowid_allocation(self, offset: int, stride: int) -> None:
+        """Allocate rowids from residue class ``offset + 1 (mod stride)``.
+
+        Cluster shards call this before replaying their journal so rowids
+        stay globally unique (see :meth:`Catalog.set_rowid_allocation`).
+        """
+        with self.write_txn():
+            self.catalog.set_rowid_allocation(offset, stride)
+
     # -- durability ----------------------------------------------------------
 
     @property

@@ -30,6 +30,7 @@ class HeapTable:
         self.schema = schema
         self._rows: Dict[int, Row] = {}
         self._next_rowid = 1
+        self._rowid_stride = 1
         self._pk_index: Optional[Dict[SQLValue, int]] = (
             {} if schema.primary_key else None
         )
@@ -64,6 +65,36 @@ class HeapTable:
     ) -> None:
         for observer in self._observers:
             observer(event, rowid, row, old)
+
+    # -- rowid allocation ---------------------------------------------------
+
+    def configure_rowids(self, offset: int, stride: int) -> None:
+        """Restrict new rowids to the residue class ``offset + 1 (mod stride)``.
+
+        Shard ``offset`` of an ``stride``-way cluster allocates rowids
+        ``offset + 1, offset + 1 + stride, offset + 1 + 2 * stride, ...`` so
+        rowids are globally unique across shards and a rowid's owner can be
+        recovered as ``(rowid - 1) % stride``. The defaults (offset 0,
+        stride 1) reproduce the classic ``1, 2, 3, ...`` sequence exactly.
+
+        ``_next_rowid`` is realigned *upward* onto the residue class, which
+        also repairs the allocator after a snapshot load (persistence sets
+        it to ``max + 1`` without stride awareness).
+        """
+        if stride < 1:
+            raise ValueError(f"rowid stride must be >= 1, got {stride}")
+        if not 0 <= offset < stride:
+            raise ValueError(
+                f"rowid offset must be in [0, {stride}), got {offset}"
+            )
+        self._rowid_stride = stride
+        base = offset + 1
+        if self._next_rowid <= base:
+            self._next_rowid = base
+        else:
+            over = (self._next_rowid - base) % stride
+            if over:
+                self._next_rowid += stride - over
 
     # -- basic accessors ----------------------------------------------------
 
@@ -107,7 +138,7 @@ class HeapTable:
                     f"duplicate primary key {key!r} in table {self.name!r}"
                 )
         rowid = self._next_rowid
-        self._next_rowid += 1
+        self._next_rowid += self._rowid_stride
         self._rows[rowid] = row
         if self._pk_index is not None:
             self._pk_index[row[self._pk_position]] = rowid
@@ -162,7 +193,13 @@ class HeapTable:
                 )
             self._pk_index[key] = rowid
         self._rows[rowid] = row
-        self._next_rowid = max(self._next_rowid, rowid + 1)
+        if rowid >= self._next_rowid:
+            # Stay on the allocator's residue class even when the restored
+            # rowid belongs to another shard's class (cross-shard merges).
+            stride = self._rowid_stride
+            self._next_rowid += (
+                (rowid + 1 - self._next_rowid + stride - 1) // stride
+            ) * stride
         self._notify("insert", rowid, row)
 
     # -- primary key fast path ---------------------------------------------

@@ -721,6 +721,13 @@ class DelayServer:
             ``retry_after``.
         overload_retry_after: the ``retry_after`` hint attached to
             queue/connection sheds.
+        cache_fast_path: serve result-cache hits directly on the I/O
+            loop, skipping the admission queue and worker-pool round
+            trip entirely. A hit is still authorized, priced, recorded,
+            and delayed exactly like a worker-served query (the guard's
+            ``cache_only`` probe runs the full accounting pipeline); a
+            miss falls through to normal admission having charged
+            nothing. Only applies when the guard has a result cache.
     """
 
     def __init__(
@@ -737,6 +744,7 @@ class DelayServer:
         max_connections: int = 128,
         max_parked: Optional[int] = None,
         overload_retry_after: float = 1.0,
+        cache_fast_path: bool = True,
     ):
         if read_timeout is not None and read_timeout <= 0:
             raise ConfigError(
@@ -786,6 +794,10 @@ class DelayServer:
         self.max_connections = max_connections
         self.max_parked = max_parked
         self.overload_retry_after = overload_retry_after
+        self.cache_fast_path = cache_fast_path
+        #: lifetime count of queries answered on the I/O loop straight
+        #: from the result cache (no worker-pool round trip).
+        self.cache_fast_path_hits = 0
         #: recent unexpected exceptions that escaped request handling,
         #: newest last, bounded so a long-running server cannot leak; a
         #: healthy server keeps this empty. The lifetime total is
@@ -885,6 +897,11 @@ class DelayServer:
             "server_uptime_seconds",
             "Seconds since the server last started serving",
         ).set_function(lambda: self.uptime_seconds)
+        registry.counter(
+            "server_cache_fast_path_hits_total",
+            "Queries answered on the I/O loop straight from the "
+            "result cache",
+        ).set_function(lambda: self.cache_fast_path_hits)
         registry.gauge(
             "repro_build_info",
             "Build information; value is always 1",
@@ -1118,6 +1135,15 @@ class DelayServer:
         deadline_at = None
         if payload.get("deadline_ms") is not None:
             deadline_at = received_at + payload["deadline_ms"] / 1000.0
+        if (
+            op == "query"
+            and self.cache_fast_path
+            and getattr(self.service.guard, "result_cache", None) is not None
+            and self._try_cache_fast_path(
+                conn, payload, received_at, deadline_at
+            )
+        ):
+            return
         priority = payload.get("priority", PRIORITY_DEFAULT)
         with self._seq_lock:
             self._request_seq += 1
@@ -1152,6 +1178,92 @@ class DelayServer:
                     detail=f"admission queue full ({self.max_queue})",
                 ),
             )
+
+    def _try_cache_fast_path(
+        self,
+        conn: _Connection,
+        payload: Dict,
+        received_at: float,
+        deadline_at: Optional[float],
+    ) -> bool:
+        """Answer a query from the result cache on the I/O loop.
+
+        Returns True when the request was fully answered here (a cache
+        hit, a denial, or a statement error) and False when it must
+        continue through the admission queue — a miss probe returns
+        before the authorize stage, so the account has not been
+        charged and the worker-pool run charges exactly once.
+        """
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql:
+            return False
+        guard = self.service.guard
+        try:
+            result = guard.execute(
+                sql,
+                identity=payload.get("identity"),
+                sleep=False,
+                deadline_at=deadline_at,
+                cache_only=True,
+            )
+        except AccessDenied as denied:
+            self.slo.note("denied")
+            if self.obs.enabled:
+                self._m_denied.inc(reason=denied.reason or "denied")
+            self._send_response(
+                conn,
+                {
+                    "ok": False,
+                    "error": str(denied),
+                    "reason": denied.reason,
+                    "retry_after": denied.retry_after,
+                },
+            )
+            return True
+        except (EngineError, DelayDefenseError) as error:
+            self.slo.note("denied")
+            self._send_response(conn, {"ok": False, "error": str(error)})
+            return True
+        if result is None:
+            return False
+        self.cache_fast_path_hits += 1
+        self.slo.note("ok", latency=time.monotonic() - received_at)
+        response = {
+            "ok": True,
+            "columns": result.result.columns,
+            "rows": [list(row) for row in result.result.rows],
+            "delay": result.delay,
+            "rowcount": result.result.rowcount,
+            "cached": True,
+        }
+        if result.delay <= 0:
+            self._send_response(conn, response)
+            return True
+        if hasattr(self.service.clock, "advance"):
+            sleep_start = time.perf_counter()
+            self.service.clock.sleep(result.delay)
+            if result.trace is not None:
+                result.trace.extend("sleep", sleep_start, time.perf_counter())
+            self._send_response(conn, response)
+            return True
+        with self._seq_lock:
+            self._request_seq += 1
+            seq = self._request_seq
+        request = _Request(
+            conn=conn,
+            payload=payload,
+            seq=seq,
+            received_at=received_at,
+            deadline_at=deadline_at,
+            priority=int(payload.get("priority", PRIORITY_DEFAULT)),
+        )
+        conn.busy = True
+        parked = self._sleeper.park(
+            request, response, result.delay, result.trace
+        )
+        if parked is not None:
+            self._send_response(conn, parked)
+        return True
 
     @staticmethod
     def _validate_request(payload: Dict) -> Optional[Dict]:
@@ -1531,6 +1643,11 @@ class DelayServer:
         with DelayClient._shared_breakers_lock:
             breaker_items = list(DelayClient._shared_breakers.items())
         queue_depth = len(self._queue)
+        cluster = (
+            self.service.cluster_health()
+            if hasattr(self.service, "cluster_health")
+            else None
+        )
         return {
             "ok": True,
             "status": "draining" if self._draining.is_set() else "serving",
@@ -1548,7 +1665,9 @@ class DelayServer:
                 "max_connections": self.max_connections,
                 "shed_counts": dict(self.shed_counts),
                 "handler_errors_total": self.handler_errors_total,
+                "cache_fast_path_hits": self.cache_fast_path_hits,
             },
+            "cluster": cluster,
             "slo": self.slo.report(),
             "durability": self.service.durability_health(),
             "staleness": guard.refresh_staleness_gauges(),

@@ -30,7 +30,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from .core.accounts import Account, AccountManager, AccountPolicy
 from .core.clock import Clock, VirtualClock
@@ -163,6 +163,7 @@ class DataProviderService:
         journal_path: Optional[Union[str, Path]] = None,
         journal_sync: bool = True,
         audit_path: Optional[Union[str, Path]] = None,
+        account_manager: Optional[AccountManager] = None,
     ):
         self.database = database if database is not None else Database()
         self.clock = clock if clock is not None else VirtualClock()
@@ -171,11 +172,17 @@ class DataProviderService:
             self.obs.audit = AuditLog(str(audit_path))
             if self.obs.enabled:
                 self.obs.audit.register_metrics(self.obs.registry)
-        self.accounts = (
-            AccountManager(policy=account_policy, clock=self.clock)
-            if account_policy is not None
-            else None
-        )
+        if account_manager is not None:
+            # Cluster shards share one AccountManager so per-identity
+            # budgets are global, not per-shard (otherwise an adversary
+            # gets M times the query budget by spraying shards).
+            self.accounts: Optional[AccountManager] = account_manager
+        else:
+            self.accounts = (
+                AccountManager(policy=account_policy, clock=self.clock)
+                if account_policy is not None
+                else None
+            )
         self.guard = DelayGuard(
             self.database,
             config=guard_config,
@@ -520,6 +527,8 @@ class DataProviderService:
         obs: Optional[Observability] = None,
         journal_sync: bool = True,
         audit_path: Optional[Union[str, Path]] = None,
+        account_manager: Optional[AccountManager] = None,
+        database_setup: Optional[Callable[[Database], None]] = None,
     ) -> "DataProviderService":
         """Rebuild a service after a crash: snapshot + journal replay.
 
@@ -531,6 +540,11 @@ class DataProviderService:
         re-attaches the journal so new commits keep being logged. Torn
         journal tails are truncated, not fatal. The result is stored in
         :attr:`last_recovery`.
+
+        ``database_setup``, when given, runs against the engine after the
+        snapshot is loaded but *before* journal replay — cluster shards
+        use it to configure strided rowid allocation so replayed INSERTs
+        re-allocate exactly the rowids they held before the crash.
         """
         started = time.perf_counter()
         payload = None
@@ -548,7 +562,10 @@ class DataProviderService:
             obs=obs,
             snapshot_path=snapshot_path,
             audit_path=audit_path,
+            account_manager=account_manager,
         )
+        if database_setup is not None:
+            database_setup(service.database)
         report = RecoveryReport()
         if payload is not None:
             service._load_state_payload(payload)

@@ -1,0 +1,116 @@
+"""Shard-spray attack: does scaling out weaken the §2 delay defense?
+
+The attack: an adversary extracts the whole database through a sharded
+deployment, hoping that M shards each seeing only 1/M of the request
+stream will under-estimate popularity denominators and under-price the
+delays — an M-fold discount on the total extraction time.
+
+The defense under test: anti-entropy gossip merges every shard's
+popularity mass, so each shard prices against the *global* request
+distribution and the total extraction delay stays at the single-node
+figure no matter how many shards serve it.
+
+Both claims are asserted: the gossiping 4-shard cluster charges within
+10% of the single node, and the *same* cluster with gossip disabled
+charges dramatically less — i.e. this test fails if gossip is turned
+off, which is exactly the point.
+"""
+
+import pytest
+
+from repro.cluster import ClusterService
+from repro.core import GuardConfig
+from repro.service import DataProviderService
+
+ROWS = 48
+WARM_PASSES = 6
+GOSSIP_EVERY = 50  # queries between anti-entropy rounds while warming
+
+# unit is chosen so a uniformly-warmed tuple prices at unit seconds
+# (N·popularity == 1), comfortably below the cap — a capped price would
+# mask the per-shard discount this attack exploits.
+CONFIG = dict(policy="popularity", cap=30.0, unit=10.0, decay_rate=1.0)
+
+
+def load_items(service) -> None:
+    service.query(
+        None, "CREATE TABLE items (id INTEGER PRIMARY KEY, payload TEXT)"
+    )
+    for i in range(1, ROWS + 1):
+        service.query(None, f"INSERT INTO items VALUES ({i}, 'p{i}')")
+
+
+def warm_uniformly(service, gossip=None) -> None:
+    """Uniform legitimate traffic: every tuple WARM_PASSES lookups."""
+    sent = 0
+    for _ in range(WARM_PASSES):
+        for i in range(1, ROWS + 1):
+            service.query(None, f"SELECT * FROM items WHERE id = {i}")
+            sent += 1
+            if gossip is not None and sent % GOSSIP_EVERY == 0:
+                gossip.run_round()
+    if gossip is not None:
+        gossip.run_round()
+
+
+def spray_extraction_delay(service) -> float:
+    """Total delay an adversary pays to read every tuple once.
+
+    ``record=False`` prices the state the warm phase built without the
+    spray itself shifting the distribution mid-measurement — the same
+    figure on every deployment shape.
+    """
+    return sum(
+        service.query(
+            None, f"SELECT * FROM items WHERE id = {i}", record=False
+        ).delay
+        for i in range(1, ROWS + 1)
+    )
+
+
+def build_cluster(**kwargs):
+    return ClusterService(
+        shard_count=4, guard_config=GuardConfig(**CONFIG), **kwargs
+    )
+
+
+class TestShardSpray:
+    def test_total_extraction_delay_does_not_drop_with_shards(self):
+        reference = DataProviderService(guard_config=GuardConfig(**CONFIG))
+        load_items(reference)
+        warm_uniformly(reference)
+        single_node = spray_extraction_delay(reference)
+        assert single_node > 0
+
+        cluster = build_cluster()
+        load_items(cluster)
+        warm_uniformly(cluster, gossip=cluster.gossip)
+        clustered = spray_extraction_delay(cluster)
+
+        # Four shards, one price: within 10% of the single node.
+        assert clustered == pytest.approx(single_node, rel=0.10)
+
+    def test_gossip_disabled_reopens_the_attack(self):
+        """The control: without anti-entropy the discount is real.
+
+        Each shard sees only ~1/M of the raw request total, inflates
+        every popularity estimate ~M-fold, and under-prices delays to
+        match — the 4-shard spray gets the database for well under the
+        single-node cost. Gossip is load-bearing, not decorative.
+        """
+        reference = DataProviderService(guard_config=GuardConfig(**CONFIG))
+        load_items(reference)
+        warm_uniformly(reference)
+        single_node = spray_extraction_delay(reference)
+
+        dark = build_cluster(gossip=False)
+        load_items(dark)
+        warm_uniformly(dark, gossip=None)
+        discounted = spray_extraction_delay(dark)
+
+        assert discounted < 0.6 * single_node, (
+            "gossip-off cluster charged like a single node; the attack "
+            "this defense exists for would never have worked"
+        )
+        # And the discount is roughly the shard count, as predicted.
+        assert discounted == pytest.approx(single_node / 4, rel=0.25)

@@ -1,0 +1,154 @@
+"""Fault-injection driver: kill one epoch of a 2-shard cluster.
+
+Run as a subprocess by ``test_recovery_sigkill.py``::
+
+    python cluster_crash_driver.py WORKDIR
+
+Builds a journalled 2-shard :class:`~repro.cluster.ClusterService` in
+WORKDIR and walks it through a deterministic timeline designed so the
+two shards checkpoint *at different moments*:
+
+- **phase A** — warm every tuple through the router, gossip, then
+  checkpoint shard 0 only.  Shard 0's snapshot freezes here.
+- **phase B** — journalled inserts plus more read traffic, gossip, then
+  checkpoint shard 1 only.  Shard 1's snapshot now carries a *mirror*
+  of shard 0's phase-B popularity that shard 0's own snapshot missed.
+- **phase C** — read traffic that is never checkpointed anywhere: the
+  honest cost of crashing, lost on every path.
+
+The driver then writes the expected post-recovery state (rows, per-key
+popularity as of the end of phase B, and shard 0's stale phase-A view)
+to ``WORKDIR/expected.json``, fsyncs it, drops a ``ready`` marker, and
+spins until the parent SIGKILLs it.  The parent recovers the cluster
+from WORKDIR and demands that one anti-entropy round restore shard 0's
+phase-B mass from shard 1's mirror.
+
+Counts use ``decay_rate=1.0`` (no per-request decay), so every expected
+value is exact — independent of the virtual clock's position.
+"""
+
+import json
+import os
+import sys
+import time
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..", "src"
+)
+sys.path.insert(0, REPO_SRC)
+
+from repro.cluster import ClusterService  # noqa: E402
+from repro.core.config import GuardConfig  # noqa: E402
+
+TABLE = "items"
+SEED_IDS = tuple(range(1, 21))
+PHASE_B_INSERT_IDS = (21, 22, 23, 24)
+
+
+def make_config() -> GuardConfig:
+    return GuardConfig(
+        policy="popularity", cap=10.0, unit=600.0, decay_rate=1.0
+    )
+
+
+def build_cluster(workdir) -> ClusterService:
+    return ClusterService(
+        shard_count=2, guard_config=make_config(), data_dir=workdir
+    )
+
+
+def run_setup(cluster: ClusterService) -> None:
+    cluster.query(
+        None,
+        f"CREATE TABLE {TABLE} (id INTEGER PRIMARY KEY, v TEXT)",
+    )
+    for i in SEED_IDS:
+        cluster.query(None, f"INSERT INTO {TABLE} VALUES ({i}, 'seed-{i}')")
+
+
+def run_phase_a(cluster: ClusterService) -> None:
+    for i in SEED_IDS:
+        cluster.query(None, f"SELECT * FROM {TABLE} WHERE id = {i}")
+
+
+def run_phase_b(cluster: ClusterService) -> None:
+    for i in PHASE_B_INSERT_IDS:
+        cluster.query(None, f"INSERT INTO {TABLE} VALUES ({i}, 'b-{i}')")
+    # Triple-weight reads on the odd ids: unambiguous phase-B mass on
+    # keys spread over both shards.
+    for _ in range(3):
+        for i in SEED_IDS[::2]:
+            cluster.query(None, f"SELECT * FROM {TABLE} WHERE id = {i}")
+
+
+def run_phase_c(cluster: ClusterService) -> None:
+    for _ in range(2):
+        cluster.query(None, f"SELECT COUNT(*) FROM {TABLE}")
+
+
+def key_counts(cluster: ClusterService) -> dict:
+    """``{rowid: merged popularity count}`` for every live tuple.
+
+    Keyed by rowid (stringified for JSON) because that is what the
+    trackers key on; the merged view on shard 0's guard is the
+    cluster's authoritative count once gossip has run.
+    """
+    result = cluster.query(
+        None, f"SELECT id FROM {TABLE}", record=False
+    ).result
+    popularity = cluster.guards[0].popularity
+    return {
+        str(rowid): popularity.present_count((TABLE, rowid))
+        for rowid in result.rowids
+    }
+
+
+def fsync_json(path: str, payload) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def main() -> None:
+    workdir = sys.argv[1]
+    cluster = build_cluster(workdir)
+
+    run_setup(cluster)
+    run_phase_a(cluster)
+    cluster.gossip.run_round()
+    cluster.shards[0].checkpoint()
+    phase_a_counts = key_counts(cluster)
+
+    run_phase_b(cluster)
+    cluster.gossip.run_round()
+    cluster.shards[1].checkpoint()
+    phase_b_counts = key_counts(cluster)
+
+    expected = {
+        "rows": sorted(
+            cluster.query(
+                None, f"SELECT id, v FROM {TABLE}", record=False
+            ).result.rows
+        ),
+        "phase_a_counts": phase_a_counts,
+        "phase_b_counts": phase_b_counts,
+        "total_requests": cluster.guards[0].popularity.total_requests,
+    }
+
+    run_phase_c(cluster)  # recorded only in memory: lost by design
+
+    fsync_json(os.path.join(workdir, "expected.json"), expected)
+    with open(os.path.join(workdir, "ready"), "w") as marker:
+        marker.write("ok")
+        marker.flush()
+        os.fsync(marker.fileno())
+
+    while True:  # hold state in memory until the parent SIGKILLs us
+        time.sleep(60)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Anti-entropy convergence, lag accounting, and the background loop."""
+
+import time
+
+from repro.cluster import ClusterService
+from repro.cluster.gossip import GossipCoordinator
+from repro.core import GuardConfig
+from repro.core.guard import DelayGuard
+from repro.engine.database import Database
+
+import pytest
+
+
+def build_guards(count=3, decay_rate=1.0):
+    guards = []
+    for index in range(count):
+        db = Database()
+        guards.append(
+            DelayGuard(
+                db,
+                config=GuardConfig(
+                    policy="popularity",
+                    cap=10.0,
+                    decay_rate=decay_rate,
+                    node_id=f"shard-{index}",
+                ),
+            )
+        )
+    return guards
+
+
+class TestRounds:
+    def test_round_converges_all_views(self):
+        guards = build_guards(3)
+        guards[0].popularity.record(("t", 1), weight=5.0)
+        guards[1].popularity.record(("t", 2), weight=3.0)
+        guards[2].popularity.record(("t", 3), weight=2.0)
+        gossip = GossipCoordinator(guards)
+        gossip.run_round()
+        for guard in guards:
+            assert guard.popularity.present_count(("t", 1)) == 5.0
+            assert guard.popularity.present_count(("t", 2)) == 3.0
+            assert guard.popularity.present_count(("t", 3)) == 2.0
+            assert guard.popularity.total_requests == 10.0
+        assert gossip.count_divergence() == pytest.approx(0.0)
+        assert gossip.shard_lags() == [0, 0, 0]
+
+    def test_repeated_rounds_are_idempotent(self):
+        guards = build_guards(2)
+        guards[0].popularity.record(("t", 1), weight=4.0)
+        gossip = GossipCoordinator(guards)
+        gossip.run_round()
+        first = guards[1].popularity.present_count(("t", 1))
+        for _ in range(5):
+            gossip.run_round()
+        assert guards[1].popularity.present_count(("t", 1)) == first
+        # A quiescent mesh exchanges nothing.
+        assert gossip.run_round() == 0
+
+    def test_lag_counts_unseen_entries(self):
+        guards = build_guards(2)
+        gossip = GossipCoordinator(guards)
+        gossip.run_round()
+        for key in range(5):
+            guards[0].popularity.record(("t", key))
+        lags = gossip.shard_lags()
+        assert lags[1] > 0  # shard 1 has not seen shard 0's writes
+        gossip.run_round()
+        assert gossip.shard_lags() == [0, 0]
+
+    def test_update_rates_gossip_too(self):
+        guards = build_guards(2)
+        guards[0].update_rates.record_update(("t", 1))
+        GossipCoordinator(guards).run_round()
+        assert guards[1].update_rates.rate(("t", 1)) > 0
+
+    def test_divergence_tracks_unconverged_mass(self):
+        guards = build_guards(2)
+        gossip = GossipCoordinator(guards)
+        guards[0].popularity.record(("t", 1), weight=8.0)
+        assert gossip.count_divergence() == pytest.approx(8.0)
+        gossip.run_round()
+        assert gossip.count_divergence() == pytest.approx(0.0)
+
+
+class TestBackgroundLoop:
+    def test_interval_loop_runs_rounds(self):
+        guards = build_guards(2)
+        guards[0].popularity.record(("t", 1))
+        gossip = GossipCoordinator(guards, interval=0.01)
+        gossip.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if guards[1].popularity.present_count(("t", 1)) > 0:
+                    break
+                time.sleep(0.01)
+            assert guards[1].popularity.present_count(("t", 1)) == 1.0
+            assert gossip.running
+        finally:
+            gossip.stop()
+        assert not gossip.running
+
+    def test_start_requires_interval(self):
+        gossip = GossipCoordinator(build_guards(2))
+        with pytest.raises(ValueError, match="interval"):
+            gossip.start()
+
+    def test_cluster_service_starts_and_stops_loop(self):
+        cluster = ClusterService(
+            shard_count=2,
+            guard_config=GuardConfig(policy="popularity", cap=10.0),
+            gossip_interval=0.01,
+        )
+        try:
+            assert cluster.gossip.running
+        finally:
+            cluster.close()
+        assert not cluster.gossip.running
+
+    def test_gossip_off_means_no_coordinator(self):
+        cluster = ClusterService(shard_count=2, gossip=False)
+        assert cluster.gossip is None
+        assert cluster.cluster_health()["gossip"] is None

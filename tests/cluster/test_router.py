@@ -1,0 +1,264 @@
+"""Router correctness: a 4-shard cluster answers like a single node.
+
+The reference for every assertion is an identical single-node
+:class:`DataProviderService` fed the same statements — the cluster
+refactor is correct exactly when no client can tell the two apart
+(results *and* prices).
+"""
+
+import pytest
+
+from repro.cluster import ClusterService
+from repro.core import AccountPolicy, GuardConfig
+from repro.core.errors import AccessDenied, ConfigError
+from repro.service import DataProviderService
+
+CONFIG = dict(policy="popularity", cap=30.0, unit=600.0)
+
+
+def build_pair(shard_count=4, **kwargs):
+    """A cluster and a single-node reference with the same config."""
+    config = GuardConfig(**CONFIG)
+    cluster = ClusterService(
+        shard_count=shard_count, guard_config=config, **kwargs
+    )
+    reference = DataProviderService(guard_config=GuardConfig(**CONFIG))
+    return cluster, reference
+
+
+def load_fixture(*services, identity=None):
+    statements = [
+        "CREATE TABLE users "
+        "(id INTEGER PRIMARY KEY, name TEXT, team INTEGER)",
+        "CREATE TABLE teams (id INTEGER PRIMARY KEY, label TEXT)",
+        "CREATE INDEX idx_team ON users (team)",
+    ]
+    statements += [
+        f"INSERT INTO users VALUES ({i}, 'user-{i}', {i % 5})"
+        for i in range(1, 41)
+    ]
+    statements += [
+        f"INSERT INTO teams VALUES ({i}, 'team-{i}')" for i in range(5)
+    ]
+    for service in services:
+        for sql in statements:
+            service.query(identity, sql)
+
+
+PARITY_QUERIES = [
+    "SELECT * FROM users WHERE id = 7",
+    "SELECT * FROM users WHERE id IN (3, 17, 29) ORDER BY id",
+    "SELECT * FROM users WHERE team = 2 ORDER BY id",
+    "SELECT COUNT(*), MIN(id), MAX(id) FROM users",
+    "SELECT team, COUNT(*) FROM users GROUP BY team ORDER BY team",
+    "SELECT t.label, COUNT(*) FROM users u "
+    "JOIN teams t ON u.team = t.id GROUP BY t.label ORDER BY t.label",
+    "SELECT name FROM users WHERE id > 30 ORDER BY id DESC LIMIT 4",
+    "SELECT DISTINCT team FROM users ORDER BY team",
+]
+
+
+class TestReadParity:
+    def test_cluster_matches_single_node(self):
+        cluster, reference = build_pair()
+        load_fixture(cluster, reference)
+        for sql in PARITY_QUERIES:
+            ours = cluster.query(None, sql, record=False)
+            theirs = reference.query(None, sql, record=False)
+            assert ours.result.rows == theirs.result.rows, sql
+            assert ours.result.columns == theirs.result.columns, sql
+
+    def test_rowids_are_globally_unique(self):
+        cluster, reference = build_pair()
+        load_fixture(cluster, reference)
+        result = cluster.query(
+            None, "SELECT * FROM users", record=False
+        ).result
+        assert len(set(result.rowids)) == len(result.rowids) == 40
+
+    def test_single_shard_fast_path_taken_for_pk_lookups(self):
+        cluster, _ = build_pair()
+        load_fixture(cluster)
+        before = cluster.router.single_shard_queries
+        cluster.query(None, "SELECT * FROM users WHERE id = 5")
+        assert cluster.router.single_shard_queries == before + 1
+
+    def test_scans_scatter(self):
+        cluster, _ = build_pair()
+        load_fixture(cluster)
+        before = cluster.router.scatter_queries
+        cluster.query(None, "SELECT COUNT(*) FROM users")
+        assert cluster.router.scatter_queries == before + 1
+
+
+class TestWriteParity:
+    def test_update_delete_match_single_node(self):
+        cluster, reference = build_pair()
+        load_fixture(cluster, reference)
+        for sql in (
+            "UPDATE users SET name = 'renamed' WHERE id = 3",
+            "UPDATE users SET name = 'bulk' WHERE team = 1",
+            "DELETE FROM users WHERE id = 17",
+            "DELETE FROM users WHERE team = 4",
+        ):
+            ours = cluster.query(None, sql)
+            theirs = reference.query(None, sql)
+            assert ours.result.rowcount == theirs.result.rowcount, sql
+        ours = cluster.query(
+            None, "SELECT * FROM users ORDER BY id", record=False
+        )
+        theirs = reference.query(
+            None, "SELECT * FROM users ORDER BY id", record=False
+        )
+        assert ours.result.rows == theirs.result.rows
+
+    def test_pk_update_routes_to_one_shard(self):
+        cluster, _ = build_pair()
+        load_fixture(cluster)
+        broadcasts = cluster.router.broadcast_statements
+        cluster.query(None, "UPDATE users SET name = 'x' WHERE id = 9")
+        assert cluster.router.broadcast_statements == broadcasts
+
+    def test_insert_places_rows_on_hash_owners(self):
+        cluster, _ = build_pair()
+        load_fixture(cluster)
+        shard_map = cluster.shard_map
+        for i in range(41, 61):
+            cluster.query(
+                None, f"INSERT INTO users VALUES ({i}, 'n{i}', 0)"
+            )
+            owner = shard_map.shard_for("users", i)
+            found = cluster.shards[owner].database.query(
+                f"SELECT id FROM users WHERE id = {i}"
+            )
+            assert found == [(i,)], f"row {i} not on shard {owner}"
+
+    def test_insert_requires_literal_rows(self):
+        cluster, _ = build_pair()
+        load_fixture(cluster)
+        with pytest.raises(ConfigError, match="literal"):
+            cluster.query(
+                None, "INSERT INTO users VALUES (99, 'x', 1 + 1)"
+            )
+
+    def test_insert_without_pk_column_rejected(self):
+        cluster, _ = build_pair()
+        load_fixture(cluster)
+        with pytest.raises(ConfigError, match="partition key"):
+            cluster.query(
+                None, "INSERT INTO users (name, team) VALUES ('x', 1)"
+            )
+
+    def test_transactions_rejected(self):
+        cluster, _ = build_pair()
+        with pytest.raises(ConfigError, match="transactions"):
+            cluster.query(None, "BEGIN")
+
+
+class TestGlobalPricing:
+    def test_population_is_global(self):
+        cluster, reference = build_pair()
+        load_fixture(cluster, reference)
+        assert cluster.population() == reference.guard.population() == 45
+        for guard in cluster.guards:
+            assert guard.population() == 45
+
+    def test_scatter_price_matches_single_node(self):
+        """A warmed scan costs the same on the cluster as on one node."""
+        cluster, reference = build_pair()
+        load_fixture(cluster, reference)
+        warm = "SELECT * FROM users WHERE team = 2"
+        for _ in range(10):
+            ours = cluster.query(None, warm)
+            theirs = reference.query(None, warm)
+        cluster.gossip.run_round()
+        ours = cluster.query(None, warm)
+        theirs = reference.query(None, warm)
+        assert ours.delay == pytest.approx(theirs.delay, rel=1e-9)
+
+    def test_fast_path_price_matches_after_gossip(self):
+        """Post-gossip, a pk lookup is priced like the single node."""
+        cluster, reference = build_pair()
+        load_fixture(cluster, reference)
+        lookup = "SELECT * FROM users WHERE id = 7"
+        for _ in range(8):
+            cluster.query(None, lookup)
+            reference.query(None, lookup)
+        cluster.gossip.run_round()
+        ours = cluster.query(None, lookup, record=False)
+        theirs = reference.query(None, lookup, record=False)
+        assert ours.delay == pytest.approx(theirs.delay, rel=1e-9)
+
+    def test_one_delay_never_per_shard_sums(self):
+        """The served delay equals the merged-set price, not M prices."""
+        cluster, reference = build_pair()
+        load_fixture(cluster, reference)
+        scan = "SELECT * FROM users"
+        ours = cluster.query(None, scan)
+        theirs = reference.query(None, scan)
+        assert ours.delay == pytest.approx(theirs.delay, rel=1e-9)
+        assert len(ours.per_tuple_delays) == 40
+
+    def test_scatter_reads_recorded_at_owners(self):
+        cluster, _ = build_pair()
+        load_fixture(cluster)
+        cluster.query(None, "SELECT * FROM users WHERE team = 0")
+        recorded = [
+            guard.popularity.store.items() for guard in cluster.guards
+        ]
+        owned = [
+            {(key[1] - 1) % 4 for key, _ in items} for items in recorded
+        ]
+        for shard, owners in enumerate(owned):
+            assert owners <= {shard}, (
+                f"shard {shard} recorded keys it does not own: {owners}"
+            )
+
+
+class TestAccounts:
+    def test_budgets_are_cluster_global(self):
+        config = GuardConfig(**CONFIG)
+        cluster = ClusterService(
+            shard_count=4,
+            guard_config=config,
+            account_policy=AccountPolicy(daily_query_quota=10),
+        )
+        cluster.register("loader")
+        cluster.query(
+            "loader",
+            "CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT)",
+        )
+        cluster.query(
+            "loader", "INSERT INTO users VALUES (1, 'a'), (2, 'b')"
+        )
+        cluster.register("alice")
+        # The quota is per identity across the WHOLE cluster: spraying
+        # the lookups over different shards buys no extra budget.
+        for i in range(10):
+            cluster.query(
+                "alice", f"SELECT * FROM users WHERE id = {1 + i % 2}"
+            )
+        with pytest.raises(AccessDenied):
+            cluster.query("alice", "SELECT * FROM users WHERE id = 2")
+        assert cluster.router.stats.denied == 1
+
+    def test_identity_required_when_accounts_on(self):
+        cluster = ClusterService(
+            shard_count=2,
+            guard_config=GuardConfig(**CONFIG),
+            account_policy=AccountPolicy(),
+        )
+        with pytest.raises(ConfigError, match="identity"):
+            cluster.query(None, "SELECT * FROM users WHERE id = 1")
+
+
+class TestDeadlines:
+    def test_scatter_deadline_abort(self):
+        cluster, _ = build_pair()
+        load_fixture(cluster)
+        with pytest.raises(AccessDenied, match="deadline"):
+            cluster.router.execute(
+                "SELECT * FROM users",
+                deadline_at=0.0,  # long past: any positive delay aborts
+            )
+        assert cluster.router.stats.deadline_aborts == 1

@@ -1,0 +1,168 @@
+"""Unit tests for the hash partitioner and rowid stride allocation."""
+
+import pytest
+
+from repro.cluster.sharding import (
+    ShardMap,
+    hash_partition,
+    pk_values_from_where,
+    render_insert_sql,
+)
+from repro.engine.database import Database
+from repro.engine.expr import Literal
+from repro.engine.parser.normalize import normalize_sql
+from repro.engine.parser.parser import parse_cached
+
+
+def where_of(sql: str):
+    return parse_cached(normalize_sql(sql)).where
+
+
+class TestHashPartition:
+    def test_deterministic_and_in_range(self):
+        for shards in (1, 2, 4, 7):
+            for value in (1, 2, "abc", 3.5, None, 10**12):
+                first = hash_partition("t", value, shards)
+                assert first == hash_partition("t", value, shards)
+                assert 0 <= first < shards
+
+    def test_case_insensitive_table(self):
+        assert hash_partition("Users", 7, 4) == hash_partition(
+            "users", 7, 4
+        )
+
+    def test_type_tagged(self):
+        """1 and "1" may collide by luck but must hash independently."""
+        spread = {
+            (hash_partition("t", i, 8), hash_partition("t", str(i), 8))
+            for i in range(64)
+        }
+        assert any(a != b for a, b in spread)
+
+    def test_values_spread_across_shards(self):
+        owners = {hash_partition("t", i, 4) for i in range(100)}
+        assert owners == {0, 1, 2, 3}
+
+
+class TestShardMap:
+    def test_owner_of_rowid_is_residue_class(self):
+        shard_map = ShardMap(4)
+        for shard in range(4):
+            for step in range(5):
+                rowid = (shard + 1) + step * 4
+                assert shard_map.owner_of_rowid(rowid) == shard
+
+    def test_split_rows_partitions_everything(self):
+        shard_map = ShardMap(3)
+        rows = [(i, f"v{i}") for i in range(30)]
+        grouped = shard_map.split_rows("t", 0, rows)
+        assert sum(len(group) for group in grouped) == 30
+        for shard, group in enumerate(grouped):
+            for row in group:
+                assert shard_map.shard_for("t", row[0]) == shard
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+
+
+class TestStridedRowids:
+    def test_default_allocation_unchanged(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (10), (11), (12)")
+        assert db.table("t").rowids() == [1, 2, 3]
+
+    def test_stride_allocates_residue_class(self):
+        db = Database()
+        db.set_rowid_allocation(2, 4)
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (10), (11), (12)")
+        assert db.table("t").rowids() == [3, 7, 11]
+
+    def test_stride_applies_to_existing_tables(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        db.set_rowid_allocation(1, 2)
+        db.execute("INSERT INTO t VALUES (1), (2)")
+        assert db.table("t").rowids() == [2, 4]
+
+    def test_restore_stays_on_residue_class(self):
+        """Restoring a foreign rowid must not derail the allocator."""
+        db = Database()
+        db.set_rowid_allocation(0, 4)
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        table = db.table("t")
+        with db.write_txn():
+            table.restore(7, (99,))  # shard 2's rowid, e.g. via merge
+        db.execute("INSERT INTO t VALUES (1)")
+        new_rowid = db.table("t").rowids()[-1]
+        assert new_rowid > 7
+        assert (new_rowid - 1) % 4 == 0
+
+
+class TestPkProbe:
+    def test_equality_proves_value(self):
+        where = where_of("SELECT * FROM t WHERE id = 7")
+        assert pk_values_from_where(where, "id", "t") == [7]
+
+    def test_reversed_equality(self):
+        where = where_of("SELECT * FROM t WHERE 7 = id")
+        assert pk_values_from_where(where, "id", "t") == [7]
+
+    def test_qualified_and_aliased(self):
+        where = where_of("SELECT * FROM t WHERE t.id = 3")
+        assert pk_values_from_where(where, "id", "t") == [3]
+        where = where_of("SELECT * FROM t u WHERE u.id = 3")
+        assert pk_values_from_where(where, "id", "t", alias="u") == [3]
+        assert pk_values_from_where(where, "id", "t") is None
+
+    def test_in_list(self):
+        where = where_of("SELECT * FROM t WHERE id IN (1, 2, 3)")
+        assert pk_values_from_where(where, "id", "t") == [1, 2, 3]
+
+    def test_conjunct_with_other_predicates(self):
+        where = where_of("SELECT * FROM t WHERE v > 5 AND id = 2")
+        assert pk_values_from_where(where, "id", "t") == [2]
+
+    def test_unprovable_shapes_return_none(self):
+        for sql in (
+            "SELECT * FROM t WHERE id > 7",
+            "SELECT * FROM t WHERE id = 1 OR id = 2",
+            "SELECT * FROM t WHERE id NOT IN (1, 2)",
+            "SELECT * FROM t WHERE id = v",
+            "SELECT * FROM t WHERE other = 7",
+        ):
+            assert pk_values_from_where(where_of(sql), "id", "t") is None
+
+    def test_no_pk_or_no_where(self):
+        where = where_of("SELECT * FROM t WHERE id = 7")
+        assert pk_values_from_where(where, None, "t") is None
+        assert pk_values_from_where(None, "id", "t") is None
+
+
+class TestRenderInsert:
+    def test_round_trips_through_the_engine(self):
+        db = Database()
+        db.execute(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT, x REAL)"
+        )
+        sql = render_insert_sql(
+            "t",
+            [],
+            [
+                (Literal(1), Literal("it's"), Literal(2.5)),
+                (Literal(2), Literal(None), Literal(-1.0)),
+            ],
+        )
+        db.execute(sql)
+        assert sorted(db.query("SELECT id, v, x FROM t")) == [
+            (1, "it's", 2.5),
+            (2, None, -1.0),
+        ]
+
+    def test_explicit_columns(self):
+        sql = render_insert_sql(
+            "t", ["id", "v"], [(Literal(1), Literal("a"))]
+        )
+        assert sql == "INSERT INTO t (id, v) VALUES (1, 'a')"
