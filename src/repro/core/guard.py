@@ -324,6 +324,19 @@ class DelayGuard:
             )
         if self.config.parse_cache_size is not None:
             configure_parse_cache(self.config.parse_cache_size)
+        if (
+            not self.config.vectorized_execution
+            or self.config.scan_workers > 0
+            or self.config.parallel_scan_min_rows != 4096
+        ):
+            # Only reconfigure when the config deviates from the engine
+            # defaults: a Database may be shared (tests, embedding) and
+            # rebuilding its executor resets the path counters.
+            self.database.configure_execution(
+                vectorized=self.config.vectorized_execution,
+                scan_workers=self.config.scan_workers,
+                parallel_scan_min_rows=self.config.parallel_scan_min_rows,
+            )
         if self.obs.enabled:
             self._register_metrics()
         self.pipeline = QueryPipeline(self)
@@ -373,6 +386,11 @@ class DelayGuard:
             "guard_shed_total",
             "Requests sacrificed by overload shedding",
         ).set_function(lambda: stats.shed)
+        self._m_execution_path = registry.counter(
+            "guard_execution_path_total",
+            "Statements served per engine execution path",
+            ("path",),
+        )
         self._m_identity_delay = registry.counter(
             "guard_identity_delay_seconds_total",
             "Delay charged per identity (seconds); extraction-detection "

@@ -213,6 +213,8 @@ class CacheLookupStage(Stage):
         if frozen is not None:
             ctx.result = frozen.thaw()
             ctx.cache_hit = True
+            if guard.obs.enabled:
+                guard._m_execution_path.inc(path="cached")
 
 
 class ExecuteStage(Stage):
@@ -242,6 +244,10 @@ class ExecuteStage(Stage):
         ctx.result = self.guard.database.execute(
             ctx.statement, source=source, tracked=True
         )
+        if self.guard.obs.enabled:
+            path = getattr(ctx.result, "execution_path", None)
+            if path:
+                self.guard._m_execution_path.inc(path=path)
 
 
 class CacheStoreStage(Stage):

@@ -92,6 +92,7 @@ class CachedResult:
             table=self.table,
             rowcount=self.rowcount,
             statement_kind="select",
+            execution_path="cached",
         )
 
 

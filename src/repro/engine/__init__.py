@@ -51,6 +51,7 @@ from .schema import Column, TableSchema, schema
 from .table import HeapTable
 from .transactions import TransactionError, UndoLog
 from .types import DataType, SQLValue
+from .vectorized import ScanWorkerPool, VectorizedExecutor
 
 __all__ = [
     "AccessPath",
@@ -77,10 +78,12 @@ __all__ = [
     "ReplayedEntry",
     "ResultSet",
     "SQLValue",
+    "ScanWorkerPool",
     "TableSchema",
     "TransactionError",
     "TypeMismatchError",
     "UndoLog",
+    "VectorizedExecutor",
     "WriteAheadJournal",
     "atomic_write_json",
     "candidate_rowids",

@@ -81,6 +81,10 @@ class ResultSet:
         table: name of the driving base table, if any.
         rowcount: rows affected, for DML statements.
         statement_kind: "select" | "insert" | "update" | "delete" | "ddl".
+        execution_path: which engine path produced this result —
+            "classic" (row-at-a-time), "vectorized", "parallel"
+            (vectorized + scan workers), or "cached" (thawed from the
+            result cache). Observability only; never affects content.
     """
 
     columns: List[str] = field(default_factory=list)
@@ -90,6 +94,7 @@ class ResultSet:
     table: Optional[str] = None
     rowcount: int = 0
     statement_kind: str = "select"
+    execution_path: str = "classic"
 
     def scalar(self) -> SQLValue:
         """Return the single value of a 1×1 result (or raise)."""
@@ -537,15 +542,30 @@ class Executor:
         for item in statement.items:
             columns.append(item.alias or self._aggregate_label(item))
             values.append(self._compute_aggregate(item, contexts))
+        rows = [tuple(values)]
+        rowids = [
+            rowid for touched, _ in contexts for _name, rowid in touched[:1]
+        ]
+        touched = [pair for group, _ in contexts for pair in group]
+        # LIMIT/OFFSET must trim rowids/touched consistently with rows
+        # (the plain and grouped paths already do): an aggregate row
+        # dropped by OFFSET or LIMIT 0 was never served, so its
+        # contributing tuples must not be charged or recorded.
+        offset = statement.offset or 0
+        if offset:
+            rows = rows[offset:]
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        if not rows:
+            rowids = []
+            touched = []
         return ResultSet(
             columns=columns,
-            rows=[tuple(values)],
-            rowids=[
-                rowid for touched, _ in contexts for _name, rowid in touched[:1]
-            ],
-            touched=[pair for touched, _ in contexts for pair in touched],
+            rows=rows,
+            rowids=rowids,
+            touched=touched,
             table=statement.table,
-            rowcount=1,
+            rowcount=len(rows),
             statement_kind="select",
         )
 
@@ -670,8 +690,21 @@ class Executor:
         observed = [
             item.expression.evaluate(context) for _, context in contexts
         ]
+        return Executor._aggregate_of_values(func, item.distinct, observed)
+
+    @staticmethod
+    def _aggregate_of_values(
+        func: str, distinct: bool, observed: List[SQLValue]
+    ) -> SQLValue:
+        """Aggregate already-evaluated values.
+
+        Shared by the classic and vectorized executors so both paths
+        aggregate bit-identically — including Python's sequential
+        ``sum`` order for SUM/AVG (numpy's pairwise summation rounds
+        differently and must never be substituted here).
+        """
         observed = [value for value in observed if value is not None]
-        if item.distinct:
+        if distinct:
             unique: List[SQLValue] = []
             seen = set()
             for value in observed:

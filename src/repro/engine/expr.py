@@ -76,11 +76,20 @@ def _is_null(value: SQLValue) -> bool:
     return value is None
 
 
-def _numeric_pair(left: SQLValue, right: SQLValue, op: str) -> Tuple[float, float]:
+def _numeric_pair(
+    left: SQLValue, right: SQLValue, op: str
+) -> Tuple[SQLValue, SQLValue]:
+    """Require two non-bool numbers and return them *unconverted*.
+
+    Ints stay ints: Python compares and combines int/float operands
+    exactly, while a float64 round trip would silently collapse
+    integers beyond 2**53 — corrupting equality on large keys and
+    therefore ``touched`` sets and delay pricing.
+    """
     for side in (left, right):
         if isinstance(side, bool) or not isinstance(side, (int, float)):
             raise ExecutionError(f"operator {op!r} expects numbers, got {side!r}")
-    return left, right  # type: ignore[return-value]
+    return left, right
 
 
 def _compare(op: str, left: SQLValue, right: SQLValue) -> Optional[bool]:
@@ -154,8 +163,17 @@ class Arithmetic(Expression):
         if self.op == "/":
             if rnum == 0:
                 raise ExecutionError("division by zero")
-            result = lnum / rnum
-            return result
+            if (
+                isinstance(lnum, int)
+                and isinstance(rnum, int)
+                and lnum % rnum == 0
+            ):
+                # Evenly-divisible ints divide exactly: true division
+                # would produce a float and collapse quotients beyond
+                # 2**53 (e.g. ``WHERE id / 1 = <huge key>`` matching
+                # the wrong rows and mispricing them).
+                return lnum // rnum
+            return lnum / rnum
         if self.op == "%":
             if rnum == 0:
                 raise ExecutionError("modulo by zero")

@@ -31,6 +31,15 @@ class HeapTable:
         self._rows: Dict[int, Row] = {}
         self._next_rowid = 1
         self._rowid_stride = 1
+        #: monotonic mutation counter: bumped on every insert/update/
+        #: delete/restore. The vectorized executor keys its cached
+        #: columnar snapshot on it, and fork-based scan workers verify
+        #: it per task so a stale worker can never answer for a table
+        #: that moved underneath it.
+        self._version = 0
+        #: cached columnar snapshot (built by
+        #: :meth:`column_batch`), valid while ``_version`` matches.
+        self._column_batch = None
         self._pk_index: Optional[Dict[SQLValue, int]] = (
             {} if schema.primary_key else None
         )
@@ -63,6 +72,8 @@ class HeapTable:
     def _notify(
         self, event: str, rowid: int, row: Row, old: Optional[Row] = None
     ) -> None:
+        self._version += 1
+        self._column_batch = None
         for observer in self._observers:
             observer(event, rowid, row, old)
 
@@ -201,6 +212,30 @@ class HeapTable:
                 (rowid + 1 - self._next_rowid + stride - 1) // stride
             ) * stride
         self._notify("insert", rowid, row)
+
+    # -- columnar access -----------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (one bump per row mutation)."""
+        return self._version
+
+    def column_batch(self):
+        """The columnar snapshot of this table at its current version.
+
+        Built lazily and cached until the next mutation. Reads under
+        the engine's shared lock may race to build it; the builders
+        produce identical snapshots from identical state, so the last
+        assignment winning is benign.
+        """
+        batch = self._column_batch
+        if batch is not None and batch.version == self._version:
+            return batch
+        from .vectorized.columns import ColumnBatch
+
+        batch = ColumnBatch.from_table(self)
+        self._column_batch = batch
+        return batch
 
     # -- primary key fast path ---------------------------------------------
 

@@ -1,0 +1,37 @@
+"""Vectorized columnar execution.
+
+The classic executor evaluates statements row-at-a-time over per-row
+dict contexts. This package provides a columnar path: tables expose
+cached column arrays (:mod:`.columns`), predicates compile from the
+``expr`` AST into batch evaluators over those arrays (:mod:`.compiler`),
+and a :class:`~repro.engine.vectorized.executor.VectorizedExecutor`
+runs SELECTs end to end over positions instead of dicts — hash joins
+and grouped aggregation included — falling back to the classic
+executor for any statement shape it does not cover.
+
+The invariant that makes the fallback (and the whole path) safe is
+**bit-identical output**: ``ResultSet.rows``, ``rowids``, and
+``touched`` must equal the classic executor's exactly, including
+ordering, because the delay guard prices queries, maintains popularity
+counts, and keys its result cache off them. The differential harness
+in ``tests/engine/test_vectorized_equivalence.py`` enforces this over
+a statement corpus plus seeded fuzzing.
+
+:mod:`.workers` layers a fork-based read-only scan-worker pool on top
+so large full scans use every core while DML stays on the
+single-writer path.
+"""
+
+from .columns import ColumnBatch, HAVE_NUMPY
+from .compiler import NotVectorizable, compile_filter
+from .executor import VectorizedExecutor
+from .workers import ScanWorkerPool
+
+__all__ = [
+    "ColumnBatch",
+    "HAVE_NUMPY",
+    "NotVectorizable",
+    "compile_filter",
+    "VectorizedExecutor",
+    "ScanWorkerPool",
+]

@@ -1,0 +1,187 @@
+"""Columnar table snapshots.
+
+A :class:`ColumnBatch` is an immutable column-major view of one
+:class:`~repro.engine.table.HeapTable` at one table version: a rowid
+list in scan (insertion) order plus one Python value list per column,
+with optional numpy acceleration arrays built lazily per column.
+
+Numpy arrays are only ever used where they are provably exact:
+
+* INTEGER columns materialise an ``int64`` array (NULLs as 0 plus a
+  separate null mask) **only when every value fits int64** — Python
+  ints are unbounded, and silently wrapping one would corrupt
+  comparisons and therefore ``touched`` and delay pricing. Columns
+  holding a value outside int64 simply report no numpy array and the
+  compiler keeps them on the exact object tier.
+* FLOAT columns are ``float64`` exactly (the schema layer already
+  coerces stored values to Python floats).
+* BOOLEAN columns are ``bool``.
+* TEXT columns never get a numpy array; string predicates run on the
+  object tier.
+
+The snapshot holds references to the same value objects the heap does
+(no deep copy), so building one is O(rows) pointer work, amortised by
+the per-version cache on :meth:`HeapTable.column_batch`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..types import DataType, SQLValue
+
+try:  # pragma: no cover - exercised implicitly by every test run
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
+    HAVE_NUMPY = False
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+class ColumnBatch:
+    """Column-major snapshot of a heap table at one version.
+
+    Attributes:
+        version: the table version this snapshot reflects.
+        table_key: lower-cased table name (the ``touched`` key).
+        rowids: rowids in scan order.
+        columns: one value list per column, parallel to ``rowids``.
+        column_names: lower-cased column names, in schema order.
+        dtypes: each column's :class:`~repro.engine.types.DataType`.
+    """
+
+    __slots__ = (
+        "version",
+        "table_key",
+        "rowids",
+        "columns",
+        "column_names",
+        "dtypes",
+        "_position",
+        "_np_cache",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        table_key: str,
+        rowids: List[int],
+        columns: List[List[SQLValue]],
+        column_names: List[str],
+        dtypes: List[DataType],
+    ):
+        self.version = version
+        self.table_key = table_key
+        self.rowids = rowids
+        self.columns = columns
+        self.column_names = column_names
+        self.dtypes = dtypes
+        self._position: Optional[Dict[int, int]] = None
+        #: column index -> (values array, null mask) or (None, None)
+        #: when the column cannot be represented exactly.
+        self._np_cache: Dict[int, Tuple[object, object]] = {}
+
+    @classmethod
+    def from_table(cls, table) -> "ColumnBatch":
+        schema = table.schema
+        names = [column.name.lower() for column in schema.columns]
+        dtypes = [column.dtype for column in schema.columns]
+        rowids: List[int] = []
+        columns: List[List[SQLValue]] = [[] for _ in names]
+        appenders = [column.append for column in columns]
+        for rowid, row in table.scan():
+            rowids.append(rowid)
+            for append, value in zip(appenders, row):
+                append(value)
+        return cls(
+            version=table.version,
+            table_key=table.name.lower(),
+            rowids=rowids,
+            columns=columns,
+            column_names=names,
+            dtypes=dtypes,
+        )
+
+    def __len__(self) -> int:
+        return len(self.rowids)
+
+    def position_of(self, rowid: int) -> Optional[int]:
+        """Scan-order position of ``rowid`` in this snapshot, if present."""
+        positions = self._position
+        if positions is None:
+            positions = {rid: i for i, rid in enumerate(self.rowids)}
+            self._position = positions
+        return positions.get(rowid)
+
+    def numpy_column(self, index: int):
+        """``(values, null_mask)`` numpy arrays for one column, or
+        ``(None, None)`` when no exact representation exists.
+
+        Lazily built and cached per column. Racing readers may build
+        the same arrays twice; the cache assignment is atomic and the
+        results identical, so the race is benign.
+        """
+        cached = self._np_cache.get(index)
+        if cached is not None:
+            return cached
+        built = self._build_numpy(index)
+        self._np_cache[index] = built
+        return built
+
+    def _build_numpy(self, index: int):
+        if not HAVE_NUMPY:
+            return (None, None)
+        dtype = self.dtypes[index]
+        values = self.columns[index]
+        if dtype is DataType.INTEGER:
+            nulls = _np.fromiter(
+                (value is None for value in values),
+                dtype=bool,
+                count=len(values),
+            )
+            filled = []
+            for value in values:
+                if value is None:
+                    filled.append(0)
+                elif _INT64_MIN <= value <= _INT64_MAX:
+                    filled.append(value)
+                else:
+                    # A value outside int64 cannot be held exactly:
+                    # this column stays on the object tier.
+                    return (None, None)
+            return (_np.array(filled, dtype=_np.int64), nulls)
+        if dtype is DataType.FLOAT:
+            nulls = _np.fromiter(
+                (value is None for value in values),
+                dtype=bool,
+                count=len(values),
+            )
+            filled = _np.fromiter(
+                (0.0 if value is None else value for value in values),
+                dtype=_np.float64,
+                count=len(values),
+            )
+            return (filled, nulls)
+        if dtype is DataType.BOOLEAN:
+            nulls = _np.fromiter(
+                (value is None for value in values),
+                dtype=bool,
+                count=len(values),
+            )
+            filled = _np.fromiter(
+                (bool(value) for value in values),
+                dtype=bool,
+                count=len(values),
+            )
+            return (filled, nulls)
+        return (None, None)  # TEXT: object tier only
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnBatch({self.table_key!r}, rows={len(self.rowids)}, "
+            f"version={self.version})"
+        )

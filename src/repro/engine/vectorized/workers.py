@@ -1,0 +1,289 @@
+"""Fork-based read-only scan workers.
+
+A :class:`ScanWorkerPool` forks worker processes that each hold a
+copy-on-write snapshot of the catalog (fork semantics: the child sees
+the parent's heap exactly as it was at fork time, for free). The
+parent hands each worker a contiguous chunk of a full scan —
+``(table, label, version, where, start, end)`` — and the worker sends
+back the *matching positions* only, so pipe traffic is proportional to
+selectivity, not table size. Chunks are reassembled in order, which
+reproduces the sequential scan's position order exactly.
+
+Safety argument (why stale answers are impossible):
+
+* Workers are forked from the parent and never see later mutations.
+  The parent tracks the epoch it forked at and **respawns the pool**
+  whenever its epoch source says the database changed
+  (:meth:`ScanWorkerPool.ensure_fresh`, called before every dispatch).
+* Belt and braces: every task carries the parent's current
+  ``HeapTable.version`` and the worker compares it against its own
+  snapshot's version, answering ``stale`` on any mismatch. The parent
+  treats *any* non-ok reply — stale, unsupported, error, or a broken
+  pipe — as "compute locally", so the pool can fail, lag, or die
+  without ever changing a query's result.
+* Workers only ever run the read-only filter path (scan + predicate);
+  DML never reaches them, and their copy-on-write pages are discarded
+  on exit.
+
+The pool is an *optimisation* layered on the vectorized executor: the
+local path computes the identical position list, so every fallback is
+bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import warnings
+from typing import Callable, List, Optional
+
+from .columns import ColumnBatch  # noqa: F401  (re-exported for workers)
+from .compiler import NotVectorizable, SelView, SingleTableResolver, compile_filter
+
+try:  # pragma: no cover - exercised on posix CI
+    from multiprocessing.connection import Pipe
+
+    HAVE_FORK = hasattr(os, "fork")
+except ImportError:  # pragma: no cover - non-posix
+    Pipe = None
+    HAVE_FORK = False
+
+
+def available_cores() -> int:
+    """Best-effort usable core count (shared with the benchmarks)."""
+    try:
+        return len(os.sched_getaffinity(0))  # type: ignore[attr-defined]
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+def _worker_main(catalog, connection) -> None:
+    """Worker loop: receive filter tasks, answer with match positions."""
+    while True:
+        try:
+            task = connection.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        table_name, label, version, where, start, end = task
+        try:
+            table = catalog.table(table_name)
+            if table.version != version:
+                connection.send(("stale", None))
+                continue
+            batch = table.column_batch()
+            positions = list(range(start, min(end, len(batch))))
+            batch_filter = compile_filter(
+                where, SingleTableResolver(batch, label)
+            )
+            if batch_filter is None:
+                connection.send(("ok", positions))
+                continue
+            mask = batch_filter(SelView(batch, positions))
+            hits = mask.true_positions()
+            connection.send(("ok", [positions[i] for i in hits]))
+        except NotVectorizable:
+            connection.send(("unsupported", None))
+        except BaseException as error:  # noqa: BLE001 - isolate the parent
+            try:
+                connection.send(("error", repr(error)))
+            except (OSError, ValueError):
+                return
+
+
+class ScanWorkerPool:
+    """A pool of forked read-only scan workers over one catalog.
+
+    Args:
+        catalog: the engine catalog; workers snapshot it at fork time.
+        workers: process count (values < 1 are clamped to 1).
+        epoch: callable returning a monotonic mutation counter for the
+            whole database (e.g. ``lambda: db.mutation_epoch``). The
+            pool respawns whenever it changes. Defaults to a constant,
+            which is only sound for immutable workloads — pass a real
+            epoch source for anything that mutates.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        workers: int = 2,
+        epoch: Optional[Callable[[], int]] = None,
+    ):
+        self.catalog = catalog
+        self.workers = max(1, int(workers))
+        self._epoch = epoch if epoch is not None else (lambda: 0)
+        self._pids: List[int] = []
+        self._connections: List[object] = []
+        self._fork_epoch: Optional[int] = None
+        self._broken = False
+        #: dispatch statistics (parallel scans served / local fallbacks).
+        self.served = 0
+        self.fallbacks = 0
+        self.respawns = 0
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._pids) and not self._broken
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> bool:
+        """Fork the workers; returns False where fork is unavailable.
+
+        Workers are forked with raw ``os.fork()``, NOT
+        ``multiprocessing.Process``: the mp child bootstrap calls
+        ``sys.stdin.close()``, and a deployment whose main thread is
+        blocked reading stdin (the server recipe, ``procserver``)
+        holds the stdin buffer lock across the fork — the child
+        deadlocks on it before ever reaching worker code. The raw
+        child runs nothing but the pipe loop and leaves through
+        ``os._exit``, touching no inherited stdio or interpreter
+        teardown state.
+        """
+        if not HAVE_FORK:
+            return False
+        self.close()
+        self._broken = False
+        self._fork_epoch = self._epoch()
+        for _ in range(self.workers):
+            parent_end, child_end = Pipe(duplex=True)
+            with warnings.catch_warnings():
+                # 3.12+ warns on fork-with-threads; the worker's code
+                # path is audited fork-safe (pipe + catalog reads only)
+                warnings.simplefilter("ignore", DeprecationWarning)
+                pid = os.fork()
+            if pid == 0:  # pragma: no cover - child process
+                status = 0
+                try:
+                    parent_end.close()
+                    # earlier siblings' parent ends were inherited too;
+                    # close them so their EOF semantics stay crisp
+                    for connection in self._connections:
+                        try:
+                            connection.close()
+                        except OSError:
+                            pass
+                    _worker_main(self.catalog, child_end)
+                except BaseException:  # noqa: BLE001 - never unwind parent state
+                    status = 1
+                finally:
+                    os._exit(status)
+            child_end.close()
+            self._pids.append(pid)
+            self._connections.append(parent_end)
+        return True
+
+    def ensure_fresh(self) -> bool:
+        """Respawn if the database mutated since fork; False if unusable."""
+        if not HAVE_FORK:
+            return False
+        if self._broken or not self._pids:
+            return self.start()
+        if self._epoch() != self._fork_epoch:
+            self.respawns += 1
+            return self.start()
+        return True
+
+    @staticmethod
+    def _reap(pid: int, timeout: float) -> bool:
+        """Wait for ``pid`` to exit, up to ``timeout`` seconds."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                done, _status = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                return True
+            if done == pid:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
+
+    def close(self) -> None:
+        """Stop all workers (idempotent)."""
+        for connection in self._connections:
+            try:
+                connection.send(None)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for pid in self._pids:
+            if not self._reap(pid, timeout=2.0):  # pragma: no cover - stuck
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (OSError, ProcessLookupError):
+                    pass
+                self._reap(pid, timeout=1.0)
+        self._pids = []
+        self._connections = []
+        self._fork_epoch = None
+
+    def __enter__(self) -> "ScanWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def filter_positions(
+        self, table, label: str, where, total: int
+    ) -> Optional[List[int]]:
+        """Evaluate ``where`` over a full scan of ``table`` in parallel.
+
+        Returns ascending match positions, or None when the pool cannot
+        serve the task (not running, stale workers, unsupported
+        predicate, any worker error) — the caller then computes the
+        identical answer locally.
+        """
+        if total <= 0:
+            return []
+        if not self.ensure_fresh():
+            self.fallbacks += 1
+            return None
+        count = min(self.workers, total)
+        chunk = (total + count - 1) // count
+        version = table.version
+        tasks = []
+        for worker_index in range(count):
+            start = worker_index * chunk
+            end = min(start + chunk, total)
+            tasks.append((start, end))
+        try:
+            for (start, end), connection in zip(tasks, self._connections):
+                connection.send(
+                    (table.name, label, version, where, start, end)
+                )
+            # Drain every reply even after a failure: leaving one queued
+            # would desynchronise the next dispatch on that pipe.
+            chunks: List[Optional[List[int]]] = []
+            failed = False
+            for _task, connection in zip(tasks, self._connections):
+                status, payload = connection.recv()
+                if status != "ok":
+                    failed = True
+                    if status == "stale":  # refork before the next scan
+                        self._broken = True
+                    chunks.append(None)
+                else:
+                    chunks.append(payload)
+        except (OSError, EOFError, ValueError, BrokenPipeError):
+            self._broken = True
+            self.fallbacks += 1
+            return None
+        if failed:
+            self.fallbacks += 1
+            return None
+        self.served += 1
+        positions: List[int] = []
+        for part in chunks:
+            positions.extend(part)
+        return positions

@@ -1,0 +1,217 @@
+"""Unit tests for the vectorized executor and its scan worker pool.
+
+The equivalence harness (``test_vectorized_equivalence``) proves
+*what* the vectorized path returns; these tests pin down *how* it is
+selected — dispatch, per-statement fallback, configuration knobs,
+worker-pool lifecycle — and the two hot-path bugs the refactor fixed
+(integer precision above 2**53, aggregate LIMIT/OFFSET).
+"""
+
+import pytest
+
+from repro.core.config import GuardConfig
+from repro.core.errors import ConfigError
+from repro.engine import Database, Executor, ScanWorkerPool, VectorizedExecutor
+from repro.engine.vectorized.workers import HAVE_FORK
+
+BIG = 2**53
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, v INTEGER, "
+        "s FLOAT)"
+    )
+    database.insert_rows(
+        "t",
+        [(i, i % 3, BIG + i, float(i)) for i in range(1, 41)],
+    )
+    yield database
+    database.close()
+
+
+class TestDispatch:
+    def test_vectorized_is_the_default_executor(self, db):
+        assert isinstance(db.executor, VectorizedExecutor)
+
+    def test_vectorizable_select_marked_and_counted(self, db):
+        result = db.execute("SELECT id FROM t WHERE grp = 1")
+        assert result.execution_path == "vectorized"
+        assert db.execution_path_counts()["vectorized"] == 1
+        assert db.execution_path_counts()["classic"] == 0
+
+    def test_unvectorizable_statement_falls_back_per_statement(self, db):
+        # A non-equi join has no batch form; the statement (and only
+        # the statement) drops to the classic row-at-a-time path.
+        result = db.execute(
+            "SELECT a.id FROM t a JOIN t b ON a.id < b.id WHERE b.id = 2"
+        )
+        assert result.execution_path == "classic"
+        counts = db.execution_path_counts()
+        assert counts["classic"] == 1
+        db.execute("SELECT id FROM t WHERE grp = 2")
+        assert db.execution_path_counts()["vectorized"] == 1
+
+    def test_configure_execution_pins_classic(self, db):
+        db.configure_execution(vectorized=False)
+        assert type(db.executor) is Executor
+        result = db.execute("SELECT id FROM t WHERE grp = 1")
+        assert result.execution_path == "classic"
+
+    def test_dml_unaffected_by_executor_choice(self, db):
+        db.execute("UPDATE t SET grp = 9 WHERE id = 1")
+        assert db.query("SELECT grp FROM t WHERE id = 1") == [(9,)]
+        db.execute("DELETE FROM t WHERE id = 2")
+        assert db.query("SELECT id FROM t WHERE id = 2") == []
+
+
+class TestPrecisionRegressions:
+    """The pricing-precision bugs the columnar work exposed."""
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_big_int_comparisons_never_collapse_to_float(self, vectorized):
+        database = Database()
+        database.configure_execution(vectorized=vectorized)
+        database.execute("CREATE TABLE b (k INTEGER PRIMARY KEY, v INTEGER)")
+        database.insert_rows("b", [(1, BIG), (2, BIG + 1), (3, BIG + 2)])
+        # float64 cannot tell BIG from BIG + 1; exact ints must.
+        assert database.query(
+            f"SELECT k FROM b WHERE v = {BIG + 1}"
+        ) == [(2,)]
+        assert database.query(
+            f"SELECT k FROM b WHERE v > {BIG}"
+        ) == [(2,), (3,)]
+        assert database.query(
+            f"SELECT k FROM b WHERE v BETWEEN {BIG + 1} AND {BIG + 1}"
+        ) == [(2,)]
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_integer_division_stays_exact_above_2_53(self, vectorized):
+        database = Database()
+        database.configure_execution(vectorized=vectorized)
+        database.execute("CREATE TABLE b (k INTEGER PRIMARY KEY, v INTEGER)")
+        big_even = 2 * (BIG + 1)
+        database.insert_rows("b", [(1, big_even)])
+        # Evenly-divisible int/int stays an exact int: float division
+        # would return 2.0 * (BIG + 1) rounded to a multiple of 2.
+        rows = database.query("SELECT v / 2 FROM b")
+        assert rows == [(BIG + 1,)]
+        assert isinstance(rows[0][0], int)
+
+    def test_non_divisible_division_still_true_division(self):
+        database = Database()
+        database.execute("CREATE TABLE b (k INTEGER PRIMARY KEY)")
+        database.insert_rows("b", [(1,)])
+        assert database.query("SELECT 7 / 2 FROM b") == [(3.5,)]
+
+
+class TestConfigKnobs:
+    def test_scan_workers_require_vectorized_execution(self):
+        with pytest.raises(ConfigError):
+            GuardConfig(vectorized_execution=False, scan_workers=2).validate()
+
+    def test_negative_scan_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            GuardConfig(scan_workers=-1).validate()
+
+    def test_parallel_scan_min_rows_floor(self):
+        with pytest.raises(ConfigError):
+            GuardConfig(parallel_scan_min_rows=0).validate()
+
+    def test_defaults_validate(self):
+        GuardConfig().validate()
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+class TestScanWorkerPool:
+    def test_parallel_path_used_and_identical(self, db):
+        classic = [
+            row for row in db.query("SELECT id FROM t WHERE grp = 1")
+        ]
+        db.configure_execution(scan_workers=2, parallel_scan_min_rows=1)
+        assert db.scan_pool is not None and db.scan_pool.alive
+        rows = db.query("SELECT id FROM t WHERE grp = 1")
+        assert rows == classic
+        assert db.execution_path_counts()["parallel"] >= 1
+        assert db.scan_pool.served >= 1
+
+    def test_mutation_respawns_pool_and_results_stay_fresh(self, db):
+        db.configure_execution(scan_workers=2, parallel_scan_min_rows=1)
+        db.query("SELECT id FROM t WHERE grp = 0")  # fork + first scan
+        db.execute("INSERT INTO t VALUES (99, 1, 0, 0.0)")
+        rows = db.query("SELECT id FROM t WHERE grp = 1")
+        assert (99,) in rows
+        assert db.scan_pool.respawns >= 1
+
+    def test_indexed_lookup_stays_local(self, db):
+        db.configure_execution(scan_workers=2, parallel_scan_min_rows=1)
+        served_before = db.scan_pool.served
+        db.query("SELECT id FROM t WHERE id = 5")  # pk access path
+        assert db.scan_pool.served == served_before
+
+    def test_small_scans_stay_local(self, db):
+        db.configure_execution(scan_workers=2, parallel_scan_min_rows=10_000)
+        db.query("SELECT id FROM t WHERE grp = 1")
+        assert db.scan_pool.served == 0
+
+    def test_dead_pool_falls_back_to_local_scan(self, db):
+        import os as _os
+        import signal as _signal
+
+        db.configure_execution(scan_workers=2, parallel_scan_min_rows=1)
+        for pid in db.scan_pool._pids:
+            _os.kill(pid, _signal.SIGKILL)
+            db.scan_pool._reap(pid, timeout=2.0)
+        rows = db.query("SELECT id FROM t WHERE grp = 1")
+        assert rows == [(i,) for i in range(1, 41) if i % 3 == 1]
+
+    def test_close_is_idempotent(self, db):
+        db.configure_execution(scan_workers=2)
+        db.close()
+        db.close()
+        assert db.scan_pool is None
+
+    def test_standalone_pool_filters_exact_positions(self, db):
+        from repro.engine.parser import parse
+
+        statement = parse("SELECT id FROM t WHERE grp = 1")
+        table = db.catalog.table("t")
+        with ScanWorkerPool(db.catalog, workers=2) as pool:
+            positions = pool.filter_positions(
+                table, "t", statement.where, len(table.column_batch())
+            )
+        grp = table.column_batch().columns[1]  # (id, grp, v, s)
+        expected = [
+            index for index, value in enumerate(grp) if value == 1
+        ]
+        assert positions == expected
+
+
+class TestGuardWiring:
+    def test_guard_applies_knobs_to_database(self):
+        from repro.core.guard import DelayGuard
+
+        database = Database()
+        database.execute("CREATE TABLE g (id INTEGER PRIMARY KEY)")
+        DelayGuard(database, config=GuardConfig(vectorized_execution=False))
+        assert type(database.executor) is Executor
+
+    def test_guard_counts_execution_paths_when_observable(self):
+        from repro.core.guard import DelayGuard
+        from repro.obs import Observability
+
+        database = Database()
+        database.execute("CREATE TABLE g (id INTEGER PRIMARY KEY)")
+        database.insert_rows("g", [(1,), (2,)])
+        obs = Observability()
+        guard = DelayGuard(
+            database,
+            config=GuardConfig(result_cache_size=8),
+            obs=obs,
+        )
+        guard.execute("SELECT * FROM g WHERE id = 1", sleep=False)
+        guard.execute("SELECT * FROM g WHERE id = 1", sleep=False)
+        assert guard._m_execution_path.value(path="vectorized") == 1
+        assert guard._m_execution_path.value(path="cached") == 1
