@@ -40,12 +40,11 @@ Run with::
 """
 
 import os
-import subprocess
-import sys
 import threading
 import time
 from pathlib import Path
 
+from repro.cluster.procserver import ProcessFleet
 from repro.server import DelayClient
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -67,57 +66,13 @@ def available_cores() -> int:
         return os.cpu_count() or 1
 
 
-def spawn_shards(shard_count, shards):
-    """Start procservers for ``shards`` (of ``shard_count``); returns
-    [(process, port), ...]."""
+def spawn_fleet(shard_count, shards):
+    """A started :class:`ProcessFleet` for ``shards`` (of ``shard_count``)."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
-    fleet = []
-    try:
-        for shard in shards:
-            process = subprocess.Popen(
-                [
-                    sys.executable,
-                    "-m",
-                    "repro.cluster.procserver",
-                    "--shard",
-                    str(shard),
-                    "--shards",
-                    str(shard_count),
-                    "--rows",
-                    str(TOTAL_ROWS),
-                ],
-                env=env,
-                stdin=subprocess.PIPE,
-                stdout=subprocess.PIPE,
-                stderr=subprocess.DEVNULL,
-                text=True,
-            )
-            line = process.stdout.readline().strip()
-            if not line.startswith("PORT "):
-                raise RuntimeError(
-                    f"shard {shard} failed to start (got {line!r})"
-                )
-            fleet.append((process, int(line.split()[1])))
-    except Exception:
-        stop_fleet(fleet)
-        raise
-    return fleet
-
-
-def stop_fleet(fleet):
-    for process, _port in fleet:
-        try:
-            process.stdin.close()  # procserver exits on stdin EOF
-        except OSError:
-            pass
-    deadline = time.monotonic() + 10.0
-    for process, _port in fleet:
-        try:
-            process.wait(timeout=max(0.1, deadline - time.monotonic()))
-        except subprocess.TimeoutExpired:
-            process.kill()
-            process.wait()
+    return ProcessFleet(
+        shard_count, shards=shards, rows=TOTAL_ROWS, env=env
+    ).start()
 
 
 def run_scans(port, count, failures):
@@ -132,9 +87,9 @@ def run_scans(port, count, failures):
 
 def measure_subscan_latency(shard_count):
     """Sequential seconds per subscan against one idle shard of M."""
-    fleet = spawn_shards(shard_count, [0])
+    fleet = spawn_fleet(shard_count, [0])
     try:
-        _process, port = fleet[0]
+        port = fleet.ports[0]
         with DelayClient("127.0.0.1", port) as client:
             for _ in range(3):  # warm parse caches and the connection
                 client.query(SCAN_SQL)
@@ -143,15 +98,15 @@ def measure_subscan_latency(shard_count):
                 client.query(SCAN_SQL)
             return (time.monotonic() - started) / LATENCY_SCANS
     finally:
-        stop_fleet(fleet)
+        fleet.stop()
 
 
 def measure_fleet_qps(shard_count):
     """Effective full-logical-table scans per second at ``shard_count``."""
-    fleet = spawn_shards(shard_count, range(shard_count))
+    fleet = spawn_fleet(shard_count, range(shard_count))
     try:
         # Warm-up: connection setup, parse caches, first-scan costs.
-        for _process, port in fleet:
+        for port in fleet.ports.values():
             run_scans(port, 2, [])
         threads_per_shard = max(1, CLIENT_THREADS // shard_count)
         failures = []
@@ -160,7 +115,7 @@ def measure_fleet_qps(shard_count):
                 target=run_scans,
                 args=(port, QUERIES_PER_THREAD, failures),
             )
-            for _process, port in fleet
+            for port in fleet.ports.values()
             for _ in range(threads_per_shard)
         ]
         started = time.monotonic()
@@ -174,7 +129,7 @@ def measure_fleet_qps(shard_count):
         subscans = len(threads) * QUERIES_PER_THREAD
         return (subscans / elapsed) / shard_count
     finally:
-        stop_fleet(fleet)
+        fleet.stop()
 
 
 def test_read_throughput_scales_with_shards(benchmark):

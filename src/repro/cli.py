@@ -299,12 +299,38 @@ def _render_top(health: dict, forensics: Optional[dict]) -> str:
                 f"lag=[{lags}] "
                 f"divergence={gossip['count_divergence']:.2f}"
             )
+        replication = cluster.get("replication")
+        if replication is not None:
+            summary = replication.get("summary") or {}
+            lines.append(
+                f"replication: x{replication.get('factor', '?')} "
+                f"groups={summary.get('groups_available', '?')}/"
+                f"{summary.get('groups', '?')} up "
+                f"lag={summary.get('max_replication_lag', 0)} "
+                f"failovers={summary.get('failovers_total', 0)} "
+                f"fenced={summary.get('fencings_total', 0)}"
+            )
+        groups_by_index = {
+            group["group"]: group
+            for group in (replication or {}).get("groups", [])
+        }
         for entry in cluster.get("shards", []):
             journal = "yes" if entry.get("journal_attached") else "no"
-            lines.append(
+            line = (
                 f"  shard {entry['shard']}: rows={entry['rows']} "
                 f"epoch={entry['mutation_epoch']} journal={journal}"
             )
+            group = groups_by_index.get(entry["shard"])
+            if group is not None:
+                role = "up" if group["available"] else "DOWN"
+                line += (
+                    f" [{role} primary={group['primary']} "
+                    f"term={group['term']} lag={group['replication_lag']} "
+                    f"failovers={group['failovers']}]"
+                )
+            elif not entry.get("available", True):
+                line += " [DOWN]"
+            lines.append(line)
     staleness = health.get("staleness") or {}
     for table, stale in sorted(staleness.items()):
         lines.append(

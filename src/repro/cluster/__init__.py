@@ -24,9 +24,21 @@ count — and the raw request total — divided by M, cutting every warm
 delay by roughly the shard count. The attack test in
 ``tests/attacks/test_shard_spray.py`` demonstrates exactly that
 failure with gossip disabled.
+
+- :mod:`repro.cluster.replication` — replica groups: each shard as a
+  journal-shipping primary plus followers, with price-safe failover
+  (a promoted follower's CRDT trackers can only overstate popularity,
+  never undercharge) and term-based fencing of deposed primaries.
 """
 
 from .gossip import GossipCoordinator
+from .replication import (
+    GroupMonitor,
+    ReplicaGroup,
+    ReplicaMember,
+    ReplicationError,
+    StaleTermError,
+)
 from .router import ClusterRouter
 from .service import ClusterService
 from .sharding import ShardMap
@@ -35,5 +47,10 @@ __all__ = [
     "ClusterRouter",
     "ClusterService",
     "GossipCoordinator",
+    "GroupMonitor",
+    "ReplicaGroup",
+    "ReplicaMember",
+    "ReplicationError",
     "ShardMap",
+    "StaleTermError",
 ]

@@ -13,14 +13,34 @@ Pairwise full-mesh exchange is O(M²) per round, which is the right
 trade for the single-digit shard counts this process-local cluster
 targets: deltas are version-filtered, so a quiescent mesh exchanges
 nothing.
+
+An unreachable peer (a crashed replica, an injected fault) is retried
+with capped exponential backoff and full jitter
+(:class:`~repro.core.resilience.BackoffPolicy`) rather than at full
+rate every round: the mesh keeps converging around the hole while the
+dead pair costs one failed call per backoff window instead of per
+round, and jitter keeps M peers from re-probing a recovering shard in
+lockstep.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.guard import DelayGuard
+from ..core.resilience import BackoffPolicy
+
+
+class _PeerState:
+    """Backoff bookkeeping for one (destination, source) exchange."""
+
+    __slots__ = ("failures", "next_attempt_at")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.next_attempt_at = 0.0
 
 
 class GossipCoordinator:
@@ -31,12 +51,18 @@ class GossipCoordinator:
         interval: seconds between background rounds; None means manual
             only (call :meth:`run_round` — tests and the virtual-clock
             harness drive rounds explicitly).
+        backoff: retry policy for unreachable peers; defaults to a
+            capped full-jitter exponential starting at one round
+            interval (or 100 ms for manual meshes) and capped at 30 s.
+        time_source: monotonic seconds, injectable for tests.
     """
 
     def __init__(
         self,
         guards: Sequence[DelayGuard],
         interval: Optional[float] = None,
+        backoff: Optional[BackoffPolicy] = None,
+        time_source: Callable[[], float] = time.monotonic,
     ):
         if interval is not None and interval <= 0:
             raise ValueError(
@@ -46,6 +72,16 @@ class GossipCoordinator:
         self.interval = interval
         self.rounds_total = 0
         self.entries_adopted_total = 0
+        base = interval if interval is not None else 0.1
+        self.backoff = (
+            backoff
+            if backoff is not None
+            else BackoffPolicy(base=base, cap=max(30.0, base))
+        )
+        self._time = time_source
+        self.peer_failures_total = 0
+        self.exchanges_skipped_total = 0
+        self._peer_state: Dict[Tuple[int, int], _PeerState] = {}
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -58,21 +94,56 @@ class GossipCoordinator:
         Serialised under the coordinator lock so a manual round and the
         background thread never interleave half-rounds (the merge would
         still be correct — idempotence — but the round counters would
-        tear).
+        tear). Pairs whose last exchange failed are skipped until
+        their jittered backoff window elapses.
         """
         with self._lock:
             adopted = 0
-            for destination in self.guards:
-                versions = destination.gossip_versions()
-                for source in self.guards:
+            now = self._time()
+            for dst_index, destination in enumerate(self.guards):
+                versions = None
+                for src_index, source in enumerate(self.guards):
                     if source is destination:
                         continue
-                    digest = source.gossip_digest(versions)
-                    counts = destination.gossip_merge(digest)
+                    state = self._peer_state.get((dst_index, src_index))
+                    if state is not None and now < state.next_attempt_at:
+                        self.exchanges_skipped_total += 1
+                        continue
+                    try:
+                        if versions is None:
+                            versions = destination.gossip_versions()
+                        digest = source.gossip_digest(versions)
+                        counts = destination.gossip_merge(digest)
+                    except Exception:
+                        if state is None:
+                            state = _PeerState()
+                            self._peer_state[(dst_index, src_index)] = state
+                        self.peer_failures_total += 1
+                        state.next_attempt_at = now + self.backoff.wait(
+                            state.failures
+                        )
+                        state.failures += 1
+                        continue
+                    if state is not None:
+                        # Reachable again: retry at full rate.
+                        del self._peer_state[(dst_index, src_index)]
                     adopted += sum(counts.values())
+                    # The merge may have advanced our versions; refresh
+                    # so the next source's digest is delta-only.
+                    versions = None
             self.rounds_total += 1
             self.entries_adopted_total += adopted
             return adopted
+
+    def peers_backed_off(self) -> int:
+        """Pairs currently waiting out a backoff window."""
+        now = self._time()
+        with self._lock:
+            return sum(
+                1
+                for state in self._peer_state.values()
+                if now < state.next_attempt_at
+            )
 
     # -- background loop -----------------------------------------------------
 
@@ -149,4 +220,7 @@ class GossipCoordinator:
             "running": self.running,
             "shard_lags": self.shard_lags(),
             "count_divergence": self.count_divergence(),
+            "peer_failures_total": self.peer_failures_total,
+            "exchanges_skipped_total": self.exchanges_skipped_total,
+            "peers_backed_off": self.peers_backed_off(),
         }

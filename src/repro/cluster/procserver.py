@@ -14,12 +14,26 @@ router uses, so client-side routing agrees with server-side placement).
 It prints ``PORT <n>`` on stdout once it is serving, then runs until
 its stdin closes (the parent exiting tears the whole fleet down, even
 if it crashed before cleanup).
+
+:class:`ProcessFleet` is the parent-side harness: it spawns one
+procserver per shard and — critically — tears the fleet down
+*deterministically* when any child fails to come up. A naive spawn
+loop that raises on the first bad child leaves its already-started
+siblings parented to a dead stdin pipe (alive until someone notices),
+and discards the crashed child's stderr — the one artifact that says
+why. The fleet reaps every spawned child on failure and surfaces the
+crashed shard's stderr in the raised error.
 """
 
 from __future__ import annotations
 
 import argparse
+import queue
+import subprocess
 import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
 
 from ..core.clock import RealClock
 from ..core.config import GuardConfig
@@ -56,6 +70,158 @@ def build_service(
     )
 
 
+class ProcessFleet:
+    """Spawn and deterministically reap a set of procserver children.
+
+    Args:
+        shard_count: the cluster's M (placement modulus).
+        shards: which shard indexes to actually run (all by default —
+            the latency probe runs a single shard of M).
+        rows: total logical rows each child partitions.
+        env: environment for the children (the caller sets
+            ``PYTHONPATH``); current environment by default.
+        startup_timeout: seconds to wait for each child's ``PORT``
+            line before declaring it hung.
+        extra_args: extra procserver argv (tests inject
+            ``--selftest-crash``).
+
+    Use as a context manager; :attr:`ports` maps shard index → TCP
+    port once :meth:`start` returns. If any child exits or hangs
+    before printing its port, every already-spawned sibling is
+    stopped, *all* children are reaped, and the raised error carries
+    the failed shard's stderr.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        shards: Optional[Sequence[int]] = None,
+        rows: int = 1600,
+        policy: str = "none",
+        unit: float = 1.0,
+        env: Optional[Dict[str, str]] = None,
+        startup_timeout: float = 30.0,
+        extra_args: Sequence[str] = (),
+    ):
+        self.shard_count = shard_count
+        self.shards = (
+            list(shards) if shards is not None else list(range(shard_count))
+        )
+        self.rows = rows
+        self.policy = policy
+        self.unit = unit
+        self.env = env
+        self.startup_timeout = startup_timeout
+        self.extra_args = list(extra_args)
+        self.ports: Dict[int, int] = {}
+        self._children: List[subprocess.Popen] = []
+
+    def start(self) -> "ProcessFleet":
+        try:
+            for shard in self.shards:
+                child = subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.cluster.procserver",
+                        "--shard",
+                        str(shard),
+                        "--shards",
+                        str(self.shard_count),
+                        "--rows",
+                        str(self.rows),
+                        "--policy",
+                        self.policy,
+                        "--unit",
+                        str(self.unit),
+                        *self.extra_args,
+                    ],
+                    env=self.env,
+                    stdin=subprocess.PIPE,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                )
+                self._children.append(child)
+                self.ports[shard] = self._await_port(shard, child)
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def _await_port(self, shard: int, child: subprocess.Popen) -> int:
+        """Read the child's ``PORT`` line without blocking forever.
+
+        readline() on a hung child would wedge the whole harness, so a
+        reaper thread does the read and the deadline lives here.
+        """
+        lines: "queue.Queue[str]" = queue.Queue()
+        reader = threading.Thread(
+            target=lambda: lines.put(child.stdout.readline()),
+            daemon=True,
+        )
+        reader.start()
+        try:
+            line = lines.get(timeout=self.startup_timeout).strip()
+        except queue.Empty:
+            raise RuntimeError(
+                f"shard {shard} printed no PORT line within "
+                f"{self.startup_timeout:.0f}s{self._stderr_suffix(child)}"
+            )
+        if not line.startswith("PORT "):
+            raise RuntimeError(
+                f"shard {shard} failed to start "
+                f"(got {line!r}){self._stderr_suffix(child)}"
+            )
+        return int(line.split()[1])
+
+    def _stderr_suffix(self, child: subprocess.Popen) -> str:
+        """The crashed child's stderr, reaped, for the error message."""
+        try:
+            child.kill()
+        except OSError:
+            pass
+        try:
+            _out, err = child.communicate(timeout=5)
+        except (subprocess.TimeoutExpired, ValueError, OSError):
+            return ""
+        err = (err or "").strip()
+        return f"; stderr:\n{err}" if err else ""
+
+    def stop(self) -> None:
+        """Reap every spawned child: EOF their stdin, wait under one
+        shared deadline, kill stragglers. Idempotent; never raises."""
+        for child in self._children:
+            if child.stdin is not None:
+                try:
+                    child.stdin.close()  # procserver exits on stdin EOF
+                except OSError:
+                    pass
+        deadline = time.monotonic() + 10.0
+        for child in self._children:
+            try:
+                child.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                child.kill()
+            except OSError:
+                pass
+        for child in self._children:
+            try:
+                # communicate() reaps and closes the pipes, so a killed
+                # child cannot linger as a zombie or leak fds.
+                child.communicate(timeout=5)
+            except (subprocess.TimeoutExpired, ValueError, OSError):
+                pass
+        self._children = []
+        self.ports = {}
+
+    def __enter__(self) -> "ProcessFleet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--shard", type=int, required=True)
@@ -64,7 +230,21 @@ def main(argv=None) -> int:
     parser.add_argument("--policy", default="none")
     parser.add_argument("--unit", type=float, default=1.0)
     parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        # Crash before serving — exists so the fleet-teardown tests can
+        # exercise the sibling-reaping path against a real child.
+        "--selftest-crash",
+        action="store_true",
+        help=argparse.SUPPRESS,
+    )
     args = parser.parse_args(argv)
+    if args.selftest_crash:
+        print(
+            f"shard {args.shard}: selftest crash before serving",
+            file=sys.stderr,
+            flush=True,
+        )
+        return 3
     if not 0 <= args.shard < args.shards:
         parser.error(f"--shard must be in [0, {args.shards})")
     service = build_service(

@@ -39,9 +39,10 @@ from ..core.accounts import AccountManager
 from ..core.clock import Clock
 from ..core.config import GuardConfig
 from ..core.detection import CoverageMonitor
-from ..core.errors import AccessDenied, ConfigError
+from ..core.errors import AccessDenied, ConfigError, ShardUnavailable
 from ..core.guard import GuardedResult, GuardStats
 from ..engine.database import Database
+from ..engine.errors import EngineError
 from ..engine.executor import ResultSet
 from ..engine.expr import Literal
 from ..engine.parser.ast import (
@@ -98,7 +99,6 @@ class ClusterRouter:
         self.obs = obs if obs is not None else Observability.disabled()
         self.population = population
         self.stats = GuardStats()
-        self.guards = [shard.guard for shard in self.shards]
         #: cluster-wide extraction forensics over the global population.
         self.forensics: Optional[ForensicsMonitor] = None
         if config.forensics:
@@ -117,11 +117,66 @@ class ClusterRouter:
                 audit=self.obs.audit if self.obs.enabled else None,
             )
         self._merged_lock = threading.Lock()
-        self._merged_cache: Optional[Tuple[Tuple[int, ...], Database]] = None
+        self._merged_cache: Optional[Tuple[tuple, Database]] = None
         #: routing counters for cluster health.
         self.single_shard_queries = 0
         self.scatter_queries = 0
         self.broadcast_statements = 0
+        #: degraded-mode counters (replica groups down, shard errors).
+        self.shard_failures = 0
+        self.unavailable_denials = 0
+        self.partial_scatter_queries = 0
+
+    # -- shard availability --------------------------------------------------
+
+    @property
+    def guards(self) -> List:
+        """Every shard's current guard (replica groups resolve to
+        their current primary — raising when the group is down)."""
+        return [shard.guard for shard in self.shards]
+
+    def _is_available(self, index: int) -> bool:
+        return getattr(self.shards[index], "available", True)
+
+    def _available_indexes(self) -> List[int]:
+        return [
+            index
+            for index in range(len(self.shards))
+            if self._is_available(index)
+        ]
+
+    def _deny_unavailable(self, indexes: Sequence[int]) -> ShardUnavailable:
+        """Build (and account) the structured degraded-mode denial."""
+        retry_after = max(
+            (
+                getattr(self.shards[index], "retry_after", 0.0)
+                for index in indexes
+            ),
+            default=0.0,
+        )
+        self.unavailable_denials += 1
+        self.stats.note_denied()
+        self._emit_audit(
+            "cluster_shard_unavailable", shards=sorted(indexes)
+        )
+        return ShardUnavailable(indexes, retry_after=retry_after)
+
+    def _require_shards(self, indexes: Sequence[int]) -> None:
+        down = [i for i in indexes if not self._is_available(i)]
+        if down:
+            raise self._deny_unavailable(down)
+
+    def _shard_guard(self, index: int):
+        self._require_shards([index])
+        return self.shards[index].guard
+
+    def _reference_shard(self):
+        """Any live shard (schema is replicated everywhere): used for
+        catalog lookups and coordinator-side pricing."""
+        for index in range(len(self.shards)):
+            if self._is_available(index):
+                return self.shards[index]
+        raise self._deny_unavailable(list(range(len(self.shards))))
 
     # -- the front door ------------------------------------------------------
 
@@ -132,8 +187,15 @@ class ClusterRouter:
         record: bool = True,
         sleep: bool = True,
         deadline_at: Optional[float] = None,
+        partial_results: bool = False,
     ) -> GuardedResult:
-        """Route one statement; charge and serve its single delay."""
+        """Route one statement; charge and serve its single delay.
+
+        ``partial_results`` opts a scatter SELECT into degraded-mode
+        serving: with one or more replica groups down it answers from
+        the live shards and attaches per-shard coverage metadata to
+        the result instead of failing closed — never silently partial.
+        """
         started = time.perf_counter()
         if isinstance(sql_or_statement, str):
             statement = parse_cached(normalize_sql(sql_or_statement))
@@ -159,7 +221,7 @@ class ClusterRouter:
         if isinstance(statement, SelectStatement):
             return self._execute_select(
                 statement, source, identity, record, sleep, deadline_at,
-                started,
+                started, partial_results,
             )
         if isinstance(statement, InsertStatement):
             result = self._execute_insert(statement, source)
@@ -172,21 +234,53 @@ class ClusterRouter:
 
     # -- writes and DDL ------------------------------------------------------
 
-    def _shard_execute(self, index: int, statement, source) -> ResultSet:
-        """Run one statement on one shard's guard (no sleep, no price)."""
-        guarded = self.guards[index].execute(
-            source if source is not None else statement,
-            record=False,
-            sleep=False,
-        )
+    def _shard_execute(
+        self, index: int, statement, source, completed: Optional[List[int]] = None
+    ) -> ResultSet:
+        """Run one statement on one shard's guard (no sleep, no price).
+
+        Failure taxonomy: semantic errors (the engine parsing or
+        rejecting the statement, a guard denial) propagate unchanged —
+        the shard answered, deterministically. An *infrastructure*
+        failure (the shard process/group blowing up mid-statement) is
+        mapped into the structured ``shard_unavailable`` denial, with
+        the partial outcome — which shards had already applied the
+        statement — recorded in routing stats and the audit log rather
+        than silently discarded.
+        """
+        guard = self._shard_guard(index)
+        try:
+            guarded = guard.execute(
+                source if source is not None else statement,
+                record=False,
+                sleep=False,
+            )
+        except (EngineError, AccessDenied, ConfigError):
+            raise
+        except Exception as error:
+            self.shard_failures += 1
+            self.stats.note_denied()
+            self._emit_audit(
+                "cluster_shard_failure",
+                shard=index,
+                error=repr(error),
+                completed_shards=list(completed or []),
+            )
+            raise ShardUnavailable(
+                [index],
+                retry_after=getattr(self.shards[index], "retry_after", 0.0),
+            ) from error
         return guarded.result
 
     def _broadcast(self, statement, source) -> ResultSet:
         """DDL fan-out: every shard applies the same statement."""
         self.broadcast_statements += 1
+        self._require_shards(range(len(self.shards)))
         result = None
+        completed: List[int] = []
         for index in range(len(self.shards)):
-            result = self._shard_execute(index, statement, source)
+            result = self._shard_execute(index, statement, source, completed)
+            completed.append(index)
         self._emit_audit(
             "cluster_broadcast",
             shards=list(range(len(self.shards))),
@@ -202,7 +296,7 @@ class ClusterRouter:
         """Split VALUES rows by partition key; re-render per shard."""
         if self.shard_map.shard_count == 1:
             return self._shard_execute(0, statement, source)
-        schema = self.shards[0].database.catalog.table(
+        schema = self._reference_shard().database.catalog.table(
             statement.table
         ).schema
         pk = schema.primary_key
@@ -237,13 +331,16 @@ class ClusterRouter:
             placed[shard].append(row)
         total = 0
         touched_shards = []
+        self._require_shards(
+            [index for index, rows in enumerate(placed) if rows]
+        )
         for index, rows in enumerate(placed):
             if not rows:
                 continue
             sql = render_insert_sql(
                 statement.table, statement.columns, rows
             )
-            result = self._shard_execute(index, None, sql)
+            result = self._shard_execute(index, None, sql, touched_shards)
             total += result.rowcount
             touched_shards.append(index)
         self._emit_audit(
@@ -258,7 +355,7 @@ class ClusterRouter:
 
     def _execute_dml(self, statement, source) -> ResultSet:
         """UPDATE/DELETE: owner when the key is proven, else broadcast."""
-        schema = self.shards[0].database.catalog.table(
+        schema = self._reference_shard().database.catalog.table(
             statement.table
         ).schema
         values = pk_values_from_where(
@@ -280,10 +377,13 @@ class ClusterRouter:
                 )
                 return result
         self.broadcast_statements += 1
+        self._require_shards(range(len(self.shards)))
         total = 0
         rowids: List[int] = []
+        completed: List[int] = []
         for index in range(len(self.shards)):
-            result = self._shard_execute(index, statement, source)
+            result = self._shard_execute(index, statement, source, completed)
+            completed.append(index)
             total += result.rowcount
             rowids.extend(result.rowids)
         self._emit_audit(
@@ -310,12 +410,15 @@ class ClusterRouter:
         sleep: bool,
         deadline_at: Optional[float],
         started: float,
+        partial_results: bool = False,
     ) -> GuardedResult:
         single = self._single_shard_for(statement)
         engine_seconds = 0.0
+        coverage = None
         if single is not None:
+            guard = self._shard_guard(single)
             try:
-                guarded = self.guards[single].execute(
+                guarded = guard.execute(
                     source if source is not None else statement,
                     record=record,
                     sleep=False,
@@ -335,14 +438,33 @@ class ClusterRouter:
             result_set = guarded.result
         else:
             self.scatter_queries += 1
-            merged = self._merged_database()
+            answering = self._available_indexes()
+            missing = sorted(
+                set(range(len(self.shards))) - set(answering)
+            )
+            if missing and not partial_results:
+                # Fail closed: a silently partial scan would both hide
+                # rows and under-price the touched-set.
+                raise self._deny_unavailable(missing)
+            if missing:
+                self.partial_scatter_queries += 1
+                coverage = {
+                    "partial": True,
+                    "shards_total": len(self.shards),
+                    "shards_answered": answering,
+                    "shards_missing": missing,
+                }
+            merged = self._merged_database(tuple(answering))
             engine_started = time.perf_counter()
             result_set = merged.execute(statement, tracked=True)
             engine_seconds = time.perf_counter() - engine_started
             keys = self._result_keys(result_set)
             # One global price from the merged touched-set, computed at
-            # the coordinator (shard 0)'s gossip-merged trackers.
-            per_tuple = self.guards[0].policy.delays_for(keys)
+            # the coordinator's gossip-merged trackers (the first live
+            # shard; every shard converges on the same global view).
+            per_tuple = self._reference_shard().guard.policy.delays_for(
+                keys
+            )
             if self.config.charge_returned_tuples:
                 delay = sum(per_tuple)
             else:
@@ -374,6 +496,7 @@ class ClusterRouter:
             delay=delay,
             per_tuple_delays=list(per_tuple),
             identity=identity,
+            coverage=coverage,
         )
 
     def _single_shard_for(
@@ -382,7 +505,7 @@ class ClusterRouter:
         """The one shard that can answer this SELECT alone, if proven."""
         if statement.joins:
             return None
-        catalog = self.shards[0].database.catalog
+        catalog = self._reference_shard().database.catalog
         if not catalog.has_table(statement.table):
             return None
         schema = catalog.table(statement.table).schema
@@ -426,30 +549,48 @@ class ClusterRouter:
             by_owner.setdefault(owner, []).append(key)
         if record and self.config.record_accesses:
             for owner, owned in by_owner.items():
-                self.guards[owner].popularity.record_many(owned)
+                if not self._is_available(owner):
+                    # Partial-mode reads never return a down owner's
+                    # rows; this is pure defence-in-depth. Recording at
+                    # a live peer keeps the mass in the global view —
+                    # gossip carries it onward, never understating.
+                    self._reference_shard().guard.popularity.record_many(
+                        owned
+                    )
+                    continue
+                self.shards[owner].guard.popularity.record_many(owned)
         return sorted(by_owner)
 
     # -- the merged read view ------------------------------------------------
 
-    def _merged_database(self) -> Database:
+    def _merged_database(
+        self, indexes: Optional[Tuple[int, ...]] = None
+    ) -> Database:
         """A read-only engine holding every shard's rows, global rowids.
 
-        Cached on the vector of shard mutation epochs: any committed
-        mutation on any shard invalidates it (the epoch moves), so a
-        served scatter-read is always against a consistent cut no
-        older than the last commit. Rows keep their global rowids via
-        ``restore``, so the merged touched-set prices and records
-        against exactly the same keys the owners track.
+        Cached on (participating shards, their mutation-epoch vector):
+        any committed mutation on any included shard invalidates it
+        (the epoch moves), so a served scatter-read is always against a
+        consistent cut no older than the last commit; a degraded merge
+        over fewer shards never aliases the full one. Rows keep their
+        global rowids via ``restore``, so the merged touched-set prices
+        and records against exactly the same keys the owners track.
         """
-        epochs = tuple(
-            shard.database.mutation_epoch for shard in self.shards
+        if indexes is None:
+            indexes = tuple(range(len(self.shards)))
+        participants = [self.shards[index] for index in indexes]
+        epochs = (
+            indexes,
+            tuple(
+                shard.database.mutation_epoch for shard in participants
+            ),
         )
         with self._merged_lock:
             cached = self._merged_cache
             if cached is not None and cached[0] == epochs:
                 return cached[1]
         merged = Database()
-        for shard in self.shards:
+        for shard in participants:
             with shard.database.read_view():
                 catalog = shard.database.catalog
                 for name in catalog.table_names():
@@ -476,4 +617,7 @@ class ClusterRouter:
             "single_shard_queries": self.single_shard_queries,
             "scatter_queries": self.scatter_queries,
             "broadcast_statements": self.broadcast_statements,
+            "shard_failures": self.shard_failures,
+            "unavailable_denials": self.unavailable_denials,
+            "partial_scatter_queries": self.partial_scatter_queries,
         }

@@ -36,9 +36,12 @@ from ..core.config import GuardConfig
 from ..core.errors import ConfigError
 from ..core.guard import GuardedResult
 from ..engine.database import Database
+from ..engine.journal import WriteAheadJournal
 from ..obs import Observability
+from ..obs.health import replication_summary
 from ..service import DataProviderService, ServiceReport
 from .gossip import GossipCoordinator
+from .replication import GroupMonitor, ReplicaGroup, ReplicaMember
 from .router import ClusterRouter
 from .sharding import ShardMap
 
@@ -69,6 +72,7 @@ class ClusterGuard:
         record: bool = True,
         sleep: bool = True,
         deadline_at: Optional[float] = None,
+        partial_results: bool = False,
     ) -> GuardedResult:
         return self._cluster.router.execute(
             sql_or_statement,
@@ -76,6 +80,7 @@ class ClusterGuard:
             record=record,
             sleep=sleep,
             deadline_at=deadline_at,
+            partial_results=partial_results,
         )
 
     @property
@@ -88,8 +93,8 @@ class ClusterGuard:
 
     @property
     def popularity(self):
-        """The coordinator shard's gossip-merged popularity view."""
-        return self._cluster.guards[0].popularity
+        """A live shard's gossip-merged popularity view."""
+        return self._cluster.router._reference_shard().guard.popularity
 
     # -- aggregated read-only surfaces --------------------------------------
 
@@ -101,10 +106,13 @@ class ClusterGuard:
 
         Each shard prices its own partition against the merged trackers
         and the global N, so the sum equals the single-node figure up
-        to gossip staleness.
+        to gossip staleness. Down replica groups are skipped — their
+        partitions are unreadable, so the figure is a lower bound while
+        degraded (the health view flags the missing groups).
         """
         return sum(
-            guard.extraction_cost(table) for guard in self._cluster.guards
+            guard.extraction_cost(table)
+            for guard in self._cluster.live_guards()
         )
 
     def max_extraction_cost(self, table: Optional[str] = None) -> float:
@@ -112,7 +120,7 @@ class ClusterGuard:
             raise ConfigError("max_extraction_cost requires a delay cap")
         if table is not None:
             total = 0
-            for shard in self._cluster.shards:
+            for shard in self._cluster.live_shards():
                 with shard.database.read_view():
                     total += len(shard.database.catalog.table(table))
             return total * self.config.cap
@@ -126,7 +134,7 @@ class ClusterGuard:
         expected count divided by a population, and both sum).
         """
         merged: Dict[str, Dict] = {}
-        for guard in self._cluster.guards:
+        for guard in self._cluster.live_guards():
             for table, entry in guard.staleness_report().items():
                 slot = merged.setdefault(
                     table,
@@ -189,6 +197,16 @@ class ClusterService:
         gossip_interval: seconds between background anti-entropy
             rounds; None means manual (call
             ``service.gossip.run_round()`` — virtual-clock tests do).
+        replication_factor: members per replica group (1 = no
+            replication, the historical single-service shard). With a
+            factor of R, each shard is a :class:`ReplicaGroup` of one
+            journalling primary plus R−1 followers fed by journal
+            shipping; requires ``data_dir`` (shipping tails the
+            primary's journal file).
+        probe_interval: seconds between group-monitor passes (liveness
+            probe → promote → ship); None means manual — call
+            ``service.monitor.probe()``, as the virtual-clock tests do.
+            Also becomes the ``retry_after`` hint on degraded denials.
     """
 
     def __init__(
@@ -202,13 +220,25 @@ class ClusterService:
         journal_sync: bool = True,
         gossip: bool = True,
         gossip_interval: Optional[float] = None,
+        replication_factor: int = 1,
+        probe_interval: Optional[float] = None,
         _shards: Optional[List[DataProviderService]] = None,
     ):
         if shard_count < 1:
             raise ConfigError(
                 f"shard_count must be >= 1, got {shard_count}"
             )
+        if replication_factor < 1:
+            raise ConfigError(
+                f"replication_factor must be >= 1, got {replication_factor}"
+            )
+        if replication_factor > 1 and data_dir is None:
+            raise ConfigError(
+                "replication requires data_dir= (followers are fed by "
+                "shipping the primary's journal file)"
+            )
         self.shard_count = shard_count
+        self.replication_factor = replication_factor
         self.config = (
             guard_config if guard_config is not None else GuardConfig()
         )
@@ -221,21 +251,39 @@ class ClusterService:
             else None
         )
         if _shards is not None:
-            # recover() built the shards already (snapshot + replay).
-            self.shards = _shards
+            # recover() built the primaries already (snapshot + replay).
+            primaries = _shards
         else:
-            self.shards = [
+            primaries = [
                 self._build_shard(index, journal_sync)
                 for index in range(shard_count)
             ]
-        self.guards = [shard.guard for shard in self.shards]
+        self.groups: Optional[List[ReplicaGroup]] = None
+        self.monitor: Optional[GroupMonitor] = None
+        if replication_factor > 1:
+            self.groups = [
+                self._build_group(index, primary, journal_sync)
+                for index, primary in enumerate(primaries)
+            ]
+            self.shards = self.groups
+            self.monitor = GroupMonitor(
+                self.groups, interval=probe_interval
+            )
+        else:
+            self.shards = primaries
         self._pop_lock = threading.Lock()
-        self._pop_cache: Optional[Tuple[Tuple[int, ...], int]] = None
-        for guard in self.guards:
+        self._pop_cache: Optional[Tuple[tuple, int]] = None
+        self._last_counts: Dict[int, int] = {}
+        for guard in self.all_member_guards():
             guard.set_population_provider(self.population)
         self.shard_map = ShardMap(shard_count)
+        # The anti-entropy mesh spans *every* member — followers gossip
+        # too, so a promoted replica's trackers are already convergent
+        # (up to one round) the moment it starts serving.
         self.gossip: Optional[GossipCoordinator] = (
-            GossipCoordinator(self.guards, interval=gossip_interval)
+            GossipCoordinator(
+                self.all_member_guards(), interval=gossip_interval
+            )
             if gossip
             else None
         )
@@ -250,8 +298,11 @@ class ClusterService:
         )
         self.guard = ClusterGuard(self)
         self.checkpoints_completed = 0
+        self._register_metrics()
         if self.gossip is not None and gossip_interval is not None:
             self.gossip.start()
+        if self.monitor is not None and probe_interval is not None:
+            self.monitor.start()
 
     def _shard_config(self, index: int) -> GuardConfig:
         return dataclasses.replace(
@@ -284,6 +335,122 @@ class ClusterService:
             journal_sync=journal_sync,
         )
 
+    def _build_group(
+        self, index: int, primary: DataProviderService, journal_sync: bool
+    ) -> ReplicaGroup:
+        """One shard's replica group: the journalling primary plus
+        R−1 followers seeded from the primary's current state.
+
+        Seeding copies the primary's rows (preserving rowids) and
+        merges its full tracker digest, then marks the follower caught
+        up to the primary's current journal seq — on a fresh cluster
+        both are empty and this is a no-op; after :meth:`recover` it
+        re-seeds followers from the recovered primary (their previous
+        replica journals are superseded and reset). Followers run with
+        a *detached* database journal — shipped frames are persisted
+        verbatim into a dedicated replica journal instead, which
+        promotion attaches as the live journal so local commits
+        continue the replicated numbering.
+        """
+        members = [ReplicaMember(f"shard-{index}", service=primary)]
+        snapshot_seq = (
+            primary.journal.last_seq if primary.journal is not None else 0
+        )
+        for replica in range(1, self.replication_factor):
+            database = Database()
+            database.set_rowid_allocation(index, self.shard_count)
+            with primary.database.read_view():
+                catalog = primary.database.catalog
+                for name in catalog.table_names():
+                    heap = catalog.table(name)
+                    database.catalog.create_table(heap.schema)
+                    target = database.catalog.table(name)
+                    for rowid, row in heap.scan():
+                        target.restore(rowid, row)
+            member_id = f"shard-{index}-r{replica}"
+            follower = DataProviderService(
+                database=database,
+                guard_config=dataclasses.replace(
+                    self._shard_config(index), node_id=member_id
+                ),
+                clock=self.clock,
+                obs=Observability.disabled(),
+            )
+            follower.guard.gossip_merge(
+                primary.guard.gossip_digest(None)
+            )
+            journal_path = self.data_dir / f"shard-{index}-r{replica}.journal"
+            if journal_path.exists():
+                journal_path.unlink()
+            member = ReplicaMember(
+                member_id,
+                service=follower,
+                journal=WriteAheadJournal(journal_path, sync=journal_sync),
+            )
+            member.applied_seq = snapshot_seq
+            member.acked_seq = snapshot_seq
+            members.append(member)
+        return ReplicaGroup(
+            index,
+            members,
+            audit=self.obs.audit if self.obs.enabled else None,
+        )
+
+    # -- member access --------------------------------------------------------
+
+    @property
+    def guards(self) -> List:
+        """Each shard's *current* serving guard (promotion redirects)."""
+        return [shard.guard for shard in self.shards]
+
+    def live_shards(self) -> List:
+        """The shards currently able to serve (groups may be down)."""
+        return [
+            shard
+            for shard in self.shards
+            if getattr(shard, "available", True)
+        ]
+
+    def live_guards(self) -> List:
+        return [shard.guard for shard in self.live_shards()]
+
+    def all_member_guards(self) -> List:
+        """Every local member's guard, followers included — the gossip
+        mesh and the population provider span all of them."""
+        if self.groups is not None:
+            return [
+                guard
+                for group in self.groups
+                for guard in group.member_guards
+            ]
+        return [shard.guard for shard in self.shards]
+
+    def _register_metrics(self) -> None:
+        """Callback-backed replication gauges on the router registry."""
+        if not self.obs.enabled or self.groups is None:
+            return
+        registry = self.obs.registry
+        groups = self.groups
+        registry.gauge(
+            "cluster_replication_lag",
+            "max committed-vs-acked lag across replica groups",
+        ).set_function(
+            lambda: max(
+                (g.replication_health()["replication_lag"] for g in groups),
+                default=0,
+            )
+        )
+        registry.counter(
+            "cluster_failovers_total",
+            "promotions across all replica groups",
+        ).set_function(lambda: sum(g.failovers for g in groups))
+        registry.gauge(
+            "cluster_groups_available",
+            "replica groups currently able to serve",
+        ).set_function(
+            lambda: sum(1 for g in groups if g.available)
+        )
+
     # -- the service surface the server consumes ----------------------------
 
     def register(self, identity: str, subnet: str = "0.0.0.0/0") -> Account:
@@ -308,7 +475,7 @@ class ClusterService:
         executions too would double-book scatter reads.
         """
         stats = self.router.stats
-        merged = self.guards[0].popularity
+        merged = self.guard.popularity
         snapshot = merged.snapshot()[:top_k]
         total = max(merged.decayed_total, 1.0)
         top = [
@@ -361,19 +528,49 @@ class ClusterService:
         """The shard-level view the server's ``health`` op embeds."""
         shards = []
         for index, shard in enumerate(self.shards):
-            with shard.database.read_view():
-                rows = sum(
-                    len(shard.database.catalog.table(name))
-                    for name in shard.database.catalog.table_names()
-                )
+            available = getattr(shard, "available", True)
+            if available:
+                with shard.database.read_view():
+                    rows = sum(
+                        len(shard.database.catalog.table(name))
+                        for name in shard.database.catalog.table_names()
+                    )
+                epoch = shard.database.mutation_epoch
+                attached = shard.journal is not None
+            else:
+                rows = self._last_counts.get(index)
+                epoch = None
+                attached = False
             shards.append(
                 {
                     "shard": index,
                     "rows": rows,
-                    "mutation_epoch": shard.database.mutation_epoch,
-                    "journal_attached": shard.journal is not None,
+                    "available": available,
+                    "mutation_epoch": epoch,
+                    "journal_attached": attached,
                 }
             )
+        replication = None
+        if self.groups is not None:
+            replication = {
+                "factor": self.replication_factor,
+                "summary": replication_summary(self.groups),
+                "groups": [
+                    group.replication_health() for group in self.groups
+                ],
+                "monitor": (
+                    {
+                        "probes_total": self.monitor.probes_total,
+                        "probe_failures_total": (
+                            self.monitor.probe_failures_total
+                        ),
+                        "interval": self.monitor.interval,
+                        "running": self.monitor.running,
+                    }
+                    if self.monitor is not None
+                    else None
+                ),
+            }
         return {
             "shard_count": self.shard_count,
             "population": self.population(),
@@ -382,12 +579,15 @@ class ClusterService:
                 self.gossip.stats() if self.gossip is not None else None
             ),
             "routing": self.router.routing_stats(),
+            "replication": replication,
         }
 
     def close(self) -> None:
-        """Stop the background gossip loop (idempotent)."""
+        """Stop the background gossip/monitor loops (idempotent)."""
         if self.gossip is not None:
             self.gossip.stop()
+        if self.monitor is not None:
+            self.monitor.stop()
 
     # -- sizing --------------------------------------------------------------
 
@@ -398,19 +598,34 @@ class ClusterService:
         :meth:`~repro.core.guard.DelayGuard.set_population_provider`):
         a committed mutation on any shard moves that shard's epoch and
         invalidates the cache, so the count is always exact.
+
+        A down replica group contributes its last-known count: the
+        partition's tuples still exist (they are merely unservable), so
+        letting N collapse would misprice every other shard's delays
+        while the group fails over.
         """
-        epochs = tuple(
-            shard.database.mutation_epoch for shard in self.shards
-        )
+        epochs = []
+        for index, shard in enumerate(self.shards):
+            if getattr(shard, "available", True):
+                epochs.append(shard.database.mutation_epoch)
+            else:
+                epochs.append(("down", self._last_counts.get(index, 0)))
+        epochs = tuple(epochs)
         with self._pop_lock:
             cached = self._pop_cache
             if cached is not None and cached[0] == epochs:
                 return cached[1]
         total = 0
-        for shard in self.shards:
+        for index, shard in enumerate(self.shards):
+            if not getattr(shard, "available", True):
+                total += self._last_counts.get(index, 0)
+                continue
+            count = 0
             with shard.database.read_view():
                 for name in shard.database.catalog.table_names():
-                    total += len(shard.database.catalog.table(name))
+                    count += len(shard.database.catalog.table(name))
+            self._last_counts[index] = count
+            total += count
         value = max(total, 1)
         with self._pop_lock:
             self._pop_cache = (epochs, value)
@@ -430,6 +645,8 @@ class ClusterService:
         journal_sync: bool = True,
         gossip: bool = True,
         gossip_interval: Optional[float] = None,
+        replication_factor: int = 1,
+        probe_interval: Optional[float] = None,
     ) -> "ClusterService":
         """Rebuild a cluster from each shard's snapshot + journal.
 
@@ -439,6 +656,12 @@ class ClusterService:
         rowids they held before the crash. Restored tracker state
         includes each shard's mirrored view of its peers, and the next
         anti-entropy round re-converges anything the crash lost.
+
+        With ``replication_factor > 1``, followers are re-seeded from
+        the recovered primary's state rather than replaying their old
+        replica journals (the primary's snapshot+journal is the
+        authoritative timeline; stale replica journals are reset) —
+        recovery restores durability first, then redundancy.
         """
         placeholder = cls.__new__(cls)
         placeholder.config = (
@@ -475,5 +698,7 @@ class ClusterService:
             journal_sync=journal_sync,
             gossip=gossip,
             gossip_interval=gossip_interval,
+            replication_factor=replication_factor,
+            probe_interval=probe_interval,
             _shards=shards,
         )

@@ -26,5 +26,29 @@ class AccessDenied(DelayDefenseError):
         self.retry_after = retry_after
 
 
+class ShardUnavailable(AccessDenied):
+    """A structured denial for queries needing a dead replica group.
+
+    The defense's priced surface must never silently shrink: when every
+    member of a shard's replica group is down, queries that need that
+    partition are refused with this machine-readable denial instead of
+    a raw transport error — the caller learns *which* shards are gone
+    and when to retry (the group monitor's next probe window).
+
+    Attributes:
+        shards: the shard indexes that could not serve.
+        retry_after: seconds until a failover probe may have promoted a
+            replacement.
+    """
+
+    def __init__(self, shards, retry_after: float = 0.0):
+        super().__init__("shard_unavailable", retry_after=retry_after)
+        self.shards = sorted(shards)
+        self.args = (
+            "access denied: shard_unavailable "
+            f"(shards {self.shards}, retry_after={retry_after:.3f}s)",
+        )
+
+
 class UnknownAccount(DelayDefenseError):
     """Raised when a session references an unregistered identity."""

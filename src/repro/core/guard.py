@@ -94,6 +94,11 @@ class GuardedResult:
     trace: Optional[QueryTrace] = field(
         default=None, repr=False, compare=False
     )
+    #: Per-shard coverage for a degraded cluster scatter served with
+    #: ``partial_results=True``: which shards answered and which were
+    #: down. None for complete results — a partial answer is never
+    #: silent.
+    coverage: Optional[Dict] = None
 
     @property
     def rows(self):

@@ -25,6 +25,15 @@ through the policy's :meth:`~repro.core.delay_policy.DelayPolicy.delays_for`,
 which resolves the whole key list against one consistent tracker
 snapshot instead of re-locking per tuple.
 
+Denial taxonomy: every refusal is a structured
+:class:`~repro.core.errors.AccessDenied` with a machine-readable
+``reason`` — ``result_limit``, ``deadline_exceeded``, ``query_quota``,
+``registration_rate``, ``subnet_rate``, and (cluster-level, raised by
+the router rather than a stage) ``shard_unavailable`` with the dead
+shard indexes and a ``retry_after`` covering the failover window. The
+server maps them all onto one wire shape; nothing in the stack ever
+surfaces a raw infrastructure exception to a client.
+
 The *cache* / *cache_store* pair (skipped entirely unless the guard has
 a :class:`~repro.core.result_cache.ResultCache`) serves repeated
 SELECTs without touching the engine. Deliberately, a hit replaces

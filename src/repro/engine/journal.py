@@ -29,6 +29,7 @@ a prefix, matching the commit order they were written in.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import struct
@@ -255,6 +256,34 @@ class WriteAheadJournal:
             self.bytes_written += len(blob)
             return sequences
 
+    def append_replica(self, payload: Dict) -> int:
+        """Append one *already-sequenced* record (replication apply path).
+
+        Followers persist the primary's shipped payloads verbatim: the
+        incoming ``seq`` (and ``ts``) are kept, not re-assigned, so the
+        follower's journal file is byte-identical to the primary's
+        committed prefix — which is what makes post-failover
+        journal-fingerprint checks meaningful. Sequence numbering for
+        any *local* appends after a promotion continues above the
+        highest replicated record.
+        """
+        seq = int(payload["seq"])
+        with self._lock:
+            self._check_open()
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            frame = (
+                _HEADER.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
+            )
+            self._file.write(frame)
+            self._file.flush()
+            if self.sync:
+                self._fsync()
+            self._size += len(frame)
+            self.records_written += 1
+            self.bytes_written += len(frame)
+            self._next_seq = max(self._next_seq, seq + 1)
+            return seq
+
     # -- checkpoint support --------------------------------------------------
 
     def truncate(self) -> None:
@@ -300,3 +329,109 @@ class WriteAheadJournal:
             f"WriteAheadJournal({str(self.path)!r}, last_seq={self.last_seq}, "
             f"bytes={self._size})"
         )
+
+
+class JournalFollower:
+    """Incremental tail reader over a live journal file.
+
+    Replication ships *committed* WAL frames: the primary's journal is
+    the authoritative commit record, so the shipping side simply tails
+    the file, decoding any newly appended complete frames on each
+    :meth:`poll`. A partial trailing frame (a commit racing the poll)
+    is left in place — the offset does not advance past it, and the
+    next poll retries from the same point.
+
+    Truncation-aware: a checkpoint cuts the journal back to its magic
+    header while sequence numbers keep increasing, so when the file
+    shrinks below the follower's offset the reader rewinds to the
+    magic and relies on the ``seq > last_seq`` filter to skip anything
+    it already delivered.
+
+    Args:
+        path: the journal file to tail (may not exist yet).
+        after_seq: deliver only records with ``seq`` strictly above
+            this (a follower resuming from a snapshot passes the
+            snapshot's ``journal_seq``).
+    """
+
+    def __init__(self, path: Union[str, Path], after_seq: int = 0):
+        self.path = Path(path)
+        self.last_seq = after_seq
+        self._offset = 0
+        #: lifetime counters, for replication health.
+        self.records_delivered = 0
+        self.truncations_seen = 0
+
+    def poll(self) -> List[JournalRecord]:
+        """Decode and return frames appended since the last poll."""
+        if not self.path.exists():
+            return []
+        size = self.path.stat().st_size
+        if size < max(self._offset, len(MAGIC)):
+            # Checkpoint truncation (or a fresh file): rewind.
+            if self._offset > len(MAGIC):
+                self.truncations_seen += 1
+            self._offset = 0
+            if size < len(MAGIC):
+                return []
+        if self._offset < len(MAGIC):
+            self._offset = len(MAGIC)
+        with open(self.path, "rb") as handle:
+            if handle.read(len(MAGIC)) != MAGIC:
+                raise JournalError(
+                    f"{self.path} is not a write-ahead journal (bad magic)"
+                )
+            handle.seek(self._offset)
+            data = handle.read()
+        records: List[JournalRecord] = []
+        cursor = 0
+        while cursor + _HEADER.size <= len(data):
+            length, checksum = _HEADER.unpack_from(data, cursor)
+            start = cursor + _HEADER.size
+            if length > MAX_RECORD_BYTES or start + length > len(data):
+                break  # partial or torn tail; retry next poll
+            body = data[start : start + length]
+            if zlib.crc32(body) & 0xFFFFFFFF != checksum:
+                break
+            try:
+                payload = json.loads(body.decode("utf-8"))
+                seq = int(payload["seq"])
+            except (ValueError, KeyError, UnicodeDecodeError):
+                break
+            if seq > self.last_seq:
+                records.append(
+                    JournalRecord(
+                        seq=seq,
+                        payload=payload,
+                        offset=self._offset + cursor,
+                    )
+                )
+                self.last_seq = seq
+            cursor = start + length
+        self._offset += cursor
+        self.records_delivered += len(records)
+        return records
+
+
+def fingerprint_journal(
+    path: Union[str, Path], upto_seq: Optional[int] = None
+) -> str:
+    """SHA-256 over a journal's framed records (magic excluded).
+
+    With ``upto_seq``, only frames at or below that sequence number are
+    hashed — the committed-prefix fingerprint a promoted follower must
+    match against the dead primary's on-disk journal.
+    """
+    digest = hashlib.sha256()
+    scan = scan_journal(path)
+    data = Path(path).read_bytes() if Path(path).exists() else b""
+    for index, record in enumerate(scan.records):
+        if upto_seq is not None and record.seq > upto_seq:
+            break
+        end = (
+            scan.records[index + 1].offset
+            if index + 1 < len(scan.records)
+            else scan.valid_bytes
+        )
+        digest.update(data[record.offset : end])
+    return digest.hexdigest()

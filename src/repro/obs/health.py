@@ -28,7 +28,7 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
-__all__ = ["SloTracker", "build_info"]
+__all__ = ["SloTracker", "build_info", "replication_summary"]
 
 #: Outcomes note() accepts; anything else raises ValueError.
 OUTCOMES = ("ok", "denied", "shed", "error")
@@ -43,6 +43,27 @@ def build_info() -> Dict[str, str]:
     except Exception:
         version = "unknown"
     return {"version": version, "python": platform.python_version()}
+
+
+def replication_summary(groups: Sequence) -> Dict:
+    """Fold per-group replication health into one operator line.
+
+    Accepts anything exposing ``replication_health()`` (duck-typed so
+    obs keeps its no-inward-imports rule). The roll-up the health op
+    and ``repro top`` lead with: how many groups can serve, the worst
+    follower lag, and cumulative failover/fencing counts.
+    """
+    rows = [group.replication_health() for group in groups]
+    return {
+        "groups": len(rows),
+        "groups_available": sum(1 for row in rows if row["available"]),
+        "max_replication_lag": max(
+            (row["replication_lag"] for row in rows), default=0
+        ),
+        "failovers_total": sum(row["failovers"] for row in rows),
+        "fencings_total": sum(row["fencings"] for row in rows),
+        "ship_failures_total": sum(row["ship_failures"] for row in rows),
+    }
 
 
 class _Slot:

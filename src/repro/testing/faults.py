@@ -34,6 +34,15 @@ point                where it fires
 ``audit.write``      :class:`repro.obs.audit.BackgroundJsonlWriter`, on the
                      writer thread before each record is written (a stall
                      models a slow disk; serving must never block on it)
+``replication.ship`` :meth:`repro.cluster.replication.ReplicaGroup.ship`,
+                     before each follower shipment (a fail drops the
+                     batch; a stall models a slow replication link)
+``replication.ack``  same path, after the follower applied but before
+                     its ack is processed (the primary retries the
+                     batch — idempotent re-delivery)
+``group.primary``    :meth:`repro.cluster.replication.GroupMonitor.probe`,
+                     inside each primary liveness probe (a callback here
+                     is how the chaos suite kills primaries mid-stream)
 ===================  =====================================================
 
 A rule can *raise* an exception, *stall* (sleep real time, modelling a

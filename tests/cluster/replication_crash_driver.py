@@ -1,0 +1,176 @@
+"""Replication primary driver: ship over TCP, then die by SIGKILL.
+
+Run as a subprocess by ``test_failover_sigkill.py``::
+
+    python replication_crash_driver.py WORKDIR PORT
+
+Builds a journalled single-shard
+:class:`~repro.service.DataProviderService` in WORKDIR and acts as the
+*primary* end of a replication stream: it connects to the parent's
+listening socket, then ships ``BATCHES`` batches of freshly committed
+journal frames (plus the tracker digest piggyback) using the exact
+wire protocol from :mod:`repro.cluster.replication`, waiting for the
+follower's ack after each one. After each acked batch it rewrites
+``WORKDIR/expected.json`` (acked seq, live rows, per-key mandated
+delays, request totals) and fsyncs it — that file is the reference
+state "as of the last acknowledged shipment".
+
+Once every batch is acked it commits a **doomed suffix** — journalled
+inserts and read traffic that are never shipped — then drops a
+``ready`` marker and spins until the parent SIGKILLs it. The parent
+promotes its in-process follower and demands the exact committed
+prefix plus never-understated delays.
+
+``decay_rate=1.0`` keeps every expected value exact.
+"""
+
+import json
+import os
+import socket
+import sys
+import time
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..", "src"
+)
+sys.path.insert(0, REPO_SRC)
+
+from repro.cluster.replication import (  # noqa: E402
+    WireDecoder,
+    encode_message,
+)
+from repro.core.config import GuardConfig  # noqa: E402
+from repro.engine.journal import JournalFollower  # noqa: E402
+from repro.service import DataProviderService  # noqa: E402
+
+TABLE = "items"
+BATCHES = 3
+SEED_IDS = tuple(range(1, 13))
+DOOMED_IDS = (801, 802, 803)
+
+
+def make_config() -> GuardConfig:
+    return GuardConfig(
+        policy="popularity",
+        cap=10.0,
+        unit=600.0,
+        decay_rate=1.0,
+        node_id="primary",
+    )
+
+
+def fsync_json(path: str, payload) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def expected_snapshot(service, acked_seq: int) -> dict:
+    keys = [key for key, _ in service.guard.popularity.snapshot()]
+    return {
+        "acked_seq": acked_seq,
+        "rows": sorted(
+            map(list, service.database.query(f"SELECT id, v FROM {TABLE}"))
+        ),
+        "keys": [list(key) for key in keys],
+        "delays": service.guard.policy.delays_for(keys),
+        "total_requests": service.guard.popularity.total_requests,
+    }
+
+
+def await_ack(sock: socket.socket) -> dict:
+    decoder = WireDecoder()
+    while True:
+        data = sock.recv(65536)
+        if not data:
+            raise RuntimeError("follower hung up before acking")
+        messages = decoder.feed(data)
+        if messages:
+            return messages[-1]
+
+
+def run_batch(service, batch: int) -> None:
+    """One batch of committed traffic: writes plus priced reads."""
+    base = 100 * (batch + 1)
+    for offset in range(3):
+        service.guard.execute(
+            f"INSERT INTO {TABLE} VALUES ({base + offset}, 'b{batch}')",
+            sleep=False,
+        )
+    for i in SEED_IDS[: 4 + batch]:
+        service.guard.execute(
+            f"SELECT * FROM {TABLE} WHERE id = {i}", sleep=False
+        )
+
+
+def main() -> None:
+    workdir, port = sys.argv[1], int(sys.argv[2])
+    service = DataProviderService(
+        guard_config=make_config(),
+        journal_path=os.path.join(workdir, "primary.journal"),
+    )
+    service.guard.execute(
+        f"CREATE TABLE {TABLE} (id INTEGER PRIMARY KEY, v TEXT)",
+        sleep=False,
+    )
+    for i in SEED_IDS:
+        service.guard.execute(
+            f"INSERT INTO {TABLE} VALUES ({i}, 'seed-{i}')", sleep=False
+        )
+
+    tail = JournalFollower(service.journal.path)
+    peer_versions = None
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    try:
+        for batch in range(BATCHES):
+            if batch:  # batch 0 ships the seed traffic itself
+                run_batch(service, batch)
+            entries = [record.payload for record in tail.poll()]
+            message = {
+                "t": "ship",
+                "group": 0,
+                "term": 1,
+                "entries": entries,
+                "digest": service.guard.gossip_digest(peer_versions),
+            }
+            sock.sendall(encode_message(message))
+            ack = await_ack(sock)
+            if ack.get("t") != "ack":
+                raise RuntimeError(f"expected ack, got {ack!r}")
+            peer_versions = ack.get("versions")
+            fsync_json(
+                os.path.join(workdir, "expected.json"),
+                expected_snapshot(service, int(ack["seq"])),
+            )
+
+        # The doomed suffix: committed locally, never shipped. The
+        # parent's follower must serve the prefix without any of this.
+        # Committed *before* the ready marker so the parent's SIGKILL
+        # cannot race the suffix out of existence (the non-vacuousness
+        # check needs the primary journal to really run past the ack).
+        for i in DOOMED_IDS:
+            service.guard.execute(
+                f"INSERT INTO {TABLE} VALUES ({i}, 'doomed')", sleep=False
+            )
+        for _ in range(5):
+            service.guard.execute(
+                f"SELECT * FROM {TABLE} WHERE id = {SEED_IDS[0]}",
+                sleep=False,
+            )
+
+        with open(os.path.join(workdir, "ready"), "w") as marker:
+            marker.write("ok")
+            marker.flush()
+            os.fsync(marker.fileno())
+
+        while True:  # hold the socket open until the parent SIGKILLs us
+            time.sleep(60)
+    finally:
+        sock.close()
+
+
+if __name__ == "__main__":
+    main()

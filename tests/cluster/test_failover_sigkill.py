@@ -1,0 +1,219 @@
+"""SIGKILL the primary OS process; the in-process follower takes over.
+
+The driver (``replication_crash_driver.py``) is a real primary in a
+real child process, shipping committed journal frames over a TCP
+socket with the production wire protocol. This parent is the follower
+side: a :class:`~repro.cluster.replication.ReplicaMember` wrapping a
+live service, grouped with a *process-backed* member standing in for
+the child, under a :class:`~repro.cluster.replication.GroupMonitor`
+probing at a tight interval.
+
+After the last acked shipment the child commits a doomed suffix and is
+SIGKILLed. The acceptance criteria from the replication design:
+
+* the monitor notices and promotes within its probe interval (with a
+  generous CI slack);
+* the promoted follower serves **exactly** the committed prefix — its
+  replica journal is byte-identical to the dead primary's journal up
+  to the acked seq, and none of the doomed rows exist;
+* promotion never understates the defense: every delay the promoted
+  guard mandates is >= the delay the primary mandated at the last
+  acknowledged shipment.
+"""
+
+import dataclasses
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.replication import (
+    PRIMARY,
+    GroupMonitor,
+    ReplicaGroup,
+    ReplicaMember,
+)
+from repro.engine.journal import WriteAheadJournal, fingerprint_journal
+from repro.service import DataProviderService
+
+from . import replication_crash_driver as driver_module
+
+DRIVER = Path(driver_module.__file__).resolve()
+TABLE = driver_module.TABLE
+PROBE_INTERVAL = 0.05
+PROMOTE_DEADLINE = 5.0
+
+
+class Harness:
+    """Everything the tests need from one driver run, post-promotion."""
+
+    def __init__(self, workdir):
+        self.workdir = workdir
+        self.follower_service = DataProviderService(
+            guard_config=dataclasses.replace(
+                driver_module.make_config(), node_id="follower"
+            )
+        )
+        self.follower = ReplicaMember(
+            "shard-0-r1",
+            service=self.follower_service,
+            journal=WriteAheadJournal(
+                os.path.join(workdir, "replica.journal")
+            ),
+        )
+        self.proc_member = ReplicaMember("shard-0", role=PRIMARY)
+        self.group = ReplicaGroup(0, [self.proc_member, self.follower])
+        self.monitor = GroupMonitor([self.group], interval=PROBE_INTERVAL)
+        self.expected = None
+        self.kill_to_promote = None
+        self.primary_journal = os.path.join(workdir, "primary.journal")
+
+    def run(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        process = subprocess.Popen(
+            [sys.executable, str(DRIVER), str(self.workdir), str(port)],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+        )
+        self.proc_member.probe = lambda: process.poll() is None
+        try:
+            listener.settimeout(30)
+            conn, _ = listener.accept()
+            pump = threading.Thread(
+                target=self._pump, args=(conn,), daemon=True
+            )
+            pump.start()
+            ready = os.path.join(self.workdir, "ready")
+            deadline = time.monotonic() + 60.0
+            while not os.path.exists(ready):
+                if process.poll() is not None:
+                    raise AssertionError(
+                        "driver exited before ready:\n"
+                        + process.stderr.read().decode()
+                    )
+                if time.monotonic() > deadline:
+                    raise AssertionError("driver never became ready")
+                time.sleep(0.02)
+            with open(os.path.join(self.workdir, "expected.json")) as fh:
+                self.expected = json.load(fh)
+
+            self.monitor.start()
+            killed_at = time.monotonic()
+            process.send_signal(signal.SIGKILL)
+            process.wait()
+            while not self.group.available:
+                if time.monotonic() - killed_at > PROMOTE_DEADLINE:
+                    raise AssertionError(
+                        "monitor never promoted the follower"
+                    )
+                time.sleep(PROBE_INTERVAL / 5)
+            self.kill_to_promote = time.monotonic() - killed_at
+            pump.join(timeout=5)
+            conn.close()
+        finally:
+            listener.close()
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+            process.stderr.close()
+        return self
+
+    def _pump(self, conn):
+        """The follower end of the stream: recv -> apply -> ack."""
+        try:
+            while True:
+                data = conn.recv(65536)
+                if not data:
+                    return
+                replies = self.follower.feed(data)
+                if replies:
+                    conn.sendall(replies)
+        except OSError:
+            return
+
+    def close(self):
+        self.monitor.stop()
+        self.follower.journal.close()
+
+
+@pytest.fixture(scope="module")
+def failover(tmp_path_factory):
+    harness = Harness(str(tmp_path_factory.mktemp("repl-crash"))).run()
+    yield harness
+    harness.close()
+
+
+class TestSigkillFailover:
+    def test_promotion_within_probe_interval(self, failover):
+        assert failover.group.available
+        assert failover.group.primary is failover.follower
+        assert failover.group.failovers == 1
+        # One probe detects, the next pass flips the primary; anything
+        # beyond a handful of intervals means the monitor stalled.
+        assert failover.kill_to_promote <= PROMOTE_DEADLINE
+        assert failover.monitor.probes_total >= 1
+
+    def test_promoted_follower_serves_exact_committed_prefix(
+        self, failover
+    ):
+        expected = failover.expected
+        rows = sorted(
+            map(
+                list,
+                failover.follower_service.database.query(
+                    f"SELECT id, v FROM {TABLE}"
+                ),
+            )
+        )
+        assert rows == expected["rows"]
+        served_ids = {row[0] for row in rows}
+        for doomed in driver_module.DOOMED_IDS:
+            assert doomed not in served_ids
+        # Byte-identical journals up to the acked seq — and the dead
+        # primary really had committed more (the scenario is not
+        # vacuous).
+        acked = expected["acked_seq"]
+        assert failover.follower.applied_seq == acked
+        assert fingerprint_journal(
+            failover.follower.journal.path, upto_seq=acked
+        ) == fingerprint_journal(failover.primary_journal, upto_seq=acked)
+        from repro.engine.journal import scan_journal
+
+        assert scan_journal(failover.primary_journal).last_seq > acked
+
+    def test_promotion_never_understates_delays(self, failover):
+        expected = failover.expected
+        guard = failover.group.guard
+        keys = [tuple(key) for key in expected["keys"]]
+        assert guard.popularity.total_requests >= (
+            expected["total_requests"] - 1e-9
+        )
+        for got, want in zip(
+            guard.policy.delays_for(keys), expected["delays"]
+        ):
+            assert got >= want - 1e-9
+
+    def test_promoted_primary_keeps_committing(self, failover):
+        """New writes land in the replica journal, continuing the
+        replicated sequence — the group survives its primary."""
+        before = failover.follower.journal.last_seq
+        assert before >= failover.expected["acked_seq"]
+        failover.group.guard.execute(
+            f"INSERT INTO {TABLE} VALUES (901, 'post-failover')",
+            sleep=False,
+        )
+        assert failover.follower.journal.last_seq == before + 1
+        found = failover.follower_service.database.query(
+            f"SELECT id FROM {TABLE} WHERE id = 901"
+        )
+        assert found == [(901,)]

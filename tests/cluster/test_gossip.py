@@ -122,3 +122,87 @@ class TestBackgroundLoop:
         cluster = ClusterService(shard_count=2, gossip=False)
         assert cluster.gossip is None
         assert cluster.cluster_health()["gossip"] is None
+
+
+class _FlakyGuard:
+    """Proxy guard whose digest path can be switched off (dead peer)."""
+
+    def __init__(self, guard):
+        self._guard = guard
+        self.down = False
+        self.digest_calls = 0
+
+    def gossip_digest(self, versions=None):
+        self.digest_calls += 1
+        if self.down:
+            raise OSError("peer unreachable")
+        return self._guard.gossip_digest(versions)
+
+    def __getattr__(self, name):
+        return getattr(self._guard, name)
+
+
+class TestPeerBackoff:
+    """Unreachable peers are retried on a capped jittered backoff."""
+
+    def build(self):
+        import random
+
+        from repro.core.resilience import BackoffPolicy
+
+        clock = [0.0]
+        guards = build_guards(3)
+        flaky = _FlakyGuard(guards[2])
+        gossip = GossipCoordinator(
+            [guards[0], guards[1], flaky],
+            backoff=BackoffPolicy(base=1.0, cap=8.0, rng=random.Random(7)),
+            time_source=lambda: clock[0],
+        )
+        return clock, guards, flaky, gossip
+
+    def test_failures_open_a_backoff_window(self):
+        clock, guards, flaky, gossip = self.build()
+        flaky.down = True
+        gossip.run_round()
+        # Both healthy destinations failed against the flaky source.
+        assert gossip.peer_failures_total == 2
+        assert gossip.peers_backed_off() == 2
+        calls = flaky.digest_calls
+        # Same instant: the pairs sit inside their windows and are
+        # skipped — no repeated hammering of a dead peer every round.
+        gossip.run_round()
+        assert flaky.digest_calls == calls
+        assert gossip.exchanges_skipped_total == 2
+        assert gossip.stats()["peers_backed_off"] == 2
+
+    def test_mesh_converges_around_the_hole(self):
+        clock, guards, flaky, gossip = self.build()
+        guards[0].popularity.record(("t", 1), weight=5.0)
+        flaky.down = True
+        gossip.run_round()
+        # The healthy pair still exchanged: shard 1 adopted shard 0's
+        # mass even though shard 2 was unreachable as a source.
+        assert guards[1].popularity.present_count(("t", 1)) == 5.0
+        # The flaky shard still *receives* (its own digest is what
+        # fails), so it converges too.
+        assert guards[2].popularity.present_count(("t", 1)) == 5.0
+
+    def test_recovery_resumes_full_rate_and_converges(self):
+        clock, guards, flaky, gossip = self.build()
+        guards[2].popularity.record(("t", 9), weight=3.0)
+        flaky.down = True
+        for _ in range(3):
+            gossip.run_round()
+        failures = gossip.peer_failures_total
+        # The peer comes back after the longest possible window.
+        clock[0] = 100.0
+        flaky.down = False
+        gossip.run_round()
+        assert gossip.peer_failures_total == failures
+        assert gossip.peers_backed_off() == 0
+        for guard in guards[:2]:
+            assert guard.popularity.present_count(("t", 9)) == 3.0
+        # Full rate again: the next round probes the pair immediately.
+        calls = flaky.digest_calls
+        gossip.run_round()
+        assert flaky.digest_calls == calls + 2

@@ -1,0 +1,76 @@
+"""ProcessFleet lifecycle: clean start/stop and crash teardown.
+
+The fleet's contract under test: a child that dies before printing its
+``PORT`` line must (a) raise an error that carries *that child's*
+stderr — the only artifact that says why — and (b) leave no sibling
+running and no zombie unreaped.
+"""
+
+import os
+import socket
+
+import pytest
+
+from repro.cluster.procserver import ProcessFleet
+
+ENV = {**os.environ, "PYTHONPATH": "src"}
+
+
+def fleet_children(fleet):
+    return list(fleet._children)
+
+
+class TestFleetLifecycle:
+    def test_start_serves_and_stop_reaps(self):
+        fleet = ProcessFleet(2, rows=64, env=ENV)
+        with fleet:
+            assert sorted(fleet.ports) == [0, 1]
+            for port in fleet.ports.values():
+                # The port is genuinely listening.
+                socket.create_connection(
+                    ("127.0.0.1", port), timeout=10
+                ).close()
+            children = fleet_children(fleet)
+        for child in children:
+            assert child.poll() is not None  # reaped, not orphaned
+        assert fleet.ports == {}
+
+    def test_stop_is_idempotent(self):
+        fleet = ProcessFleet(1, rows=32, env=ENV)
+        fleet.start()
+        fleet.stop()
+        fleet.stop()
+        assert fleet.ports == {}
+
+
+class TestCrashTeardown:
+    def test_crashed_shard_surfaces_its_stderr(self):
+        fleet = ProcessFleet(
+            2, rows=64, env=ENV, extra_args=["--selftest-crash"]
+        )
+        with pytest.raises(RuntimeError) as error:
+            fleet.start()
+        message = str(error.value)
+        assert "shard 0" in message
+        assert "selftest crash before serving" in message
+
+    def test_crash_reaps_every_spawned_sibling(self):
+        # Shard 1 crashes *after* shard 0 is already serving: the
+        # failure path must tear shard 0 down too, not leak it.
+        fleet = ProcessFleet(2, rows=64, env=ENV)
+        spawned = []
+        original = fleet._await_port
+
+        def tracking_await(shard, child):
+            spawned.append(child)
+            if shard == 1:
+                child.kill()
+            return original(shard, child)
+
+        fleet._await_port = tracking_await
+        with pytest.raises(RuntimeError):
+            fleet.start()
+        assert len(spawned) == 2
+        for child in spawned:
+            assert child.poll() is not None
+        assert fleet.ports == {}

@@ -1,0 +1,201 @@
+"""Price-safety of failover promotion, as seeded-random properties.
+
+The replication design leans on one claim: a promoted follower's
+popularity tracker is a gossip peer of the dead primary's, and the
+tracker merge is *stale-HIGH* — a mirrored mass is the origin's
+present-scale count as of the last shipped digest, which later decay
+can only shrink. So promotion can overstate popularity, but it can
+never mint an undercount, and the delays it mandates dominate the
+delays the primary mandated at the last *acknowledged* shipment.
+
+Same style as ``tests/core/test_merge_properties.py``: seeded random
+workloads and sync schedules with plain loops, no new dependency. Two
+layers:
+
+* tracker-level — a primary/follower pair exchanging directed deltas,
+  crashing at a random point in the schedule;
+* group-level — a real :class:`~repro.cluster.ClusterService` replica
+  group with randomised ship points, a SIGKILL-equivalent primary
+  death, and monitor-driven promotion.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterService
+from repro.core.config import GuardConfig
+from repro.core.delay_policy import PopularityDelayPolicy
+from repro.core.popularity import PopularityTracker
+from repro.engine.journal import fingerprint_journal
+
+KEYS = [("items", rowid) for rowid in range(1, 13)]
+POPULATION = 200
+
+
+def price(tracker):
+    """Delays the guard would mandate right now, one per KEYS entry."""
+    policy = PopularityDelayPolicy(
+        tracker, population=POPULATION, cap=30.0, unit=900.0
+    )
+    return policy.delays_for(KEYS)
+
+
+def reference(tracker):
+    """Frozen view of the tracker: counts, totals, mandated delays."""
+    return {
+        "counts": {key: tracker.present_count(key) for key in KEYS},
+        "total": tracker.total_requests,
+        "delays": price(tracker),
+    }
+
+
+def sync(follower, primary):
+    """One acknowledged shipment's digest piggyback."""
+    follower.merge(primary.delta_since(follower.versions()))
+
+
+def assert_dominates(promoted, acked, context):
+    """The promoted view never understates the acked reference."""
+    for key in KEYS:
+        assert (
+            promoted["counts"][key] >= acked["counts"][key] - 1e-9
+        ), (context, key)
+    assert promoted["total"] >= acked["total"] - 1e-9, context
+    for key, got, want in zip(KEYS, promoted["delays"], acked["delays"]):
+        assert got >= want - 1e-9, (context, key)
+
+
+class TestTrackerPromotion:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("decay_rate", [1.0, 1.25])
+    def test_promoted_view_dominates_last_ack(self, seed, decay_rate):
+        """Crash anywhere in a random record/ship schedule: the
+        follower's state at promotion dominates the reference captured
+        at the last acknowledged shipment — counts, request total, and
+        every mandated delay. With ``decay_rate=1.0`` the domination is
+        exact equality on every synced key."""
+        rng = random.Random(7000 + seed)
+        primary = PopularityTracker(decay_rate=decay_rate, origin="p")
+        follower = PopularityTracker(decay_rate=decay_rate, origin="f")
+        sync(follower, primary)
+        acked = reference(primary)
+        for round_no in range(rng.randrange(3, 9)):
+            for _ in range(rng.randrange(5, 40)):
+                primary.record(
+                    rng.choice(KEYS), weight=rng.choice([0.5, 1.0, 2.0])
+                )
+            if rng.random() < 0.7:
+                sync(follower, primary)
+                acked = reference(primary)
+        # Crash: the unacknowledged tail dies with the primary and the
+        # follower is promoted holding the last shipped digest.
+        promoted = reference(follower)
+        assert_dominates(promoted, acked, (seed, decay_rate))
+        if decay_rate == 1.0:
+            for key in KEYS:
+                assert promoted["counts"][key] == pytest.approx(
+                    acked["counts"][key]
+                )
+            assert promoted["total"] == pytest.approx(acked["total"])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_stale_mirror_bounds_decayed_mass_from_above(self, seed):
+        """Stale-HIGH, stated directly: after the ack, further traffic
+        on the primary decays every mass it does *not* touch, while the
+        follower's mirror keeps the acked (larger) value — the promoted
+        replica can only overstate popularity, never undercount it."""
+        rng = random.Random(9000 + seed)
+        primary = PopularityTracker(decay_rate=1.5, origin="p")
+        follower = PopularityTracker(decay_rate=1.5, origin="f")
+        for _ in range(200):
+            primary.record(rng.choice(KEYS))
+        sync(follower, primary)
+        # Post-ack tail confined to half the keyspace; the other half
+        # only decays on the primary from here on.
+        tail_keys = KEYS[: len(KEYS) // 2]
+        untouched = KEYS[len(KEYS) // 2 :]
+        for _ in range(rng.randrange(20, 120)):
+            primary.record(rng.choice(tail_keys))
+        for key in untouched:
+            assert follower.present_count(key) >= primary.present_count(
+                key
+            ) - 1e-9, (seed, key)
+
+
+CONFIG = dict(policy="popularity", cap=20.0, unit=600.0, decay_rate=1.0)
+TABLE = "t"
+
+
+class TestGroupPromotion:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_schedule_promotion_is_price_safe(self, tmp_path, seed):
+        """Full stack: random query traffic, random ship points, then a
+        primary death and monitor promotion. The promoted group serves
+        the exact acked journal prefix and never understates the delays
+        mandated at the last acknowledged shipment."""
+        rng = random.Random(4000 + seed)
+        cluster = ClusterService(
+            shard_count=2,
+            data_dir=tmp_path,
+            replication_factor=2,
+            gossip=False,
+            guard_config=GuardConfig(**CONFIG),
+        )
+        try:
+            cluster.query(
+                None,
+                f"CREATE TABLE {TABLE} (id INTEGER PRIMARY KEY, v TEXT)",
+            )
+            for i in range(1, 25):
+                cluster.query(
+                    None, f"INSERT INTO {TABLE} VALUES ({i}, 'v{i}')"
+                )
+            cluster.monitor.ship_all()
+            group = cluster.groups[0]
+            acked = {
+                "keys": [],
+                "delays": [],
+                "total": 0.0,
+                "seq": group.followers[0].acked_seq,
+            }
+
+            def capture():
+                guard = group.primary.service.guard
+                keys = [key for key, _ in guard.popularity.snapshot()]
+                return {
+                    "keys": keys,
+                    "delays": guard.policy.delays_for(keys),
+                    "total": guard.popularity.total_requests,
+                    "seq": group.followers[0].acked_seq,
+                }
+
+            for _ in range(rng.randrange(2, 6)):
+                for _ in range(rng.randrange(5, 30)):
+                    i = rng.randrange(1, 25)
+                    cluster.query(
+                        None, f"SELECT * FROM {TABLE} WHERE id = {i}"
+                    )
+                if rng.random() < 0.8:
+                    cluster.monitor.ship_all()
+                    acked = capture()
+            # Doomed tail: committed on the primary, never shipped.
+            for i in range(rng.randrange(0, 4)):
+                cluster.query(
+                    None, f"INSERT INTO {TABLE} VALUES ({900 + i}, 'x')"
+                )
+            primary_journal = group.primary.service.journal.path
+            group.primary.kill()
+            cluster.monitor.probe()
+            assert group.available
+            guard = group.guard
+            assert guard.popularity.total_requests >= acked["total"] - 1e-9
+            for got, want in zip(
+                guard.policy.delays_for(acked["keys"]), acked["delays"]
+            ):
+                assert got >= want - 1e-9
+            assert fingerprint_journal(
+                group.primary.journal.path, upto_seq=acked["seq"]
+            ) == fingerprint_journal(primary_journal, upto_seq=acked["seq"])
+        finally:
+            cluster.close()

@@ -1,0 +1,194 @@
+"""Chaos suite for replica groups: drops, stalls, mid-stream kills.
+
+Every scenario asserts the same two invariants, whatever the fault:
+
+1. **Never understate the delay bound** — after the dust settles, the
+   serving guard's per-key delays are >= the delays the primary
+   mandated at the last *acknowledged* shipment (with ``decay_rate=1``
+   the digest piggyback makes them exactly equal on synced keys). A
+   crash may lose an unshipped suffix of *data*; it must never mint a
+   cheaper price for what still serves.
+2. **Exact committed prefix** — the promoted follower's journal is
+   byte-identical to the dead primary's journal up to the acked seq
+   (:func:`~repro.engine.journal.fingerprint_journal`), and its rows
+   are exactly the rows that prefix commits.
+"""
+
+import pytest
+
+from repro.cluster import ClusterService, StaleTermError
+from repro.core.config import GuardConfig
+from repro.core.errors import ShardUnavailable
+from repro.engine.journal import fingerprint_journal
+from repro.testing import faults
+
+CONFIG = dict(policy="popularity", cap=20.0, unit=600.0, decay_rate=1.0)
+TABLE = "t"
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    service = ClusterService(
+        shard_count=2,
+        data_dir=tmp_path,
+        replication_factor=2,
+        gossip=False,
+        guard_config=GuardConfig(**CONFIG),
+    )
+    service.query(
+        None, f"CREATE TABLE {TABLE} (id INTEGER PRIMARY KEY, v TEXT)"
+    )
+    for i in range(1, 21):
+        service.query(None, f"INSERT INTO {TABLE} VALUES ({i}, 'v{i}')")
+    yield service
+    service.close()
+
+
+def warm(cluster, rounds=3):
+    for _ in range(rounds):
+        for i in range(1, 21):
+            cluster.query(None, f"SELECT * FROM {TABLE} WHERE id = {i}")
+
+
+def reference_state(group):
+    """(keys, delays, counts, total) as the primary prices right now."""
+    guard = group.primary.service.guard
+    keys = [key for key, _ in guard.popularity.snapshot()]
+    return {
+        "keys": keys,
+        "delays": guard.policy.delays_for(keys),
+        "counts": [guard.popularity.present_count(k) for k in keys],
+        "total": guard.popularity.total_requests,
+    }
+
+
+def assert_never_understated(group, reference):
+    """The serving guard's defense state dominates the reference."""
+    guard = group.guard
+    for key, count in zip(reference["keys"], reference["counts"]):
+        assert guard.popularity.present_count(key) >= count - 1e-9
+    assert guard.popularity.total_requests >= reference["total"]
+    delays = guard.policy.delays_for(reference["keys"])
+    for got, want in zip(delays, reference["delays"]):
+        assert got >= want - 1e-9
+
+
+class TestShipFaults:
+    def test_dropped_ship_frames_retry_until_delivered(self, cluster):
+        warm(cluster)
+        with faults.injected_faults():
+            faults.injector.fail("replication.ship", times=3)
+            # The drops burn three monitor passes; the backlog stays
+            # pending (never discarded) and the next clean pass
+            # delivers everything.
+            for _ in range(5):
+                cluster.monitor.probe()
+        for group in cluster.groups:
+            assert group.ship_failures >= 1
+            assert group.replication_health()["replication_lag"] == 0
+            follower = group.followers[0]
+            assert fingerprint_journal(
+                follower.journal.path
+            ) == fingerprint_journal(
+                group.primary.service.journal.path,
+                upto_seq=follower.acked_seq,
+            )
+
+    def test_stalled_stream_delays_but_never_corrupts(self, cluster):
+        warm(cluster, rounds=1)
+        with faults.injected_faults():
+            faults.injector.stall("replication.ship", 0.05, times=2)
+            cluster.monitor.ship_all()
+        for group in cluster.groups:
+            assert group.replication_health()["replication_lag"] == 0
+
+    def test_ack_failure_redelivers_idempotently(self, cluster):
+        warm(cluster, rounds=1)
+        with faults.injected_faults():
+            # The follower applies, then the ack path blows up: the
+            # primary must re-ship the same frames, and the follower
+            # must skip them (seq <= applied) without double-applying.
+            faults.injector.fail("replication.ack", times=1)
+            cluster.monitor.ship_all()
+            cluster.monitor.ship_all()
+        group = cluster.groups[0]
+        follower = group.followers[0]
+        assert follower.applied_seq == group.committed_seq
+        assert len(
+            follower.service.database.catalog.table(TABLE)
+        ) == len(group.primary.service.database.catalog.table(TABLE))
+
+
+class TestKillMidStream:
+    def test_sigkill_primary_mid_replication_stream(self, cluster):
+        """The primary dies *between* shipping and processing acks."""
+        warm(cluster)
+        cluster.monitor.ship_all()
+        group = cluster.groups[0]
+        reference = reference_state(group)
+        acked = group.followers[0].acked_seq
+        primary_journal = group.primary.service.journal.path
+        # New committed-but-unshipped work, then a kill fired from
+        # inside the ship path itself: the batch is lost mid-flight.
+        cluster.query(None, f"INSERT INTO {TABLE} VALUES (401, 'x')")
+        with faults.injected_faults():
+            faults.injector.on_fire(
+                "replication.ship", group.primary.kill, times=1
+            )
+            faults.injector.fail("replication.ack", times=1)
+            cluster.monitor.probe()
+        # The next probe sees the dead primary and promotes.
+        report = cluster.monitor.probe()[0]
+        assert report.get("promoted") or group.available
+        assert group.available
+        assert_never_understated(group, reference)
+        assert fingerprint_journal(
+            group.primary.service.journal.path,
+            upto_seq=acked,
+        ) == fingerprint_journal(primary_journal, upto_seq=acked)
+
+    def test_promote_then_old_primary_returns(self, cluster):
+        warm(cluster)
+        cluster.monitor.ship_all()
+        group = cluster.groups[0]
+        reference = reference_state(group)
+        old = group.primary
+        divergent = next(
+            i
+            for i in range(400, 500)
+            if cluster.shard_map.shard_for(TABLE, i) == 0
+        )
+        cluster.query(
+            None, f"INSERT INTO {TABLE} VALUES ({divergent}, 'lost')"
+        )
+        old.kill()
+        cluster.monitor.probe()
+        assert group.primary is not old
+        assert_never_understated(group, reference)
+        # Zombie returns and ships its divergent timeline: fenced.
+        old.alive = True
+        with pytest.raises(StaleTermError):
+            group._ship_from(old)
+        rows = cluster.query(None, f"SELECT id FROM {TABLE}").result.rows
+        assert divergent not in {row[0] for row in rows}
+        assert group.fencings >= 1
+
+    def test_group_loss_degrades_then_heals_nothing_silently(
+        self, cluster
+    ):
+        warm(cluster)
+        cluster.monitor.ship_all()
+        group = cluster.groups[0]
+        for member in group.members:
+            member.kill()
+        cluster.monitor.probe()
+        with pytest.raises(ShardUnavailable) as denied:
+            cluster.query(None, f"SELECT * FROM {TABLE}")
+        assert denied.value.retry_after > 0
+        # Partial opt-in still prices the touched set — delay charged,
+        # coverage declared.
+        result = cluster.guard.execute(
+            f"SELECT * FROM {TABLE}", sleep=False, partial_results=True
+        )
+        assert result.coverage["shards_missing"] == [0]
+        assert result.delay > 0
